@@ -1,0 +1,68 @@
+// Ablation: plug-and-play portability across machines — XT4 vs SP/2.
+//
+// Two of the paper's cross-machine observations:
+//   * optimal Htile shifts from 2-5 on the XT4 to 5-10 on the SP/2
+//     (§5.1, citing Hoisie et al.'s SP/2-era tuning), because the SP/2's
+//     per-message costs are two orders of magnitude higher;
+//   * the handshake synchronization terms "were significant on the SP/2"
+//     but are "a negligible fraction ... on the XT4" (§4.2).
+// Both fall out of the same model with only the MachineConfig changed.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+#include "core/benchmarks.h"
+#include "core/design_space.h"
+#include "core/solver.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Ablation: machine portability (XT4 vs SP/2)",
+      "optimal Htile and synchronization share per machine",
+      "SP/2's high o and L push the optimal tile height up into the 5-10 "
+      "band and make the (m-1)L sync terms noticeable; on the XT4 they "
+      "are negligible");
+
+  // Htile optimum per machine, Sweep3D 20M-cell problem.
+  common::Table htile({"machine", "P", "best_Htile", "gain_vs_Htile1_%"});
+  for (int p : {1024, 4096}) {
+    for (const auto& [name, machine] :
+         {std::pair{"XT4", core::MachineConfig::xt4_single_core()},
+          std::pair{"SP/2", core::MachineConfig::sp2_single_core()}}) {
+      const auto scan =
+          core::scan_htile(core::benchmarks::sweep3d_20m(), machine, p);
+      htile.add_row({name, common::Table::integer(p),
+                     common::Table::num(scan.best_htile, 0),
+                     common::Table::num(100.0 * scan.improvement_vs_unit,
+                                        1)});
+    }
+  }
+  bench::emit(cli, htile);
+
+  // Synchronization-term share of the iteration per machine.
+  common::Table sync({"machine", "P", "iter_no_sync_ms", "iter_sync_ms",
+                      "sync_share_%"});
+  for (int p : {256, 1024, 4096}) {
+    for (auto [name, machine] :
+         {std::pair{"XT4", core::MachineConfig::xt4_single_core()},
+          std::pair{"SP/2", core::MachineConfig::sp2_single_core()}}) {
+      core::MachineConfig without = machine;
+      without.synchronization_terms = false;
+      core::MachineConfig with = machine;
+      with.synchronization_terms = true;
+      const auto app = core::benchmarks::sweep3d_20m();
+      const double t0 =
+          core::Solver(app, without).evaluate(p).iteration.total;
+      const double t1 = core::Solver(app, with).evaluate(p).iteration.total;
+      sync.add_row({name, common::Table::integer(p),
+                    common::Table::num(t0 / 1000.0, 3),
+                    common::Table::num(t1 / 1000.0, 3),
+                    common::Table::num(100.0 * (t1 - t0) / t1, 3)});
+    }
+  }
+  bench::emit(cli, sync);
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared scaffolding for the per-figure benchmark harnesses.
+//
+// Every binary regenerates one table or figure of the paper: it prints a
+// header quoting what the paper's version shows qualitatively, then the
+// series as aligned columns (or CSV with --csv). Sizes that need long
+// simulations are gated behind --full.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace wave::bench {
+
+/// Prints the standard experiment header.
+inline void print_header(const std::string& id, const std::string& title,
+                         const std::string& paper_expectation) {
+  std::cout << "=== " << id << ": " << title << " ===\n"
+            << "Paper expectation: " << paper_expectation << "\n\n";
+}
+
+/// Prints a table as text or CSV depending on --csv.
+inline void emit(const common::Cli& cli, const common::Table& table) {
+  if (cli.has("csv"))
+    table.print_csv(std::cout);
+  else
+    table.print(std::cout);
+  std::cout << std::endl;
+}
+
+}  // namespace wave::bench

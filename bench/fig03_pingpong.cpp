@@ -1,0 +1,60 @@
+// Fig 3: measured vs modelled MPI end-to-end communication times on the
+// XT4 stand-in, (a) inter-node and (b) intra-node, 0-12 KB.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+#include "loggp/comm_model.h"
+#include "workloads/pingpong.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Fig 3", "MPI ping-pong: simulated 'measured' vs LogGP model",
+      "model points lie on the measured curve for all sizes; equal slopes "
+      "below/above the 1024-byte eager limit inter-node; a fixed jump at "
+      "1025 bytes in both placements (handshake off-node, DMA setup "
+      "on-chip)");
+
+  const auto params = loggp::xt4();
+  const loggp::CommModel model(params);
+
+  common::Table table({"bytes", "internode_sim_us", "internode_model_us",
+                       "internode_err%", "intranode_sim_us",
+                       "intranode_model_us", "intranode_err%"});
+  for (int bytes = 0; bytes <= 12288;
+       bytes += (bytes < 1024 ? 128 : 512)) {
+    const int s = bytes == 0 ? 1 : bytes;  // zero-byte messages still ping
+    const double sim_off = workloads::pingpong_half_rtt(params, false, s);
+    const double mod_off = model.total(s, loggp::Placement::OffNode);
+    const double sim_on = workloads::pingpong_half_rtt(params, true, s);
+    const double mod_on = model.total(s, loggp::Placement::OnChip);
+    table.add_row({common::Table::integer(s), common::Table::num(sim_off, 4),
+                   common::Table::num(mod_off, 4),
+                   common::Table::num(
+                       100.0 * common::relative_error(mod_off, sim_off), 2),
+                   common::Table::num(sim_on, 4),
+                   common::Table::num(mod_on, 4),
+                   common::Table::num(
+                       100.0 * common::relative_error(mod_on, sim_on), 2)});
+  }
+  // The protocol-jump pair the paper singles out.
+  for (int s : {1024, 1025}) {
+    const double sim_off = workloads::pingpong_half_rtt(params, false, s);
+    const double mod_off = model.total(s, loggp::Placement::OffNode);
+    const double sim_on = workloads::pingpong_half_rtt(params, true, s);
+    const double mod_on = model.total(s, loggp::Placement::OnChip);
+    table.add_row({common::Table::integer(s), common::Table::num(sim_off, 4),
+                   common::Table::num(mod_off, 4),
+                   common::Table::num(
+                       100.0 * common::relative_error(mod_off, sim_off), 2),
+                   common::Table::num(sim_on, 4),
+                   common::Table::num(mod_on, 4),
+                   common::Table::num(
+                       100.0 * common::relative_error(mod_on, sim_on), 2)});
+  }
+  bench::emit(cli, table);
+  return 0;
+}

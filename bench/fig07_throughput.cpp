@@ -1,0 +1,55 @@
+// Fig 7: time steps solved per problem per month when the machine is
+// partitioned into 1, 2, 4 or 8 equal parts — (a) Sweep3D 10^9 cells,
+// (b) Chimaera 240^3.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/benchmarks.h"
+#include "core/metrics.h"
+
+using namespace wave;
+
+namespace {
+
+void study(const common::Cli& cli, const char* title,
+           const core::Solver& solver, const std::vector<int>& machine_sizes,
+           int min_procs) {
+  std::cout << "-- " << title << " --\n";
+  common::Table table({"P_total", "partitions", "P_per_job",
+                       "timesteps/problem/month"});
+  for (int p : machine_sizes) {
+    for (const auto& point :
+         core::partition_study(solver, p, 10'000, min_procs)) {
+      if (point.partitions > 8) break;
+      table.add_row({common::Table::integer(p),
+                     common::Table::integer(point.partitions),
+                     common::Table::integer(point.processors_per_job),
+                     common::Table::num(point.timesteps_per_month, 0)});
+    }
+  }
+  bench::emit(cli, table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Fig 7", "throughput vs partition size",
+      "(a) Sweep3D 10^9: on 128K processors two parallel simulations run "
+      "at ~7/8 the rate of one; (b) Chimaera 240^3: one problem on 32K "
+      "barely beats two problems on 16K each; partitions of 4K-16K "
+      "processors are the sweet spot");
+
+  core::benchmarks::Sweep3dConfig s3;
+  s3.energy_groups = 30;
+  const core::Solver sweep3d(core::benchmarks::sweep3d(s3),
+                             core::MachineConfig::xt4_dual_core());
+  study(cli, "(a) Sweep3D 10^9 cells", sweep3d, {32768, 65536, 131072},
+        4096);
+
+  const core::Solver chimaera(core::benchmarks::chimaera(),
+                              core::MachineConfig::xt4_dual_core());
+  study(cli, "(b) Chimaera 240^3 cells", chimaera, {16384, 32768}, 1024);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig 9: the optimized number of parallel simulations versus available
+// machine size, for the two §5.2 criteria.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/benchmarks.h"
+#include "core/metrics.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Fig 9", "optimal number of parallel simulations (Sweep3D 10^9)",
+      "min(R/X) chooses more parallel jobs than min(R^2/X) at every "
+      "machine size, and both counts grow with the available processors");
+
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  const core::Solver solver(core::benchmarks::sweep3d(cfg),
+                            core::MachineConfig::xt4_dual_core());
+
+  common::Table table(
+      {"P_avail", "jobs_min_R/X", "jobs_min_R^2/X"});
+  for (int p : {16384, 32768, 65536, 131072}) {
+    const auto points = core::partition_study(solver, p, 10'000, 2048);
+    const auto rx = core::optimal_partition(
+        points, core::PartitionCriterion::MinimizeROverX);
+    const auto r2x = core::optimal_partition(
+        points, core::PartitionCriterion::MinimizeR2OverX);
+    table.add_row({common::Table::integer(p),
+                   common::Table::integer(rx.partitions),
+                   common::Table::integer(r2x.partitions)});
+  }
+  bench::emit(cli, table);
+  return 0;
+}

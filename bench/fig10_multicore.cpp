@@ -1,0 +1,47 @@
+// Fig 10: execution time versus number of nodes for 1 to 16 cores per
+// node (Sweep3D 10^9 cells, 10^4 time steps), plus the §5.3 design
+// variant: a 16-core node provisioned with one bus per four cores.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+#include "core/benchmarks.h"
+#include "core/solver.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Fig 10", "execution time on multi-core nodes (Sweep3D 10^9)",
+      "diminishing returns with more cores per node; two cores on N nodes "
+      "slightly beat four cores on N/2 nodes (shared bus); 16 cores on one "
+      "bus degrade, but 16 cores with one bus per 4 cores match the 2x-node "
+      "quad-core system");
+
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  const auto app = core::benchmarks::sweep3d(cfg);
+  const double steps = 1.0e4;
+
+  common::Table table({"nodes", "1core_days", "2core_days", "4core_days",
+                       "8core_days", "16core_days", "16core_4bus_days"});
+  for (int nodes = 8192; nodes <= 131072; nodes *= 2) {
+    std::vector<std::string> row{common::Table::integer(nodes)};
+    for (int cores : {1, 2, 4, 8, 16}) {
+      const core::Solver solver(app,
+                                core::MachineConfig::xt4_with_cores(cores));
+      const auto res = solver.evaluate(nodes * cores);
+      row.push_back(common::Table::num(
+          common::usec_to_days(res.timestep()) * steps, 1));
+    }
+    const core::Solver banked(app,
+                              core::MachineConfig::xt4_with_cores(16, 4));
+    row.push_back(common::Table::num(
+        common::usec_to_days(banked.evaluate(nodes * 16).timestep()) * steps,
+        1));
+    table.add_row(std::move(row));
+  }
+  bench::emit(cli, table);
+  return 0;
+}

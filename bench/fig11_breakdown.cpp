@@ -1,0 +1,43 @@
+// Fig 11: the critical-path cost breakdown for Chimaera 240^3 — total,
+// computation, and communication time versus processor count.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/units.h"
+#include "core/benchmarks.h"
+#include "core/solver.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  bench::print_header(
+      "Fig 11", "cost breakdown (Chimaera 240^3, 10^4 time steps)",
+      "computation time falls with P while communication time falls far "
+      "more slowly; the crossover where communication dominates marks the "
+      "point of greatly diminished returns from adding processors");
+
+  const core::Solver solver(core::benchmarks::chimaera(),
+                            core::MachineConfig::xt4_dual_core());
+  const double steps = 1.0e4;
+
+  common::Table table({"P", "total_days", "computation_days",
+                       "communication_days", "comm_share%"});
+  double crossover = -1.0;
+  for (int p = 1024; p <= 32768; p *= 2) {
+    const auto res = solver.evaluate(p);
+    const double total = common::usec_to_days(res.timestep()) * steps;
+    const auto split = res.timestep_split();
+    const double comm = common::usec_to_days(split.comm) * steps;
+    const double comp = total - comm;
+    if (crossover < 0.0 && comm > comp) crossover = p;
+    table.add_row({common::Table::integer(p), common::Table::num(total, 2),
+                   common::Table::num(comp, 2), common::Table::num(comm, 2),
+                   common::Table::num(100.0 * comm / total, 1)});
+  }
+  bench::emit(cli, table);
+  if (crossover > 0)
+    std::cout << "communication first dominates at P = " << crossover
+              << "\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Library performance (google-benchmark): cost of evaluating the
+// plug-and-play model itself. The paper's pitch is *rapid* evaluation of
+// design alternatives — these benchmarks quantify "rapid".
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks.h"
+#include "core/metrics.h"
+#include "core/solver.h"
+
+using namespace wave;
+
+namespace {
+
+void BM_SolverEvaluate(benchmark::State& state) {
+  const core::Solver solver(core::benchmarks::chimaera(),
+                            core::MachineConfig::xt4_dual_core());
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.evaluate(p).iteration.total);
+  }
+  state.SetLabel("P=" + std::to_string(p));
+}
+BENCHMARK(BM_SolverEvaluate)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_SolverEvaluateMulticore(benchmark::State& state) {
+  const core::Solver solver(
+      core::benchmarks::sweep3d(),
+      core::MachineConfig::xt4_with_cores(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.evaluate(65536).iteration.total);
+  }
+}
+BENCHMARK(BM_SolverEvaluateMulticore)->Arg(2)->Arg(4)->Arg(16);
+
+void BM_PartitionStudy(benchmark::State& state) {
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  const core::Solver solver(core::benchmarks::sweep3d(cfg),
+                            core::MachineConfig::xt4_dual_core());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::partition_study(solver, 131072, 10'000, 2048).size());
+  }
+}
+BENCHMARK(BM_PartitionStudy);
+
+void BM_HtileScan(benchmark::State& state) {
+  // A full Fig 5-style design scan: 10 Htile values x 2 machine sizes.
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (int h = 1; h <= 10; ++h) {
+      core::benchmarks::ChimaeraConfig cfg;
+      cfg.htile = h;
+      const core::Solver solver(core::benchmarks::chimaera(cfg),
+                                core::MachineConfig::xt4_dual_core());
+      sum += solver.evaluate(4096).iteration.total;
+      sum += solver.evaluate(16384).iteration.total;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HtileScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

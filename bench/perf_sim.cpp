@@ -1,0 +1,61 @@
+// Simulator performance (google-benchmark): event throughput of the
+// discrete-event engine and end-to-end wavefront simulation rates, which
+// bound how large a "measured" configuration the validation benches can
+// afford.
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks.h"
+#include "sim/engine.h"
+#include "workloads/pingpong.h"
+#include "workloads/wavefront.h"
+
+using namespace wave;
+
+namespace {
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    // A self-rescheduling event chain: measures raw calendar overhead.
+    int remaining = 100'000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) engine.after(1.0, tick);
+    };
+    engine.at(0.0, tick);
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_PingPong(benchmark::State& state) {
+  const auto params = loggp::xt4();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        workloads::pingpong_half_rtt(params, false, 4096, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);  // messages
+}
+BENCHMARK(BM_PingPong);
+
+void BM_WavefrontIteration(benchmark::State& state) {
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 128;
+  const auto app = core::benchmarks::sweep3d(cfg);
+  const auto machine = core::MachineConfig::xt4_dual_core();
+  const int p = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto res = workloads::simulate_wavefront(app, machine, p);
+    events += res.events;
+    benchmark::DoNotOptimize(res.makespan);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel("P=" + std::to_string(p) + " (items = DES events)");
+}
+BENCHMARK(BM_WavefrontIteration)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table 2: XT4 communication parameters re-derived from (simulated, noisy)
+// ping-pong measurements by the §3 fitting procedure.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "calibrate/fitting.h"
+#include "common/rng.h"
+
+using namespace wave;
+
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  const double noise = cli.get_double("noise", 0.005);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
+  bench::print_header(
+      "Table 2", "LogGP parameters fitted from ping-pong measurements",
+      "G = 0.0004 us/B (2.5 GB/s), L = 0.305 us, o = 3.92 us off-node; "
+      "Gcopy = 0.000789, Gdma = 0.000072 us/B, o = 3.80, ocopy = 1.98 us "
+      "on-chip — the fit recovers the machine's ground truth");
+
+  const auto truth = loggp::xt4();
+  common::Rng rng(seed);
+  const auto fitted = calibrate::calibrate_machine(truth, &rng, noise);
+
+  common::Table table({"parameter", "unit", "ground_truth", "fitted",
+                       "err%"});
+  auto row = [&](const char* name, const char* unit, double t, double f) {
+    table.add_row({name, unit, common::Table::num(t, 6),
+                   common::Table::num(f, 6),
+                   common::Table::num(100.0 * common::relative_error(f, t),
+                                      2)});
+  };
+  row("G (off-node)", "us/byte", truth.off.G, fitted.off.G);
+  row("L", "us", truth.off.L, fitted.off.L);
+  row("o (off-node)", "us", truth.off.o, fitted.off.o);
+  row("Gcopy", "us/byte", truth.on.Gcopy, fitted.on.Gcopy);
+  row("Gdma", "us/byte", truth.on.Gdma, fitted.on.Gdma);
+  row("o (on-chip)", "us", truth.on.o, fitted.on.o);
+  row("ocopy", "us", truth.on.ocopy, fitted.on.ocopy);
+  bench::emit(cli, table);
+
+  std::cout << "measurement noise: " << 100.0 * noise
+            << "% relative stddev, seed " << seed << "\n"
+            << "derived inter-node bandwidth 1/G = "
+            << common::Table::num(1.0 / fitted.off.G / 1000.0, 3)
+            << " GB/s (paper: 2.5 GB/s)\n";
+  return 0;
+}

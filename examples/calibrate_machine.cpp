@@ -1,0 +1,54 @@
+// Calibrating a machine's LogGP parameters from ping-pong measurements —
+// the §3 procedure a user repeats on their own cluster to retarget every
+// model in this library.
+//
+// Build and run:  ./build/examples/calibrate_machine
+#include <cstdio>
+
+#include "calibrate/fitting.h"
+#include "common/rng.h"
+
+using namespace wave;
+
+int main() {
+  // Stand-in for "run the MPI ping-pong benchmark on your machine": we
+  // measure the simulated XT4 with 1% timer noise. On a real cluster the
+  // Curve would be filled from MPI_Wtime measurements instead.
+  const loggp::MachineParams ground_truth = loggp::xt4();
+  common::Rng noise(7);
+
+  const auto sizes = calibrate::default_sizes();
+  const auto off = calibrate::measure_curve(ground_truth, /*on_chip=*/false,
+                                            sizes, &noise, 0.01);
+  const auto on = calibrate::measure_curve(ground_truth, /*on_chip=*/true,
+                                           sizes, &noise, 0.01);
+
+  std::printf("measured %zu off-node and %zu on-chip ping-pong points\n\n",
+              off.size(), on.size());
+
+  calibrate::FitQuality q_off, q_on;
+  const auto fit_off =
+      calibrate::fit_offnode(off, ground_truth.eager_limit_bytes, &q_off);
+  const auto fit_on =
+      calibrate::fit_onchip(on, ground_truth.eager_limit_bytes, &q_on);
+
+  std::printf("off-node fit (R^2 small/large: %.6f / %.6f)\n",
+              q_off.r_squared_small, q_off.r_squared_large);
+  std::printf("  G = %.6f us/B   (1/G = %.2f GB/s)\n", fit_off.G,
+              1.0 / fit_off.G / 1000.0);
+  std::printf("  L = %.3f us\n", fit_off.L);
+  std::printf("  o = %.3f us\n\n", fit_off.o);
+
+  std::printf("on-chip fit (R^2 small/large: %.6f / %.6f)\n",
+              q_on.r_squared_small, q_on.r_squared_large);
+  std::printf("  Gcopy = %.6f us/B\n", fit_on.Gcopy);
+  std::printf("  Gdma  = %.6f us/B\n", fit_on.Gdma);
+  std::printf("  o     = %.3f us (ocopy %.3f + odma %.3f)\n", fit_on.o,
+              fit_on.ocopy, fit_on.odma());
+
+  std::printf(
+      "\nDrop these values into wave::loggp::MachineParams and every model\n"
+      "in the library (point-to-point, all-reduce, the plug-and-play\n"
+      "wavefront solver) now predicts for your machine.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// A procurement study in the style of §5.2: how many processors should a
+// site buy, and how should it partition them among concurrent particle
+// transport simulations?
+//
+// Build and run:  ./build/examples/procurement_study
+#include <cstdio>
+
+#include "common/units.h"
+#include "core/benchmarks.h"
+#include "core/metrics.h"
+
+using namespace wave;
+
+int main() {
+  // The site's production workload: 10^9-cell Sweep3D runs with 30 energy
+  // groups, 10,000 time steps each.
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  const core::Solver solver(core::benchmarks::sweep3d(cfg),
+                            core::MachineConfig::xt4_dual_core());
+  const long long timesteps = 10'000;
+
+  std::printf("Candidate machine sizes (one simulation on the full "
+              "machine):\n");
+  std::printf("%10s %12s %22s\n", "P", "run (days)", "speedup vs half-size");
+  double prev = -1.0;
+  for (int p = 16384; p <= 262144; p *= 2) {
+    const double days =
+        core::simulation_seconds(solver, p, timesteps) / 86'400.0;
+    if (prev < 0)
+      std::printf("%10d %12.1f %22s\n", p, days, "-");
+    else
+      std::printf("%10d %12.1f %22.2f\n", p, days, prev / days);
+    prev = days;
+  }
+
+  std::printf("\nPartitioning a 131072-core machine (R = one run's time, "
+              "X = runs finished/second):\n");
+  std::printf("%6s %12s %12s %14s %14s\n", "jobs", "P per job", "R (days)",
+              "R/X (norm)", "R^2/X (norm)");
+  const auto points = core::partition_study(solver, 131072, timesteps, 4096);
+  double min_rx = 1e300, min_r2x = 1e300;
+  for (const auto& pt : points) {
+    min_rx = std::min(min_rx, pt.r_over_x);
+    min_r2x = std::min(min_r2x, pt.r2_over_x);
+  }
+  for (const auto& pt : points) {
+    std::printf("%6d %12d %12.1f %14.3f %14.3f\n", pt.partitions,
+                pt.processors_per_job, pt.r_seconds / 86'400.0,
+                pt.r_over_x / min_rx, pt.r2_over_x / min_r2x);
+  }
+
+  const auto rx = core::optimal_partition(
+      points, core::PartitionCriterion::MinimizeROverX);
+  const auto r2x = core::optimal_partition(
+      points, core::PartitionCriterion::MinimizeR2OverX);
+  std::printf(
+      "\nRecommendation: run %d simulations in parallel to balance\n"
+      "throughput against latency (R/X), or %d if single-run turnaround\n"
+      "dominates decisions (R^2/X).\n",
+      rx.partitions, r2x.partitions);
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "calibrate/fitting.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/statistics.h"
+#include "workloads/pingpong.h"
+
+namespace wave::calibrate {
+
+Curve measure_curve(const loggp::MachineParams& ground_truth, bool on_chip,
+                    const std::vector<int>& sizes, common::Rng* noise,
+                    double rel_noise) {
+  Curve curve;
+  curve.reserve(sizes.size());
+  for (int bytes : sizes) {
+    usec t = workloads::pingpong_half_rtt(ground_truth, on_chip, bytes);
+    if (noise != nullptr && rel_noise > 0.0) t = noise->jitter(t, rel_noise);
+    curve.push_back({bytes, t});
+  }
+  std::sort(curve.begin(), curve.end(),
+            [](const Sample& a, const Sample& b) { return a.bytes < b.bytes; });
+  return curve;
+}
+
+std::vector<int> default_sizes() {
+  std::vector<int> sizes;
+  for (int b = 64; b <= 1024; b += 64) sizes.push_back(b);
+  sizes.push_back(1025);
+  for (int b = 1536; b <= 12288; b += 512) sizes.push_back(b);
+  return sizes;
+}
+
+namespace {
+
+struct Region {
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Splits a curve into the eager (<= limit) and rendezvous (> limit) parts.
+std::pair<Region, Region> split(const Curve& curve, int limit) {
+  Region small, large;
+  for (const Sample& s : curve) {
+    Region& r = s.bytes <= limit ? small : large;
+    r.xs.push_back(static_cast<double>(s.bytes));
+    r.ys.push_back(s.time);
+  }
+  WAVE_EXPECTS_MSG(small.xs.size() >= 2,
+                   "need at least two eager-size measurements");
+  WAVE_EXPECTS_MSG(large.xs.size() >= 2,
+                   "need at least two rendezvous-size measurements");
+  return {std::move(small), std::move(large)};
+}
+
+}  // namespace
+
+loggp::OffNodeParams fit_offnode(const Curve& curve, int eager_limit_bytes,
+                                 FitQuality* quality) {
+  const auto [small, large] = split(curve, eager_limit_bytes);
+  const auto fit_s = common::fit_line(small.xs, small.ys);
+  const auto fit_l = common::fit_line(large.xs, large.ys);
+  if (quality != nullptr) {
+    quality->r_squared_small = fit_s.r_squared;
+    quality->r_squared_large = fit_l.r_squared;
+  }
+
+  loggp::OffNodeParams p;
+  // §3.1: the slopes below and above the limit are equal and give G.
+  p.G = 0.5 * (fit_s.slope + fit_l.slope);
+  // Eq. (1): intercept_small = 2o + L.
+  // Eq. (2) with h = 2L: intercept_large = 3o + 3L, so the protocol jump
+  // is (o + 2L); solving the 2x2 system gives o and L.
+  const double intercept_small = fit_s.intercept;
+  const double jump = fit_l.intercept - fit_s.intercept;
+  p.o = (2.0 * intercept_small - jump) / 3.0;
+  p.L = (2.0 * jump - intercept_small) / 3.0;
+  p.oh = 0.0;  // §3.1 assumes oh negligible
+  return p;
+}
+
+loggp::OnChipParams fit_onchip(const Curve& curve, int eager_limit_bytes,
+                               FitQuality* quality) {
+  const auto [small, large] = split(curve, eager_limit_bytes);
+  const auto fit_s = common::fit_line(small.xs, small.ys);
+  const auto fit_l = common::fit_line(large.xs, large.ys);
+  if (quality != nullptr) {
+    quality->r_squared_small = fit_s.r_squared;
+    quality->r_squared_large = fit_l.r_squared;
+  }
+
+  loggp::OnChipParams p;
+  // §3.2: distinct copy and DMA slopes.
+  p.Gcopy = fit_s.slope;
+  p.Gdma = fit_l.slope;
+  // Eq. (5): intercept_small = 2 ocopy. Eq. (6): intercept_large = o + ocopy.
+  p.ocopy = fit_s.intercept / 2.0;
+  p.o = fit_l.intercept - p.ocopy;
+  return p;
+}
+
+loggp::MachineParams calibrate_machine(const loggp::MachineParams& ground_truth,
+                                       common::Rng* noise, double rel_noise) {
+  const std::vector<int> sizes = default_sizes();
+  const Curve off = measure_curve(ground_truth, /*on_chip=*/false, sizes,
+                                  noise, rel_noise);
+  const Curve on = measure_curve(ground_truth, /*on_chip=*/true, sizes,
+                                 noise, rel_noise);
+  loggp::MachineParams fitted;
+  fitted.eager_limit_bytes = ground_truth.eager_limit_bytes;
+  fitted.off = fit_offnode(off, ground_truth.eager_limit_bytes);
+  fitted.on = fit_onchip(on, ground_truth.eager_limit_bytes);
+  fitted.validate();
+  return fitted;
+}
+
+}  // namespace wave::calibrate

@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checks in the spirit of the C++ Core
+// Guidelines' Expects()/Ensures(). Violations throw rather than abort so that
+// library users (and our tests) can observe and handle bad parameters.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wave::common {
+
+/// Thrown when a documented precondition on a public API is violated.
+class contract_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace wave::common
+
+/// Precondition check: throws wave::common::contract_error on violation.
+#define WAVE_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::wave::common::detail::contract_fail("Precondition", #cond,         \
+                                            __FILE__, __LINE__, "");       \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define WAVE_EXPECTS_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::wave::common::detail::contract_fail("Precondition", #cond,         \
+                                            __FILE__, __LINE__, (msg));    \
+  } while (false)
+
+/// Internal invariant check (logic errors in this library, not user input).
+#define WAVE_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::wave::common::detail::contract_fail("Invariant", #cond, __FILE__,  \
+                                            __LINE__, "");                 \
+  } while (false)

@@ -1,0 +1,49 @@
+// Deterministic random number generation for measurement-noise injection.
+//
+// The calibration experiments (paper §3 / Fig 3) fit LogGP parameters from
+// "measured" ping-pong times; we synthesize those measurements on the
+// simulator and perturb them with multiplicative noise so the fitting code
+// path is exercised realistically. Determinism matters: every bench and test
+// must be reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace wave::common {
+
+/// Seeded pseudo-random source with the few distributions we need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Multiplies `value` by (1 + e) with e ~ N(0, rel_stddev), clamped so the
+  /// result stays positive. Used as timer/OS-jitter noise on measurements.
+  double jitter(double value, double rel_stddev) {
+    double factor = 1.0 + gaussian(0.0, rel_stddev);
+    if (factor < 0.01) factor = 0.01;
+    return value * factor;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wave::common

@@ -1,0 +1,87 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/units.h"
+
+namespace wave::common {
+
+Summary summarize(std::span<const double> xs) {
+  WAVE_EXPECTS_MSG(!xs.empty(), "summarize needs at least one sample");
+  Summary s;
+  s.count = xs.size();
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  WAVE_EXPECTS(xs.size() == ys.size());
+  WAVE_EXPECTS_MSG(xs.size() >= 2, "line fit needs at least two points");
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  WAVE_EXPECTS_MSG(denom != 0.0, "line fit needs two distinct x values");
+
+  LineFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  const double mean_y = sy / n;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.slope * xs[i] + fit.intercept;
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> measured) {
+  WAVE_EXPECTS(predicted.size() == measured.size());
+  WAVE_EXPECTS(!predicted.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    sum += relative_error(predicted[i], measured[i]);
+  return sum / static_cast<double>(predicted.size());
+}
+
+double max_relative_error(std::span<const double> predicted,
+                          std::span<const double> measured) {
+  WAVE_EXPECTS(predicted.size() == measured.size());
+  WAVE_EXPECTS(!predicted.empty());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i)
+    worst = std::max(worst, relative_error(predicted[i], measured[i]));
+  return worst;
+}
+
+unsigned exact_log2(std::size_t x) {
+  WAVE_EXPECTS_MSG(is_power_of_two(x), "exact_log2 requires a power of two");
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1U;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace wave::common

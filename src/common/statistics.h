@@ -1,0 +1,51 @@
+// Small statistics toolkit: summary statistics and ordinary least squares,
+// used by the calibration module to fit LogGP parameters from ping-pong
+// measurements (paper §3) and by tests to quantify model error.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wave::common {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics. Precondition: !xs.empty().
+Summary summarize(std::span<const double> xs);
+
+/// Result of an ordinary-least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Fits a line through (xs[i], ys[i]) by ordinary least squares.
+/// Preconditions: xs.size() == ys.size(), at least two distinct x values.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean of |pred[i]-meas[i]|/|meas[i]| over all points (paper's error metric).
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> measured);
+
+/// Max of |pred[i]-meas[i]|/|meas[i]| over all points.
+double max_relative_error(std::span<const double> predicted,
+                          std::span<const double> measured);
+
+/// Integer log2 for exact powers of two. Precondition: x is a power of two.
+unsigned exact_log2(std::size_t x);
+
+/// True iff x is a (positive) power of two.
+constexpr bool is_power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace wave::common

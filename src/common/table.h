@@ -1,0 +1,42 @@
+// Aligned-column table printing for the benchmark harnesses.
+//
+// Every bench/ binary regenerates one of the paper's tables or figures; the
+// output format is a header block (what the paper expects qualitatively)
+// followed by aligned columns, or CSV when requested, so results can be
+// diffed and plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wave::common {
+
+/// Column-aligned table with an optional title and note block.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+
+  /// Renders with aligned columns (left-aligned text, right-aligned
+  /// numerics) and a separator rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values, headers first.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wave::common

@@ -1,0 +1,31 @@
+// Time-unit conventions for the wavebench library.
+//
+// The paper (and therefore every model in this library) works in
+// microseconds; predictions are reported in seconds or days. We keep plain
+// `double` in hot paths and provide named conversions so call sites document
+// their units instead of sprinkling magic constants.
+#pragma once
+
+namespace wave::common {
+
+/// Alias used in signatures to document that a double is in microseconds.
+using usec = double;
+
+inline constexpr double kUsecPerSec = 1.0e6;
+inline constexpr double kSecPerDay = 86'400.0;
+inline constexpr double kSecPerMonth = 30.0 * kSecPerDay;  // procurement month
+
+constexpr double usec_to_sec(usec t) { return t / kUsecPerSec; }
+constexpr usec sec_to_usec(double s) { return s * kUsecPerSec; }
+constexpr double usec_to_days(usec t) { return t / kUsecPerSec / kSecPerDay; }
+constexpr double sec_to_days(double s) { return s / kSecPerDay; }
+
+/// Relative error |a-b| / |reference|, the metric the paper reports
+/// ("less than 5% error for LU ...").  `reference` is the measured value.
+constexpr double relative_error(double predicted, double reference) {
+  const double denom = reference < 0 ? -reference : reference;
+  const double diff = predicted - reference;
+  return (diff < 0 ? -diff : diff) / denom;
+}
+
+}  // namespace wave::common

@@ -1,0 +1,47 @@
+#include "core/app_params.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace wave::core {
+
+void AppParams::validate() const {
+  WAVE_EXPECTS_MSG(nx > 0 && ny > 0 && nz > 0, "data grid must be non-empty");
+  WAVE_EXPECTS_MSG(wg >= 0 && wg_pre >= 0, "work terms must be non-negative");
+  WAVE_EXPECTS_MSG(htile > 0, "tile height must be positive");
+  WAVE_EXPECTS_MSG(htile <= nz, "tile height cannot exceed the stack height");
+  WAVE_EXPECTS_MSG(sweeps.nsweeps() >= 1, "need at least one sweep");
+  WAVE_EXPECTS_MSG(boundary_bytes_per_cell > 0,
+                   "boundary payload must be positive");
+  WAVE_EXPECTS_MSG(nonwavefront.allreduce_count >= 0 &&
+                       nonwavefront.allreduce_bytes >= 0,
+                   "all-reduce spec out of domain");
+  WAVE_EXPECTS_MSG(nonwavefront.stencil_work_per_cell >= 0,
+                   "stencil work must be non-negative");
+  WAVE_EXPECTS_MSG(iterations_per_timestep >= 1, "need at least one iteration");
+  WAVE_EXPECTS_MSG(energy_groups >= 1, "need at least one energy group");
+}
+
+namespace {
+int round_bytes(double b) {
+  const long long r = std::llround(b);
+  return static_cast<int>(r < 1 ? 1 : r);
+}
+}  // namespace
+
+int AppParams::message_bytes_ew(int n_columns, int m_rows) const {
+  WAVE_EXPECTS(n_columns >= 1 && m_rows >= 1);
+  (void)n_columns;
+  return round_bytes(boundary_bytes_per_cell * htile *
+                     (ny / static_cast<double>(m_rows)));
+}
+
+int AppParams::message_bytes_ns(int n_columns, int m_rows) const {
+  WAVE_EXPECTS(n_columns >= 1 && m_rows >= 1);
+  (void)m_rows;
+  return round_bytes(boundary_bytes_per_cell * htile *
+                     (nx / static_cast<double>(n_columns)));
+}
+
+}  // namespace wave::core

@@ -1,0 +1,87 @@
+// The plug-and-play model's application input parameters (paper Table 3).
+//
+// These few values are *all* the model needs to know about a wavefront
+// code: the data-grid size, the measured per-cell work before and after the
+// boundary receives, the tile height, the sweep structure (nsweeps, nfull,
+// ndiag), the boundary-message payload per cell, and what happens between
+// iterations (Tnonwavefront).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "core/sweep_structure.h"
+
+namespace wave::core {
+
+using common::usec;
+
+/// The between-iteration phase (Table 3 row "Tnonwavefront"): LU runs a
+/// four-point stencil; Sweep3D two all-reduces; Chimaera one all-reduce.
+struct NonWavefrontPhase {
+  int allreduce_count = 0;
+  int allreduce_bytes = 8;       ///< payload of each all-reduce (one double)
+  bool has_stencil = false;
+  usec stencil_work_per_cell = 0.0;  ///< measured per-cell stencil time
+};
+
+/// Table 3, one application. All times in µs; all cell counts as doubles
+/// because per-processor shares (Nx/n etc.) are generally fractional.
+struct AppParams {
+  std::string name;
+
+  // Data grid (input size).
+  double nx = 0.0;
+  double ny = 0.0;
+  double nz = 0.0;
+
+  // Measured computation per grid cell: wg covers *all* angles of one cell
+  // (unlike [3], where Wg was per-angle); wg_pre is work done before the
+  // boundary receives (zero except LU).
+  usec wg = 0.0;
+  usec wg_pre = 0.0;
+
+  /// Tile height in cells. LU and Chimaera fix it at 1; Sweep3D's angle
+  /// blocking gives the effective Htile = mk * mmi / mmo (may be
+  /// fractional).
+  double htile = 1.0;
+
+  /// Sweep count and precedence structure (provides nsweeps/nfull/ndiag).
+  SweepStructure sweeps;
+
+  /// Boundary payload per boundary cell per unit tile height, in bytes:
+  /// 40 for LU (five doubles), 8 * #angles for the transport codes, so that
+  ///   MessageSizeEW = boundary_bytes_per_cell * Htile * Ny/m
+  ///   MessageSizeNS = boundary_bytes_per_cell * Htile * Nx/n.
+  double boundary_bytes_per_cell = 8.0;
+
+  NonWavefrontPhase nonwavefront;
+
+  /// Iterations needed per time step (e.g. 419 for the Chimaera benchmark
+  /// problem, 120 for representative Sweep3D runs).
+  int iterations_per_timestep = 1;
+
+  /// Energy groups computed sequentially per time step (multiplies the
+  /// per-iteration cost; paper §5.2 uses 30 for Sweep3D).
+  int energy_groups = 1;
+
+  /// Application design variant (not in the benchmark codes): issue the
+  /// boundary sends with MPI_Isend and wait for them at the start of the
+  /// next tile, overlapping the rendezvous handshake with computation.
+  /// The model then charges only the CPU injection overhead o per send;
+  /// the simulator runs the double-buffered schedule for real.
+  bool nonblocking_sends = false;
+
+  /// Throws wave::common::contract_error if any field is out of domain.
+  void validate() const;
+
+  /// Number of tiles in a processor's stack: Nz / Htile.
+  double tiles_per_stack() const { return nz / htile; }
+
+  /// Message payloads for an n-columns x m-rows decomposition, rounded to
+  /// whole bytes (at least 1).
+  int message_bytes_ew(int n_columns, int m_rows) const;
+  int message_bytes_ns(int n_columns, int m_rows) const;
+};
+
+}  // namespace wave::core

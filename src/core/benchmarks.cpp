@@ -1,0 +1,85 @@
+#include "core/benchmarks.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace wave::core::benchmarks {
+
+AppParams lu(const LuConfig& config) {
+  AppParams app;
+  app.name = "LU";
+  app.nx = app.ny = app.nz = config.n;
+  app.wg = config.wg;
+  app.wg_pre = config.wg_pre;
+  app.htile = 1.0;
+  app.sweeps = SweepStructure::lu();
+  // Five doubles per boundary cell (the five flux components of the
+  // Navier-Stokes system): Table 3 row "Message Size = 40 * Ny/m".
+  app.boundary_bytes_per_cell = 40.0;
+  app.nonwavefront.has_stencil = true;
+  app.nonwavefront.stencil_work_per_cell = config.stencil_work_per_cell;
+  app.iterations_per_timestep = config.iterations_per_timestep;
+  app.validate();
+  WAVE_ENSURES(app.sweeps.nsweeps() == 2 && app.sweeps.nfull() == 2 &&
+               app.sweeps.ndiag() == 0);
+  return app;
+}
+
+AppParams sweep3d(const Sweep3dConfig& config) {
+  WAVE_EXPECTS_MSG(config.mk >= 1 && config.mmi >= 1 && config.mmo >= 1,
+                   "Sweep3D blocking factors must be positive");
+  WAVE_EXPECTS_MSG(config.mmo % config.mmi == 0,
+                   "mmi must divide mmo (angle blocks of equal size)");
+  AppParams app;
+  app.name = "Sweep3D";
+  app.nx = config.nx;
+  app.ny = config.ny;
+  app.nz = config.nz;
+  app.wg = config.wg;
+  app.wg_pre = 0.0;
+  // Computing mmi of the mmo angles over a tile of mk cells costs the same
+  // as computing all angles over mk * mmi / mmo cells (paper §4.1).
+  app.htile = static_cast<double>(config.mk) * config.mmi / config.mmo;
+  app.sweeps = SweepStructure::sweep3d();
+  app.boundary_bytes_per_cell = 8.0 * config.mmo;  // 8 * #angles
+  app.nonwavefront.allreduce_count = 2;
+  app.iterations_per_timestep = config.iterations_per_timestep;
+  app.energy_groups = config.energy_groups;
+  app.validate();
+  WAVE_ENSURES(app.sweeps.nsweeps() == 8 && app.sweeps.nfull() == 2 &&
+               app.sweeps.ndiag() == 2);
+  return app;
+}
+
+AppParams sweep3d_20m(usec wg, int mk) {
+  Sweep3dConfig config;
+  // 272^3 = 20,123,648 cells, the closest cube to the paper's "20 million".
+  config.nx = config.ny = config.nz = 272.0;
+  config.wg = wg;
+  config.mk = mk;
+  config.iterations_per_timestep = 480;
+  return sweep3d(config);
+}
+
+AppParams chimaera(const ChimaeraConfig& config) {
+  WAVE_EXPECTS_MSG(config.angles >= 1, "need at least one angle");
+  AppParams app;
+  app.name = "Chimaera";
+  app.nx = config.nx;
+  app.ny = config.ny;
+  app.nz = config.nz;
+  app.wg = config.wg;
+  app.wg_pre = 0.0;
+  app.htile = config.htile;
+  app.sweeps = SweepStructure::chimaera();
+  app.boundary_bytes_per_cell = 8.0 * config.angles;
+  app.nonwavefront.allreduce_count = 1;
+  app.iterations_per_timestep = config.iterations_per_timestep;
+  app.validate();
+  WAVE_ENSURES(app.sweeps.nsweeps() == 8 && app.sweeps.nfull() == 4 &&
+               app.sweeps.ndiag() == 2);
+  return app;
+}
+
+}  // namespace wave::core::benchmarks

@@ -1,0 +1,57 @@
+// Table 3 instantiated: the three benchmark applications the paper models.
+//
+// Wg / Wg,pre are *measured* inputs in the paper (per-cell compute time on
+// at least four cores of the target machine). The defaults below were
+// calibrated with wave::kernels on this repository's development host so
+// the reproduced figures land at paper-like magnitudes; callers reproducing
+// experiments on their own machine should measure and override them
+// (see examples/quickstart.cpp and wave::kernels::measure_*).
+#pragma once
+
+#include "core/app_params.h"
+
+namespace wave::core::benchmarks {
+
+/// NAS LU: compressible Navier-Stokes solver. Two full-completion sweeps
+/// per iteration, per-cell pre-computation before the receives, 40-byte
+/// boundary payload per cell, four-point stencil between iterations.
+struct LuConfig {
+  double n = 162.0;  ///< class-C cubic grid (Nx = Ny = Nz = 162)
+  usec wg = 0.9;
+  usec wg_pre = 0.4;
+  usec stencil_work_per_cell = 0.5;
+  int iterations_per_timestep = 250;
+};
+AppParams lu(const LuConfig& config = {});
+
+/// LANL Sweep3D: eight octant sweeps (nfull = 2, ndiag = 2), angle blocking
+/// mmi of mmo angles with tile height mk cells, giving the effective
+/// Htile = mk * mmi / mmo; two all-reduces between iterations.
+struct Sweep3dConfig {
+  double nx = 1000.0, ny = 1000.0, nz = 1000.0;  ///< the 10^9-cell problem
+  usec wg = 0.55;  ///< per cell, all mmo angles
+  int mk = 4;     ///< tile height knob (Htile = mk * mmi / mmo)
+  int mmi = 3;
+  int mmo = 6;
+  int iterations_per_timestep = 120;  ///< paper §5: representative value
+  int energy_groups = 1;              ///< §5.2 production runs use 30
+};
+AppParams sweep3d(const Sweep3dConfig& config = {});
+
+/// Shorthand for the 20-million-cell Sweep3D problem (272^3 ≈ 2*10^7).
+AppParams sweep3d_20m(usec wg = 0.55, int mk = 4);
+
+/// AWE Chimaera: eight sweeps with nfull = 4, ndiag = 2, ten angles per
+/// cell, fixed Htile = 1 in the released benchmark (the paper's §5.1 design
+/// study varies Htile, which the code's architects were implementing);
+/// one all-reduce between iterations.
+struct ChimaeraConfig {
+  double nx = 240.0, ny = 240.0, nz = 240.0;  ///< largest cubic benchmark
+  usec wg = 2.0;   ///< per cell, all ten angles
+  double htile = 1.0;
+  int angles = 10;
+  int iterations_per_timestep = 419;  ///< iterations for the 240^3 problem
+};
+AppParams chimaera(const ChimaeraConfig& config = {});
+
+}  // namespace wave::core::benchmarks

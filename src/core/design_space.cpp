@@ -1,0 +1,81 @@
+#include "core/design_space.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/units.h"
+
+namespace wave::core {
+
+HtileScan scan_htile(AppParams app, const MachineConfig& machine,
+                     int processors, std::span<const double> candidates) {
+  WAVE_EXPECTS(processors >= 1);
+  WAVE_EXPECTS_MSG(!candidates.empty(), "need at least one Htile candidate");
+
+  std::vector<double> heights(candidates.begin(), candidates.end());
+  if (std::find(heights.begin(), heights.end(), 1.0) == heights.end())
+    heights.push_back(1.0);
+  std::sort(heights.begin(), heights.end());
+
+  HtileScan scan;
+  usec at_unit = 0.0;
+  scan.best_iteration = std::numeric_limits<double>::infinity();
+  for (double h : heights) {
+    if (h <= 0.0 || h > app.nz) continue;
+    app.htile = h;
+    const Solver solver(app, machine);
+    const usec t = solver.evaluate(processors).iteration.total;
+    scan.points.push_back({h, t});
+    if (h == 1.0) at_unit = t;
+    if (t < scan.best_iteration) {
+      scan.best_iteration = t;
+      scan.best_htile = h;
+    }
+  }
+  WAVE_EXPECTS_MSG(!scan.points.empty(),
+                   "no Htile candidate fits the stack height");
+  if (at_unit > 0.0)
+    scan.improvement_vs_unit = 1.0 - scan.best_iteration / at_unit;
+  return scan;
+}
+
+HtileScan scan_htile(AppParams app, const MachineConfig& machine,
+                     int processors) {
+  const double candidates[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  return scan_htile(std::move(app), machine, processors, candidates);
+}
+
+std::vector<DecompositionPoint> scan_decompositions(
+    const AppParams& app, const MachineConfig& machine, int processors) {
+  WAVE_EXPECTS(processors >= 1);
+  std::vector<DecompositionPoint> points;
+  for (int m = 1; m * m <= processors; ++m) {
+    if (processors % m != 0) continue;
+    const topo::Grid grid(processors / m, m);
+    const Solver solver(app, machine);
+    points.push_back({grid, solver.evaluate(grid).iteration.total});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const DecompositionPoint& a, const DecompositionPoint& b) {
+              return a.iteration < b.iteration;
+            });
+  WAVE_ENSURES(!points.empty());
+  return points;
+}
+
+int processors_for_deadline(const AppParams& app,
+                            const MachineConfig& machine,
+                            double timestep_seconds, int max_processors) {
+  WAVE_EXPECTS(timestep_seconds > 0.0);
+  WAVE_EXPECTS(max_processors >= 1);
+  const Solver solver(app, machine);
+  for (int p = 1; p <= max_processors; p *= 2) {
+    const double t =
+        common::usec_to_sec(solver.evaluate(p).timestep());
+    if (t <= timestep_seconds) return p;
+  }
+  return max_processors;
+}
+
+}  // namespace wave::core

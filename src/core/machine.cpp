@@ -1,0 +1,20 @@
+#include "core/machine.h"
+
+#include "topology/grid.h"
+
+namespace wave::core {
+
+MachineConfig MachineConfig::xt4_with_cores(int cores, int buses) {
+  WAVE_EXPECTS_MSG(cores >= 1, "need at least one core per node");
+  // Arrange the cores as close to square as possible, with the taller side
+  // vertical so that 2 cores -> 1x2 and 8 cores -> 2x4, matching Table 6.
+  const topo::Grid shape = topo::closest_to_square(cores);
+  MachineConfig m;
+  m.cx = shape.m();
+  m.cy = shape.n();
+  m.buses_per_node = buses;
+  m.validate();
+  return m;
+}
+
+}  // namespace wave::core

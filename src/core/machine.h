@@ -1,0 +1,69 @@
+// Platform description consumed by the plug-and-play solver: LogGP
+// communication parameters plus the node architecture (paper §4.3).
+#pragma once
+
+#include "common/contracts.h"
+#include "common/statistics.h"
+#include "loggp/params.h"
+
+namespace wave::core {
+
+/// A machine = LogGP parameters + multi-core node shape. Cores of one node
+/// occupy a cx × cy rectangle of the logical processor grid; cores of one
+/// node share `buses_per_node` memory buses (1 on the XT4; paper §5.3
+/// evaluates 16-core nodes with one bus per four cores).
+struct MachineConfig {
+  loggp::MachineParams loggp = loggp::xt4();
+  int cx = 1;
+  int cy = 1;
+  int buses_per_node = 1;
+
+  /// Include the handshake back-propagation synchronization terms of the
+  /// original Sweep3D model ([3], eqs. s3/s4: (m-1)L and (n-2)L added to
+  /// the sweep completion times). The paper omits them for the XT4, where
+  /// L is two orders of magnitude below the SP/2's, but notes that "these
+  /// previous or other synchronization terms can be incorporated in the
+  /// re-usable model for other architectures, as needed" (§4.2) — enable
+  /// this for SP/2-like machines.
+  bool synchronization_terms = false;
+
+  int cores_per_node() const { return cx * cy; }
+
+  void validate() const {
+    loggp.validate();
+    WAVE_EXPECTS_MSG(cx >= 1 && cy >= 1, "node shape factors must be >= 1");
+    WAVE_EXPECTS_MSG(
+        common::is_power_of_two(static_cast<std::size_t>(cores_per_node())),
+        "the all-reduce model requires power-of-two cores per node");
+    WAVE_EXPECTS_MSG(
+        buses_per_node >= 1 && cores_per_node() % buses_per_node == 0,
+        "buses per node must divide the core count");
+  }
+
+  /// Dual-core Cray XT4 node (1×2 core rectangle), the validated platform.
+  static MachineConfig xt4_dual_core() {
+    MachineConfig m;
+    m.cx = 1;
+    m.cy = 2;
+    return m;
+  }
+
+  /// Single-core-per-node mapping on XT4 parameters (paper §4.2).
+  static MachineConfig xt4_single_core() { return MachineConfig{}; }
+
+  /// IBM SP/2 as studied in [3]: one task per node, high L and o, and the
+  /// synchronization terms that were significant on that machine.
+  static MachineConfig sp2_single_core() {
+    MachineConfig m;
+    m.loggp = loggp::sp2();
+    m.synchronization_terms = true;
+    return m;
+  }
+
+  /// A hypothetical node with `cores` cores (arranged as close to square as
+  /// possible) and the given number of buses; used for the §5.3 design
+  /// study. `cores` must be a power of two.
+  static MachineConfig xt4_with_cores(int cores, int buses = 1);
+};
+
+}  // namespace wave::core

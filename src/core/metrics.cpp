@@ -1,0 +1,61 @@
+#include "core/metrics.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+#include "common/units.h"
+
+namespace wave::core {
+
+double simulation_seconds(const Solver& solver, int processors,
+                          long long timesteps) {
+  WAVE_EXPECTS(processors >= 1);
+  WAVE_EXPECTS(timesteps >= 1);
+  const ModelResult res = solver.evaluate(processors);
+  return common::usec_to_sec(res.timestep()) * static_cast<double>(timesteps);
+}
+
+std::vector<PartitionPoint> partition_study(const Solver& solver,
+                                            int available_processors,
+                                            long long timesteps,
+                                            int min_processors_per_job) {
+  WAVE_EXPECTS(available_processors >= 1);
+  WAVE_EXPECTS(min_processors_per_job >= 1);
+  std::vector<PartitionPoint> points;
+  for (int k = 1;
+       available_processors / k >= min_processors_per_job;
+       k *= 2) {
+    if (available_processors % k != 0) break;
+    PartitionPoint p;
+    p.partitions = k;
+    p.processors_per_job = available_processors / k;
+    p.r_seconds = simulation_seconds(solver, p.processors_per_job, timesteps);
+    p.x_per_second = static_cast<double>(k) / p.r_seconds;
+    p.timesteps_per_month = static_cast<double>(timesteps) *
+                            common::kSecPerMonth / p.r_seconds;
+    p.r_over_x = p.r_seconds / p.x_per_second;
+    p.r2_over_x = p.r_seconds * p.r_seconds / p.x_per_second;
+    points.push_back(p);
+  }
+  WAVE_ENSURES(!points.empty());
+  return points;
+}
+
+PartitionPoint optimal_partition(const std::vector<PartitionPoint>& points,
+                                 PartitionCriterion criterion) {
+  WAVE_EXPECTS_MSG(!points.empty(), "partition study produced no points");
+  const PartitionPoint* best = nullptr;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (const PartitionPoint& p : points) {
+    const double value = criterion == PartitionCriterion::MinimizeROverX
+                             ? p.r_over_x
+                             : p.r2_over_x;
+    if (value < best_value) {
+      best_value = value;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+}  // namespace wave::core

@@ -1,0 +1,51 @@
+// Procurement and configuration metrics built on the model (paper §5.2).
+//
+// For a site running many particle-transport simulations the interesting
+// quantities are:
+//   R — the runtime of one simulation (timesteps * timestep time),
+//   X — the simulation completion rate when the machine is partitioned
+//       into k equal parts each running one simulation: X = k / R,
+//   R/X and R²/X — the trade-off criteria of Fig 8 (the latter weights
+//       single-simulation latency more heavily),
+// and the optimized partition counts of Fig 9.
+#pragma once
+
+#include <vector>
+
+#include "core/solver.h"
+
+namespace wave::core {
+
+/// One row of a partition study (Figs 7-9): `partitions` simulations run in
+/// parallel, each on processors_per_job cores.
+struct PartitionPoint {
+  int partitions = 1;
+  int processors_per_job = 1;
+  double r_seconds = 0.0;           ///< runtime of one simulation
+  double x_per_second = 0.0;        ///< simulations completed per second
+  double timesteps_per_month = 0.0; ///< per problem (Fig 7 bars)
+  double r_over_x = 0.0;            ///< Fig 8 lower curve
+  double r2_over_x = 0.0;           ///< Fig 8 upper curve
+};
+
+/// Runtime in seconds of one simulation of `timesteps` steps on
+/// `processors` cores (time per timestep comes from the model).
+double simulation_seconds(const Solver& solver, int processors,
+                          long long timesteps);
+
+/// Evaluates the partition trade-off on `available_processors` cores for
+/// each power-of-two partition count while each job still gets at least
+/// `min_processors_per_job` cores.
+std::vector<PartitionPoint> partition_study(const Solver& solver,
+                                            int available_processors,
+                                            long long timesteps,
+                                            int min_processors_per_job = 1024);
+
+/// Criterion for choosing the number of parallel simulations (Fig 9).
+enum class PartitionCriterion { MinimizeROverX, MinimizeR2OverX };
+
+/// The partition count minimizing the chosen criterion.
+PartitionPoint optimal_partition(const std::vector<PartitionPoint>& points,
+                                 PartitionCriterion criterion);
+
+}  // namespace wave::core

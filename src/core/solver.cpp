@@ -1,0 +1,208 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.h"
+#include "loggp/collectives.h"
+#include "loggp/contention.h"
+#include "loggp/stencil.h"
+#include "topology/node_map.h"
+
+namespace wave::core {
+
+using loggp::Placement;
+
+Solver::Solver(AppParams app, MachineConfig machine)
+    : app_(std::move(app)), machine_(machine), comm_(machine.loggp) {
+  app_.validate();
+  machine_.validate();
+}
+
+ModelResult Solver::evaluate(int processors) const {
+  WAVE_EXPECTS_MSG(processors >= 1, "need at least one processor");
+  return evaluate(topo::closest_to_square(processors));
+}
+
+TimeSplit ModelResult::timestep_split() const {
+  const double reps = static_cast<double>(iterations_per_timestep) *
+                      static_cast<double>(energy_groups);
+  return reps * iteration;
+}
+
+namespace {
+
+/// Communication cost term of the recurrence, tagged entirely as comm time.
+TimeSplit comm_term(usec t) { return TimeSplit{t, t}; }
+
+/// Largest power of two <= x (x >= 1).
+int floor_pow2(int x) {
+  int p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+ModelResult Solver::evaluate(const topo::Grid& grid) const {
+  const int n = grid.n();
+  const int m = grid.m();
+
+  // Sender-side cost of one boundary send. With the nonblocking-sends
+  // design variant the rendezvous handshake overlaps the next tile's
+  // computation, so only the CPU injection overhead remains on the
+  // critical path.
+  auto send_cost = [&](int bytes, Placement where) -> usec {
+    if (app_.nonblocking_sends && where == Placement::OffNode)
+      return machine_.loggp.off.o;
+    if (app_.nonblocking_sends && where == Placement::OnChip)
+      return comm_.is_large(bytes) ? machine_.loggp.on.o
+                                   : machine_.loggp.on.ocopy;
+    return comm_.send(bytes, where);
+  };
+
+  ModelResult res;
+  res.grid = grid;
+  res.iterations_per_timestep = app_.iterations_per_timestep;
+  res.energy_groups = app_.energy_groups;
+
+  // (r1a)/(r1b): per-tile work before/after the boundary receives.
+  const double cells_per_tile =
+      app_.htile * (app_.nx / n) * (app_.ny / m);
+  res.wpre = app_.wg_pre * cells_per_tile;
+  res.w = app_.wg * cells_per_tile;
+
+  res.msg_bytes_ew = app_.message_bytes_ew(n, m);
+  res.msg_bytes_ns = app_.message_bytes_ns(n, m);
+
+  // Per-direction communication costs for both placements. On a
+  // single-core-per-node mapping everything is off-node (§4.2); on CMP
+  // nodes the placement of each operation depends on the processor's
+  // position inside its node's cx × cy rectangle (Table 6).
+  const topo::NodeMap node_map(grid, machine_.cx, machine_.cy);
+  auto placed = [&](bool on_node) {
+    return on_node ? Placement::OnChip : Placement::OffNode;
+  };
+
+  // (r2a)/(r2b): pipeline-fill recurrence over the grid. StartP is the time
+  // at which each processor starts computing its first tile of the sweep.
+  // Row-major dynamic programming: StartP(i,j) depends on west and north
+  // neighbours only.
+  std::vector<TimeSplit> start(static_cast<std::size_t>(n) * m);
+  auto start_at = [&](int i, int j) -> TimeSplit& {
+    return start[static_cast<std::size_t>(j - 1) * n + (i - 1)];
+  };
+  const TimeSplit w_term{res.w, 0.0};
+
+  for (int j = 1; j <= m; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      if (i == 1 && j == 1) {
+        start_at(1, 1) = TimeSplit{res.wpre, 0.0};
+        continue;
+      }
+      TimeSplit best{-1.0, 0.0};
+      if (i > 1) {
+        // West message arrives last: its full TotalComm, then the queued
+        // north message still costs its Receive processing.
+        const topo::Coord me{i, j};
+        TimeSplit cand = start_at(i - 1, j) + w_term;
+        cand += comm_term(comm_.total(
+            res.msg_bytes_ew,
+            placed(node_map.is_on_node(me, topo::Direction::West))));
+        if (j > 1) {
+          cand += comm_term(comm_.recv(
+              res.msg_bytes_ns,
+              placed(node_map.is_on_node(me, topo::Direction::North))));
+        }
+        if (cand.total > best.total) best = cand;
+      }
+      if (j > 1) {
+        // North message arrives last: the sender (i,j-1) first sends East
+        // (if it has an east neighbour), then sends South to us.
+        const topo::Coord sender{i, j - 1};
+        TimeSplit cand = start_at(i, j - 1) + w_term;
+        if (i < n) {
+          cand += comm_term(send_cost(
+              res.msg_bytes_ew,
+              placed(node_map.is_on_node(sender, topo::Direction::East))));
+        }
+        cand += comm_term(comm_.total(
+            res.msg_bytes_ns,
+            placed(node_map.is_on_node(sender, topo::Direction::South))));
+        if (cand.total > best.total) best = cand;
+      }
+      start_at(i, j) = best;
+    }
+  }
+
+  // (r3a)/(r3b): fill times to the main-diagonal corner and the far corner.
+  res.t_diagfill = start_at(1, m);
+  res.t_fullfill = start_at(n, m);
+  if (machine_.synchronization_terms) {
+    // Handshake back-propagation ([3] eqs. s3/s4): replies ripple back
+    // along the pipeline, one L per hop to the main diagonal and along
+    // both edges to the far corner.
+    res.t_diagfill += comm_term((m - 1) * machine_.loggp.off.L);
+    res.t_fullfill +=
+        comm_term(((m - 1) + std::max(0, n - 2)) * machine_.loggp.off.L);
+  }
+
+  // (r4): stack-drain time. All communications are off-node ("the
+  // processing of the stack of tiles occurs at the rate of the slowest
+  // communication in each direction"), plus the shared-bus contention
+  // additions of Table 6. Degenerate single-row/column grids have no
+  // neighbours in the collapsed direction, so those terms vanish.
+  const auto mult = loggp::contention_multipliers(machine_.cx, machine_.cy,
+                                                  machine_.buses_per_node);
+  const usec i_ew = loggp::interference_unit(machine_.loggp, res.msg_bytes_ew);
+  const usec i_ns = loggp::interference_unit(machine_.loggp, res.msg_bytes_ns);
+  usec recv_w = 0.0, send_e = 0.0, recv_n = 0.0, send_s = 0.0;
+  if (n > 1) {
+    recv_w = comm_.recv(res.msg_bytes_ew, Placement::OffNode) +
+             mult.recv_west * i_ew;
+    send_e = send_cost(res.msg_bytes_ew, Placement::OffNode) +
+             mult.send_east * i_ew;
+  }
+  if (m > 1) {
+    recv_n = comm_.recv(res.msg_bytes_ns, Placement::OffNode) +
+             mult.recv_north * i_ns;
+    send_s = send_cost(res.msg_bytes_ns, Placement::OffNode) +
+             mult.send_south * i_ns;
+  }
+  const double tiles = app_.tiles_per_stack();
+  const usec per_tile_comm = recv_w + recv_n + send_e + send_s;
+  res.t_stack.total =
+      (per_tile_comm + res.w + res.wpre) * tiles - res.wpre;
+  res.t_stack.comm = per_tile_comm * tiles;
+
+  // Tnonwavefront: the application's between-iteration phase.
+  const int total_cores = grid.size();
+  const int c_eff =
+      floor_pow2(std::min(machine_.cores_per_node(), total_cores));
+  const auto& nwf = app_.nonwavefront;
+  if (nwf.allreduce_count > 0) {
+    const usec one = loggp::allreduce_time(comm_, total_cores, c_eff,
+                                           nwf.allreduce_bytes);
+    res.t_nonwavefront += comm_term(nwf.allreduce_count * one);
+  }
+  if (nwf.has_stencil) {
+    loggp::StencilPhase phase;
+    phase.cells_per_processor = (app_.nx / n) * (app_.ny / m) * app_.nz;
+    phase.work_per_cell = nwf.stencil_work_per_cell;
+    phase.msg_bytes_ew = n > 1 ? res.msg_bytes_ew : 0;
+    phase.msg_bytes_ns = m > 1 ? res.msg_bytes_ns : 0;
+    const usec t = loggp::stencil_time(comm_, phase);
+    const usec compute = phase.cells_per_processor * phase.work_per_cell;
+    res.t_nonwavefront += TimeSplit{t, t - compute};
+  }
+
+  // (r5): one iteration.
+  const double ndiag = app_.sweeps.ndiag();
+  const double nfull = app_.sweeps.nfull();
+  const double nsweeps = app_.sweeps.nsweeps();
+  res.fill = ndiag * res.t_diagfill + nfull * res.t_fullfill;
+  res.iteration = res.fill + nsweeps * res.t_stack + res.t_nonwavefront;
+  return res;
+}
+
+}  // namespace wave::core

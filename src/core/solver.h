@@ -1,0 +1,101 @@
+// The plug-and-play LogGP model solver (paper §4.2 Table 5, §4.3 Table 6).
+//
+// Given the Table 3 application parameters, a machine description, and a
+// processor count, the solver evaluates:
+//   r1a/r1b — per-tile work Wpre and W,
+//   r2a/r2b — the pipeline-fill recurrence StartP over the m×n grid, with
+//             per-position on-chip/off-node communication costs on
+//             multi-core nodes (Table 6 top),
+//   r3a/r3b — Tdiagfill = StartP(1,m), Tfullfill = StartP(n,m),
+//   r4      — Tstack, the time to drain a stack of tiles, using off-node
+//             costs plus the shared-bus contention additions (Table 6
+//             bottom),
+//   r5      — time per iteration
+//             = ndiag*Tdiagfill + nfull*Tfullfill + nsweeps*Tstack
+//               + Tnonwavefront.
+//
+// Every quantity is tracked as a (total, communication) pair so the Fig 11
+// computation/communication breakdown falls out of the same evaluation:
+// "The communication component of the total execution time is derived from
+// the Send, Receive, TotalComm and Tallreduce execution time terms in the
+// model. The computation component is the rest."
+#pragma once
+
+#include "core/app_params.h"
+#include "core/machine.h"
+#include "loggp/comm_model.h"
+#include "topology/grid.h"
+
+namespace wave::core {
+
+/// A duration along the critical path, split into its communication part
+/// (Send/Receive/TotalComm/all-reduce terms) and the computation remainder.
+struct TimeSplit {
+  usec total = 0.0;
+  usec comm = 0.0;
+
+  usec compute() const { return total - comm; }
+
+  TimeSplit& operator+=(const TimeSplit& o) {
+    total += o.total;
+    comm += o.comm;
+    return *this;
+  }
+  friend TimeSplit operator+(TimeSplit a, const TimeSplit& b) { return a += b; }
+  friend TimeSplit operator*(double k, const TimeSplit& t) {
+    return {k * t.total, k * t.comm};
+  }
+};
+
+/// Everything the model derives for one (application, machine, grid) choice.
+struct ModelResult {
+  topo::Grid grid{1, 1};  ///< the n×m decomposition evaluated
+
+  usec w = 0.0;     ///< (r1b) work per tile after the receives
+  usec wpre = 0.0;  ///< (r1a) work per tile before the receives
+
+  int msg_bytes_ew = 0;
+  int msg_bytes_ns = 0;
+
+  TimeSplit t_diagfill;      ///< (r3a)
+  TimeSplit t_fullfill;      ///< (r3b)
+  TimeSplit t_stack;         ///< (r4)
+  TimeSplit t_nonwavefront;  ///< Table 3 row Tnonwavefront
+  TimeSplit iteration;       ///< (r5) time for one iteration
+
+  /// Pipeline-fill share of one iteration:
+  /// ndiag*Tdiagfill + nfull*Tfullfill (used for Fig 12).
+  TimeSplit fill;
+
+  /// Time for one full time step:
+  /// iteration * iterations_per_timestep * energy_groups.
+  usec timestep() const { return timestep_split().total; }
+  TimeSplit timestep_split() const;
+
+  int iterations_per_timestep = 1;
+  int energy_groups = 1;
+};
+
+/// Evaluates the plug-and-play model. Immutable after construction; cheap
+/// to copy; evaluate() is const and thread-safe.
+class Solver {
+ public:
+  Solver(AppParams app, MachineConfig machine);
+
+  const AppParams& app() const { return app_; }
+  const MachineConfig& machine() const { return machine_; }
+
+  /// Evaluates on the closest-to-square decomposition of `processors` MPI
+  /// ranks (one rank per core).
+  ModelResult evaluate(int processors) const;
+
+  /// Evaluates on an explicit decomposition.
+  ModelResult evaluate(const topo::Grid& grid) const;
+
+ private:
+  AppParams app_;
+  MachineConfig machine_;
+  loggp::CommModel comm_;
+};
+
+}  // namespace wave::core

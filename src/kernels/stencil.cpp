@@ -1,0 +1,112 @@
+#include "kernels/stencil.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace wave::kernels {
+
+StencilPlane::StencilPlane(int nx, int ny) : nx_(nx), ny_(ny) {
+  WAVE_EXPECTS_MSG(nx >= 1 && ny >= 1, "plane dimensions must be positive");
+  u_.assign(static_cast<std::size_t>(nx_ + 2) * (ny_ + 2), 0.0);
+  rhs_.assign(static_cast<std::size_t>(nx_) * ny_, 0.0);
+}
+
+double& StencilPlane::cell(int i, int j) {
+  return u_[static_cast<std::size_t>(j + 1) * (nx_ + 2) + (i + 1)];
+}
+double StencilPlane::cell(int i, int j) const {
+  return u_[static_cast<std::size_t>(j + 1) * (nx_ + 2) + (i + 1)];
+}
+
+double& StencilPlane::at(int i, int j) {
+  WAVE_EXPECTS(i >= 0 && i < nx_ && j >= 0 && j < ny_);
+  return cell(i, j);
+}
+double StencilPlane::at(int i, int j) const {
+  WAVE_EXPECTS(i >= 0 && i < nx_ && j >= 0 && j < ny_);
+  return cell(i, j);
+}
+
+void StencilPlane::compute_rhs(double forcing) {
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      // A smooth manufactured forcing term; the trig calls give the rhs
+      // evaluation a realistic arithmetic weight relative to relaxation.
+      const double x = (i + 1.0) / (nx_ + 1.0);
+      const double y = (j + 1.0) / (ny_ + 1.0);
+      rhs_[static_cast<std::size_t>(j) * nx_ + i] =
+          forcing * std::sin(3.14159265358979 * x) *
+          std::sin(3.14159265358979 * y);
+    }
+  }
+}
+
+double StencilPlane::relax_lower(double omega) {
+  double norm = 0.0;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const double residual =
+          rhs_[static_cast<std::size_t>(j) * nx_ + i] +
+          cell(i - 1, j) + cell(i, j - 1) - 4.0 * cell(i, j) +
+          cell(i + 1, j) + cell(i, j + 1);
+      const double delta = omega * residual * 0.25;
+      cell(i, j) += delta;
+      norm += delta * delta;
+    }
+  }
+  return std::sqrt(norm);
+}
+
+double StencilPlane::relax_upper(double omega) {
+  double norm = 0.0;
+  for (int j = ny_ - 1; j >= 0; --j) {
+    for (int i = nx_ - 1; i >= 0; --i) {
+      const double residual =
+          rhs_[static_cast<std::size_t>(j) * nx_ + i] +
+          cell(i - 1, j) + cell(i, j - 1) - 4.0 * cell(i, j) +
+          cell(i + 1, j) + cell(i, j + 1);
+      const double delta = omega * residual * 0.25;
+      cell(i, j) += delta;
+      norm += delta * delta;
+    }
+  }
+  return std::sqrt(norm);
+}
+
+double StencilPlane::four_point_stencil() {
+  double norm = 0.0;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const double res = cell(i - 1, j) + cell(i + 1, j) + cell(i, j - 1) +
+                         cell(i, j + 1) - 4.0 * cell(i, j);
+      norm += res * res;
+    }
+  }
+  return std::sqrt(norm);
+}
+
+LuWorkMeasurement measure_wg_lu(int plane_cells, int reps) {
+  WAVE_EXPECTS(plane_cells >= 1 && reps >= 1);
+  const int side = std::max(1, static_cast<int>(std::sqrt(plane_cells)));
+  StencilPlane plane(side, side);
+  const double cells = static_cast<double>(side) * side;
+
+  auto time_us = [&](auto&& fn) {
+    fn();  // warm-up
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(stop - start).count() /
+           reps;
+  };
+
+  LuWorkMeasurement m{};
+  m.wg_pre = time_us([&] { plane.compute_rhs(1.0); }) / cells;
+  m.wg = time_us([&] { plane.relax_lower(1.2); }) / cells;
+  m.stencil_per_cell = time_us([&] { plane.four_point_stencil(); }) / cells;
+  return m;
+}
+
+}  // namespace wave::kernels

@@ -1,0 +1,65 @@
+// SSOR / stencil kernels with the data-flow of the LU benchmark.
+//
+// LU's wavefront body performs a lower-triangular then upper-triangular
+// SSOR relaxation (the two sweeps), with a right-hand-side evaluation
+// before the receives (the model's Wg,pre) and a four-point stencil pass
+// between iterations (the model's Tstencil). These kernels provide real,
+// measurable versions of each piece.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace wave::kernels {
+
+using common::usec;
+
+/// A 2-D plane of unknowns with a halo ring, as one z-tile of LU's grid.
+class StencilPlane {
+ public:
+  StencilPlane(int nx, int ny);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  double& at(int i, int j);        ///< interior cell, 0-based
+  double at(int i, int j) const;
+
+  /// Evaluates the right-hand side for every interior cell (LU's
+  /// pre-computation: no neighbour dependencies, runs before the receives).
+  void compute_rhs(double forcing);
+
+  /// One lower-triangular relaxation pass: cell (i,j) uses the *updated*
+  /// west and north values — the wavefront dependency.
+  /// Returns the L2 norm of the applied corrections.
+  double relax_lower(double omega);
+
+  /// One upper-triangular pass (the backward sweep), using updated east and
+  /// south values.
+  double relax_upper(double omega);
+
+  /// Four-point stencil smoothing over the interior (the between-iteration
+  /// phase). Returns the residual L2 norm.
+  double four_point_stencil();
+
+ private:
+  int nx_, ny_;
+  std::vector<double> u_;    // (nx+2) * (ny+2) with halo
+  std::vector<double> rhs_;  // interior only
+
+  double& cell(int i, int j);  // halo-indexed access
+  double cell(int i, int j) const;
+};
+
+/// Measures LU-style Wg (µs per cell for one relaxation update) and Wg,pre
+/// (µs per cell for the rhs evaluation).
+struct LuWorkMeasurement {
+  usec wg;
+  usec wg_pre;
+  usec stencil_per_cell;
+};
+LuWorkMeasurement measure_wg_lu(int plane_cells = 16384, int reps = 5);
+
+}  // namespace wave::kernels

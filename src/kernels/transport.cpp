@@ -1,0 +1,134 @@
+#include "kernels/transport.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace wave::kernels {
+
+std::vector<Ordinate> make_quadrature(int count) {
+  WAVE_EXPECTS_MSG(count >= 1, "need at least one ordinate");
+  std::vector<Ordinate> quad;
+  quad.reserve(static_cast<std::size_t>(count));
+  // Spread directions over the positive octant on a spiral; normalize the
+  // cosines so mu^2 + eta^2 + xi^2 = 1 and weights sum to one.
+  for (int a = 0; a < count; ++a) {
+    const double frac = (a + 0.5) / count;
+    const double xi = frac;                       // elevation
+    const double azimuth = 1.88495559 * a + 0.4;  // golden-angle-ish spread
+    const double rho = std::sqrt(std::max(0.0, 1.0 - xi * xi));
+    Ordinate o;
+    o.mu = std::abs(rho * std::cos(azimuth)) + 1e-3;
+    o.eta = std::abs(rho * std::sin(azimuth)) + 1e-3;
+    o.xi = xi + 1e-3;
+    const double norm =
+        std::sqrt(o.mu * o.mu + o.eta * o.eta + o.xi * o.xi);
+    o.mu /= norm;
+    o.eta /= norm;
+    o.xi /= norm;
+    o.weight = 1.0 / count;
+    quad.push_back(o);
+  }
+  return quad;
+}
+
+TransportTile::TransportTile(int nx, int ny, int height,
+                             std::vector<Ordinate> quadrature, double sigma_t,
+                             double source)
+    : nx_(nx),
+      ny_(ny),
+      height_(height),
+      quad_(std::move(quadrature)),
+      sigma_t_(sigma_t),
+      source_(source) {
+  WAVE_EXPECTS_MSG(nx >= 1 && ny >= 1 && height >= 1,
+                   "tile dimensions must be positive");
+  WAVE_EXPECTS_MSG(!quad_.empty(), "need a quadrature");
+  WAVE_EXPECTS_MSG(sigma_t > 0.0, "total cross-section must be positive");
+  psi_.assign(quad_.size() * static_cast<std::size_t>(nx_) * ny_ * height_,
+              0.0);
+}
+
+std::size_t TransportTile::sweep(std::span<const double> inflow_west,
+                                 std::span<const double> inflow_north,
+                                 std::span<double> outflow_east,
+                                 std::span<double> outflow_south) {
+  WAVE_EXPECTS(inflow_west.size() >= west_face_size());
+  WAVE_EXPECTS(inflow_north.size() >= north_face_size());
+  WAVE_EXPECTS(outflow_east.size() >= west_face_size());
+  WAVE_EXPECTS(outflow_south.size() >= north_face_size());
+
+  const std::size_t plane = static_cast<std::size_t>(nx_) * ny_;
+  const std::size_t per_angle = plane * height_;
+  double flux_sum = 0.0;
+  std::size_t updates = 0;
+
+  for (std::size_t a = 0; a < quad_.size(); ++a) {
+    const Ordinate& o = quad_[a];
+    const double denom = sigma_t_ + 2.0 * o.mu + 2.0 * o.eta + 2.0 * o.xi;
+    double* psi = psi_.data() + a * per_angle;
+    const double* west = inflow_west.data() + a * (ny_ * height_);
+    const double* north = inflow_north.data() + a * (nx_ * height_);
+    double* east = outflow_east.data() + a * (ny_ * height_);
+    double* south = outflow_south.data() + a * (nx_ * height_);
+
+    for (int k = 0; k < height_; ++k) {
+      for (int j = 0; j < ny_; ++j) {
+        for (int i = 0; i < nx_; ++i) {
+          // Upwind fluxes: from the tile interior where available, else
+          // from the inflow faces (west/north) or vacuum (below at k=0 —
+          // the previous tile's top plane is folded into psi by reuse).
+          const std::size_t idx = k * plane + j * nx_ + i;
+          const double from_west =
+              i > 0 ? psi[idx - 1] : west[k * ny_ + j];
+          const double from_north =
+              j > 0 ? psi[idx - nx_] : north[k * nx_ + i];
+          const double from_below = k > 0 ? psi[idx - plane] : psi[idx];
+          // Diamond-difference balance: cell-centred flux from upwind
+          // face fluxes and the distributed source.
+          const double numer = source_ + 2.0 * o.mu * from_west +
+                               2.0 * o.eta * from_north +
+                               2.0 * o.xi * from_below;
+          const double centre = numer / denom;
+          psi[idx] = centre;
+          flux_sum += o.weight * centre;
+          ++updates;
+          if (i == nx_ - 1) east[k * ny_ + j] = centre;
+          if (j == ny_ - 1) south[k * nx_ + i] = centre;
+        }
+      }
+    }
+  }
+  scalar_flux_ = flux_sum;
+  return updates;
+}
+
+std::size_t TransportTile::sweep_vacuum() {
+  const std::vector<double> west(west_face_size(), 0.0);
+  const std::vector<double> north(north_face_size(), 0.0);
+  std::vector<double> east(west_face_size(), 0.0);
+  std::vector<double> south(north_face_size(), 0.0);
+  return sweep(west, north, east, south);
+}
+
+double TransportTile::scalar_flux() const { return scalar_flux_; }
+
+usec measure_wg_transport(int angles, int tile_cells, int reps) {
+  WAVE_EXPECTS(angles >= 1 && tile_cells >= 1 && reps >= 1);
+  // A roughly cubic tile with the requested cell count.
+  const int side = std::max(1, static_cast<int>(std::cbrt(tile_cells)));
+  TransportTile tile(side, side, side, make_quadrature(angles));
+  const std::size_t cells =
+      static_cast<std::size_t>(side) * side * side;
+
+  tile.sweep_vacuum();  // warm-up
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) tile.sweep_vacuum();
+  const auto stop = std::chrono::steady_clock::now();
+  const double total_us =
+      std::chrono::duration<double, std::micro>(stop - start).count();
+  return total_us / (static_cast<double>(reps) * static_cast<double>(cells));
+}
+
+}  // namespace wave::kernels

@@ -1,0 +1,52 @@
+// LogGP models of MPI blocking send / receive (paper §3.1–3.2, Table 1).
+//
+// Three quantities are modelled per message:
+//   total — end-to-end time from send entry to receive completion
+//           (half of a ping-pong round trip; what Fig 3 plots),
+//   send  — time the *sender's* code path is occupied by MPI_Send,
+//   recv  — time the *receiver's* code path is occupied by MPI_Recv
+//           assuming the message has not yet arrived when the receive posts.
+// Small messages (<= eager limit) go eagerly; large off-node messages pay a
+// rendezvous handshake h, large on-chip messages pay a DMA setup.
+#pragma once
+
+#include "loggp/params.h"
+
+namespace wave::loggp {
+
+/// Send/receive/total execution times of one message, in µs.
+struct CommCosts {
+  usec send = 0.0;
+  usec recv = 0.0;
+  usec total = 0.0;
+};
+
+/// Evaluates Table 1 for a machine description.
+class CommModel {
+ public:
+  explicit CommModel(MachineParams params);
+
+  const MachineParams& params() const { return params_; }
+
+  /// End-to-end message time (Table 1 eqs. 1, 2, 5, 6).
+  usec total(int message_bytes, Placement where) const;
+
+  /// Sender code-path occupancy (eqs. 3, 4a, 7, 8a).
+  usec send(int message_bytes, Placement where) const;
+
+  /// Receiver code-path occupancy (eqs. 3, 4b, 7, 8b).
+  usec recv(int message_bytes, Placement where) const;
+
+  /// All three at once.
+  CommCosts costs(int message_bytes, Placement where) const;
+
+  /// True when the message exceeds the eager limit (rendezvous/DMA path).
+  bool is_large(int message_bytes) const {
+    return message_bytes > params_.eager_limit_bytes;
+  }
+
+ private:
+  MachineParams params_;
+};
+
+}  // namespace wave::loggp

@@ -1,0 +1,51 @@
+#include "loggp/contention.h"
+
+#include "common/contracts.h"
+
+namespace wave::loggp {
+
+usec interference_unit(const MachineParams& params, int message_bytes) {
+  WAVE_EXPECTS(message_bytes >= 0);
+  return params.on.odma() +
+         static_cast<double>(message_bytes) * params.on.Gdma;
+}
+
+ContentionMultipliers contention_multipliers(int cx, int cy,
+                                             int buses_per_node) {
+  WAVE_EXPECTS_MSG(cx >= 1 && cy >= 1, "node shape factors must be >= 1");
+  const int cores = cx * cy;
+  WAVE_EXPECTS_MSG(buses_per_node >= 1 && cores % buses_per_node == 0,
+                   "buses per node must divide the core count");
+
+  // Cores that actually share one bus; a node with one bus per core group
+  // behaves like the smaller group (paper §5.3).
+  const int per_bus = cores / buses_per_node;
+
+  ContentionMultipliers mult;
+  if (per_bus <= 1) return mult;  // one core per bus: no interference
+
+  if (per_bus == 2) {
+    // Table 6 row "1 x 2 cores/node": the two cores are split along one
+    // axis; their concurrent DMA transfers collide on the pair of
+    // operations in the split direction.
+    if (cy >= 2) {
+      mult.recv_north = 1.0;
+      mult.send_south = 1.0;
+    } else {
+      mult.recv_west = 1.0;
+      mult.send_east = 1.0;
+    }
+    return mult;
+  }
+
+  // Table 6 rows "2 x 2" (I each) and "2 x 4" (2I each): per-bus core count
+  // divided by four interfering transfers per op, i.e. C*I total per tile.
+  const double per_op = static_cast<double>(per_bus) / 4.0;
+  mult.send_east = per_op;
+  mult.send_south = per_op;
+  mult.recv_west = per_op;
+  mult.recv_north = per_op;
+  return mult;
+}
+
+}  // namespace wave::loggp

@@ -1,0 +1,45 @@
+// Shared-bus message contention on multi-core (CMP) nodes (paper Table 6).
+//
+// "The primary message contention on the Cray XT4 will occur during the dma
+// transfer of message data from kernel memory to the NIC via the shared
+// bus." Each interfering transfer adds I = odma + S * Gdma to the affected
+// Send or Receive in the stack-processing term (r4). The paper tabulates
+//   1 x 2 cores/node : add I to ReceiveN and SendS
+//   2 x 2 cores/node : add I to each Send and Receive
+//   2 x 4 cores/node : add 2I to each Send and Receive
+// which totals C * I of interference per tile step for C cores on one bus.
+// We implement those rows exactly and generalize to any Cx x Cy and to
+// nodes provisioned with several independent buses (paper §5.3 discusses a
+// 16-core node with one bus per 4 cores behaving like a quad-core node).
+#pragma once
+
+#include "loggp/params.h"
+
+namespace wave::loggp {
+
+/// Contention additions, as multiples of I, for the four per-tile
+/// communication operations of the wavefront inner loop (eq. r4).
+struct ContentionMultipliers {
+  double send_east = 0.0;
+  double send_south = 0.0;
+  double recv_west = 0.0;
+  double recv_north = 0.0;
+
+  double total() const {
+    return send_east + send_south + recv_west + recv_north;
+  }
+  friend bool operator==(const ContentionMultipliers&,
+                         const ContentionMultipliers&) = default;
+};
+
+/// The interference unit I for a message of `message_bytes` (Table 6):
+/// I = odma + S * Gdma.
+usec interference_unit(const MachineParams& params, int message_bytes);
+
+/// Multipliers of I added to each operation for a node of cx*cy cores
+/// sharing `buses_per_node` independent memory buses.
+/// Preconditions: cx, cy >= 1; buses_per_node >= 1 and divides cx*cy.
+ContentionMultipliers contention_multipliers(int cx, int cy,
+                                             int buses_per_node = 1);
+
+}  // namespace wave::loggp

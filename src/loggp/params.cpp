@@ -1,0 +1,49 @@
+#include "loggp/params.h"
+
+#include "common/contracts.h"
+
+namespace wave::loggp {
+
+void MachineParams::validate() const {
+  WAVE_EXPECTS_MSG(off.G > 0 && off.L >= 0 && off.o >= 0 && off.oh >= 0,
+                   "off-node LogGP parameters out of domain");
+  WAVE_EXPECTS_MSG(on.Gcopy > 0 && on.Gdma > 0 && on.o >= 0 && on.ocopy >= 0,
+                   "on-chip LogGP parameters out of domain");
+  WAVE_EXPECTS_MSG(on.o >= on.ocopy,
+                   "on-chip o = ocopy + odma must be >= ocopy");
+  WAVE_EXPECTS_MSG(eager_limit_bytes > 0, "eager limit must be positive");
+}
+
+MachineParams xt4() {
+  MachineParams p;
+  p.off.G = 0.0004;    // µs/byte  => 2.5 GB/s inter-node
+  p.off.L = 0.305;     // µs
+  p.off.o = 3.92;      // µs
+  p.off.oh = 0.0;      // negligible on the XT4 (paper §3.1)
+  p.on.Gcopy = 0.000789;
+  p.on.Gdma = 0.000072;
+  p.on.o = 3.80;
+  p.on.ocopy = 1.98;
+  p.eager_limit_bytes = 1024;
+  p.validate();
+  return p;
+}
+
+MachineParams sp2() {
+  MachineParams p;
+  p.off.G = 0.07;
+  p.off.L = 23.0;
+  p.off.o = 23.0;
+  p.off.oh = 0.0;
+  // Single MPI task per node on the 1999 SP/2 study: model "on-chip" with
+  // the same costs so the multi-core equations degrade gracefully.
+  p.on.Gcopy = 0.07;
+  p.on.Gdma = 0.07;
+  p.on.o = 23.0;
+  p.on.ocopy = 11.5;
+  p.eager_limit_bytes = 1024;
+  p.validate();
+  return p;
+}
+
+}  // namespace wave::loggp

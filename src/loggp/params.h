@@ -1,0 +1,67 @@
+// LogGP machine parameters (paper §3, Table 2).
+//
+// The LogGP model [Alexandrov et al.] describes a message-passing machine by
+//   L — end-to-end wire latency,
+//   o — per-message software overhead at sender/receiver,
+//   g — inter-message gap (zero on modern NICs; paper §3),
+//   G — per-byte transmission cost (1/bandwidth).
+// The paper derives distinct parameter sets for off-node and on-chip MPI on
+// the dual-core Cray XT4, plus the rendezvous handshake used above the eager
+// message-size limit. All times in microseconds.
+#pragma once
+
+#include "common/units.h"
+
+namespace wave::loggp {
+
+using common::usec;
+
+/// Whether a message travels between nodes or between cores of one chip.
+enum class Placement { OffNode, OnChip };
+
+/// Off-node (inter-node) parameters: Table 2 left column.
+struct OffNodeParams {
+  usec G = 0.0;  ///< per-byte gap, µs/byte (1/G = link bandwidth)
+  usec L = 0.0;  ///< wire latency, µs
+  usec o = 0.0;  ///< software overhead per message end, µs
+  /// Overhead of processing one handshake control message; the paper assumes
+  /// it negligible on the XT4 ("Assuming that oh is negligible...").
+  usec oh = 0.0;
+
+  /// Total rendezvous handshake time: h = L + oh + L + oh (paper eq. 2).
+  usec handshake() const { return 2.0 * (L + oh); }
+};
+
+/// On-chip (same-die, core-to-core) parameters: Table 2 right column.
+struct OnChipParams {
+  usec Gcopy = 0.0;  ///< per-byte cost of the small-message double copy
+  usec Gdma = 0.0;   ///< per-byte cost of the large-message DMA transfer
+  usec o = 0.0;      ///< combined overhead ocopy + odma (paper eq. 6/8a)
+  usec ocopy = 0.0;  ///< overhead around the copy at each end
+
+  /// DMA setup cost, the fixed jump at the eager limit (paper §3.2).
+  usec odma() const { return o - ocopy; }
+};
+
+/// Complete machine description consumed by the communication models.
+struct MachineParams {
+  OffNodeParams off;
+  OnChipParams on;
+  /// Largest message sent eagerly; larger messages use the rendezvous
+  /// protocol off-node and the DMA path on-chip (1024 B on the XT4).
+  int eager_limit_bytes = 1024;
+
+  /// Validates parameter domains; throws wave::common::contract_error.
+  void validate() const;
+};
+
+/// Cray XT4 parameters measured in the paper (Table 2).
+MachineParams xt4();
+
+/// IBM SP/2 off-node parameters quoted in §3.1 for comparison ("one to two
+/// orders of magnitude" slower than the XT4): G = 0.07 µs/B, L = 23 µs,
+/// o = 23 µs. On-chip values are set equal to off-node since SP/2 nodes in
+/// the 1999 study ran one MPI task per node.
+MachineParams sp2();
+
+}  // namespace wave::loggp

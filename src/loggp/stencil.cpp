@@ -1,0 +1,24 @@
+#include "loggp/stencil.h"
+
+#include "common/contracts.h"
+
+namespace wave::loggp {
+
+usec stencil_time(const CommModel& model, const StencilPhase& phase) {
+  WAVE_EXPECTS(phase.cells_per_processor >= 0.0);
+  WAVE_EXPECTS(phase.work_per_cell >= 0.0);
+  WAVE_EXPECTS(phase.msg_bytes_ew >= 0 && phase.msg_bytes_ns >= 0);
+
+  const usec compute = phase.cells_per_processor * phase.work_per_cell;
+  // One send plus one in-flight message per direction pair: with all
+  // processors exchanging simultaneously, an interior processor's critical
+  // path is its own send overhead plus the full arrival of the opposite
+  // message, for each of the E/W and N/S pairs.
+  const usec ew = model.send(phase.msg_bytes_ew, phase.placement_ew) +
+                  model.total(phase.msg_bytes_ew, phase.placement_ew);
+  const usec ns = model.send(phase.msg_bytes_ns, phase.placement_ns) +
+                  model.total(phase.msg_bytes_ns, phase.placement_ns);
+  return compute + ew + ns;
+}
+
+}  // namespace wave::loggp

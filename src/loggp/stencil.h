@@ -1,0 +1,32 @@
+// Model of LU's between-iteration stencil phase (paper §4.1).
+//
+// "LU performs a four-point stencil computation after the 2 sweeps in each
+// iteration ... The model of stencil execution time (Tstencil) is omitted to
+// conserve space but is a sum of terms with similar simplicity and
+// abstraction as the all-reduce model."
+//
+// We reconstruct it in that spirit: every processor computes the stencil
+// over its local sub-grid and exchanges halos with its four neighbours
+// (both directions proceed concurrently across the machine, so the critical
+// path pays one exchange per direction pair).
+#pragma once
+
+#include "loggp/comm_model.h"
+
+namespace wave::loggp {
+
+/// Inputs to the stencil phase model.
+struct StencilPhase {
+  double cells_per_processor = 0.0;  ///< Nx/n * Ny/m * Nz
+  usec work_per_cell = 0.0;          ///< measured per-cell stencil time
+  int msg_bytes_ew = 0;              ///< East/West halo message size
+  int msg_bytes_ns = 0;              ///< North/South halo message size
+  Placement placement_ew = Placement::OffNode;
+  Placement placement_ns = Placement::OffNode;
+};
+
+/// Critical-path time of one stencil phase:
+///   compute + (send+total) per exchanged direction pair.
+usec stencil_time(const CommModel& model, const StencilPhase& phase);
+
+}  // namespace wave::loggp

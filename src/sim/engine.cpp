@@ -1,0 +1,41 @@
+#include "sim/engine.h"
+
+#include "common/contracts.h"
+
+namespace wave::sim {
+
+void Engine::at(usec time, std::function<void()> fn) {
+  WAVE_EXPECTS_MSG(time >= now_, "cannot schedule events in the past");
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+void Engine::after(usec delay, std::function<void()> fn) {
+  WAVE_EXPECTS_MSG(delay >= 0.0, "delay must be non-negative");
+  at(now_ + delay, std::move(fn));
+}
+
+usec Engine::run() {
+  while (!queue_.empty()) {
+    // Move the event out before popping so the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+usec Engine::run_until(usec limit) {
+  while (!queue_.empty() && queue_.top().time <= limit) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < limit && queue_.empty()) now_ = limit;
+  return now_;
+}
+
+}  // namespace wave::sim

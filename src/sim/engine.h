@@ -1,0 +1,72 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic event calendar: callbacks scheduled at absolute
+// or relative simulated times, executed in (time, insertion order). All
+// times are µs of simulated time, matching the LogGP models.
+//
+// The engine is single-threaded by design — determinism is a requirement
+// (every validation bench must be exactly reproducible) and the simulated
+// workloads are far below the event rates where a parallel DES would pay
+// off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace wave::sim {
+
+using common::usec;
+
+/// Event calendar and simulated clock.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time (µs).
+  usec now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `time` (>= now()).
+  void at(usec time, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` µs from now (delay >= 0).
+  void after(usec delay, std::function<void()> fn);
+
+  /// Runs events until the calendar drains. Returns the final clock value.
+  usec run();
+
+  /// Runs until the calendar drains or the clock reaches `limit` (events
+  /// after `limit` stay queued). Returns the final clock value.
+  usec run_until(usec limit);
+
+  /// Number of events executed so far (performance metric).
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// True when no events remain.
+  bool drained() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    usec time;
+    std::uint64_t seq;  // tie-break: FIFO among equal-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  usec now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace wave::sim

@@ -1,0 +1,82 @@
+#include "topology/torus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace wave::topo {
+
+Torus3D::Torus3D(int dx, int dy, int dz) : dims_{dx, dy, dz} {
+  WAVE_EXPECTS_MSG(dx >= 1 && dy >= 1 && dz >= 1,
+                   "torus dimensions must be positive");
+}
+
+int Torus3D::id_of(TorusCoord c) const {
+  WAVE_EXPECTS(c.x >= 0 && c.x < dims_[0]);
+  WAVE_EXPECTS(c.y >= 0 && c.y < dims_[1]);
+  WAVE_EXPECTS(c.z >= 0 && c.z < dims_[2]);
+  return (c.z * dims_[1] + c.y) * dims_[0] + c.x;
+}
+
+TorusCoord Torus3D::coord_of(int id) const {
+  WAVE_EXPECTS(id >= 0 && id < node_count());
+  TorusCoord c;
+  c.x = id % dims_[0];
+  c.y = (id / dims_[0]) % dims_[1];
+  c.z = id / (dims_[0] * dims_[1]);
+  return c;
+}
+
+namespace {
+int ring_distance(int a, int b, int dim) {
+  const int direct = std::abs(a - b);
+  return std::min(direct, dim - direct);
+}
+}  // namespace
+
+int Torus3D::hops(TorusCoord a, TorusCoord b) const {
+  return ring_distance(a.x, b.x, dims_[0]) + ring_distance(a.y, b.y, dims_[1]) +
+         ring_distance(a.z, b.z, dims_[2]);
+}
+
+int Torus3D::hops(int id_a, int id_b) const {
+  return hops(coord_of(id_a), coord_of(id_b));
+}
+
+Torus3D Torus3D::fitting(int nodes) {
+  WAVE_EXPECTS(nodes >= 1);
+  // Grow the most-cubic box until it holds `nodes` nodes.
+  const double root = std::cbrt(static_cast<double>(nodes));
+  int dx = std::max(1, static_cast<int>(std::floor(root)));
+  int dy = dx;
+  int dz = dx;
+  auto capacity = [&] { return dx * dy * dz; };
+  while (capacity() < nodes) {
+    // Grow the smallest dimension first to stay near-cubic.
+    if (dx <= dy && dx <= dz)
+      ++dx;
+    else if (dy <= dz)
+      ++dy;
+    else
+      ++dz;
+  }
+  return Torus3D(dx, dy, dz);
+}
+
+TorusCoord Torus3D::embed_grid_node(int node_id, int grid_nodes_x) const {
+  WAVE_EXPECTS(grid_nodes_x >= 1);
+  WAVE_EXPECTS(node_id >= 0 && node_id < node_count());
+  // Fold row-major: consecutive grid rows occupy consecutive torus y rows,
+  // overflowing into z planes when a plane fills up.
+  const int gx = node_id % grid_nodes_x;
+  const int gy = node_id / grid_nodes_x;
+  TorusCoord c;
+  c.x = gx % dims_[0];
+  const int row = gy + (gx / dims_[0]) * ((grid_nodes_x + dims_[0] - 1) / dims_[0]);
+  c.y = row % dims_[1];
+  c.z = (row / dims_[1]) % dims_[2];
+  return c;
+}
+
+}  // namespace wave::topo

@@ -1,0 +1,57 @@
+// 3-D torus interconnect, the XT3/XT4 network shape (paper §3: "The
+// interconnection between nodes is a 3-D torus network, which facilitates
+// efficient mapping of wavefront applications and implies near-neighbor
+// send/receive operations").
+//
+// The LogGP model treats L as a constant because wavefront neighbours map to
+// torus neighbours; this class provides the geometric facts behind that
+// assumption (hop counts, neighbour mapping) and lets the simulator check
+// that a placement really is near-neighbour.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace wave::topo {
+
+/// Coordinates of a node in the torus.
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const TorusCoord&, const TorusCoord&) = default;
+};
+
+/// A dx × dy × dz torus with wrap-around links in each dimension.
+class Torus3D {
+ public:
+  Torus3D(int dx, int dy, int dz);
+
+  int dx() const { return dims_[0]; }
+  int dy() const { return dims_[1]; }
+  int dz() const { return dims_[2]; }
+  int node_count() const { return dims_[0] * dims_[1] * dims_[2]; }
+
+  /// Dense node id <-> coordinates (x fastest).
+  int id_of(TorusCoord c) const;
+  TorusCoord coord_of(int id) const;
+
+  /// Minimal hop distance between two nodes respecting wrap-around.
+  int hops(TorusCoord a, TorusCoord b) const;
+  int hops(int id_a, int id_b) const;
+
+  /// Smallest torus (most cubic) that fits `nodes` nodes; used to embed a
+  /// job of a given size the way a scheduler would.
+  static Torus3D fitting(int nodes);
+
+  /// Maps a 2-D processor-grid node id onto the torus such that grid
+  /// neighbours are torus neighbours whenever the grid fits in a 2-D slab:
+  /// fold the node grid row-major into (x, y) planes.
+  TorusCoord embed_grid_node(int node_id, int grid_nodes_x) const;
+
+ private:
+  std::array<int, 3> dims_;
+};
+
+}  // namespace wave::topo

@@ -1,0 +1,30 @@
+// Micro-benchmarks run on the simulator: the ping-pong experiment behind
+// Fig 3 / Table 2 and the all-reduce measurement behind eq. 9's validation.
+//
+// These play the role of the MPI benchmark codes the paper ran on the XT4:
+// the calibration module fits LogGP parameters from the ping-pong output
+// exactly as §3 derives Table 2 from measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "loggp/params.h"
+
+namespace wave::workloads {
+
+using common::usec;
+
+/// Half the round-trip time of a ping-pong of `bytes` between two ranks,
+/// averaged over `reps` exchanges (each node posts its receive immediately
+/// after completing a send, as in §3.1). `on_chip` selects whether the two
+/// ranks share a node.
+usec pingpong_half_rtt(const loggp::MachineParams& params, bool on_chip,
+                       int bytes, int reps = 10);
+
+/// Simulated MPI_Allreduce completion time for `ranks` ranks packed
+/// `cores_per_node` per node. Requires power-of-two `ranks`.
+usec allreduce_sim_time(const loggp::MachineParams& params, int ranks,
+                        int cores_per_node, int bytes = 8);
+
+}  // namespace wave::workloads

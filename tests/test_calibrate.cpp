@@ -1,0 +1,104 @@
+// Tests for LogGP parameter fitting (the §3 derivation of Table 2).
+#include <gtest/gtest.h>
+
+#include "calibrate/fitting.h"
+#include "common/contracts.h"
+
+namespace wcal = wave::calibrate;
+namespace wl = wave::loggp;
+
+TEST(Calibrate, NoiseFreeFitRecoversOffNodeExactly) {
+  const auto truth = wl::xt4();
+  const auto curve = wcal::measure_curve(truth, /*on_chip=*/false,
+                                         wcal::default_sizes());
+  wcal::FitQuality q;
+  const auto fit = wcal::fit_offnode(curve, truth.eager_limit_bytes, &q);
+  EXPECT_NEAR(fit.G, truth.off.G, 1e-9);
+  EXPECT_NEAR(fit.L, truth.off.L, 1e-6);
+  EXPECT_NEAR(fit.o, truth.off.o, 1e-6);
+  EXPECT_GT(q.r_squared_small, 0.999999);
+  EXPECT_GT(q.r_squared_large, 0.999999);
+}
+
+TEST(Calibrate, NoiseFreeFitRecoversOnChipExactly) {
+  const auto truth = wl::xt4();
+  const auto curve =
+      wcal::measure_curve(truth, /*on_chip=*/true, wcal::default_sizes());
+  const auto fit = wcal::fit_onchip(curve, truth.eager_limit_bytes);
+  EXPECT_NEAR(fit.Gcopy, truth.on.Gcopy, 1e-9);
+  EXPECT_NEAR(fit.Gdma, truth.on.Gdma, 1e-9);
+  EXPECT_NEAR(fit.ocopy, truth.on.ocopy, 1e-6);
+  EXPECT_NEAR(fit.o, truth.on.o, 1e-6);
+}
+
+TEST(Calibrate, FullMachineRoundTrip) {
+  const auto truth = wl::xt4();
+  const auto fitted = wcal::calibrate_machine(truth);
+  EXPECT_NEAR(fitted.off.G, truth.off.G, 1e-9);
+  EXPECT_NEAR(fitted.off.L, truth.off.L, 1e-6);
+  EXPECT_NEAR(fitted.off.o, truth.off.o, 1e-6);
+  EXPECT_NEAR(fitted.on.Gdma, truth.on.Gdma, 1e-9);
+}
+
+TEST(Calibrate, NoisyFitStaysClose) {
+  const auto truth = wl::xt4();
+  wave::common::Rng rng(2026);
+  const auto fitted = wcal::calibrate_machine(truth, &rng, 0.01);
+  // 1% multiplicative timer noise on ~10 µs measurements translates to
+  // roughly 10% uncertainty in the fitted slopes and overheads; L is tiny
+  // relative to the intercepts so its absolute error matters more than
+  // its ratio.
+  EXPECT_NEAR(fitted.off.G / truth.off.G, 1.0, 0.15);
+  EXPECT_NEAR(fitted.off.o / truth.off.o, 1.0, 0.10);
+  EXPECT_NEAR(fitted.off.L, truth.off.L, 0.50);
+  EXPECT_NEAR(fitted.on.ocopy / truth.on.ocopy, 1.0, 0.10);
+}
+
+TEST(Calibrate, FitRejectsOneSidedCurves) {
+  const auto truth = wl::xt4();
+  const auto curve =
+      wcal::measure_curve(truth, false, {64, 128, 256, 512});
+  EXPECT_THROW(wcal::fit_offnode(curve, truth.eager_limit_bytes),
+               wave::common::contract_error);
+}
+
+TEST(Calibrate, DefaultSizesBracketTheEagerLimit) {
+  const auto sizes = wcal::default_sizes();
+  int below = 0, above = 0;
+  for (int s : sizes) (s <= 1024 ? below : above)++;
+  EXPECT_GE(below, 2);
+  EXPECT_GE(above, 2);
+  // Includes the 1025-byte point that exposes the protocol jump (§3.1).
+  EXPECT_NE(std::find(sizes.begin(), sizes.end(), 1025), sizes.end());
+}
+
+TEST(Calibrate, CurveIsSorted) {
+  const auto truth = wl::xt4();
+  const auto curve =
+      wcal::measure_curve(truth, false, {4096, 64, 1025, 512});
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LT(curve[i - 1].bytes, curve[i].bytes);
+}
+
+// Property: the fit is exact for any LogGP machine, not just the XT4.
+class CalibrateRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrateRoundTrip, RecoversScaledMachines) {
+  wl::MachineParams truth = wl::xt4();
+  const double k = GetParam();
+  truth.off.G *= k;
+  truth.off.L *= k;
+  truth.off.o *= k;
+  truth.on.Gcopy *= k;
+  truth.on.Gdma *= k;
+  truth.on.o *= k;
+  truth.on.ocopy *= k;
+  const auto fitted = wcal::calibrate_machine(truth);
+  EXPECT_NEAR(fitted.off.G / truth.off.G, 1.0, 1e-6);
+  EXPECT_NEAR(fitted.off.o / truth.off.o, 1.0, 1e-6);
+  EXPECT_NEAR(fitted.on.Gdma / truth.on.Gdma, 1.0, 1e-6);
+  EXPECT_NEAR(fitted.on.o / truth.on.o, 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(MachineScales, CalibrateRoundTrip,
+                         ::testing::Values(0.5, 2.0, 10.0, 50.0));

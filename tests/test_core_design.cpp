@@ -1,0 +1,164 @@
+// Tests for the extension modules: the Hoisie-style baseline model, the
+// design-space scans, and the optional synchronization terms.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "core/baseline.h"
+#include "core/benchmarks.h"
+#include "core/design_space.h"
+#include "core/solver.h"
+
+namespace wc = wave::core;
+namespace wb = wave::core::benchmarks;
+
+namespace {
+const wc::MachineConfig kSingle = wc::MachineConfig::xt4_single_core();
+const wc::MachineConfig kDual = wc::MachineConfig::xt4_dual_core();
+}  // namespace
+
+TEST(Baseline, SingleProcessorMatchesSerialWork) {
+  // With one processor there is no fill and no communication: baseline
+  // and plug-and-play must agree exactly.
+  const wc::AppParams app = wb::chimaera();
+  const auto base = wc::hoisie_baseline(app, kSingle, 1);
+  const auto model = wc::Solver(app, kSingle).evaluate(1);
+  EXPECT_NEAR(base.iteration, model.iteration.total, 1e-6);
+}
+
+TEST(Baseline, ChargesEverySweepAFullFill) {
+  // The naive reuse charges nsweeps fills; the plug-and-play model
+  // charges only the nfull/ndiag precedence structure, so for a pipelined
+  // code (Sweep3D: 8 sweeps, nfull 2, ndiag 2) the baseline must predict
+  // a strictly larger iteration.
+  wb::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 256;
+  const wc::AppParams app = wb::sweep3d(cfg);
+  const auto base = wc::hoisie_baseline(app, kDual, 1024);
+  const auto model = wc::Solver(app, kDual).evaluate(1024);
+  EXPECT_GT(base.iteration, model.iteration.total);
+  // The excess is roughly (nsweeps - nfull - ndiag) extra fills.
+  EXPECT_GT(base.iteration - model.iteration.total,
+            2.0 * base.fill_time);
+}
+
+TEST(Baseline, SweepTimeDecomposition) {
+  const wc::AppParams app = wb::lu();
+  const auto base = wc::hoisie_baseline(app, kSingle,
+                                        wave::topo::Grid(9, 9));
+  EXPECT_NEAR(base.sweep_time,
+              base.fill_time + app.tiles_per_stack() * base.step_cost, 1e-9);
+  EXPECT_NEAR(base.iteration,
+              2.0 * base.sweep_time + base.nonwavefront, 1e-9);
+}
+
+TEST(Baseline, RejectsBadInput) {
+  EXPECT_THROW(wc::hoisie_baseline(wb::lu(), kSingle, 0),
+               wave::common::contract_error);
+}
+
+TEST(DesignSpace, HtileScanFindsPaperBand) {
+  const auto scan = wc::scan_htile(wb::chimaera(), kDual, 16384);
+  EXPECT_GE(scan.best_htile, 2.0);
+  EXPECT_LE(scan.best_htile, 5.0);
+  EXPECT_GT(scan.improvement_vs_unit, 0.0);
+  EXPECT_EQ(scan.points.size(), 10u);
+}
+
+TEST(DesignSpace, HtileScanSkipsOversizedTiles) {
+  wb::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = 64;
+  cfg.nz = 4;  // stack of four cells: candidates above 4 are invalid
+  const double candidates[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  const auto scan =
+      wc::scan_htile(wb::sweep3d(cfg), kSingle, 64, candidates);
+  EXPECT_EQ(scan.points.size(), 3u);  // 1, 2, 4
+  for (const auto& p : scan.points) EXPECT_LE(p.htile, 4.0);
+}
+
+TEST(DesignSpace, HtileScanAlwaysIncludesUnitHeight) {
+  const double candidates[] = {4.0};
+  const auto scan =
+      wc::scan_htile(wb::chimaera(), kDual, 4096, candidates);
+  ASSERT_EQ(scan.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(scan.points.front().htile, 1.0);
+}
+
+TEST(DesignSpace, DecompositionsSortedAndComplete) {
+  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, 64);
+  // 64 = 64x1, 32x2, 16x4, 8x8: four factorizations with n >= m.
+  EXPECT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LE(points[i - 1].iteration, points[i].iteration);
+  for (const auto& p : points) EXPECT_EQ(p.grid.size(), 64);
+}
+
+TEST(DesignSpace, BalancedDecompositionsWin) {
+  // Near-balanced grids minimize fill plus message volume (mildly
+  // elongated shapes can edge out the square because Tdiagfill follows
+  // the shorter m side, but never by much); the degenerate 1-row layout
+  // loses badly once communication matters.
+  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, 4096);
+  const auto& best = points.front().grid;
+  EXPECT_LE(best.n() / best.m(), 4);  // best is near-balanced
+  EXPECT_EQ(points.back().grid.m(), 1);  // worst is the 4096x1 strip
+  EXPECT_GT(points.back().iteration, 1.5 * points.front().iteration);
+  // The square is within a few percent of whatever wins.
+  for (const auto& p : points) {
+    if (p.grid.n() == 64 && p.grid.m() == 64) {
+      EXPECT_LT(p.iteration, 1.05 * points.front().iteration);
+    }
+  }
+}
+
+TEST(DesignSpace, ProcessorsForDeadline) {
+  const wc::AppParams app = wb::chimaera();
+  const wc::Solver solver(app, kDual);
+  // Find the smallest power of two meeting a deadline between the P=64
+  // and P=4096 time steps.
+  const double t64 =
+      wave::common::usec_to_sec(solver.evaluate(64).timestep());
+  const double t4096 =
+      wave::common::usec_to_sec(solver.evaluate(4096).timestep());
+  const double target = 0.5 * (t64 + t4096);
+  const int p = wc::processors_for_deadline(app, kDual, target, 65536);
+  EXPECT_GT(p, 64);
+  EXPECT_LE(p, 4096);
+  EXPECT_LE(wave::common::usec_to_sec(solver.evaluate(p).timestep()),
+            target);
+}
+
+TEST(DesignSpace, DeadlineFallsBackToMax) {
+  EXPECT_EQ(wc::processors_for_deadline(wb::chimaera(), kDual,
+                                        /*timestep_seconds=*/1e-9, 1024),
+            1024);
+}
+
+TEST(SyncTerms, NegligibleOnXt4SignificantOnSp2) {
+  // §4.2: back-propagation terms matter on the SP/2, not on the XT4.
+  const wc::AppParams app = wb::sweep3d_20m();
+  auto share = [&](wc::MachineConfig machine) {
+    wc::MachineConfig off = machine;
+    off.synchronization_terms = false;
+    wc::MachineConfig on = machine;
+    on.synchronization_terms = true;
+    const double t0 = wc::Solver(app, off).evaluate(4096).iteration.total;
+    const double t1 = wc::Solver(app, on).evaluate(4096).iteration.total;
+    return (t1 - t0) / t1;
+  };
+  const double xt4 = share(wc::MachineConfig::xt4_single_core());
+  const double sp2 = share(wc::MachineConfig::sp2_single_core());
+  EXPECT_LT(xt4, 0.005);  // well under half a percent
+  EXPECT_GT(sp2, 10.0 * xt4);
+}
+
+TEST(SyncTerms, AddPositiveFillTime) {
+  wc::MachineConfig with = kSingle;
+  with.synchronization_terms = true;
+  const auto grid = wave::topo::Grid(16, 16);
+  const auto base = wc::Solver(wb::chimaera(), kSingle).evaluate(grid);
+  const auto sync = wc::Solver(wb::chimaera(), with).evaluate(grid);
+  // Tdiag gains (m-1)L, Tfull gains (m-1+n-2)L.
+  const double l = kSingle.loggp.off.L;
+  EXPECT_NEAR(sync.t_diagfill.total - base.t_diagfill.total, 15.0 * l, 1e-9);
+  EXPECT_NEAR(sync.t_fullfill.total - base.t_fullfill.total, 29.0 * l, 1e-9);
+}

@@ -1,0 +1,94 @@
+// Tests for the §5.2 procurement metrics (R, X, R/X, R²/X).
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "common/units.h"
+#include "core/benchmarks.h"
+#include "core/metrics.h"
+
+namespace wc = wave::core;
+namespace wb = wave::core::benchmarks;
+
+namespace {
+wc::Solver sweep3d_solver() {
+  wb::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  return wc::Solver(wb::sweep3d(cfg), wc::MachineConfig::xt4_dual_core());
+}
+}  // namespace
+
+TEST(Metrics, SimulationSecondsScalesWithTimesteps) {
+  const auto solver = sweep3d_solver();
+  const double one = wc::simulation_seconds(solver, 4096, 1);
+  const double ten = wc::simulation_seconds(solver, 4096, 10);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-6 * ten);
+}
+
+TEST(Metrics, PartitionStudyShape) {
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 32768, 100, 4096);
+  ASSERT_EQ(points.size(), 4u);  // 1, 2, 4, 8 partitions
+  EXPECT_EQ(points[0].partitions, 1);
+  EXPECT_EQ(points[0].processors_per_job, 32768);
+  EXPECT_EQ(points[3].partitions, 8);
+  EXPECT_EQ(points[3].processors_per_job, 4096);
+}
+
+TEST(Metrics, XDefinition) {
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 16384, 50, 4096);
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.x_per_second * p.r_seconds / p.partitions, 1.0, 1e-12);
+    EXPECT_NEAR(p.r_over_x / (p.r_seconds * p.r_seconds / p.partitions), 1.0,
+                1e-12);
+    EXPECT_NEAR(
+        p.r2_over_x / (p.r_seconds * p.r_seconds * p.r_seconds / p.partitions),
+        1.0, 1e-12);
+  }
+}
+
+TEST(Metrics, SmallerPartitionsRunSlowerPerJob) {
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 65536, 100, 1024);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].r_seconds, points[i - 1].r_seconds);
+    EXPECT_LT(points[i].timesteps_per_month,
+              points[i - 1].timesteps_per_month);
+  }
+}
+
+TEST(Metrics, AggregateThroughputImprovesWithPartitioning) {
+  // Diminishing single-job returns mean k jobs on P/k processors complete
+  // more total work per unit time than 1 job on P (for the sizes of
+  // interest) — the motivation for Fig 7.
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 131072, 100, 8192);
+  EXPECT_GT(points.back().x_per_second, points.front().x_per_second);
+}
+
+TEST(Metrics, R2CriterionPrefersLargerPartitions) {
+  // Fig 8: R²/X weights single-job latency more, so its optimizer never
+  // chooses more partitions than the R/X optimizer.
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 131072, 100, 4096);
+  const auto by_rx =
+      wc::optimal_partition(points, wc::PartitionCriterion::MinimizeROverX);
+  const auto by_r2x =
+      wc::optimal_partition(points, wc::PartitionCriterion::MinimizeR2OverX);
+  EXPECT_LE(by_r2x.partitions, by_rx.partitions);
+  EXPECT_GE(by_rx.partitions, 1);
+}
+
+TEST(Metrics, OptimalPartitionRejectsEmpty) {
+  EXPECT_THROW(wc::optimal_partition({}, wc::PartitionCriterion::MinimizeROverX),
+               wave::common::contract_error);
+}
+
+TEST(Metrics, TimestepsPerMonthDefinition) {
+  const auto solver = sweep3d_solver();
+  const auto points = wc::partition_study(solver, 16384, 100, 16384);
+  ASSERT_FALSE(points.empty());
+  const auto& p = points[0];
+  EXPECT_NEAR(p.timesteps_per_month,
+              100.0 * wave::common::kSecPerMonth / p.r_seconds, 1e-6);
+}

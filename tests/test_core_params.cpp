@@ -1,0 +1,172 @@
+// Tests for the Table 3 application parameters and Fig 2 sweep structures.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "core/app_params.h"
+#include "core/benchmarks.h"
+#include "core/sweep_structure.h"
+
+namespace wc = wave::core;
+namespace wb = wave::core::benchmarks;
+
+TEST(SweepStructure, LuMatchesTable3) {
+  const auto s = wc::SweepStructure::lu();
+  EXPECT_EQ(s.nsweeps(), 2);
+  EXPECT_EQ(s.nfull(), 2);
+  EXPECT_EQ(s.ndiag(), 0);
+}
+
+TEST(SweepStructure, Sweep3dMatchesTable3) {
+  const auto s = wc::SweepStructure::sweep3d();
+  EXPECT_EQ(s.nsweeps(), 8);
+  EXPECT_EQ(s.nfull(), 2);
+  EXPECT_EQ(s.ndiag(), 2);
+}
+
+TEST(SweepStructure, ChimaeraMatchesTable3) {
+  const auto s = wc::SweepStructure::chimaera();
+  EXPECT_EQ(s.nsweeps(), 8);
+  EXPECT_EQ(s.nfull(), 4);
+  EXPECT_EQ(s.ndiag(), 2);
+}
+
+TEST(SweepStructure, ConsecutiveSweepOriginsChain) {
+  // In all three codes each sweep starts where pipelining allows: sweep k+1
+  // of a pair originates at the corner opposite sweep k's origin.
+  for (const auto& s : {wc::SweepStructure::sweep3d(),
+                        wc::SweepStructure::chimaera()}) {
+    const auto& sweeps = s.sweeps();
+    EXPECT_EQ(sweeps[0].origin, wc::SweepOrigin::NorthWest);
+    EXPECT_EQ(sweeps[1].origin, wc::SweepOrigin::SouthEast);
+  }
+}
+
+TEST(SweepStructure, PipelinedEnergyGroups) {
+  // §5.5: 30 groups -> 240 sweeps with ndiag = 2 and nfull = 2.
+  const auto s = wc::SweepStructure::sweep3d_pipelined_groups(30);
+  EXPECT_EQ(s.nsweeps(), 240);
+  EXPECT_EQ(s.nfull(), 2);
+  EXPECT_EQ(s.ndiag(), 2);
+  // One group degenerates to plain Sweep3D counts.
+  const auto one = wc::SweepStructure::sweep3d_pipelined_groups(1);
+  EXPECT_EQ(one.nsweeps(), 8);
+  EXPECT_EQ(one.nfull(), 2);
+  EXPECT_EQ(one.ndiag(), 2);
+}
+
+TEST(SweepStructure, LastSweepMustComplete) {
+  EXPECT_THROW(
+      wc::SweepStructure({{wc::SweepOrigin::NorthWest,
+                           wc::SweepPrecedence::OriginFree}}),
+      wave::common::contract_error);
+  EXPECT_THROW(wc::SweepStructure(std::vector<wc::Sweep>{}),
+               wave::common::contract_error);
+}
+
+TEST(AppParams, ValidateRejectsBadDomains) {
+  wc::AppParams app = wb::chimaera();
+  app.nx = 0;
+  EXPECT_THROW(app.validate(), wave::common::contract_error);
+  app = wb::chimaera();
+  app.htile = 0;
+  EXPECT_THROW(app.validate(), wave::common::contract_error);
+  app = wb::chimaera();
+  app.htile = app.nz + 1;
+  EXPECT_THROW(app.validate(), wave::common::contract_error);
+  app = wb::chimaera();
+  app.wg = -1.0;
+  EXPECT_THROW(app.validate(), wave::common::contract_error);
+  app = wb::chimaera();
+  app.iterations_per_timestep = 0;
+  EXPECT_THROW(app.validate(), wave::common::contract_error);
+}
+
+TEST(AppParams, MessageSizesFollowTable3) {
+  // Chimaera: 8 * #angles(10) * Htile(1) * Ny/m east-west.
+  const wc::AppParams chim = wb::chimaera();
+  EXPECT_EQ(chim.message_bytes_ew(16, 16), 80 * 240 / 16);
+  EXPECT_EQ(chim.message_bytes_ns(16, 16), 80 * 240 / 16);
+  // Non-square grids use the matching dimension.
+  EXPECT_EQ(chim.message_bytes_ew(32, 8), 80 * 240 / 8);
+  EXPECT_EQ(chim.message_bytes_ns(32, 8), 80 * 240 / 32);
+  // LU: 40 bytes per boundary cell, Htile = 1.
+  const wc::AppParams lu = wb::lu();
+  EXPECT_EQ(lu.message_bytes_ew(9, 9), 40 * 18);
+}
+
+TEST(AppParams, Sweep3dHtileFromAngleBlocking) {
+  // Htile = mk * mmi / mmo (§4.1): mk=10, mmi=3, mmo=6 -> 5.
+  wb::Sweep3dConfig cfg;
+  cfg.mk = 10;
+  cfg.mmi = 3;
+  cfg.mmo = 6;
+  const wc::AppParams app = wb::sweep3d(cfg);
+  EXPECT_DOUBLE_EQ(app.htile, 5.0);
+  // Message payload: 8 * mmo * Htile * Ny/m = 8 * mk * mmi * Ny/m, i.e.
+  // the mmi angles actually sent per mk-cell block.
+  EXPECT_EQ(app.message_bytes_ew(100, 100),
+            8 * 10 * 3 * 10);  // Ny/m = 1000/100
+}
+
+TEST(AppParams, Sweep3dRejectsIndivisibleAngleBlocks) {
+  wb::Sweep3dConfig cfg;
+  cfg.mmi = 4;
+  cfg.mmo = 6;
+  EXPECT_THROW(wb::sweep3d(cfg), wave::common::contract_error);
+}
+
+TEST(AppParams, TilesPerStack) {
+  wb::Sweep3dConfig cfg;
+  cfg.nz = 1000;
+  cfg.mk = 4;  // Htile = 2
+  EXPECT_DOUBLE_EQ(wb::sweep3d(cfg).tiles_per_stack(), 500.0);
+}
+
+TEST(Benchmarks, NonWavefrontPhases) {
+  EXPECT_EQ(wb::sweep3d().nonwavefront.allreduce_count, 2);
+  EXPECT_FALSE(wb::sweep3d().nonwavefront.has_stencil);
+  EXPECT_EQ(wb::chimaera().nonwavefront.allreduce_count, 1);
+  EXPECT_TRUE(wb::lu().nonwavefront.has_stencil);
+  EXPECT_EQ(wb::lu().nonwavefront.allreduce_count, 0);
+}
+
+TEST(Benchmarks, IterationCounts) {
+  EXPECT_EQ(wb::chimaera().iterations_per_timestep, 419);  // §5 benchmark
+  EXPECT_EQ(wb::sweep3d().iterations_per_timestep, 120);   // §5 choice
+  EXPECT_EQ(wb::sweep3d_20m().iterations_per_timestep, 480);
+}
+
+TEST(Benchmarks, Sweep3d20mProblemSize) {
+  const auto app = wb::sweep3d_20m();
+  EXPECT_NEAR(app.nx * app.ny * app.nz, 2.0e7, 2.0e6);
+}
+
+TEST(Benchmarks, PreComputeOnlyInLu) {
+  EXPECT_GT(wb::lu().wg_pre, 0.0);
+  EXPECT_DOUBLE_EQ(wb::sweep3d().wg_pre, 0.0);
+  EXPECT_DOUBLE_EQ(wb::chimaera().wg_pre, 0.0);
+}
+
+TEST(Benchmarks, MessageBytesAtLeastOne) {
+  // Extremely fine decompositions still produce a 1-byte boundary message.
+  const wc::AppParams chim = wb::chimaera();
+  EXPECT_GE(chim.message_bytes_ew(10000, 10000), 1);
+}
+
+// Parameter sweep: Htile scales the per-message payload linearly for the
+// transport codes (Table 3 message-size rows).
+class HtileMessageScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(HtileMessageScaling, PayloadLinearInHtile) {
+  const int mk = GetParam();
+  wb::Sweep3dConfig cfg;
+  cfg.mk = mk;
+  const wc::AppParams app = wb::sweep3d(cfg);
+  const wc::AppParams base = wb::sweep3d();
+  const double ratio = app.htile / base.htile;
+  EXPECT_NEAR(static_cast<double>(app.message_bytes_ew(50, 50)),
+              ratio * base.message_bytes_ew(50, 50), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileHeights, HtileMessageScaling,
+                         ::testing::Values(2, 4, 6, 8, 10));

@@ -1,0 +1,86 @@
+// Tests for the sequential transport mini-application (source iteration
+// over a stack of tiles).
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "kernels/miniapp.h"
+
+namespace wk = wave::kernels;
+
+namespace {
+wk::MiniAppConfig small_config() {
+  wk::MiniAppConfig cfg;
+  cfg.nx = cfg.ny = 8;
+  cfg.nz = 16;
+  cfg.tile_height = 4;
+  cfg.angles = 4;
+  return cfg;
+}
+}  // namespace
+
+TEST(MiniApp, ConvergesOnDefaultProblem) {
+  const auto res = wk::run_miniapp(small_config());
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.iterations, 1);
+  EXPECT_GT(res.scalar_flux_total, 0.0);
+  EXPECT_GT(res.wg_measured, 0.0);
+}
+
+TEST(MiniApp, FluxHistoryIsMonotoneNonDecreasing) {
+  // Each source iteration adds non-negative scattering source, so the
+  // flux sequence grows toward the fixed point from below.
+  const auto res = wk::run_miniapp(small_config());
+  for (std::size_t i = 1; i < res.flux_history.size(); ++i)
+    EXPECT_GE(res.flux_history[i], res.flux_history[i - 1] - 1e-9);
+}
+
+TEST(MiniApp, MoreScatteringNeedsMoreIterations) {
+  wk::MiniAppConfig weak = small_config();
+  weak.sigma_s = 0.2;
+  wk::MiniAppConfig strong = small_config();
+  strong.sigma_s = 0.8;
+  const auto r_weak = wk::run_miniapp(weak);
+  const auto r_strong = wk::run_miniapp(strong);
+  EXPECT_TRUE(r_weak.converged);
+  EXPECT_TRUE(r_strong.converged);
+  // Source iteration converges with spectral radius ~ sigma_s/sigma_t.
+  EXPECT_GT(r_strong.iterations, r_weak.iterations);
+  EXPECT_GT(r_strong.scalar_flux_total, r_weak.scalar_flux_total);
+}
+
+TEST(MiniApp, PureAbsorberConvergesImmediately) {
+  wk::MiniAppConfig cfg = small_config();
+  cfg.sigma_s = 0.0;  // no coupling: iteration 2 equals iteration 1
+  const auto res = wk::run_miniapp(cfg);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 3);
+}
+
+TEST(MiniApp, IterationCapRespected) {
+  wk::MiniAppConfig cfg = small_config();
+  cfg.sigma_s = 0.99;
+  cfg.tolerance = 0.0;  // unreachable
+  cfg.max_iterations = 5;
+  const auto res = wk::run_miniapp(cfg);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 5);
+}
+
+TEST(MiniApp, RejectsBadConfig) {
+  wk::MiniAppConfig cfg = small_config();
+  cfg.tile_height = 3;  // does not divide nz = 16
+  EXPECT_THROW(wk::run_miniapp(cfg), wave::common::contract_error);
+  cfg = small_config();
+  cfg.sigma_s = cfg.sigma_t;  // spectral radius 1: diverges
+  EXPECT_THROW(wk::run_miniapp(cfg), wave::common::contract_error);
+}
+
+TEST(MiniApp, WgMeasurementScalesWithAngles) {
+  wk::MiniAppConfig few = small_config();
+  few.angles = 2;
+  wk::MiniAppConfig many = small_config();
+  many.angles = 12;
+  const auto r_few = wk::run_miniapp(few);
+  const auto r_many = wk::run_miniapp(many);
+  EXPECT_GT(r_many.wg_measured, r_few.wg_measured);
+}

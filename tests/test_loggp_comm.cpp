@@ -1,0 +1,161 @@
+// Tests for the Table 1 communication equations and Table 2 parameters.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "loggp/comm_model.h"
+
+namespace wl = wave::loggp;
+
+namespace {
+const wl::MachineParams kXt4 = wl::xt4();
+const wl::CommModel kModel(kXt4);
+}  // namespace
+
+TEST(Table2, Xt4Values) {
+  EXPECT_DOUBLE_EQ(kXt4.off.G, 0.0004);
+  EXPECT_DOUBLE_EQ(kXt4.off.L, 0.305);
+  EXPECT_DOUBLE_EQ(kXt4.off.o, 3.92);
+  EXPECT_DOUBLE_EQ(kXt4.on.Gcopy, 0.000789);
+  EXPECT_DOUBLE_EQ(kXt4.on.Gdma, 0.000072);
+  EXPECT_DOUBLE_EQ(kXt4.on.o, 3.80);
+  EXPECT_DOUBLE_EQ(kXt4.on.ocopy, 1.98);
+  EXPECT_EQ(kXt4.eager_limit_bytes, 1024);
+}
+
+TEST(Table2, DerivedQuantities) {
+  // 1/G = 2.5 GB/s inter-node bandwidth (§3.1).
+  EXPECT_NEAR(1.0 / kXt4.off.G, 2.5e3, 1e-9);  // bytes/µs = MB/s / 1000
+  // h = 2(L + oh) with negligible oh.
+  EXPECT_DOUBLE_EQ(kXt4.off.handshake(), 0.61);
+  // odma = o - ocopy (§3.2).
+  EXPECT_NEAR(kXt4.on.odma(), 1.82, 1e-12);
+}
+
+TEST(Table2, Sp2IsOrdersOfMagnitudeSlower) {
+  const wl::MachineParams sp2 = wl::sp2();
+  EXPECT_GE(sp2.off.G / kXt4.off.G, 100.0);
+  EXPECT_GE(sp2.off.L / kXt4.off.L, 10.0);
+  EXPECT_GE(sp2.off.o / kXt4.off.o, 5.0);
+}
+
+TEST(CommModel, Equation1SmallOffNode) {
+  // (1): o + S*G + L + o
+  for (int s : {0, 1, 64, 512, 1024}) {
+    const double expected = 3.92 + s * 0.0004 + 0.305 + 3.92;
+    EXPECT_NEAR(kModel.total(s, wl::Placement::OffNode), expected, 1e-12);
+  }
+}
+
+TEST(CommModel, Equation2LargeOffNode) {
+  // (2): o + h + o + S*G + L + o
+  for (int s : {1025, 4096, 12000}) {
+    const double expected = 3.92 + 0.61 + 3.92 + s * 0.0004 + 0.305 + 3.92;
+    EXPECT_NEAR(kModel.total(s, wl::Placement::OffNode), expected, 1e-12);
+  }
+}
+
+TEST(CommModel, Equations3And4SendRecvOffNode) {
+  // (3): send = recv = o for small messages.
+  EXPECT_DOUBLE_EQ(kModel.send(512, wl::Placement::OffNode), 3.92);
+  EXPECT_DOUBLE_EQ(kModel.recv(512, wl::Placement::OffNode), 3.92);
+  // (4a): send = o + h.
+  EXPECT_DOUBLE_EQ(kModel.send(2048, wl::Placement::OffNode), 3.92 + 0.61);
+  // (4b): recv = L + o + S*G + L + o.
+  EXPECT_NEAR(kModel.recv(2048, wl::Placement::OffNode),
+              0.305 + 3.92 + 2048 * 0.0004 + 0.305 + 3.92, 1e-12);
+}
+
+TEST(CommModel, Equations5To8OnChip) {
+  // (5): ocopy + S*Gcopy + ocopy.
+  EXPECT_NEAR(kModel.total(800, wl::Placement::OnChip),
+              1.98 + 800 * 0.000789 + 1.98, 1e-12);
+  // (6): o + S*Gdma + ocopy.
+  EXPECT_NEAR(kModel.total(4096, wl::Placement::OnChip),
+              3.80 + 4096 * 0.000072 + 1.98, 1e-12);
+  // (7): send = recv = ocopy.
+  EXPECT_DOUBLE_EQ(kModel.send(100, wl::Placement::OnChip), 1.98);
+  EXPECT_DOUBLE_EQ(kModel.recv(100, wl::Placement::OnChip), 1.98);
+  // (8a): send = o.  (8b): recv = S*Gdma + ocopy.
+  EXPECT_DOUBLE_EQ(kModel.send(5000, wl::Placement::OnChip), 3.80);
+  EXPECT_NEAR(kModel.recv(5000, wl::Placement::OnChip),
+              5000 * 0.000072 + 1.98, 1e-12);
+}
+
+TEST(CommModel, OnChipFasterThanOffNodeForAllSizes) {
+  // §3.2: "the per-byte gap to move the data ... is lower on-chip than
+  // off-node for all message sizes" — end-to-end on-chip is cheaper too.
+  for (int s = 0; s <= 16384; s += 128)
+    EXPECT_LT(kModel.total(s, wl::Placement::OnChip),
+              kModel.total(s, wl::Placement::OffNode))
+        << "S=" << s;
+}
+
+TEST(CommModel, CostsBundleAgrees) {
+  const auto c = kModel.costs(3000, wl::Placement::OffNode);
+  EXPECT_DOUBLE_EQ(c.send, kModel.send(3000, wl::Placement::OffNode));
+  EXPECT_DOUBLE_EQ(c.recv, kModel.recv(3000, wl::Placement::OffNode));
+  EXPECT_DOUBLE_EQ(c.total, kModel.total(3000, wl::Placement::OffNode));
+}
+
+TEST(CommModel, RejectsNegativeSize) {
+  EXPECT_THROW(kModel.total(-1, wl::Placement::OffNode),
+               wave::common::contract_error);
+}
+
+TEST(CommModel, ValidatesParameters) {
+  wl::MachineParams bad = kXt4;
+  bad.off.G = 0.0;
+  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+  bad = kXt4;
+  bad.on.ocopy = bad.on.o + 1.0;  // ocopy > o impossible
+  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+  bad = kXt4;
+  bad.eager_limit_bytes = 0;
+  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+}
+
+// Property sweep: total time is non-decreasing in message size within each
+// protocol regime, and the only discontinuity sits at the eager limit.
+class CommMonotonicity
+    : public ::testing::TestWithParam<wl::Placement> {};
+
+TEST_P(CommMonotonicity, TotalNonDecreasingWithinRegimes) {
+  const wl::Placement where = GetParam();
+  double prev = kModel.total(0, where);
+  for (int s = 1; s <= 1024; ++s) {
+    const double cur = kModel.total(s, where);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  prev = kModel.total(1025, where);
+  for (int s = 1026; s <= 16384; s += 7) {
+    const double cur = kModel.total(s, where);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(CommMonotonicity, ProtocolJumpAtEagerLimit) {
+  const wl::Placement where = GetParam();
+  const double below = kModel.total(1024, where);
+  const double above = kModel.total(1025, where);
+  EXPECT_GT(above, below);
+  // Off-node the jump is the handshake (o + h beyond the byte cost);
+  // on-chip it is the DMA setup. Both exceed 0.5 µs on the XT4.
+  EXPECT_GT(above - below, 0.5);
+}
+
+TEST_P(CommMonotonicity, SendPlusRecvNeverExceedsTotalPlusOverlap) {
+  // The sender and receiver code paths overlap with the wire time; their
+  // sum can exceed total only by at most the in-flight portion.
+  const wl::Placement where = GetParam();
+  for (int s : {16, 1024, 1025, 8192}) {
+    const auto c = kModel.costs(s, where);
+    EXPECT_LE(c.send, c.total);
+    EXPECT_LE(c.recv, c.total + 2.0 * kXt4.off.L + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPlacements, CommMonotonicity,
+                         ::testing::Values(wl::Placement::OffNode,
+                                           wl::Placement::OnChip));

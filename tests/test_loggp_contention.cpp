@@ -1,0 +1,98 @@
+// Tests for the Table 6 shared-bus contention model.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "loggp/contention.h"
+
+namespace wl = wave::loggp;
+
+TEST(Contention, InterferenceUnit) {
+  // I = odma + S * Gdma with XT4 values odma = 1.82, Gdma = 0.000072.
+  const auto params = wl::xt4();
+  EXPECT_NEAR(wl::interference_unit(params, 0), 1.82, 1e-12);
+  EXPECT_NEAR(wl::interference_unit(params, 10000), 1.82 + 0.72, 1e-12);
+  EXPECT_THROW(wl::interference_unit(params, -1),
+               wave::common::contract_error);
+}
+
+TEST(Contention, SingleCoreHasNone) {
+  const auto m = wl::contention_multipliers(1, 1);
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(Contention, Table6Row1x2) {
+  // "1 x 2 cores/node: add I to ReceiveN and SendS".
+  const auto m = wl::contention_multipliers(1, 2);
+  EXPECT_DOUBLE_EQ(m.recv_north, 1.0);
+  EXPECT_DOUBLE_EQ(m.send_south, 1.0);
+  EXPECT_DOUBLE_EQ(m.recv_west, 0.0);
+  EXPECT_DOUBLE_EQ(m.send_east, 0.0);
+}
+
+TEST(Contention, HorizontalDualCoreMirrors) {
+  // A 2 x 1 node splits along x: the E/W pair interferes instead.
+  const auto m = wl::contention_multipliers(2, 1);
+  EXPECT_DOUBLE_EQ(m.recv_west, 1.0);
+  EXPECT_DOUBLE_EQ(m.send_east, 1.0);
+  EXPECT_DOUBLE_EQ(m.recv_north, 0.0);
+  EXPECT_DOUBLE_EQ(m.send_south, 0.0);
+}
+
+TEST(Contention, Table6Row2x2) {
+  // "2 x 2 cores/node: add I to each Send and Receive".
+  const auto m = wl::contention_multipliers(2, 2);
+  EXPECT_DOUBLE_EQ(m.send_east, 1.0);
+  EXPECT_DOUBLE_EQ(m.send_south, 1.0);
+  EXPECT_DOUBLE_EQ(m.recv_west, 1.0);
+  EXPECT_DOUBLE_EQ(m.recv_north, 1.0);
+}
+
+TEST(Contention, Table6Row2x4) {
+  // "2 x 4 cores/node: add 2I to each Send and Receive".
+  const auto m = wl::contention_multipliers(2, 4);
+  EXPECT_DOUBLE_EQ(m.send_east, 2.0);
+  EXPECT_DOUBLE_EQ(m.send_south, 2.0);
+  EXPECT_DOUBLE_EQ(m.recv_west, 2.0);
+  EXPECT_DOUBLE_EQ(m.recv_north, 2.0);
+}
+
+TEST(Contention, TotalInterferenceScalesWithCores) {
+  // Across the Table 6 rows the total interference per tile step is C * I.
+  EXPECT_DOUBLE_EQ(wl::contention_multipliers(1, 2).total(), 2.0);
+  EXPECT_DOUBLE_EQ(wl::contention_multipliers(2, 2).total(), 4.0);
+  EXPECT_DOUBLE_EQ(wl::contention_multipliers(2, 4).total(), 8.0);
+  EXPECT_DOUBLE_EQ(wl::contention_multipliers(4, 4).total(), 16.0);
+}
+
+TEST(Contention, SeparateBusesRestoreSmallerNode) {
+  // §5.3: a 16-core node with one bus per 4 cores behaves like a quad-core
+  // node.
+  const auto sixteen_four_buses = wl::contention_multipliers(4, 4, 4);
+  const auto quad = wl::contention_multipliers(2, 2, 1);
+  EXPECT_DOUBLE_EQ(sixteen_four_buses.total(), quad.total());
+  // One bus per core eliminates interference entirely.
+  EXPECT_DOUBLE_EQ(wl::contention_multipliers(2, 2, 4).total(), 0.0);
+}
+
+TEST(Contention, RejectsBadShapes) {
+  EXPECT_THROW(wl::contention_multipliers(0, 2),
+               wave::common::contract_error);
+  EXPECT_THROW(wl::contention_multipliers(2, 2, 3),
+               wave::common::contract_error);  // buses must divide cores
+}
+
+// Property: interference never decreases when cores per bus increase.
+class ContentionGrowth : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentionGrowth, MonotoneInCoresPerBus) {
+  const int cy = GetParam();
+  double prev = -1.0;
+  for (int cx : {1, 2, 4, 8}) {
+    const double total = wl::contention_multipliers(cx, cy).total();
+    EXPECT_GE(total, prev);
+    prev = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ContentionGrowth,
+                         ::testing::Values(1, 2, 4));

@@ -1,0 +1,109 @@
+// Tests for the discrete-event engine: ordering, determinism, limits.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace ws = wave::sim;
+
+TEST(Engine, ExecutesInTimeOrder) {
+  ws::Engine e;
+  std::vector<int> order;
+  e.at(3.0, [&] { order.push_back(3); });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.events_processed(), 3u);
+}
+
+TEST(Engine, EqualTimesAreFifo) {
+  ws::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.at(5.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, CallbacksMaySchedule) {
+  ws::Engine e;
+  int fired = 0;
+  e.at(1.0, [&] {
+    ++fired;
+    e.after(1.0, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 2.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  ws::Engine e;
+  bool checked = false;
+  e.at(10.0, [&] {
+    EXPECT_THROW(e.at(5.0, [] {}), wave::common::contract_error);
+    EXPECT_THROW(e.after(-1.0, [] {}), wave::common::contract_error);
+    checked = true;
+  });
+  e.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  ws::Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(5.0, [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.drained());
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(e.drained());
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  ws::Engine e;
+  e.run_until(7.5);
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto trace = [] {
+    ws::Engine e;
+    std::vector<double> times;
+    for (int i = 0; i < 100; ++i) {
+      e.at(static_cast<double>((i * 37) % 50),
+           [&times, &e] { times.push_back(e.now()); });
+    }
+    e.run();
+    return times;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+TEST(FifoResource, GrantsImmediatelyWhenIdle) {
+  ws::FifoResource r;
+  EXPECT_DOUBLE_EQ(r.reserve(5.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(r.free_at(), 7.0);
+  EXPECT_DOUBLE_EQ(r.wait_total(), 0.0);
+}
+
+TEST(FifoResource, QueuesOverlappingRequests) {
+  ws::FifoResource r;
+  EXPECT_DOUBLE_EQ(r.reserve(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.reserve(1.0, 3.0), 3.0);  // pushed behind the first
+  EXPECT_DOUBLE_EQ(r.reserve(10.0, 1.0), 10.0);  // idle again
+  EXPECT_DOUBLE_EQ(r.wait_total(), 2.0);
+  EXPECT_DOUBLE_EQ(r.busy_total(), 7.0);
+}
+
+TEST(FifoResource, ZeroDurationIsAllowed) {
+  ws::FifoResource r;
+  EXPECT_DOUBLE_EQ(r.reserve(1.0, 0.0), 1.0);
+  EXPECT_THROW(r.reserve(1.0, -1.0), wave::common::contract_error);
+}

@@ -1,0 +1,171 @@
+// Unit tests for wave::topo — grids, node maps (Table 6 rules), torus.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "topology/grid.h"
+#include "topology/node_map.h"
+#include "topology/torus.h"
+
+namespace wt = wave::topo;
+
+TEST(Grid, RankCoordRoundTrip) {
+  const wt::Grid g(4, 3);
+  EXPECT_EQ(g.size(), 12);
+  for (int r = 0; r < g.size(); ++r)
+    EXPECT_EQ(g.rank_of(g.coord_of(r)), r);
+  EXPECT_EQ(g.rank_of({1, 1}), 0);
+  EXPECT_EQ(g.rank_of({4, 3}), 11);
+}
+
+TEST(Grid, Corners) {
+  const wt::Grid g(5, 2);
+  EXPECT_EQ(g.corner_nw(), (wt::Coord{1, 1}));
+  EXPECT_EQ(g.corner_se(), (wt::Coord{5, 2}));
+  EXPECT_EQ(g.corner_ne(), (wt::Coord{5, 1}));
+  EXPECT_EQ(g.corner_sw(), (wt::Coord{1, 2}));
+  EXPECT_EQ(g.wavefront_count(), 6);
+}
+
+TEST(Grid, RejectsBadInput) {
+  EXPECT_THROW(wt::Grid(0, 1), wave::common::contract_error);
+  const wt::Grid g(2, 2);
+  EXPECT_THROW(g.rank_of({3, 1}), wave::common::contract_error);
+  EXPECT_THROW(g.coord_of(4), wave::common::contract_error);
+}
+
+TEST(Grid, ClosestToSquare) {
+  EXPECT_EQ(wt::closest_to_square(16).n(), 4);
+  EXPECT_EQ(wt::closest_to_square(16).m(), 4);
+  EXPECT_EQ(wt::closest_to_square(8).n(), 4);
+  EXPECT_EQ(wt::closest_to_square(8).m(), 2);
+  EXPECT_EQ(wt::closest_to_square(1).size(), 1);
+  // Primes degrade to 1 x P.
+  EXPECT_EQ(wt::closest_to_square(13).m(), 1);
+}
+
+TEST(Grid, ClosestToSquarePreservesSize) {
+  for (int p = 1; p <= 300; ++p)
+    EXPECT_EQ(wt::closest_to_square(p).size(), p) << "P=" << p;
+}
+
+TEST(Grid, BalancedFactorization) {
+  EXPECT_TRUE(wt::has_balanced_factorization(4096, 2.0));
+  EXPECT_TRUE(wt::has_balanced_factorization(8192, 2.0));
+  EXPECT_FALSE(wt::has_balanced_factorization(13, 2.0));
+}
+
+TEST(NodeMap, SingleCoreEverythingOffNode) {
+  const wt::Grid g(4, 4);
+  const wt::NodeMap map(g, 1, 1);
+  EXPECT_EQ(map.node_count(), 16);
+  for (int r = 0; r < g.size(); ++r) {
+    const wt::Coord c = g.coord_of(r);
+    for (auto d : {wt::Direction::East, wt::Direction::West,
+                   wt::Direction::North, wt::Direction::South})
+      EXPECT_FALSE(map.is_on_node(c, d));
+  }
+}
+
+// Table 6: for a 1 x 2 (Cx=1, Cy=2) node, communication is on-chip exactly
+// when the mod conditions hold.
+TEST(NodeMap, Table6RulesDualCore) {
+  const wt::Grid g(4, 4);
+  const wt::NodeMap map(g, /*cx=*/1, /*cy=*/2);
+  for (int j = 1; j <= 4; ++j) {
+    for (int i = 1; i <= 4; ++i) {
+      const wt::Coord c{i, j};
+      // SendE on-chip iff i mod Cx != 0 and Cx != 1 -> never for Cx = 1.
+      EXPECT_FALSE(map.is_on_node(c, wt::Direction::East));
+      // ReceiveN on-chip iff j mod Cy != 1 (j even for Cy = 2).
+      if (j > 1) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::North), j % 2 == 0)
+            << "i=" << i << " j=" << j;
+      }
+      // Send south on-chip iff j mod Cy != 0 (sender's own row test).
+      if (j < 4) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::South), j % 2 != 0);
+      }
+    }
+  }
+}
+
+TEST(NodeMap, Table6RulesQuadCore) {
+  const wt::Grid g(8, 8);
+  const wt::NodeMap map(g, /*cx=*/2, /*cy=*/2);
+  EXPECT_EQ(map.node_count(), 16);
+  for (int j = 1; j <= 8; ++j) {
+    for (int i = 1; i <= 8; ++i) {
+      const wt::Coord c{i, j};
+      if (i < 8) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::East), i % 2 != 0);
+      }
+      if (i > 1) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::West), i % 2 != 1);
+      }
+      if (j > 1) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::North), j % 2 != 1);
+      }
+      if (j < 8) {
+        EXPECT_EQ(map.is_on_node(c, wt::Direction::South), j % 2 != 0);
+      }
+    }
+  }
+}
+
+TEST(NodeMap, CoreSlotsAreDense) {
+  const wt::Grid g(8, 8);
+  const wt::NodeMap map(g, 2, 4);
+  EXPECT_EQ(map.cores_per_node(), 8);
+  std::vector<int> seen(map.node_count() * 8, 0);
+  for (int r = 0; r < g.size(); ++r) {
+    const wt::Coord c = g.coord_of(r);
+    const int node = map.node_of(c);
+    const int slot = map.core_slot(c);
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, 8);
+    ++seen[node * 8 + slot];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(NodeMap, GridEdgeNeverOnNode) {
+  const wt::Grid g(6, 6);
+  const wt::NodeMap map(g, 2, 2);
+  EXPECT_FALSE(map.is_on_node({1, 1}, wt::Direction::West));
+  EXPECT_FALSE(map.is_on_node({6, 6}, wt::Direction::South));
+}
+
+TEST(Torus, IdCoordRoundTrip) {
+  const wt::Torus3D t(4, 3, 2);
+  EXPECT_EQ(t.node_count(), 24);
+  for (int id = 0; id < t.node_count(); ++id)
+    EXPECT_EQ(t.id_of(t.coord_of(id)), id);
+}
+
+TEST(Torus, WrapAroundDistance) {
+  const wt::Torus3D t(8, 8, 8);
+  EXPECT_EQ(t.hops({0, 0, 0}, {1, 0, 0}), 1);
+  EXPECT_EQ(t.hops({0, 0, 0}, {7, 0, 0}), 1);  // wraps
+  EXPECT_EQ(t.hops({0, 0, 0}, {4, 4, 4}), 12);
+  EXPECT_EQ(t.hops({2, 3, 4}, {2, 3, 4}), 0);
+}
+
+TEST(Torus, FittingIsSufficientAndNearCubic) {
+  for (int nodes : {1, 7, 64, 100, 1024, 5000}) {
+    const wt::Torus3D t = wt::Torus3D::fitting(nodes);
+    EXPECT_GE(t.node_count(), nodes);
+    const int maxd = std::max({t.dx(), t.dy(), t.dz()});
+    const int mind = std::min({t.dx(), t.dy(), t.dz()});
+    EXPECT_LE(maxd - mind, 2) << "nodes=" << nodes;
+  }
+}
+
+TEST(Torus, GridEmbeddingKeepsRowNeighboursAdjacent) {
+  const wt::Torus3D t(8, 8, 8);
+  // Grid nodes in one row map to adjacent torus coordinates.
+  for (int id = 0; id + 1 < 8; ++id) {
+    const auto a = t.embed_grid_node(id, /*grid_nodes_x=*/8);
+    const auto b = t.embed_grid_node(id + 1, 8);
+    EXPECT_EQ(t.hops(a, b), 1);
+  }
+}
