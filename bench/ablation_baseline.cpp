@@ -7,20 +7,15 @@
 // barrier-heavy LU but substantially over-predicts the pipelined Sweep3D
 // structure — while the plug-and-play model tracks the simulator for both
 // with the same equations and only different nfull/ndiag inputs.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/baseline.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Ablation: baseline model",
       "plug-and-play vs naive single-sweep-model reuse, vs simulation",
       "in production configurations the plug-and-play model beats the "
@@ -31,7 +26,6 @@ int main(int argc, char** argv) {
       "interest' (§4.3), where consecutive sweeps collide in ways neither "
       "abstraction captures");
 
-  const auto machine = core::MachineConfig::xt4_dual_core();
   core::benchmarks::Sweep3dConfig s3;
   s3.nx = s3.ny = s3.nz = 256;
   // A shallow-stack configuration where pipeline fill dominates: the
@@ -39,39 +33,41 @@ int main(int argc, char** argv) {
   core::benchmarks::Sweep3dConfig shallow = s3;
   shallow.nz = 32;
   shallow.mk = 2;  // Htile = 1: 32 tiles against a 63-step pipeline
-  struct Case {
-    const char* name;
-    core::AppParams app;
-  } cases[] = {
-      {"LU 162^3 (nfull=2)", core::benchmarks::lu()},
-      {"Sweep3D 256^3 (nfull=2, ndiag=2)", core::benchmarks::sweep3d(s3)},
-      {"Sweep3D 256x256x32 shallow", core::benchmarks::sweep3d(shallow)},
-      {"Chimaera 240^3 (nfull=4, ndiag=2)", core::benchmarks::chimaera()},
-  };
 
-  common::Table table({"application", "P", "sim_ms", "plugplay_ms",
-                       "plugplay_err%", "baseline_ms", "baseline_err%"});
-  for (const Case& c : cases) {
-    const core::Solver solver(c.app, machine);
-    for (int p : {64, 256, 1024}) {
-      const auto sim = workloads::simulate_wavefront(c.app, machine, p);
-      const auto model = solver.evaluate(p);
-      const auto base = core::hoisie_baseline(c.app, machine, p);
-      table.add_row(
-          {c.name, common::Table::integer(p),
-           common::Table::num(sim.time_per_iteration / 1000.0, 3),
-           common::Table::num(model.iteration.total / 1000.0, 3),
-           common::Table::num(100.0 * common::relative_error(
-                                          model.iteration.total,
-                                          sim.time_per_iteration),
-                              2),
-           common::Table::num(base.iteration / 1000.0, 3),
-           common::Table::num(100.0 * common::relative_error(
-                                          base.iteration,
-                                          sim.time_per_iteration),
-                              2)});
-    }
-  }
-  bench::emit(cli, table);
+  runner::SweepGrid grid;
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  grid.apps({{"LU 162^3 (nfull=2)", core::benchmarks::lu()},
+             {"Sweep3D 256^3 (nfull=2, ndiag=2)",
+              core::benchmarks::sweep3d(s3)},
+             {"Sweep3D 256x256x32 shallow",
+              core::benchmarks::sweep3d(shallow)},
+             {"Chimaera 240^3 (nfull=4, ndiag=2)",
+              core::benchmarks::chimaera()}});
+  grid.processors({64, 256, 1024});
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [](const runner::Scenario& s) {
+            runner::Metrics m = runner::model_vs_sim_metrics(s);
+            const auto base =
+                core::hoisie_baseline(s.app, s.machine, s.grid);
+            double sim_iter = 0.0;
+            for (const auto& [key, value] : m)
+              if (key == "sim_iter_us") sim_iter = value;
+            m.emplace_back("baseline_iter_us", base.iteration);
+            m.emplace_back("baseline_err_pct",
+                           100.0 * common::relative_error(base.iteration,
+                                                          sim_iter));
+            return m;
+          });
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("application"), runner::Column::label("P"),
+       runner::Column::metric("sim_ms", "sim_iter_us", 3, 1.0e-3),
+       runner::Column::metric("plugplay_ms", "model_iter_us", 3, 1.0e-3),
+       runner::Column::metric("plugplay_err%", "err_pct", 2),
+       runner::Column::metric("baseline_ms", "baseline_iter_us", 3, 1.0e-3),
+       runner::Column::metric("baseline_err%", "baseline_err_pct", 2)});
   return 0;
 }

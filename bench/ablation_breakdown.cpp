@@ -5,40 +5,38 @@
 // path*, the simulator averages per-rank time spent inside MPI calls
 // (including pipeline-stall waiting) — but they must tell the same story:
 // communication's share grows with P and crosses 50% in the same region.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Ablation: communication share, model vs simulator",
       "Chimaera 240^3 on dual-core nodes",
       "both shares rise monotonically with P; the simulator's includes "
       "pipeline-stall waiting so it runs higher, but the diminishing-"
       "returns crossover lands in the same processor range");
 
-  const auto app = core::benchmarks::chimaera();
-  const auto machine = core::MachineConfig::xt4_dual_core();
-  const core::Solver solver(app, machine);
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::chimaera();
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  grid.processors({64, 256, 1024, 4096});
 
-  common::Table table({"P", "model_comm_share%", "sim_mpi_share%"});
-  for (int p : {64, 256, 1024, 4096}) {
-    const auto model = solver.evaluate(p);
-    const auto sim = workloads::simulate_wavefront(app, machine, p);
-    table.add_row(
-        {common::Table::integer(p),
-         common::Table::num(100.0 * model.iteration.comm /
-                                model.iteration.total,
-                            1),
-         common::Table::num(100.0 * sim.mpi_busy_mean / sim.makespan, 1)});
+  auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                     .run(grid, runner::model_vs_sim_metrics);
+  for (auto& r : records) {
+    r.set("model_share_pct", 100.0 * r.metric("model_iter_comm_us") /
+                                 r.metric("model_iter_us"));
+    r.set("sim_share_pct", 100.0 * r.metric("sim_mpi_busy_us") /
+                               r.metric("sim_makespan_us"));
   }
-  bench::emit(cli, table);
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("P"),
+       runner::Column::metric("model_comm_share%", "model_share_pct", 1),
+       runner::Column::metric("sim_mpi_share%", "sim_share_pct", 1)});
   return 0;
 }

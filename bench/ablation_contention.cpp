@@ -5,19 +5,14 @@
 // operations; the simulator knows nothing of I — its per-node TX/RX DMA
 // queues produce whatever delays the schedule produces. Comparing the
 // multi-core slowdown each predicts tests the abstraction directly.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Ablation: contention model (Table 6) vs emergent contention",
       "multi-core slowdown factor, model vs simulator",
       "both agree single-core nodes see no sharing penalty and that "
@@ -29,35 +24,44 @@ int main(int argc, char** argv) {
 
   core::benchmarks::Sweep3dConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 256;
-  const auto app = core::benchmarks::sweep3d(cfg);
 
-  const auto single = core::MachineConfig::xt4_single_core();
-  const core::Solver ref_solver(app, single);
+  auto shape = [](int cx, int cy) {
+    return [cx, cy](runner::Scenario& s) {
+      s.machine = core::MachineConfig();
+      s.machine.cx = cx;
+      s.machine.cy = cy;
+    };
+  };
 
-  common::Table table({"node_shape", "P", "model_slowdown", "sim_slowdown",
-                       "sim_bus_wait_ms"});
-  for (int p : {256, 1024}) {
-    const double model_ref =
-        ref_solver.evaluate(p).iteration.total;
-    const double sim_ref =
-        workloads::simulate_wavefront(app, single, p).time_per_iteration;
-    struct Shape {
-      const char* name;
-      int cx, cy;
-    } shapes[] = {{"1x1", 1, 1}, {"1x2", 1, 2}, {"2x2", 2, 2}, {"2x4", 2, 4}};
-    for (const Shape& s : shapes) {
-      core::MachineConfig machine;
-      machine.cx = s.cx;
-      machine.cy = s.cy;
-      const double model_t =
-          core::Solver(app, machine).evaluate(p).iteration.total;
-      const auto sim = workloads::simulate_wavefront(app, machine, p);
-      table.add_row({s.name, common::Table::integer(p),
-                     common::Table::num(model_t / model_ref, 4),
-                     common::Table::num(sim.time_per_iteration / sim_ref, 4),
-                     common::Table::num(sim.bus_wait / 1000.0, 2)});
-    }
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::sweep3d(cfg);
+  grid.processors({256, 1024});
+  grid.axis("node_shape", {{"1x1", shape(1, 1)},
+                           {"1x2", shape(1, 2)},
+                           {"2x2", shape(2, 2)},
+                           {"2x4", shape(2, 4)}});
+
+  auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                     .run(grid, runner::model_vs_sim_metrics);
+
+  // Slowdown factors are relative to the single-core (1x1) record at the
+  // same processor count.
+  for (auto& r : records) {
+    const runner::RunRecord* ref = nullptr;
+    for (const auto& q : records)
+      if (q.label("P") == r.label("P") && q.label("node_shape") == "1x1")
+        ref = &q;
+    r.set("model_slowdown",
+          r.metric("model_iter_us") / ref->metric("model_iter_us"));
+    r.set("sim_slowdown", r.metric("sim_iter_us") / ref->metric("sim_iter_us"));
   }
-  bench::emit(cli, table);
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("node_shape"), runner::Column::label("P"),
+       runner::Column::metric("model_slowdown", "model_slowdown", 4),
+       runner::Column::metric("sim_slowdown", "sim_slowdown", 4),
+       runner::Column::metric("sim_bus_wait_ms", "sim_bus_wait_us", 2,
+                              1.0e-3)});
   return 0;
 }

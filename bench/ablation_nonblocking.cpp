@@ -6,19 +6,16 @@
 // answer before anyone rewrites a production code: on which machines is
 // the rewrite worth it? On the XT4, h = 0.61 µs — noise; on an SP/2-class
 // network, h = 92 µs per message and the answer changes.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/solver.h"
+#include "runner/runner.h"
 #include "workloads/wavefront.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Ablation: nonblocking boundary sends",
       "blocking vs MPI_Isend double buffering, model and simulator",
       "negligible gain on the XT4 (handshake 0.61 us against per-tile "
@@ -29,32 +26,36 @@ int main(int argc, char** argv) {
   // eager limit (rendezvous protocol) at these processor counts; finer
   // decompositions drop to eager sizes where there is no handshake to
   // hide and both variants coincide.
-  core::AppParams blocking = core::benchmarks::chimaera();
-  core::AppParams nonblocking = blocking;
-  nonblocking.nonblocking_sends = true;
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::chimaera();
+  grid.machines({{"XT4", core::MachineConfig::xt4_dual_core()},
+                 {"SP/2", core::MachineConfig::sp2_single_core()}});
+  grid.processors({64, 256});
 
-  common::Table table({"machine", "P", "model_gain%", "sim_gain%"});
-  for (const auto& [name, machine] :
-       {std::pair{"XT4", core::MachineConfig::xt4_dual_core()},
-        std::pair{"SP/2", core::MachineConfig::sp2_single_core()}}) {
-    for (int p : {64, 256}) {
-      const double m_block =
-          core::Solver(blocking, machine).evaluate(p).iteration.total;
-      const double m_nonblock =
-          core::Solver(nonblocking, machine).evaluate(p).iteration.total;
-      const auto s_block =
-          workloads::simulate_wavefront(blocking, machine, p);
-      const auto s_nonblock =
-          workloads::simulate_wavefront(nonblocking, machine, p);
-      table.add_row(
-          {name, common::Table::integer(p),
-           common::Table::num(100.0 * (1.0 - m_nonblock / m_block), 2),
-           common::Table::num(
-               100.0 * (1.0 - s_nonblock.time_per_iteration /
-                                  s_block.time_per_iteration),
-               2)});
-    }
-  }
-  bench::emit(cli, table);
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [](const runner::Scenario& s) {
+            core::AppParams nonblocking = s.app;
+            nonblocking.nonblocking_sends = true;
+            const double m_block =
+                core::Solver(s.app, s.machine).evaluate(s.grid).iteration.total;
+            const double m_nonblock = core::Solver(nonblocking, s.machine)
+                                          .evaluate(s.grid)
+                                          .iteration.total;
+            const auto s_block =
+                workloads::simulate_wavefront(s.app, s.machine, s.grid);
+            const auto s_nonblock =
+                workloads::simulate_wavefront(nonblocking, s.machine, s.grid);
+            return runner::Metrics{
+                {"model_gain_pct", 100.0 * (1.0 - m_nonblock / m_block)},
+                {"sim_gain_pct",
+                 100.0 * (1.0 - s_nonblock.time_per_iteration /
+                                    s_block.time_per_iteration)}};
+          });
+
+  runner::emit(cli, records,
+               {runner::Column::label("machine"), runner::Column::label("P"),
+                runner::Column::metric("model_gain%", "model_gain_pct", 2),
+                runner::Column::metric("sim_gain%", "sim_gain_pct", 2)});
   return 0;
 }

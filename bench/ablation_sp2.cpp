@@ -7,62 +7,73 @@
 //   * the handshake synchronization terms "were significant on the SP/2"
 //     but are "a negligible fraction ... on the XT4" (§4.2).
 // Both fall out of the same model with only the MachineConfig changed.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/design_space.h"
 #include "core/solver.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Ablation: machine portability (XT4 vs SP/2)",
       "optimal Htile and synchronization share per machine",
       "SP/2's high o and L push the optimal tile height up into the 5-10 "
       "band and make the (m-1)L sync terms noticeable; on the XT4 they "
       "are negligible");
 
+  const runner::BatchRunner batch(runner::options_from_cli(cli));
+  const std::vector<std::pair<std::string, core::MachineConfig>> machines = {
+      {"XT4", core::MachineConfig::xt4_single_core()},
+      {"SP/2", core::MachineConfig::sp2_single_core()}};
+
   // Htile optimum per machine, Sweep3D 20M-cell problem.
-  common::Table htile({"machine", "P", "best_Htile", "gain_vs_Htile1_%"});
-  for (int p : {1024, 4096}) {
-    for (const auto& [name, machine] :
-         {std::pair{"XT4", core::MachineConfig::xt4_single_core()},
-          std::pair{"SP/2", core::MachineConfig::sp2_single_core()}}) {
-      const auto scan =
-          core::scan_htile(core::benchmarks::sweep3d_20m(), machine, p);
-      htile.add_row({name, common::Table::integer(p),
-                     common::Table::num(scan.best_htile, 0),
-                     common::Table::num(100.0 * scan.improvement_vs_unit,
-                                        1)});
-    }
-  }
-  bench::emit(cli, htile);
+  runner::SweepGrid htile_grid;
+  htile_grid.base().app = core::benchmarks::sweep3d_20m();
+  htile_grid.processors({1024, 4096});
+  htile_grid.machines(machines);
+
+  const auto htile_records =
+      batch.run(htile_grid, [](const runner::Scenario& s) {
+        const auto scan =
+            core::scan_htile(s.app, s.machine, s.processors());
+        return runner::Metrics{
+            {"best_htile", scan.best_htile},
+            {"gain_pct", 100.0 * scan.improvement_vs_unit}};
+      });
+
+  runner::emit(cli, htile_records,
+               {runner::Column::label("machine"), runner::Column::label("P"),
+                runner::Column::metric("best_Htile", "best_htile", 0),
+                runner::Column::metric("gain_vs_Htile1_%", "gain_pct", 1)});
 
   // Synchronization-term share of the iteration per machine.
-  common::Table sync({"machine", "P", "iter_no_sync_ms", "iter_sync_ms",
-                      "sync_share_%"});
-  for (int p : {256, 1024, 4096}) {
-    for (auto [name, machine] :
-         {std::pair{"XT4", core::MachineConfig::xt4_single_core()},
-          std::pair{"SP/2", core::MachineConfig::sp2_single_core()}}) {
-      core::MachineConfig without = machine;
-      without.synchronization_terms = false;
-      core::MachineConfig with = machine;
-      with.synchronization_terms = true;
-      const auto app = core::benchmarks::sweep3d_20m();
-      const double t0 =
-          core::Solver(app, without).evaluate(p).iteration.total;
-      const double t1 = core::Solver(app, with).evaluate(p).iteration.total;
-      sync.add_row({name, common::Table::integer(p),
-                    common::Table::num(t0 / 1000.0, 3),
-                    common::Table::num(t1 / 1000.0, 3),
-                    common::Table::num(100.0 * (t1 - t0) / t1, 3)});
-    }
-  }
-  bench::emit(cli, sync);
+  runner::SweepGrid sync_grid;
+  sync_grid.base().app = core::benchmarks::sweep3d_20m();
+  sync_grid.processors({256, 1024, 4096});
+  sync_grid.machines(machines);
+
+  const auto sync_records =
+      batch.run(sync_grid, [](const runner::Scenario& s) {
+        core::MachineConfig without = s.machine;
+        without.synchronization_terms = false;
+        core::MachineConfig with = s.machine;
+        with.synchronization_terms = true;
+        const double t0 =
+            core::Solver(s.app, without).evaluate(s.grid).iteration.total;
+        const double t1 =
+            core::Solver(s.app, with).evaluate(s.grid).iteration.total;
+        return runner::Metrics{{"iter_no_sync_us", t0},
+                               {"iter_sync_us", t1},
+                               {"sync_share_pct", 100.0 * (t1 - t0) / t1}};
+      });
+
+  runner::emit(
+      cli, sync_records,
+      {runner::Column::label("machine"), runner::Column::label("P"),
+       runner::Column::metric("iter_no_sync_ms", "iter_no_sync_us", 3, 1e-3),
+       runner::Column::metric("iter_sync_ms", "iter_sync_us", 3, 1e-3),
+       runner::Column::metric("sync_share_%", "sync_share_pct", 3)});
   return 0;
 }

@@ -1,16 +1,14 @@
 // §3.3 validation: the all-reduce model (eq. 9) against the simulated
 // recursive-doubling MPI_Allreduce, single- and dual-core nodes.
-#include <iostream>
-
-#include "bench/bench_common.h"
 #include "loggp/collectives.h"
+#include "runner/runner.h"
 #include "workloads/pingpong.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "All-reduce (eq. 9)", "model vs simulated MPI_Allreduce",
       "paper reports < 2% error up to 1024 dual-core nodes on the real "
       "XT4; against our mechanistic simulator the model stays within a few "
@@ -20,17 +18,31 @@ int main(int argc, char** argv) {
   const loggp::CommModel model(params);
   const int max_p = static_cast<int>(cli.get_int("max-p", 2048));
 
-  common::Table table({"ranks", "cores/node", "sim_us", "model_us", "err%"});
-  for (int c : {1, 2}) {
-    for (int p = 4; p <= max_p; p *= 4) {
-      const double sim = workloads::allreduce_sim_time(params, p, c);
-      const double mod = loggp::allreduce_time(model, p, c, 8);
-      table.add_row({common::Table::integer(p), common::Table::integer(c),
-                     common::Table::num(sim, 3), common::Table::num(mod, 3),
-                     common::Table::num(
-                         100.0 * common::relative_error(mod, sim), 2)});
-    }
-  }
-  bench::emit(cli, table);
+  std::vector<double> ranks;
+  for (int p = 4; p <= max_p; p *= 4) ranks.push_back(p);
+
+  runner::SweepGrid grid;
+  grid.values("cores_per_node", {1, 2});
+  grid.values("ranks", ranks);
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            const int p = static_cast<int>(s.param("ranks"));
+            const int c = static_cast<int>(s.param("cores_per_node"));
+            const double sim = workloads::allreduce_sim_time(params, p, c);
+            const double mod = loggp::allreduce_time(model, p, c, 8);
+            return runner::Metrics{
+                {"sim_us", sim},
+                {"model_us", mod},
+                {"err_pct", 100.0 * common::relative_error(mod, sim)}};
+          });
+
+  runner::emit(cli, records,
+               {runner::Column::label("ranks"),
+                runner::Column::label("cores/node", "cores_per_node"),
+                runner::Column::metric("sim_us", "sim_us", 3),
+                runner::Column::metric("model_us", "model_us", 3),
+                runner::Column::metric("err%", "err_pct", 2)});
   return 0;
 }

@@ -1,17 +1,14 @@
 // Fig 3: measured vs modelled MPI end-to-end communication times on the
 // XT4 stand-in, (a) inter-node and (b) intra-node, 0-12 KB.
-#include <iostream>
-
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "loggp/comm_model.h"
+#include "runner/runner.h"
 #include "workloads/pingpong.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 3", "MPI ping-pong: simulated 'measured' vs LogGP model",
       "model points lie on the measured curve for all sizes; equal slopes "
       "below/above the 1024-byte eager limit inter-node; a fixed jump at "
@@ -21,40 +18,50 @@ int main(int argc, char** argv) {
   const auto params = loggp::xt4();
   const loggp::CommModel model(params);
 
-  common::Table table({"bytes", "internode_sim_us", "internode_model_us",
-                       "internode_err%", "intranode_sim_us",
-                       "intranode_model_us", "intranode_err%"});
-  for (int bytes = 0; bytes <= 12288;
-       bytes += (bytes < 1024 ? 128 : 512)) {
-    const int s = bytes == 0 ? 1 : bytes;  // zero-byte messages still ping
-    const double sim_off = workloads::pingpong_half_rtt(params, false, s);
-    const double mod_off = model.total(s, loggp::Placement::OffNode);
-    const double sim_on = workloads::pingpong_half_rtt(params, true, s);
-    const double mod_on = model.total(s, loggp::Placement::OnChip);
-    table.add_row({common::Table::integer(s), common::Table::num(sim_off, 4),
-                   common::Table::num(mod_off, 4),
-                   common::Table::num(
-                       100.0 * common::relative_error(mod_off, sim_off), 2),
-                   common::Table::num(sim_on, 4),
-                   common::Table::num(mod_on, 4),
-                   common::Table::num(
-                       100.0 * common::relative_error(mod_on, sim_on), 2)});
-  }
-  // The protocol-jump pair the paper singles out.
-  for (int s : {1024, 1025}) {
-    const double sim_off = workloads::pingpong_half_rtt(params, false, s);
-    const double mod_off = model.total(s, loggp::Placement::OffNode);
-    const double sim_on = workloads::pingpong_half_rtt(params, true, s);
-    const double mod_on = model.total(s, loggp::Placement::OnChip);
-    table.add_row({common::Table::integer(s), common::Table::num(sim_off, 4),
-                   common::Table::num(mod_off, 4),
-                   common::Table::num(
-                       100.0 * common::relative_error(mod_off, sim_off), 2),
-                   common::Table::num(sim_on, 4),
-                   common::Table::num(mod_on, 4),
-                   common::Table::num(
-                       100.0 * common::relative_error(mod_on, sim_on), 2)});
-  }
-  bench::emit(cli, table);
+  // The size sweep of the figure, plus the protocol-jump pair the paper
+  // singles out (zero-byte messages still ping: size 1).
+  std::vector<double> sizes;
+  for (int bytes = 0; bytes <= 12288; bytes += (bytes < 1024 ? 128 : 512))
+    sizes.push_back(bytes == 0 ? 1 : bytes);
+  sizes.push_back(1024);
+  sizes.push_back(1025);
+
+  runner::SweepGrid grid;
+  grid.values("bytes", sizes);
+
+  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                           .run(grid, [&](const runner::Scenario& s) {
+                             const int bytes =
+                                 static_cast<int>(s.param("bytes"));
+                             const double sim_off = workloads::pingpong_half_rtt(
+                                 params, /*on_chip=*/false, bytes);
+                             const double mod_off =
+                                 model.total(bytes, loggp::Placement::OffNode);
+                             const double sim_on = workloads::pingpong_half_rtt(
+                                 params, /*on_chip=*/true, bytes);
+                             const double mod_on =
+                                 model.total(bytes, loggp::Placement::OnChip);
+                             return runner::Metrics{
+                                 {"internode_sim_us", sim_off},
+                                 {"internode_model_us", mod_off},
+                                 {"internode_err_pct",
+                                  100.0 * common::relative_error(mod_off,
+                                                                 sim_off)},
+                                 {"intranode_sim_us", sim_on},
+                                 {"intranode_model_us", mod_on},
+                                 {"intranode_err_pct",
+                                  100.0 * common::relative_error(mod_on,
+                                                                 sim_on)}};
+                           });
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("bytes"),
+       runner::Column::metric("internode_sim_us", "internode_sim_us", 4),
+       runner::Column::metric("internode_model_us", "internode_model_us", 4),
+       runner::Column::metric("internode_err%", "internode_err_pct", 2),
+       runner::Column::metric("intranode_sim_us", "intranode_sim_us", 4),
+       runner::Column::metric("intranode_model_us", "intranode_model_us", 4),
+       runner::Column::metric("intranode_err%", "intranode_err_pct", 2)});
   return 0;
 }

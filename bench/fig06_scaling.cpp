@@ -3,10 +3,10 @@
 // "measured" points from the simulator where feasible.
 #include <iostream>
 
-#include "bench/bench_common.h"
 #include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/solver.h"
+#include "runner/runner.h"
 #include "workloads/wavefront.h"
 
 using namespace wave;
@@ -14,7 +14,7 @@ using namespace wave;
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   const bool full = cli.has("full");
-  bench::print_header(
+  runner::print_header(
       "Fig 6", "execution time vs system size (Sweep3D 10^9, 10^4 steps)",
       "strong scaling with diminishing returns: large gains to ~16K "
       "processors, visibly flattening beyond 32K; measured points track "
@@ -23,8 +23,6 @@ int main(int argc, char** argv) {
   core::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
   const auto app = core::benchmarks::sweep3d(cfg);
-  const auto machine = core::MachineConfig::xt4_dual_core();
-  const core::Solver solver(app, machine);
   const double steps = 1.0e4;
 
   // Simulating 10^9 cells on thousands of ranks is feasible but slow;
@@ -32,26 +30,44 @@ int main(int argc, char** argv) {
   // paper's.
   const int max_sim_p = full ? 4096 : 1024;
 
-  common::Table table(
-      {"P", "model_days", "measured_days", "err%"});
-  for (int p = 256; p <= 131072; p *= 2) {
-    const auto model = solver.evaluate(p);
-    const double model_days =
-        common::usec_to_days(model.timestep()) * steps;
-    std::string measured = "-", err = "-";
-    if (p <= max_sim_p) {
-      const auto sim = workloads::simulate_wavefront(app, machine, p);
-      const double sim_days =
-          common::usec_to_days(sim.time_per_iteration * 120.0 * 30.0) *
-          steps;
-      measured = common::Table::num(sim_days, 1);
-      err = common::Table::num(
-          100.0 * common::relative_error(model_days, sim_days), 2);
-    }
-    table.add_row({common::Table::integer(p),
-                   common::Table::num(model_days, 1), measured, err});
-  }
-  bench::emit(cli, table);
+  runner::SweepGrid grid;
+  grid.base().app = app;
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  std::vector<int> procs;
+  for (int p = 256; p <= 131072; p *= 2) procs.push_back(p);
+  grid.processors(procs);
+
+  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                           .run(grid, [&](const runner::Scenario& s) {
+                             runner::Metrics m;
+                             const core::Solver solver(s.app, s.machine);
+                             m.emplace_back(
+                                 "model_days",
+                                 common::usec_to_days(
+                                     solver.evaluate(s.grid).timestep()) *
+                                     steps);
+                             if (s.processors() <= max_sim_p) {
+                               const auto sim = workloads::simulate_wavefront(
+                                   s.app, s.machine, s.grid);
+                               const double sim_days =
+                                   common::usec_to_days(
+                                       sim.time_per_iteration * 120.0 *
+                                       30.0) *
+                                   steps;
+                               m.emplace_back("measured_days", sim_days);
+                               m.emplace_back(
+                                   "err_pct",
+                                   100.0 * common::relative_error(
+                                               m.front().second, sim_days));
+                             }
+                             return m;
+                           });
+
+  runner::emit(cli, records,
+               {runner::Column::label("P"),
+                runner::Column::metric("model_days", "model_days", 1),
+                runner::Column::metric("measured_days", "measured_days", 1),
+                runner::Column::metric("err%", "err_pct", 2)});
   if (!full)
     std::cout << "(--full simulates measured points up to P = 4096)\n";
   return 0;

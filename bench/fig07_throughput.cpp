@@ -3,9 +3,10 @@
 // (b) Chimaera 240^3.
 #include <iostream>
 
-#include "bench/bench_common.h"
+#include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/metrics.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
@@ -15,26 +16,41 @@ void study(const common::Cli& cli, const char* title,
            const core::Solver& solver, const std::vector<int>& machine_sizes,
            int min_procs) {
   std::cout << "-- " << title << " --\n";
-  common::Table table({"P_total", "partitions", "P_per_job",
-                       "timesteps/problem/month"});
-  for (int p : machine_sizes) {
-    for (const auto& point :
-         core::partition_study(solver, p, 10'000, min_procs)) {
-      if (point.partitions > 8) break;
-      table.add_row({common::Table::integer(p),
-                     common::Table::integer(point.partitions),
-                     common::Table::integer(point.processors_per_job),
-                     common::Table::num(point.timesteps_per_month, 0)});
-    }
-  }
-  bench::emit(cli, table);
+
+  std::vector<double> sizes(machine_sizes.begin(), machine_sizes.end());
+  runner::SweepGrid grid;
+  grid.values("P_total", sizes);
+  grid.values("partitions", {1, 2, 4, 8});
+  grid.filter([min_procs](const runner::Scenario& s) {
+    const int total = static_cast<int>(s.param("P_total"));
+    const int parts = static_cast<int>(s.param("partitions"));
+    return total % parts == 0 && total / parts >= min_procs;
+  });
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            const auto pt = core::partition_point(
+                solver, static_cast<int>(s.param("P_total")),
+                static_cast<int>(s.param("partitions")), 10'000);
+            return runner::Metrics{
+                {"P_per_job", static_cast<double>(pt.processors_per_job)},
+                {"timesteps_per_month", pt.timesteps_per_month}};
+          });
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("P_total"), runner::Column::label("partitions"),
+       runner::Column::integer("P_per_job", "P_per_job"),
+       runner::Column::metric("timesteps/problem/month",
+                              "timesteps_per_month", 0)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 7", "throughput vs partition size",
       "(a) Sweep3D 10^9: on 128K processors two parallel simulations run "
       "at ~7/8 the rate of one; (b) Chimaera 240^3: one problem on 32K "

@@ -1,16 +1,17 @@
 // Fig 8: the partition-size trade-off criteria R/X and R^2/X for the
 // 10^9-cell Sweep3D problem on 128K cores.
+#include <algorithm>
 #include <iostream>
 
-#include "bench/bench_common.h"
 #include "core/benchmarks.h"
 #include "core/metrics.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 8", "optimizing partition size (Sweep3D 10^9, 128K cores)",
       "R/X is minimized at 16K-processor partitions (8 parallel "
       "simulations); R^2/X, which weights single-run latency more, is "
@@ -20,34 +21,63 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(core::benchmarks::sweep3d(cfg),
                             core::MachineConfig::xt4_dual_core());
-  const auto points = core::partition_study(solver, 131072, 10'000, 4096);
+  const int total = 131072;
+  const long long timesteps = 10'000;
 
-  common::Table table({"partition_size_P", "parallel_jobs", "R_days",
-                       "R/X_norm", "R^2/X_norm"});
+  // Smallest partitions first, as the figure's x axis reads.
+  runner::SweepGrid grid;
+  grid.values("partitions", {32, 16, 8, 4, 2, 1});
+  grid.filter([&](const runner::Scenario& s) {
+    return total / static_cast<int>(s.param("partitions")) >= 4096;
+  });
+
+  auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            const auto pt = core::partition_point(
+                solver, total, static_cast<int>(s.param("partitions")),
+                timesteps);
+            return runner::Metrics{
+                {"partition_size_P",
+                 static_cast<double>(pt.processors_per_job)},
+                {"r_days", pt.r_seconds / 86'400.0},
+                {"r_over_x", pt.r_over_x},
+                {"r2_over_x", pt.r2_over_x}};
+          });
+
   // Normalize both criteria by their minimum so the curve shapes (and the
   // minimizer locations, which are what the figure communicates) are
   // directly readable.
   double min_rx = 1e300, min_r2x = 1e300;
-  for (const auto& p : points) {
-    min_rx = std::min(min_rx, p.r_over_x);
-    min_r2x = std::min(min_r2x, p.r2_over_x);
+  for (const auto& r : records) {
+    min_rx = std::min(min_rx, r.metric("r_over_x"));
+    min_r2x = std::min(min_r2x, r.metric("r2_over_x"));
   }
-  for (auto it = points.rbegin(); it != points.rend(); ++it) {
-    table.add_row({common::Table::integer(it->processors_per_job),
-                   common::Table::integer(it->partitions),
-                   common::Table::num(it->r_seconds / 86'400.0, 1),
-                   common::Table::num(it->r_over_x / min_rx, 3),
-                   common::Table::num(it->r2_over_x / min_r2x, 3)});
+  for (auto& r : records) {
+    r.set("rx_norm", r.metric("r_over_x") / min_rx);
+    r.set("r2x_norm", r.metric("r2_over_x") / min_r2x);
   }
-  bench::emit(cli, table);
 
-  const auto rx =
-      core::optimal_partition(points, core::PartitionCriterion::MinimizeROverX);
-  const auto r2x = core::optimal_partition(
-      points, core::PartitionCriterion::MinimizeR2OverX);
-  std::cout << "min R/X at partition size " << rx.processors_per_job << " ("
-            << rx.partitions << " jobs); min R^2/X at "
-            << r2x.processors_per_job << " (" << r2x.partitions
-            << " jobs)\n";
+  runner::emit(cli, records,
+               {runner::Column::integer("partition_size_P",
+                                        "partition_size_P"),
+                runner::Column::label("parallel_jobs", "partitions"),
+                runner::Column::metric("R_days", "r_days", 1),
+                runner::Column::metric("R/X_norm", "rx_norm", 3),
+                runner::Column::metric("R^2/X_norm", "r2x_norm", 3)});
+
+  const auto best = [&](const char* key) {
+    const runner::RunRecord* arg = nullptr;
+    for (const auto& r : records)
+      if (!arg || r.metric(key) < arg->metric(key)) arg = &r;
+    return arg;
+  };
+  const auto* rx = best("r_over_x");
+  const auto* r2x = best("r2_over_x");
+  std::cout << "min R/X at partition size "
+            << static_cast<long long>(rx->metric("partition_size_P")) << " ("
+            << rx->label("partitions") << " jobs); min R^2/X at "
+            << static_cast<long long>(r2x->metric("partition_size_P")) << " ("
+            << r2x->label("partitions") << " jobs)\n";
   return 0;
 }

@@ -1,16 +1,14 @@
 // Fig 9: the optimized number of parallel simulations versus available
 // machine size, for the two §5.2 criteria.
-#include <iostream>
-
-#include "bench/bench_common.h"
 #include "core/benchmarks.h"
 #include "core/metrics.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 9", "optimal number of parallel simulations (Sweep3D 10^9)",
       "min(R/X) chooses more parallel jobs than min(R^2/X) at every "
       "machine size, and both counts grow with the available processors");
@@ -20,18 +18,26 @@ int main(int argc, char** argv) {
   const core::Solver solver(core::benchmarks::sweep3d(cfg),
                             core::MachineConfig::xt4_dual_core());
 
-  common::Table table(
-      {"P_avail", "jobs_min_R/X", "jobs_min_R^2/X"});
-  for (int p : {16384, 32768, 65536, 131072}) {
-    const auto points = core::partition_study(solver, p, 10'000, 2048);
-    const auto rx = core::optimal_partition(
-        points, core::PartitionCriterion::MinimizeROverX);
-    const auto r2x = core::optimal_partition(
-        points, core::PartitionCriterion::MinimizeR2OverX);
-    table.add_row({common::Table::integer(p),
-                   common::Table::integer(rx.partitions),
-                   common::Table::integer(r2x.partitions)});
-  }
-  bench::emit(cli, table);
+  runner::SweepGrid grid;
+  grid.values("P_avail", {16384, 32768, 65536, 131072});
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            const int p = static_cast<int>(s.param("P_avail"));
+            const auto points = core::partition_study(solver, p, 10'000, 2048);
+            const auto rx = core::optimal_partition(
+                points, core::PartitionCriterion::MinimizeROverX);
+            const auto r2x = core::optimal_partition(
+                points, core::PartitionCriterion::MinimizeR2OverX);
+            return runner::Metrics{
+                {"jobs_rx", static_cast<double>(rx.partitions)},
+                {"jobs_r2x", static_cast<double>(r2x.partitions)}};
+          });
+
+  runner::emit(cli, records,
+               {runner::Column::label("P_avail"),
+                runner::Column::integer("jobs_min_R/X", "jobs_rx"),
+                runner::Column::integer("jobs_min_R^2/X", "jobs_r2x")});
   return 0;
 }

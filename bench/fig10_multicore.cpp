@@ -1,18 +1,15 @@
 // Fig 10: execution time versus number of nodes for 1 to 16 cores per
 // node (Sweep3D 10^9 cells, 10^4 time steps), plus the §5.3 design
 // variant: a 16-core node provisioned with one bus per four cores.
-#include <iostream>
-
-#include "bench/bench_common.h"
 #include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 10", "execution time on multi-core nodes (Sweep3D 10^9)",
       "diminishing returns with more cores per node; two cores on N nodes "
       "slightly beat four cores on N/2 nodes (shared bus); 16 cores on one "
@@ -21,27 +18,36 @@ int main(int argc, char** argv) {
 
   core::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
-  const auto app = core::benchmarks::sweep3d(cfg);
   const double steps = 1.0e4;
 
-  common::Table table({"nodes", "1core_days", "2core_days", "4core_days",
-                       "8core_days", "16core_days", "16core_4bus_days"});
-  for (int nodes = 8192; nodes <= 131072; nodes *= 2) {
-    std::vector<std::string> row{common::Table::integer(nodes)};
-    for (int cores : {1, 2, 4, 8, 16}) {
-      const core::Solver solver(app,
-                                core::MachineConfig::xt4_with_cores(cores));
-      const auto res = solver.evaluate(nodes * cores);
-      row.push_back(common::Table::num(
-          common::usec_to_days(res.timestep()) * steps, 1));
-    }
-    const core::Solver banked(app,
-                              core::MachineConfig::xt4_with_cores(16, 4));
-    row.push_back(common::Table::num(
-        common::usec_to_days(banked.evaluate(nodes * 16).timestep()) * steps,
-        1));
-    table.add_row(std::move(row));
-  }
-  bench::emit(cli, table);
+  // Node-count axis first; each node-shape level derives the machine and
+  // the total rank count from the point's node count.
+  auto shape = [](int cores, int buses) {
+    return [cores, buses](runner::Scenario& s) {
+      s.machine = core::MachineConfig::xt4_with_cores(cores, buses);
+      s.set_processors(static_cast<int>(s.param("nodes")) * cores);
+    };
+  };
+
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::sweep3d(cfg);
+  std::vector<double> nodes;
+  for (int n = 8192; n <= 131072; n *= 2) nodes.push_back(n);
+  grid.values("nodes", nodes);
+  grid.axis("node_shape", {{"1core_days", shape(1, 1)},
+                           {"2core_days", shape(2, 1)},
+                           {"4core_days", shape(4, 1)},
+                           {"8core_days", shape(8, 1)},
+                           {"16core_days", shape(16, 1)},
+                           {"16core_4bus_days", shape(16, 4)}});
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+
+  runner::emit(cli, records,
+               runner::pivot_table(records, "nodes", "node_shape",
+                                   "model_timestep_us", 1,
+                                   steps / common::kUsecPerSec /
+                                       common::kSecPerDay));
   return 0;
 }

@@ -2,42 +2,50 @@
 // computation, and communication time versus processor count.
 #include <iostream>
 
-#include "bench/bench_common.h"
 #include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  bench::print_header(
+  runner::print_header(
       "Fig 11", "cost breakdown (Chimaera 240^3, 10^4 time steps)",
       "computation time falls with P while communication time falls far "
       "more slowly; the crossover where communication dominates marks the "
       "point of greatly diminished returns from adding processors");
 
-  const core::Solver solver(core::benchmarks::chimaera(),
-                            core::MachineConfig::xt4_dual_core());
   const double steps = 1.0e4;
+  const double to_days = steps / common::kUsecPerSec / common::kSecPerDay;
 
-  common::Table table({"P", "total_days", "computation_days",
-                       "communication_days", "comm_share%"});
-  double crossover = -1.0;
-  for (int p = 1024; p <= 32768; p *= 2) {
-    const auto res = solver.evaluate(p);
-    const double total = common::usec_to_days(res.timestep()) * steps;
-    const auto split = res.timestep_split();
-    const double comm = common::usec_to_days(split.comm) * steps;
-    const double comp = total - comm;
-    if (crossover < 0.0 && comm > comp) crossover = p;
-    table.add_row({common::Table::integer(p), common::Table::num(total, 2),
-                   common::Table::num(comp, 2), common::Table::num(comm, 2),
-                   common::Table::num(100.0 * comm / total, 1)});
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::chimaera();
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  std::vector<int> procs;
+  for (int p = 1024; p <= 32768; p *= 2) procs.push_back(p);
+  grid.processors(procs);
+
+  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+
+  std::string crossover = "";
+  for (auto& r : records) {
+    const double total = to_days * r.metric("model_timestep_us");
+    const double comm = to_days * r.metric("model_timestep_comm_us");
+    r.set("total_days", total);
+    r.set("comm_days", comm);
+    r.set("comp_days", total - comm);
+    r.set("comm_share_pct", 100.0 * comm / total);
+    if (crossover.empty() && comm > total - comm) crossover = r.label("P");
   }
-  bench::emit(cli, table);
-  if (crossover > 0)
-    std::cout << "communication first dominates at P = " << crossover
-              << "\n";
+
+  runner::emit(cli, records,
+               {runner::Column::label("P"),
+                runner::Column::metric("total_days", "total_days", 2),
+                runner::Column::metric("computation_days", "comp_days", 2),
+                runner::Column::metric("communication_days", "comm_days", 2),
+                runner::Column::metric("comm_share%", "comm_share_pct", 1)});
+  if (!crossover.empty())
+    std::cout << "communication first dominates at P = " << crossover << "\n";
   return 0;
 }

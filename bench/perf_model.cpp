@@ -6,6 +6,7 @@
 #include "core/benchmarks.h"
 #include "core/metrics.h"
 #include "core/solver.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
@@ -60,6 +61,29 @@ void BM_HtileScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HtileScan);
+
+void BM_BatchRunnerModelSweep(benchmark::State& state) {
+  // The Fig 5 study as a declarative sweep: 10 Htile x 4 configs through
+  // the batch runner, measuring the orchestration overhead on top of the
+  // raw solver evaluations (BM_HtileScan above is the hand-rolled loop).
+  runner::SweepGrid grid;
+  grid.values("Htile", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+              [](runner::Scenario& s, double h) {
+                core::benchmarks::ChimaeraConfig cfg;
+                cfg.htile = h;
+                s.app = core::benchmarks::chimaera(cfg);
+              });
+  grid.processors({4096, 16384});
+  const auto points = grid.points();
+  const runner::BatchRunner batch(
+      runner::BatchRunner::Options(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.run(points).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_BatchRunnerModelSweep)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -2,9 +2,9 @@
 // ping-pong measurements by the §3 fitting procedure.
 #include <iostream>
 
-#include "bench/bench_common.h"
 #include "calibrate/fitting.h"
 #include "common/rng.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
@@ -12,37 +12,59 @@ int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   const double noise = cli.get_double("noise", 0.005);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
-  bench::print_header(
+  runner::print_header(
       "Table 2", "LogGP parameters fitted from ping-pong measurements",
       "G = 0.0004 us/B (2.5 GB/s), L = 0.305 us, o = 3.92 us off-node; "
       "Gcopy = 0.000789, Gdma = 0.000072 us/B, o = 3.80, ocopy = 1.98 us "
       "on-chip — the fit recovers the machine's ground truth");
 
   const auto truth = loggp::xt4();
-  common::Rng rng(seed);
-  const auto fitted = calibrate::calibrate_machine(truth, &rng, noise);
+
+  // A one-point sweep: the calibration is a single (machine, noise, seed)
+  // scenario whose deterministic RNG seed comes from the sweep.
+  runner::SweepGrid grid;
+  grid.seed(seed);
+  grid.values("noise", {noise});
+
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            common::Rng rng(s.seed);
+            const auto fitted =
+                calibrate::calibrate_machine(truth, &rng, s.param("noise"));
+            return runner::Metrics{{"G_off", fitted.off.G},
+                                   {"L", fitted.off.L},
+                                   {"o_off", fitted.off.o},
+                                   {"Gcopy", fitted.on.Gcopy},
+                                   {"Gdma", fitted.on.Gdma},
+                                   {"o_on", fitted.on.o},
+                                   {"ocopy", fitted.on.ocopy}};
+          });
+  const runner::RunRecord& fit = records.front();
 
   common::Table table({"parameter", "unit", "ground_truth", "fitted",
                        "err%"});
-  auto row = [&](const char* name, const char* unit, double t, double f) {
+  auto row = [&](const char* name, const char* unit, double t,
+                 const char* key) {
+    const double f = fit.metric(key);
     table.add_row({name, unit, common::Table::num(t, 6),
                    common::Table::num(f, 6),
                    common::Table::num(100.0 * common::relative_error(f, t),
                                       2)});
   };
-  row("G (off-node)", "us/byte", truth.off.G, fitted.off.G);
-  row("L", "us", truth.off.L, fitted.off.L);
-  row("o (off-node)", "us", truth.off.o, fitted.off.o);
-  row("Gcopy", "us/byte", truth.on.Gcopy, fitted.on.Gcopy);
-  row("Gdma", "us/byte", truth.on.Gdma, fitted.on.Gdma);
-  row("o (on-chip)", "us", truth.on.o, fitted.on.o);
-  row("ocopy", "us", truth.on.ocopy, fitted.on.ocopy);
-  bench::emit(cli, table);
+  row("G (off-node)", "us/byte", truth.off.G, "G_off");
+  row("L", "us", truth.off.L, "L");
+  row("o (off-node)", "us", truth.off.o, "o_off");
+  row("Gcopy", "us/byte", truth.on.Gcopy, "Gcopy");
+  row("Gdma", "us/byte", truth.on.Gdma, "Gdma");
+  row("o (on-chip)", "us", truth.on.o, "o_on");
+  row("ocopy", "us", truth.on.ocopy, "ocopy");
+  runner::emit(cli, records, table);
 
   std::cout << "measurement noise: " << 100.0 * noise
             << "% relative stddev, seed " << seed << "\n"
             << "derived inter-node bandwidth 1/G = "
-            << common::Table::num(1.0 / fitted.off.G / 1000.0, 3)
+            << common::Table::num(1.0 / fit.metric("G_off") / 1000.0, 3)
             << " GB/s (paper: 2.5 GB/s)\n";
   return 0;
 }

@@ -7,37 +7,22 @@
 // performance configurations of the particle transport benchmarks."
 #include <iostream>
 
-#include "bench/bench_common.h"
-#include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
   const bool full = cli.has("full");
-  bench::print_header(
+  runner::print_header(
       "Validation", "model vs simulated time per iteration (dual-core)",
       "< 5% error for LU, < 10% for Sweep3D/Chimaera in configurations "
       "where computation dominates; larger errors only when the per-node "
       "problem is small (not of production interest)");
 
-  const auto machine = core::MachineConfig::xt4_dual_core();
-
-  struct Case {
-    const char* name;
-    core::AppParams app;
-  };
   core::benchmarks::Sweep3dConfig s3;
   if (!full) s3.nx = s3.ny = s3.nz = 512;  // keep default runtime modest
-  const Case cases[] = {
-      {"LU 162^3", core::benchmarks::lu()},
-      {full ? "Sweep3D 1000^3" : "Sweep3D 512^3",
-       core::benchmarks::sweep3d(s3)},
-      {"Chimaera 240^3", core::benchmarks::chimaera()},
-  };
 
   std::vector<int> procs = {16, 64, 256, 1024};
   if (full) {
@@ -45,25 +30,24 @@ int main(int argc, char** argv) {
     procs.push_back(8192);
   }
 
-  common::Table table({"application", "P", "model_ms", "sim_ms", "err%",
-                       "sim_events"});
-  for (const Case& c : cases) {
-    const core::Solver solver(c.app, machine);
-    for (int p : procs) {
-      const auto model = solver.evaluate(p);
-      const auto sim = workloads::simulate_wavefront(c.app, machine, p);
-      table.add_row(
-          {c.name, common::Table::integer(p),
-           common::Table::num(model.iteration.total / 1000.0, 3),
-           common::Table::num(sim.time_per_iteration / 1000.0, 3),
-           common::Table::num(100.0 * common::relative_error(
-                                          model.iteration.total,
-                                          sim.time_per_iteration),
-                              2),
-           common::Table::integer(static_cast<long long>(sim.events))});
-    }
-  }
-  bench::emit(cli, table);
+  runner::SweepGrid grid;
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  grid.apps({{"LU 162^3", core::benchmarks::lu()},
+             {full ? "Sweep3D 1000^3" : "Sweep3D 512^3",
+              core::benchmarks::sweep3d(s3)},
+             {"Chimaera 240^3", core::benchmarks::chimaera()}});
+  grid.processors(procs);
+
+  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                           .run(grid, runner::model_vs_sim_metrics);
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("application"), runner::Column::label("P"),
+       runner::Column::metric("model_ms", "model_iter_us", 3, 1.0e-3),
+       runner::Column::metric("sim_ms", "sim_iter_us", 3, 1.0e-3),
+       runner::Column::metric("err%", "err_pct", 2),
+       runner::Column::integer("sim_events", "sim_events")});
   if (!full)
     std::cout << "(run with --full for the paper-size problems and "
                  "P up to 8192; runtime grows to minutes)\n";

@@ -1,50 +1,80 @@
 // Calibrating a machine's LogGP parameters from ping-pong measurements —
 // the §3 procedure a user repeats on their own cluster to retarget every
-// model in this library.
+// model in this library. The two placements are independent measurement
+// campaigns, so they run as a two-point batch.
 //
 // Build and run:  ./build/examples/calibrate_machine
 #include <cstdio>
 
 #include "calibrate/fitting.h"
 #include "common/rng.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
-int main() {
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+
   // Stand-in for "run the MPI ping-pong benchmark on your machine": we
   // measure the simulated XT4 with 1% timer noise. On a real cluster the
-  // Curve would be filled from MPI_Wtime measurements instead.
+  // curve would be filled from MPI_Wtime measurements instead.
   const loggp::MachineParams ground_truth = loggp::xt4();
-  common::Rng noise(7);
-
   const auto sizes = calibrate::default_sizes();
-  const auto off = calibrate::measure_curve(ground_truth, /*on_chip=*/false,
-                                            sizes, &noise, 0.01);
-  const auto on = calibrate::measure_curve(ground_truth, /*on_chip=*/true,
-                                           sizes, &noise, 0.01);
 
-  std::printf("measured %zu off-node and %zu on-chip ping-pong points\n\n",
-              off.size(), on.size());
+  runner::SweepGrid grid;
+  grid.seed(7);
+  grid.values("on_chip", {0, 1});
 
-  calibrate::FitQuality q_off, q_on;
-  const auto fit_off =
-      calibrate::fit_offnode(off, ground_truth.eager_limit_bytes, &q_off);
-  const auto fit_on =
-      calibrate::fit_onchip(on, ground_truth.eager_limit_bytes, &q_on);
+  const auto records =
+      runner::BatchRunner(runner::options_from_cli(cli))
+          .run(grid, [&](const runner::Scenario& s) {
+            const bool on_chip = s.param("on_chip") != 0;
+            common::Rng noise(s.seed);
+            const auto curve = calibrate::measure_curve(
+                ground_truth, on_chip, sizes, &noise, 0.01);
+            calibrate::FitQuality quality;
+            runner::Metrics m{
+                {"points", static_cast<double>(curve.size())}};
+            if (!on_chip) {
+              const auto fit = calibrate::fit_offnode(
+                  curve, ground_truth.eager_limit_bytes, &quality);
+              m.emplace_back("G", fit.G);
+              m.emplace_back("L", fit.L);
+              m.emplace_back("o", fit.o);
+            } else {
+              const auto fit = calibrate::fit_onchip(
+                  curve, ground_truth.eager_limit_bytes, &quality);
+              m.emplace_back("Gcopy", fit.Gcopy);
+              m.emplace_back("Gdma", fit.Gdma);
+              m.emplace_back("o", fit.o);
+              m.emplace_back("ocopy", fit.ocopy);
+              m.emplace_back("odma", fit.odma());
+            }
+            m.emplace_back("r2_small", quality.r_squared_small);
+            m.emplace_back("r2_large", quality.r_squared_large);
+            return m;
+          });
+
+  const runner::RunRecord& off = records[0];
+  const runner::RunRecord& on = records[1];
+
+  std::printf("measured %lld off-node and %lld on-chip ping-pong points\n\n",
+              static_cast<long long>(off.metric("points")),
+              static_cast<long long>(on.metric("points")));
 
   std::printf("off-node fit (R^2 small/large: %.6f / %.6f)\n",
-              q_off.r_squared_small, q_off.r_squared_large);
-  std::printf("  G = %.6f us/B   (1/G = %.2f GB/s)\n", fit_off.G,
-              1.0 / fit_off.G / 1000.0);
-  std::printf("  L = %.3f us\n", fit_off.L);
-  std::printf("  o = %.3f us\n\n", fit_off.o);
+              off.metric("r2_small"), off.metric("r2_large"));
+  std::printf("  G = %.6f us/B   (1/G = %.2f GB/s)\n", off.metric("G"),
+              1.0 / off.metric("G") / 1000.0);
+  std::printf("  L = %.3f us\n", off.metric("L"));
+  std::printf("  o = %.3f us\n\n", off.metric("o"));
 
   std::printf("on-chip fit (R^2 small/large: %.6f / %.6f)\n",
-              q_on.r_squared_small, q_on.r_squared_large);
-  std::printf("  Gcopy = %.6f us/B\n", fit_on.Gcopy);
-  std::printf("  Gdma  = %.6f us/B\n", fit_on.Gdma);
-  std::printf("  o     = %.3f us (ocopy %.3f + odma %.3f)\n", fit_on.o,
-              fit_on.ocopy, fit_on.odma());
+              on.metric("r2_small"), on.metric("r2_large"));
+  std::printf("  Gcopy = %.6f us/B\n", on.metric("Gcopy"));
+  std::printf("  Gdma  = %.6f us/B\n", on.metric("Gdma"));
+  std::printf("  o     = %.3f us (ocopy %.3f + odma %.3f)\n",
+              on.metric("o"), on.metric("ocopy"), on.metric("odma"));
 
   std::printf(
       "\nDrop these values into wave::loggp::MachineParams and every model\n"

@@ -4,16 +4,15 @@
 // Sweep3D, Chimaera, other possible wavefront applications, and many if
 // not most possible application code design changes." This example builds
 // a hypothetical 4-sweep code, explores three sweep-precedence designs and
-// the Htile space, and cross-checks one design point against the
-// discrete-event simulator.
+// the Htile space as declarative sweeps, and cross-checks one design
+// point against the discrete-event simulator.
 //
 // Build and run:  ./build/examples/custom_wavefront
 #include <cstdio>
 
 #include "common/units.h"
 #include "core/app_params.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
@@ -27,7 +26,7 @@ core::AppParams make_app(core::SweepStructure sweeps, double htile) {
   app.name = "imaginary-4sweep";
   app.nx = app.ny = 512;
   app.nz = 256;
-  app.wg = 1.1;   // pretend-measured, µs per cell
+  app.wg = 1.1;  // pretend-measured, µs per cell
   app.htile = htile;
   app.sweeps = std::move(sweeps);
   app.boundary_bytes_per_cell = 24.0;  // three doubles
@@ -42,68 +41,86 @@ using enum core::SweepPrecedence;
 
 }  // namespace
 
-int main() {
-  const core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  const runner::BatchRunner batch(runner::options_from_cli(cli));
 
   // Three candidate sweep structures with identical total work.
-  struct Design {
-    const char* name;
-    core::SweepStructure sweeps;
-  };
-  const Design designs[] = {
-      {"barrier-heavy (every sweep completes)",
-       core::SweepStructure({{NorthWest, FullComplete},
-                             {SouthEast, FullComplete},
-                             {NorthEast, FullComplete},
-                             {SouthWest, FullComplete}})},
-      {"chained corners (Sweep3D-style)",
-       core::SweepStructure({{NorthWest, OriginFree},
-                             {SouthEast, DiagonalComplete},
-                             {NorthEast, OriginFree},
-                             {SouthWest, FullComplete}})},
-      {"same-direction pipeline (all sweeps from NW)",
-       core::SweepStructure({{NorthWest, OriginFree},
-                             {NorthWest, OriginFree},
-                             {NorthWest, OriginFree},
-                             {NorthWest, FullComplete}})},
-  };
+  const core::SweepStructure barrier_heavy({{NorthWest, FullComplete},
+                                            {SouthEast, FullComplete},
+                                            {NorthEast, FullComplete},
+                                            {SouthWest, FullComplete}});
+  const core::SweepStructure chained({{NorthWest, OriginFree},
+                                      {SouthEast, DiagonalComplete},
+                                      {NorthEast, OriginFree},
+                                      {SouthWest, FullComplete}});
+  const core::SweepStructure same_direction({{NorthWest, OriginFree},
+                                             {NorthWest, OriginFree},
+                                             {NorthWest, OriginFree},
+                                             {NorthWest, FullComplete}});
 
   std::printf("Sweep-structure design study at P = 4096, Htile = 2:\n");
-  std::printf("%-45s %10s %14s\n", "design", "nfull/ndiag", "timestep (s)");
-  for (const Design& d : designs) {
-    const core::AppParams app = make_app(d.sweeps, 2.0);
-    const core::Solver solver(app, machine);
-    const auto res = solver.evaluate(4096);
-    std::printf("%-45s %6d/%-4d %14.3f\n", d.name, app.sweeps.nfull(),
-                app.sweeps.ndiag(), common::usec_to_sec(res.timestep()));
-  }
+  runner::SweepGrid designs;
+  designs.apps({{"barrier-heavy (every sweep completes)",
+                 make_app(barrier_heavy, 2.0)},
+                {"chained corners (Sweep3D-style)", make_app(chained, 2.0)},
+                {"same-direction pipeline (all sweeps from NW)",
+                 make_app(same_direction, 2.0)}},
+               "design");
+  designs.processors({4096});
 
-  std::printf("\nHtile scan for the chained design at P = 4096:\n");
-  std::printf("%6s %14s\n", "Htile", "timestep (s)");
+  auto design_records = batch.run(designs);
+  runner::emit(
+      cli, design_records,
+      {runner::Column::label("design"),
+       runner::Column::computed("nfull/ndiag",
+                                [&](const runner::RunRecord& r) {
+                                  // recover the structure from the label
+                                  const std::string& d = r.label("design");
+                                  const core::SweepStructure& s =
+                                      d.starts_with("barrier") ? barrier_heavy
+                                      : d.starts_with("chained")
+                                          ? chained
+                                          : same_direction;
+                                  return std::to_string(s.nfull()) + "/" +
+                                         std::to_string(s.ndiag());
+                                }),
+       runner::Column::metric("timestep (s)", "model_timestep_us", 3,
+                              1.0 / common::kUsecPerSec)});
+
+  std::printf("Htile scan for the chained design at P = 4096:\n");
+  runner::SweepGrid htile_grid;
+  htile_grid.processors({4096});
+  htile_grid.values("Htile", {1, 2, 4, 8, 16},
+                    [&](runner::Scenario& s, double h) {
+                      s.app = make_app(chained, h);
+                    });
+  auto htile_records = batch.run(htile_grid);
+  runner::emit(cli, htile_records,
+               {runner::Column::label("Htile"),
+                runner::Column::metric("timestep (s)", "model_timestep_us", 3,
+                                       1.0 / common::kUsecPerSec)});
+
   double best_h = 1.0, best_t = 1e300;
-  for (double h : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-    const core::AppParams app = make_app(designs[1].sweeps, h);
-    const double t = common::usec_to_sec(
-        core::Solver(app, machine).evaluate(4096).timestep());
-    if (t < best_t) {
-      best_t = t;
-      best_h = h;
+  for (const auto& r : htile_records)
+    if (r.metric("model_timestep_us") < best_t) {
+      best_t = r.metric("model_timestep_us");
+      best_h = std::stod(r.label("Htile"));
     }
-    std::printf("%6.0f %14.3f\n", h, t);
-  }
   std::printf("best Htile = %.0f\n", best_h);
 
   // Cross-check the chosen design against the simulator before trusting
   // the numbers (the plug-and-play promise is accuracy without bespoke
   // equations — verify it holds for *your* code's structure).
-  const core::AppParams chosen = make_app(designs[1].sweeps, best_h);
-  const auto model = core::Solver(chosen, machine).evaluate(256);
-  const auto sim = workloads::simulate_wavefront(chosen, machine, 256);
+  runner::SweepGrid check;
+  check.base().app = make_app(chained, best_h);
+  check.processors({256});
+  const auto checked = batch.run(check, runner::model_vs_sim_metrics);
+  const auto& c = checked.front();
   std::printf(
       "\ncross-check at P = 256: model %.3f ms/iter, simulated %.3f "
       "ms/iter (%.1f%% apart)\n",
-      model.iteration.total / 1000.0, sim.time_per_iteration / 1000.0,
-      100.0 * common::relative_error(model.iteration.total,
-                                     sim.time_per_iteration));
+      c.metric("model_iter_us") / 1000.0, c.metric("sim_iter_us") / 1000.0,
+      c.metric("err_pct"));
   return 0;
 }

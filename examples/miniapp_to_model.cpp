@@ -9,12 +9,14 @@
 #include "common/units.h"
 #include "core/app_params.h"
 #include "core/design_space.h"
-#include "core/solver.h"
 #include "kernels/miniapp.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
-int main() {
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+
   // 1. The sequential science code: a source-iteration Sn solve on one
   //    processor's share of the grid (16x16x64 cells, 6 angles).
   kernels::MiniAppConfig mini;
@@ -46,8 +48,8 @@ int main() {
   app.iterations_per_timestep = run.iterations;
   app.validate();
 
-  // 3. Predictions: tile height tuning and scaling, in microseconds of
-  //    model evaluation.
+  // 3. Predictions: tile height tuning, then the scaling sweep through
+  //    the batch runner.
   const auto machine = core::MachineConfig::xt4_dual_core();
   const auto scan = core::scan_htile(app, machine, 16384);
   std::printf("optimal Htile at P = 16384: %.0f (%.1f%% faster than "
@@ -55,18 +57,25 @@ int main() {
               scan.best_htile, 100.0 * scan.improvement_vs_unit);
 
   app.htile = scan.best_htile;
-  const core::Solver solver(app, machine);
-  std::printf("%8s %16s %10s\n", "P", "timestep (s)", "comm %");
-  for (int p = 1024; p <= 65536; p *= 4) {
-    const auto res = solver.evaluate(p);
-    std::printf("%8d %16.2f %10.1f\n", p,
-                common::usec_to_sec(res.timestep()),
-                100.0 * res.iteration.comm / res.iteration.total);
-  }
+  runner::SweepGrid grid;
+  grid.base().app = app;
+  grid.base().machine = machine;
+  grid.processors({1024, 4096, 16384, 65536});
+
+  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+  for (auto& r : records)
+    r.set("comm_pct",
+          100.0 * r.metric("model_iter_comm_us") / r.metric("model_iter_us"));
+
+  runner::emit(cli, records,
+               {runner::Column::label("P"),
+                runner::Column::metric("timestep (s)", "model_timestep_us", 2,
+                                       1.0 / common::kUsecPerSec),
+                runner::Column::metric("comm %", "comm_pct", 1)});
 
   const int fit = core::processors_for_deadline(
       app, machine, /*timestep_seconds=*/60.0, /*max_processors=*/262144);
-  std::printf("\nsmallest machine that solves one time step per minute: "
+  std::printf("smallest machine that solves one time step per minute: "
               "P = %d\n", fit);
   return 0;
 }

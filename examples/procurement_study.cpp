@@ -1,17 +1,23 @@
 // A procurement study in the style of §5.2: how many processors should a
 // site buy, and how should it partition them among concurrent particle
-// transport simulations?
+// transport simulations? Both questions are declarative sweeps over the
+// same model.
 //
 // Build and run:  ./build/examples/procurement_study
+#include <algorithm>
 #include <cstdio>
 
 #include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/metrics.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
-int main() {
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+  const runner::BatchRunner batch(runner::options_from_cli(cli));
+
   // The site's production workload: 10^9-cell Sweep3D runs with 30 energy
   // groups, 10,000 time steps each.
   core::benchmarks::Sweep3dConfig cfg;
@@ -22,42 +28,71 @@ int main() {
 
   std::printf("Candidate machine sizes (one simulation on the full "
               "machine):\n");
-  std::printf("%10s %12s %22s\n", "P", "run (days)", "speedup vs half-size");
-  double prev = -1.0;
-  for (int p = 16384; p <= 262144; p *= 2) {
-    const double days =
-        core::simulation_seconds(solver, p, timesteps) / 86'400.0;
-    if (prev < 0)
-      std::printf("%10d %12.1f %22s\n", p, days, "-");
-    else
-      std::printf("%10d %12.1f %22.2f\n", p, days, prev / days);
-    prev = days;
-  }
+  runner::SweepGrid sizes;
+  std::vector<double> candidates;
+  for (int p = 16384; p <= 262144; p *= 2) candidates.push_back(p);
+  sizes.values("P", candidates);
 
-  std::printf("\nPartitioning a 131072-core machine (R = one run's time, "
+  auto size_records = batch.run(sizes, [&](const runner::Scenario& s) {
+    const double days = core::simulation_seconds(
+                            solver, static_cast<int>(s.param("P")),
+                            timesteps) /
+                        86'400.0;
+    return runner::Metrics{{"run_days", days}};
+  });
+  for (std::size_t i = 0; i < size_records.size(); ++i)
+    if (i > 0)
+      size_records[i].set("speedup_vs_half",
+                          size_records[i - 1].metric("run_days") /
+                              size_records[i].metric("run_days"));
+
+  runner::emit(
+      cli, size_records,
+      {runner::Column::label("P"),
+       runner::Column::metric("run (days)", "run_days", 1),
+       runner::Column::metric("speedup vs half-size", "speedup_vs_half", 2)});
+
+  std::printf("Partitioning a 131072-core machine (R = one run's time, "
               "X = runs finished/second):\n");
-  std::printf("%6s %12s %12s %14s %14s\n", "jobs", "P per job", "R (days)",
-              "R/X (norm)", "R^2/X (norm)");
-  const auto points = core::partition_study(solver, 131072, timesteps, 4096);
+  runner::SweepGrid parts;
+  parts.values("jobs", {1, 2, 4, 8, 16, 32});
+  auto part_records = batch.run(parts, [&](const runner::Scenario& s) {
+    const auto pt = core::partition_point(
+        solver, 131072, static_cast<int>(s.param("jobs")), timesteps);
+    return runner::Metrics{
+        {"P_per_job", static_cast<double>(pt.processors_per_job)},
+        {"r_days", pt.r_seconds / 86'400.0},
+        {"r_over_x", pt.r_over_x},
+        {"r2_over_x", pt.r2_over_x}};
+  });
+
   double min_rx = 1e300, min_r2x = 1e300;
-  for (const auto& pt : points) {
-    min_rx = std::min(min_rx, pt.r_over_x);
-    min_r2x = std::min(min_r2x, pt.r2_over_x);
+  for (const auto& r : part_records) {
+    min_rx = std::min(min_rx, r.metric("r_over_x"));
+    min_r2x = std::min(min_r2x, r.metric("r2_over_x"));
   }
-  for (const auto& pt : points) {
-    std::printf("%6d %12d %12.1f %14.3f %14.3f\n", pt.partitions,
-                pt.processors_per_job, pt.r_seconds / 86'400.0,
-                pt.r_over_x / min_rx, pt.r2_over_x / min_r2x);
+  for (auto& r : part_records) {
+    r.set("rx_norm", r.metric("r_over_x") / min_rx);
+    r.set("r2x_norm", r.metric("r2_over_x") / min_r2x);
   }
 
-  const auto rx = core::optimal_partition(
-      points, core::PartitionCriterion::MinimizeROverX);
-  const auto r2x = core::optimal_partition(
-      points, core::PartitionCriterion::MinimizeR2OverX);
+  runner::emit(cli, part_records,
+               {runner::Column::label("jobs"),
+                runner::Column::integer("P per job", "P_per_job"),
+                runner::Column::metric("R (days)", "r_days", 1),
+                runner::Column::metric("R/X (norm)", "rx_norm", 3),
+                runner::Column::metric("R^2/X (norm)", "r2x_norm", 3)});
+
+  const auto best = [&](const char* key) {
+    const runner::RunRecord* arg = nullptr;
+    for (const auto& r : part_records)
+      if (!arg || r.metric(key) < arg->metric(key)) arg = &r;
+    return std::stoi(arg->label("jobs"));
+  };
   std::printf(
-      "\nRecommendation: run %d simulations in parallel to balance\n"
+      "Recommendation: run %d simulations in parallel to balance\n"
       "throughput against latency (R/X), or %d if single-run turnaround\n"
       "dominates decisions (R^2/X).\n",
-      rx.partitions, r2x.partitions);
+      best("r_over_x"), best("r2_over_x"));
   return 0;
 }

@@ -5,18 +5,20 @@
 //   1. describe the machine (LogGP parameters + node architecture),
 //   2. describe the application (the few Table 3 parameters — here the
 //      stock Sweep3D benchmark, with Wg measured by a real kernel),
-//   3. evaluate at any processor count.
+//   3. declare the sweep and hand it to the batch runner.
 //
 // Build and run:  ./build/examples/quickstart
 #include <cstdio>
+#include <iostream>
 
 #include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
 #include "kernels/transport.h"
+#include "runner/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wave;
+  const common::Cli cli(argc, argv);
 
   // 1. The machine: Cray XT4 LogGP parameters, dual-core nodes stacked
   //    1x2 in the processor grid.
@@ -29,23 +31,33 @@ int main() {
   //    one, so predictions describe "an XT4 with this host's cores").
   const common::usec wg = kernels::measure_wg_transport(/*angles=*/6);
   std::printf("measured Wg (6 angles): %.4f us/cell\n\n", wg);
-  const core::AppParams app = core::benchmarks::sweep3d_20m(wg);
 
-  // 3. Evaluate: time per iteration and per time step across system sizes.
-  const core::Solver solver(app, machine);
-  std::printf("%8s %12s %14s %8s %8s\n", "P", "iter (ms)", "timestep (s)",
-              "fill %", "comm %");
-  for (int p = 256; p <= 65536; p *= 4) {
-    const core::ModelResult res = solver.evaluate(p);
-    std::printf("%8d %12.3f %14.2f %8.1f %8.1f\n", p,
-                res.iteration.total / 1000.0,
-                common::usec_to_sec(res.timestep()),
-                100.0 * res.fill.total / res.iteration.total,
-                100.0 * res.iteration.comm / res.iteration.total);
+  // 3. The sweep: time per iteration and per time step across system
+  //    sizes, evaluated in parallel by the batch runner.
+  runner::SweepGrid grid;
+  grid.base().app = core::benchmarks::sweep3d_20m(wg);
+  grid.base().machine = machine;
+  grid.processors({256, 1024, 4096, 16384, 65536});
+
+  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+  for (auto& r : records) {
+    r.set("fill_pct",
+          100.0 * r.metric("model_fill_us") / r.metric("model_iter_us"));
+    r.set("comm_pct",
+          100.0 * r.metric("model_iter_comm_us") / r.metric("model_iter_us"));
   }
 
+  runner::emit(
+      cli, records,
+      {runner::Column::label("P"),
+       runner::Column::metric("iter (ms)", "model_iter_us", 3, 1.0e-3),
+       runner::Column::metric("timestep (s)", "model_timestep_us", 2,
+                              1.0 / common::kUsecPerSec),
+       runner::Column::metric("fill %", "fill_pct", 1),
+       runner::Column::metric("comm %", "comm_pct", 1)});
+
   std::printf(
-      "\nReading the table: pipeline fill and communication shares grow\n"
+      "Reading the table: pipeline fill and communication shares grow\n"
       "with P — the model makes the diminishing returns quantitative\n"
       "before anyone queues for machine time.\n");
   return 0;

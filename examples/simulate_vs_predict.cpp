@@ -1,43 +1,47 @@
 // Running the discrete-event simulator directly and comparing it with the
 // analytic model — the validation loop a user should run before trusting
-// either for a new code or machine.
+// either for a new code or machine. One declarative sweep; the batch
+// runner evaluates model and simulator for every point.
 //
 // Build and run:  ./build/examples/simulate_vs_predict
 #include <cstdio>
 
-#include "common/units.h"
 #include "core/benchmarks.h"
-#include "core/solver.h"
-#include "workloads/wavefront.h"
+#include "runner/runner.h"
 
 using namespace wave;
 
-int main() {
+int main(int argc, char** argv) {
+  const common::Cli cli(argc, argv);
+
   // A mid-size Chimaera-like problem so the simulation finishes in
   // seconds.
   core::benchmarks::ChimaeraConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 120;
   const core::AppParams app = core::benchmarks::chimaera(cfg);
-  const core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
-  const core::Solver solver(app, machine);
 
   std::printf("Chimaera %gx%gx%g on simulated dual-core XT4 nodes\n\n",
               app.nx, app.ny, app.nz);
-  std::printf("%6s %14s %14s %8s %12s %12s\n", "P", "model (ms)", "sim (ms)",
-              "err %", "DES events", "bus wait(us)");
-  for (int p : {16, 64, 256, 1024}) {
-    const auto model = solver.evaluate(p);
-    const auto sim = workloads::simulate_wavefront(app, machine, p);
-    std::printf("%6d %14.3f %14.3f %8.2f %12llu %12.1f\n", p,
-                model.iteration.total / 1000.0,
-                sim.time_per_iteration / 1000.0,
-                100.0 * common::relative_error(model.iteration.total,
-                                               sim.time_per_iteration),
-                static_cast<unsigned long long>(sim.events), sim.bus_wait);
-  }
+
+  runner::SweepGrid grid;
+  grid.base().app = app;
+  grid.base().machine = core::MachineConfig::xt4_dual_core();
+  grid.processors({16, 64, 256, 1024});
+
+  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+                           .run(grid, runner::model_vs_sim_metrics);
+
+  runner::emit(
+      cli, records,
+      {runner::Column::label("P"),
+       runner::Column::metric("model (ms)", "model_iter_us", 3, 1.0e-3),
+       runner::Column::metric("sim (ms)", "sim_iter_us", 3, 1.0e-3),
+       runner::Column::metric("err %", "err_pct", 2),
+       runner::Column::integer("DES events", "sim_events"),
+       runner::Column::metric("bus wait(us)", "sim_bus_wait_us", 1)});
 
   std::printf(
-      "\nThe simulator executes the real per-tile MPI schedule (blocking\n"
+      "The simulator executes the real per-tile MPI schedule (blocking\n"
       "sends/receives, eager and rendezvous protocols, shared-bus DMA),\n"
       "so agreement here means the model's nfull/ndiag/Htile abstraction\n"
       "captures the code's actual behaviour — the paper's central claim.\n");

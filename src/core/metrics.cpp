@@ -15,6 +15,23 @@ double simulation_seconds(const Solver& solver, int processors,
   return common::usec_to_sec(res.timestep()) * static_cast<double>(timesteps);
 }
 
+PartitionPoint partition_point(const Solver& solver, int available_processors,
+                               int partitions, long long timesteps) {
+  WAVE_EXPECTS(partitions >= 1);
+  WAVE_EXPECTS(available_processors >= partitions &&
+               available_processors % partitions == 0);
+  PartitionPoint p;
+  p.partitions = partitions;
+  p.processors_per_job = available_processors / partitions;
+  p.r_seconds = simulation_seconds(solver, p.processors_per_job, timesteps);
+  p.x_per_second = static_cast<double>(partitions) / p.r_seconds;
+  p.timesteps_per_month = static_cast<double>(timesteps) *
+                          common::kSecPerMonth / p.r_seconds;
+  p.r_over_x = p.r_seconds / p.x_per_second;
+  p.r2_over_x = p.r_seconds * p.r_seconds / p.x_per_second;
+  return p;
+}
+
 std::vector<PartitionPoint> partition_study(const Solver& solver,
                                             int available_processors,
                                             long long timesteps,
@@ -26,16 +43,8 @@ std::vector<PartitionPoint> partition_study(const Solver& solver,
        available_processors / k >= min_processors_per_job;
        k *= 2) {
     if (available_processors % k != 0) break;
-    PartitionPoint p;
-    p.partitions = k;
-    p.processors_per_job = available_processors / k;
-    p.r_seconds = simulation_seconds(solver, p.processors_per_job, timesteps);
-    p.x_per_second = static_cast<double>(k) / p.r_seconds;
-    p.timesteps_per_month = static_cast<double>(timesteps) *
-                            common::kSecPerMonth / p.r_seconds;
-    p.r_over_x = p.r_seconds / p.x_per_second;
-    p.r2_over_x = p.r_seconds * p.r_seconds / p.x_per_second;
-    points.push_back(p);
+    points.push_back(
+        partition_point(solver, available_processors, k, timesteps));
   }
   WAVE_ENSURES(!points.empty());
   return points;

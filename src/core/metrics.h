@@ -33,6 +33,12 @@ struct PartitionPoint {
 double simulation_seconds(const Solver& solver, int processors,
                           long long timesteps);
 
+/// The §5.2 quantities for one partitioning choice: `partitions` equal
+/// jobs on `available_processors` cores. Precondition: partitions >= 1
+/// and divides available_processors.
+PartitionPoint partition_point(const Solver& solver, int available_processors,
+                               int partitions, long long timesteps);
+
 /// Evaluates the partition trade-off on `available_processors` cores for
 /// each power-of-two partition count while each job still gets at least
 /// `min_processors_per_job` cores.

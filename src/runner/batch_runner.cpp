@@ -1,0 +1,79 @@
+#include "runner/batch_runner.h"
+
+#include "common/units.h"
+#include "core/solver.h"
+#include "runner/thread_pool.h"
+#include "workloads/wavefront.h"
+
+namespace wave::runner {
+
+Metrics model_metrics(const Scenario& s) {
+  const core::Solver solver(s.app, s.machine);
+  const core::ModelResult res = solver.evaluate(s.grid);
+  const core::TimeSplit step = res.timestep_split();
+  return {{"model_iter_us", res.iteration.total},
+          {"model_iter_comm_us", res.iteration.comm},
+          {"model_timestep_us", step.total},
+          {"model_timestep_comm_us", step.comm},
+          {"model_fill_us", res.fill.total},
+          {"model_fill_comm_us", res.fill.comm}};
+}
+
+Metrics sim_metrics(const Scenario& s) {
+  const workloads::SimRunResult res =
+      workloads::simulate_wavefront(s.app, s.machine, s.grid, s.iterations);
+  return {{"sim_iter_us", res.time_per_iteration},
+          {"sim_makespan_us", res.makespan},
+          {"sim_events", static_cast<double>(res.events)},
+          {"sim_messages", static_cast<double>(res.messages)},
+          {"sim_bus_wait_us", res.bus_wait},
+          {"sim_nic_wait_us", res.nic_wait},
+          {"sim_mpi_busy_us", res.mpi_busy_mean}};
+}
+
+Metrics evaluate_scenario(const Scenario& s) {
+  return s.engine == Engine::Model ? model_metrics(s) : sim_metrics(s);
+}
+
+Metrics model_vs_sim_metrics(const Scenario& s) {
+  Metrics out = model_metrics(s);
+  Metrics sim = sim_metrics(s);
+  const double model_iter = out.front().second;
+  const double sim_iter = sim.front().second;
+  out.insert(out.end(), sim.begin(), sim.end());
+  out.emplace_back("err_pct",
+                   100.0 * common::relative_error(model_iter, sim_iter));
+  return out;
+}
+
+int BatchRunner::threads() const { return ThreadPool(options_.threads).threads(); }
+
+std::vector<RunRecord> BatchRunner::run(const std::vector<Scenario>& points,
+                                        const PointFn& fn) const {
+  std::vector<RunRecord> records(points.size());
+  const ThreadPool pool(options_.threads);
+  pool.for_each_index(points.size(), [&](std::size_t i) {
+    const Scenario& s = points[i];
+    RunRecord& r = records[i];
+    r.index = s.index;
+    r.labels = s.labels;
+    r.metrics = fn(s);
+  });
+  return records;
+}
+
+std::vector<RunRecord> BatchRunner::run(
+    const std::vector<Scenario>& points) const {
+  return run(points, evaluate_scenario);
+}
+
+std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid,
+                                        const PointFn& fn) const {
+  return run(grid.points(), fn);
+}
+
+std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid) const {
+  return run(grid.points(), evaluate_scenario);
+}
+
+}  // namespace wave::runner

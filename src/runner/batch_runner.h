@@ -1,0 +1,66 @@
+// Parallel batch execution of scenario sweeps.
+//
+// BatchRunner maps a point function over the scenarios of a sweep on a
+// thread pool. Analytic Solver::evaluate points and independent
+// single-threaded DES simulate_wavefront runs both parallelize at the
+// scenario level; results land in slots indexed by point, and any
+// randomness comes from the point's own derived seed, so the record set is
+// bit-identical at any thread count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "runner/record.h"
+#include "runner/scenario.h"
+
+namespace wave::runner {
+
+/// Canned evaluation: the analytic model on the point's (app, machine,
+/// grid). Metrics: model_iter_us, model_iter_comm_us, model_timestep_us,
+/// model_timestep_comm_us, model_fill_us, model_fill_comm_us.
+Metrics model_metrics(const Scenario& s);
+
+/// Canned evaluation: the discrete-event simulator on the same point.
+/// Metrics: sim_iter_us, sim_makespan_us, sim_events, sim_messages,
+/// sim_bus_wait_us, sim_nic_wait_us, sim_mpi_busy_us.
+Metrics sim_metrics(const Scenario& s);
+
+/// Dispatches on `s.engine` (Model -> model_metrics, Simulation ->
+/// sim_metrics). The default point function of BatchRunner::run.
+Metrics evaluate_scenario(const Scenario& s);
+
+/// Canned evaluation: model *and* simulator on the same point, plus
+/// err_pct = 100 * |model - sim| / sim per iteration — the paper's
+/// validation metric.
+Metrics model_vs_sim_metrics(const Scenario& s);
+
+/// Executes scenario points on a thread pool.
+class BatchRunner {
+ public:
+  struct Options {
+    int threads;  ///< <= 0 selects hardware concurrency
+    Options() : threads(0) {}
+    explicit Options(int threads_) : threads(threads_) {}
+  };
+
+  /// Computes the metrics of one scenario point.
+  using PointFn = std::function<Metrics(const Scenario&)>;
+
+  explicit BatchRunner(Options options = Options()) : options_(options) {}
+
+  int threads() const;
+
+  /// Runs `fn` over every point; records come back in point order
+  /// regardless of the execution schedule.
+  std::vector<RunRecord> run(const std::vector<Scenario>& points,
+                             const PointFn& fn) const;
+  std::vector<RunRecord> run(const std::vector<Scenario>& points) const;
+  std::vector<RunRecord> run(const SweepGrid& grid, const PointFn& fn) const;
+  std::vector<RunRecord> run(const SweepGrid& grid) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace wave::runner

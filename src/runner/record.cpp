@@ -1,0 +1,37 @@
+#include "runner/record.h"
+
+#include "common/contracts.h"
+
+namespace wave::runner {
+
+bool RunRecord::has(const std::string& name) const {
+  for (const auto& [key, value] : metrics)
+    if (key == name) return true;
+  return false;
+}
+
+double RunRecord::metric(const std::string& name) const {
+  for (const auto& [key, value] : metrics)
+    if (key == name) return value;
+  WAVE_EXPECTS_MSG(false, "record has no metric named '" + name + "'");
+  return 0.0;  // unreachable
+}
+
+void RunRecord::set(const std::string& name, double value) {
+  for (auto& [key, existing] : metrics)
+    if (key == name) {
+      existing = value;
+      return;
+    }
+  metrics.emplace_back(name, value);
+}
+
+const std::string& RunRecord::label(const std::string& axis) const {
+  for (const auto& [name, value] : labels)
+    if (name == axis) return value;
+  WAVE_EXPECTS_MSG(false, "record has no axis named '" + axis + "'");
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace wave::runner

@@ -1,0 +1,34 @@
+// The unified result type of a scenario batch.
+//
+// One RunRecord per scenario point: the axis labels identifying the point
+// plus an ordered list of named numeric metrics. Records are plain data so
+// they serialize bit-stably (see sinks.h) — the determinism contract of
+// BatchRunner is stated over the serialized record set.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wave::runner {
+
+/// Named metric values of one point, in insertion order.
+using Metrics = std::vector<std::pair<std::string, double>>;
+
+/// Result of evaluating one scenario point.
+struct RunRecord {
+  std::size_t index = 0;  ///< cartesian index of the originating scenario
+  std::vector<std::pair<std::string, std::string>> labels;
+  Metrics metrics;
+
+  bool has(const std::string& name) const;
+  /// Value of the named metric; throws common::contract_error when absent.
+  double metric(const std::string& name) const;
+  /// Appends or overwrites a metric.
+  void set(const std::string& name, double value);
+  /// Label of the named axis; throws common::contract_error when absent.
+  const std::string& label(const std::string& axis) const;
+};
+
+}  // namespace wave::runner

@@ -1,0 +1,25 @@
+// Umbrella header for the scenario-runner subsystem: declarative sweeps
+// (scenario.h), parallel batch execution (batch_runner.h), and result
+// sinks (sinks.h). The bench/ and examples/ drivers include this one
+// header and share the same CLI conventions:
+//   --threads N   worker threads for the batch (default: all cores)
+//   --csv         emit the rendered table as CSV
+//   --json        emit the raw record set as JSON
+#pragma once
+
+#include "common/cli.h"
+#include "runner/batch_runner.h"
+#include "runner/record.h"
+#include "runner/scenario.h"
+#include "runner/sinks.h"
+#include "runner/thread_pool.h"
+
+namespace wave::runner {
+
+/// Batch options from the shared command-line flags.
+inline BatchRunner::Options options_from_cli(const common::Cli& cli) {
+  return BatchRunner::Options(
+      static_cast<int>(cli.get_int("threads", 0)));
+}
+
+}  // namespace wave::runner

@@ -1,0 +1,171 @@
+#include "runner/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.h"
+
+namespace wave::runner {
+
+const std::string& Scenario::label(const std::string& axis) const {
+  for (const auto& [name, value] : labels)
+    if (name == axis) return value;
+  WAVE_EXPECTS_MSG(false, "scenario has no axis named '" + axis + "'");
+  // contract_fail throws; keep the compiler happy.
+  static const std::string empty;
+  return empty;
+}
+
+bool Scenario::has_label(const std::string& axis) const {
+  for (const auto& [name, value] : labels)
+    if (name == axis) return true;
+  return false;
+}
+
+double Scenario::param(const std::string& name) const {
+  const auto it = params.find(name);
+  WAVE_EXPECTS_MSG(it != params.end(),
+                   "scenario has no parameter named '" + name + "'");
+  return it->second;
+}
+
+double Scenario::param_or(const std::string& name, double fallback) const {
+  const auto it = params.find(name);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::string format_value(double value) {
+  if (value == std::floor(value) && std::fabs(value) < 1.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+SweepGrid& SweepGrid::axis(Axis axis) {
+  WAVE_EXPECTS_MSG(!axis.levels.empty(), "axis '" + axis.name + "' is empty");
+  axes_.push_back(std::move(axis));
+  return *this;
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<Axis::Level> levels) {
+  return axis(Axis{std::move(name), std::move(levels)});
+}
+
+SweepGrid& SweepGrid::processors(std::vector<int> counts, std::string name) {
+  Axis axis{std::move(name), {}};
+  for (int p : counts)
+    axis.levels.push_back({format_value(p), [p](Scenario& s) {
+                             s.params["P"] = p;
+                             s.set_processors(p);
+                           }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::decompositions(std::vector<topo::Grid> grids,
+                                     std::string name) {
+  Axis axis{std::move(name), {}};
+  for (const topo::Grid& g : grids)
+    axis.levels.push_back(
+        {format_value(g.n()) + "x" + format_value(g.m()),
+         [g](Scenario& s) { s.grid = g; }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::apps(
+    std::vector<std::pair<std::string, core::AppParams>> apps,
+    std::string name) {
+  Axis axis{std::move(name), {}};
+  for (auto& [label, app] : apps)
+    axis.levels.push_back(
+        {label, [app = std::move(app)](Scenario& s) { s.app = app; }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::machines(
+    std::vector<std::pair<std::string, core::MachineConfig>> machines,
+    std::string name) {
+  Axis axis{std::move(name), {}};
+  for (auto& [label, machine] : machines)
+    axis.levels.push_back(
+        {label, [machine](Scenario& s) { s.machine = machine; }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::engines(std::vector<Engine> engines, std::string name) {
+  Axis axis{std::move(name), {}};
+  for (Engine e : engines)
+    axis.levels.push_back({e == Engine::Model ? "model" : "sim",
+                           [e](Scenario& s) { s.engine = e; }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::values(std::string name, std::vector<double> values) {
+  return this->values(std::move(name), std::move(values), nullptr);
+}
+
+SweepGrid& SweepGrid::values(std::string name, std::vector<double> values,
+                             std::function<void(Scenario&, double)> apply) {
+  Axis axis{name, {}};
+  for (double v : values)
+    axis.levels.push_back({format_value(v), [name, v, apply](Scenario& s) {
+                             s.params[name] = v;
+                             if (apply) apply(s, v);
+                           }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::filter(std::function<bool(const Scenario&)> predicate) {
+  filters_.push_back(std::move(predicate));
+  return *this;
+}
+
+SweepGrid& SweepGrid::seed(std::uint64_t base_seed) {
+  base_seed_ = base_seed;
+  return *this;
+}
+
+std::vector<Scenario> SweepGrid::points() const {
+  std::size_t total = 1;
+  for (const Axis& axis : axes_) total *= axis.levels.size();
+
+  std::vector<Scenario> out;
+  out.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    Scenario s = base_;
+    s.index = index;
+    s.seed = derive_seed(base_seed_, index);
+
+    // Decompose row-major: the first axis varies slowest.
+    std::size_t rest = index;
+    std::size_t stride = total;
+    for (const Axis& axis : axes_) {
+      stride /= axis.levels.size();
+      const Axis::Level& level = axis.levels[rest / stride];
+      rest %= stride;
+      s.labels.emplace_back(axis.name, level.label);
+      if (level.apply) level.apply(s);
+    }
+
+    bool keep = true;
+    for (const auto& pred : filters_)
+      if (!pred(s)) {
+        keep = false;
+        break;
+      }
+    if (keep) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace wave::runner

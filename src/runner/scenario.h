@@ -1,0 +1,150 @@
+// Declarative scenario sweeps for the plug-and-play evaluation pipeline.
+//
+// The paper's whole workflow is "sweep an application model over machines,
+// processor counts, decompositions and design variants" (§5). A `Scenario`
+// is one fully-determined point of such a study; a `SweepGrid` builds the
+// cartesian product of named axes over a base scenario, so a driver states
+// *what* to explore and the BatchRunner decides *how* to execute it.
+//
+// Axes compose: each axis level carries an `apply` mutation executed in
+// axis-declaration order, so a later axis may read values an earlier one
+// stored (e.g. a node-count axis sets params["nodes"], a cores-per-node
+// axis then derives the machine and the processor grid from it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/app_params.h"
+#include "core/machine.h"
+#include "topology/grid.h"
+
+namespace wave::runner {
+
+/// How a scenario point is evaluated by the canned evaluators.
+enum class Engine {
+  Model,       ///< analytic Solver::evaluate (microseconds per point)
+  Simulation,  ///< discrete-event simulate_wavefront (the "measured" side)
+};
+
+/// One fully-determined evaluation point of a sweep.
+struct Scenario {
+  core::AppParams app;
+  core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
+  topo::Grid grid{1, 1};  ///< processor decomposition
+  Engine engine = Engine::Model;
+  int iterations = 1;  ///< DES iterations for Engine::Simulation
+
+  /// Axis labels in axis-declaration order (axis name -> level label).
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Free-form numeric axis values for custom point functions.
+  std::map<std::string, double> params;
+
+  /// Deterministic per-point RNG seed, derived from the cartesian index of
+  /// the point (stable under SweepGrid::filter), so batch results are
+  /// bit-identical at any thread count.
+  std::uint64_t seed = 0;
+  /// Cartesian index of the point in its sweep (pre-filter).
+  std::size_t index = 0;
+
+  /// Label of the named axis; throws common::contract_error when absent.
+  const std::string& label(const std::string& axis) const;
+  bool has_label(const std::string& axis) const;
+
+  /// Numeric parameter; throws / returns fallback when absent.
+  double param(const std::string& name) const;
+  double param_or(const std::string& name, double fallback) const;
+
+  /// Sets the closest-to-square decomposition of `p` ranks.
+  void set_processors(int p) { grid = topo::closest_to_square(p); }
+  int processors() const { return grid.size(); }
+};
+
+/// A named sweep axis: an ordered list of levels, each a labelled mutation
+/// of the scenario under construction.
+struct Axis {
+  struct Level {
+    std::string label;
+    std::function<void(Scenario&)> apply;  ///< may be empty (label-only)
+  };
+
+  std::string name;
+  std::vector<Level> levels;
+};
+
+/// Derives a per-point seed from the sweep's base seed and the point's
+/// cartesian index (splitmix64 finalizer — avalanches consecutive indices).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+/// Cartesian product of axes over a base scenario. The first declared axis
+/// varies slowest, so points enumerate in the nested-loop order the
+/// hand-rolled drivers used.
+class SweepGrid {
+ public:
+  SweepGrid() = default;
+  explicit SweepGrid(Scenario base) : base_(std::move(base)) {}
+
+  Scenario& base() { return base_; }
+  const Scenario& base() const { return base_; }
+
+  /// Appends a fully-specified axis.
+  SweepGrid& axis(Axis axis);
+  SweepGrid& axis(std::string name, std::vector<Axis::Level> levels);
+
+  // ---- Convenience axes -----------------------------------------------
+
+  /// Processor-count axis; each level sets the closest-to-square grid.
+  SweepGrid& processors(std::vector<int> counts, std::string name = "P");
+
+  /// Explicit decomposition axis, labelled "n x m".
+  SweepGrid& decompositions(std::vector<topo::Grid> grids,
+                            std::string name = "grid");
+
+  /// Application axis.
+  SweepGrid& apps(
+      std::vector<std::pair<std::string, core::AppParams>> apps,
+      std::string name = "application");
+
+  /// Machine axis.
+  SweepGrid& machines(
+      std::vector<std::pair<std::string, core::MachineConfig>> machines,
+      std::string name = "machine");
+
+  /// Evaluation-engine axis (labels "model" / "sim").
+  SweepGrid& engines(std::vector<Engine> engines, std::string name = "engine");
+
+  /// Numeric axis: stores each value in params[name] (label = the value).
+  SweepGrid& values(std::string name, std::vector<double> values);
+
+  /// Numeric axis with a mutation applied after params[name] is stored.
+  SweepGrid& values(std::string name, std::vector<double> values,
+                    std::function<void(Scenario&, double)> apply);
+
+  /// Drops points failing the predicate. Indices (and therefore seeds) of
+  /// surviving points are unchanged.
+  SweepGrid& filter(std::function<bool(const Scenario&)> predicate);
+
+  /// Base seed from which every point's seed is derived.
+  SweepGrid& seed(std::uint64_t base_seed);
+
+  /// Enumerates the (filtered) cartesian product.
+  std::vector<Scenario> points() const;
+
+  /// Number of points after filtering (enumerates).
+  std::size_t size() const { return points().size(); }
+
+ private:
+  Scenario base_;
+  std::vector<Axis> axes_;
+  std::vector<std::function<bool(const Scenario&)>> filters_;
+  std::uint64_t base_seed_ = 2008;
+};
+
+/// Formats a numeric axis value compactly ("4", "0.5") for labels.
+std::string format_value(double value);
+
+}  // namespace wave::runner

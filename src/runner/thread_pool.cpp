@@ -1,0 +1,56 @@
+#include "runner/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wave::runner {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  if (threads_ <= 0)
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads_ <= 0) threads_ = 1;
+}
+
+void ThreadPool::for_each_index(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (count == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> extra;
+  extra.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) extra.emplace_back(worker);
+  worker();
+  for (std::thread& t : extra) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace wave::runner

@@ -1,12 +1,15 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+
 #include "common/contracts.h"
 
 namespace wave::sim {
 
 void Engine::at(usec time, std::function<void()> fn) {
   WAVE_EXPECTS_MSG(time >= now_, "cannot schedule events in the past");
-  queue_.push(Event{time, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{time, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void Engine::after(usec delay, std::function<void()> fn) {
@@ -14,11 +17,18 @@ void Engine::after(usec delay, std::function<void()> fn) {
   at(now_ + delay, std::move(fn));
 }
 
+Engine::Event Engine::pop_next() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
 usec Engine::run() {
   while (!queue_.empty()) {
-    // Move the event out before popping so the callback may schedule more.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // The event is moved out before execution so the callback may schedule
+    // more events (or grow the calendar) freely.
+    Event ev = pop_next();
     now_ = ev.time;
     ++processed_;
     ev.fn();
@@ -27,9 +37,8 @@ usec Engine::run() {
 }
 
 usec Engine::run_until(usec limit) {
-  while (!queue_.empty() && queue_.top().time <= limit) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().time <= limit) {
+    Event ev = pop_next();
     now_ = ev.time;
     ++processed_;
     ev.fn();

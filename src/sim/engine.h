@@ -10,9 +10,9 @@
 // off.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
@@ -24,18 +24,25 @@ using common::usec;
 /// Event calendar and simulated clock.
 class Engine {
  public:
-  Engine() = default;
+  // Simulations with any concurrency immediately outgrow tiny geometric
+  // doublings, so start the calendar at a useful size.
+  Engine() { queue_.reserve(256); }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time (µs).
   usec now() const { return now_; }
 
-  /// Schedules `fn` at absolute simulated time `time` (>= now()).
+  /// Schedules `fn` at absolute simulated time `time` (>= now()). The
+  /// callback is moved into the calendar — captured state is never copied
+  /// on the hot path.
   void at(usec time, std::function<void()> fn);
 
   /// Schedules `fn` `delay` µs from now (delay >= 0).
   void after(usec delay, std::function<void()> fn);
+
+  /// Pre-allocates calendar capacity for `events` pending events.
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
   /// Runs events until the calendar drains. Returns the final clock value.
   usec run();
@@ -63,7 +70,14 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pops the earliest event off the heap and returns it by move.
+  Event pop_next();
+
+  // Explicit binary heap (std::push_heap/pop_heap) instead of
+  // std::priority_queue: the vector can be reserved up front and the next
+  // event can be *moved* out of the container, so the std::function (and
+  // whatever state it captured) is never copied per event.
+  std::vector<Event> queue_;
   usec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

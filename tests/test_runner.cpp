@@ -1,0 +1,254 @@
+// Tests for the scenario-runner subsystem: declarative sweep enumeration,
+// batch execution determinism across thread counts, and result sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "core/benchmarks.h"
+#include "runner/runner.h"
+
+namespace wr = wave::runner;
+namespace wc = wave::core;
+
+namespace {
+
+/// A small Sweep3D problem so DES points cost milliseconds.
+wc::AppParams tiny_sweep3d() {
+  wc::benchmarks::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 32;
+  return wc::benchmarks::sweep3d(cfg);
+}
+
+/// The mixed analytic+DES sweep the determinism contract is stated over.
+wr::SweepGrid mixed_grid() {
+  wc::benchmarks::ChimaeraConfig chim;
+  chim.nx = chim.ny = chim.nz = 32;
+  wr::SweepGrid grid;
+  grid.apps({{"sweep3d", tiny_sweep3d()},
+             {"chimaera", wc::benchmarks::chimaera(chim)}});
+  grid.machines({{"single", wc::MachineConfig::xt4_single_core()},
+                 {"dual", wc::MachineConfig::xt4_dual_core()}});
+  grid.processors({4, 16});
+  grid.engines({wr::Engine::Model, wr::Engine::Simulation});
+  return grid;
+}
+
+}  // namespace
+
+TEST(SweepGrid, EnumeratesCartesianProductInDeclarationOrder) {
+  wr::SweepGrid grid;
+  grid.values("a", {1, 2});
+  grid.values("b", {10, 20, 30});
+  const auto points = grid.points();
+  ASSERT_EQ(points.size(), 6u);
+  // First axis varies slowest.
+  EXPECT_EQ(points[0].label("a"), "1");
+  EXPECT_EQ(points[0].label("b"), "10");
+  EXPECT_EQ(points[1].label("b"), "20");
+  EXPECT_EQ(points[3].label("a"), "2");
+  EXPECT_EQ(points[5].label("b"), "30");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].param("b"),
+              static_cast<double>(10 * (1 + i % 3)));
+  }
+}
+
+TEST(SweepGrid, LaterAxesSeeEarlierAxisValues) {
+  wr::SweepGrid grid;
+  grid.values("nodes", {2, 4});
+  grid.axis("shape", {{"x2", [](wr::Scenario& s) {
+                         s.set_processors(2 *
+                                          static_cast<int>(s.param("nodes")));
+                       }}});
+  const auto points = grid.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].processors(), 4);
+  EXPECT_EQ(points[1].processors(), 8);
+}
+
+TEST(SweepGrid, FilterKeepsIndicesAndSeedsStable) {
+  wr::SweepGrid all;
+  all.values("x", {1, 2, 3, 4});
+  wr::SweepGrid filtered;
+  filtered.values("x", {1, 2, 3, 4});
+  filtered.filter(
+      [](const wr::Scenario& s) { return s.param("x") > 2.0; });
+
+  const auto a = all.points();
+  const auto f = filtered.points();
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].index, a[2].index);
+  EXPECT_EQ(f[0].seed, a[2].seed);
+  EXPECT_EQ(f[1].seed, a[3].seed);
+}
+
+TEST(SweepGrid, SeedsAvalancheAcrossConsecutiveIndices) {
+  const std::uint64_t a = wr::derive_seed(2008, 0);
+  const std::uint64_t b = wr::derive_seed(2008, 1);
+  EXPECT_NE(a, b);
+  // Different base seeds give different streams.
+  EXPECT_NE(wr::derive_seed(7, 0), a);
+}
+
+TEST(Scenario, MissingLabelAndParamThrow) {
+  wr::Scenario s;
+  EXPECT_THROW(s.label("nope"), wave::common::contract_error);
+  EXPECT_THROW(s.param("nope"), wave::common::contract_error);
+  EXPECT_DOUBLE_EQ(s.param_or("nope", 3.5), 3.5);
+}
+
+TEST(BatchRunner, RecordsComeBackInPointOrder) {
+  wr::SweepGrid grid;
+  grid.values("x", {5, 6, 7, 8, 9});
+  const auto records =
+      wr::BatchRunner(wr::BatchRunner::Options(4))
+          .run(grid, [](const wr::Scenario& s) {
+            return wr::Metrics{{"twice", 2.0 * s.param("x")}};
+          });
+  ASSERT_EQ(records.size(), 5u);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_DOUBLE_EQ(records[i].metric("twice"), 2.0 * (5.0 + i));
+}
+
+TEST(BatchRunner, MixedSweepIsByteIdenticalAtAnyThreadCount) {
+  const auto points = mixed_grid().points();
+  ASSERT_GE(points.size(), 16u);
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const std::string serial =
+      wr::to_csv(wr::BatchRunner(wr::BatchRunner::Options(1)).run(points));
+  const std::string two =
+      wr::to_csv(wr::BatchRunner(wr::BatchRunner::Options(2)).run(points));
+  const std::string many = wr::to_csv(
+      wr::BatchRunner(wr::BatchRunner::Options(std::max(hw, 1))).run(points));
+
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, many);
+  // And the sweep genuinely mixed the two engines.
+  bool saw_model = false, saw_sim = false;
+  for (const auto& p : points) {
+    saw_model |= p.engine == wr::Engine::Model;
+    saw_sim |= p.engine == wr::Engine::Simulation;
+  }
+  EXPECT_TRUE(saw_model);
+  EXPECT_TRUE(saw_sim);
+}
+
+TEST(BatchRunner, PerPointSeedsAreIndependentOfSchedule) {
+  // A point function that *uses* its seed: the record keeps the first
+  // draw of the point's RNG, which must depend only on the point.
+  wr::SweepGrid grid;
+  grid.values("x", {1, 2, 3, 4, 5, 6, 7, 8});
+  auto fn = [](const wr::Scenario& s) {
+    wave::common::Rng rng(s.seed);
+    return wr::Metrics{{"draw", rng.uniform(0.0, 1.0)}};
+  };
+  const auto a = wr::BatchRunner(wr::BatchRunner::Options(1)).run(grid, fn);
+  const auto b = wr::BatchRunner(wr::BatchRunner::Options(4)).run(grid, fn);
+  EXPECT_EQ(wr::to_csv(a), wr::to_csv(b));
+}
+
+TEST(BatchRunner, ExceptionsPropagateOutOfTheBatch) {
+  wr::SweepGrid grid;
+  grid.values("x", {1, 2, 3, 4});
+  const auto boom = [](const wr::Scenario& s) -> wr::Metrics {
+    if (s.param("x") == 3.0) throw std::runtime_error("bad point");
+    return {{"ok", 1.0}};
+  };
+  EXPECT_THROW(
+      wr::BatchRunner(wr::BatchRunner::Options(2)).run(grid, boom),
+      std::runtime_error);
+  EXPECT_THROW(
+      wr::BatchRunner(wr::BatchRunner::Options(1)).run(grid, boom),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  wr::ThreadPool pool(4);
+  pool.for_each_index(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Record, SetOverwritesAndMetricThrowsWhenAbsent) {
+  wr::RunRecord r;
+  r.set("a", 1.0);
+  r.set("a", 2.0);
+  EXPECT_DOUBLE_EQ(r.metric("a"), 2.0);
+  EXPECT_FALSE(r.has("b"));
+  EXPECT_THROW(r.metric("b"), wave::common::contract_error);
+}
+
+TEST(Sinks, CsvListsLabelsThenMetricsAndRoundTripsDoubles) {
+  wr::RunRecord r;
+  r.index = 3;
+  r.labels = {{"P", "16"}};
+  r.metrics = {{"v", 0.1}};
+  std::ostringstream os;
+  wr::write_csv(os, {r});
+  EXPECT_EQ(os.str(),
+            "index,P,v\n3,16,0.10000000000000001\n");
+}
+
+TEST(Sinks, CsvQuotesFieldsContainingDelimiters) {
+  wr::RunRecord r;
+  r.labels = {{"application", "Sweep3D 1000^3, 30 groups"},
+              {"note", "say \"hi\""}};
+  r.metrics = {{"v", 1.0}};
+  std::ostringstream os;
+  wr::write_csv(os, {r});
+  EXPECT_EQ(os.str(),
+            "index,application,note,v\n"
+            "0,\"Sweep3D 1000^3, 30 groups\",\"say \"\"hi\"\"\",1\n");
+}
+
+TEST(Sinks, MissingMetricsRenderAsDashInTablesAndEmptyInCsv) {
+  wr::RunRecord a;
+  a.labels = {{"P", "1"}};
+  a.metrics = {{"v", 1.0}, {"w", 2.0}};
+  wr::RunRecord b;
+  b.labels = {{"P", "2"}};
+  b.metrics = {{"v", 3.0}};  // no "w": e.g. sim point beyond the cap
+
+  const auto table = wr::make_table(
+      {a, b}, {wr::Column::label("P"), wr::Column::metric("w", "w", 1)});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "P,w\n1,2.0\n2,-\n");
+
+  std::ostringstream csv;
+  wr::write_csv(csv, {a, b});
+  EXPECT_NE(csv.str().find("\n0,2,3,\n"), std::string::npos);
+}
+
+TEST(Sinks, PivotTableArrangesRowAndColumnAxes)
+{
+  std::vector<wr::RunRecord> records;
+  for (const char* h : {"1", "2"})
+    for (const char* cfg : {"a", "b"}) {
+      wr::RunRecord r;
+      r.labels = {{"Htile", h}, {"config", cfg}};
+      r.metrics = {{"t", (h[0] - '0') * 10.0 + (cfg[0] - 'a')}};
+      records.push_back(r);
+    }
+  const auto table = wr::pivot_table(records, "Htile", "config", "t", 0);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "Htile,a,b\n1,10,11\n2,20,21\n");
+}
+
+TEST(Sinks, JsonEscapesStringsAndEmitsAllMetrics) {
+  wr::RunRecord r;
+  r.labels = {{"name", "say \"hi\""}};
+  r.metrics = {{"v", 1.5}};
+  std::ostringstream os;
+  wr::write_json(os, {r});
+  EXPECT_NE(os.str().find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"v\": 1.5"), std::string::npos);
+}
