@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
+  runner::apply_machine_cli(cli, grid);
   grid.apps({{"LU 162^3 (nfull=2)", core::benchmarks::lu()},
              {"Sweep3D 256^3 (nfull=2, ndiag=2)",
               core::benchmarks::sweep3d(s3)},
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
           .run(grid, [](const runner::Scenario& s) {
             runner::Metrics m = runner::model_vs_sim_metrics(s);
             const auto base =
-                core::hoisie_baseline(s.app, s.machine, s.grid);
+                core::hoisie_baseline(s.app, s.effective_machine(), s.grid);
             double sim_iter = 0.0;
             for (const auto& [key, value] : m)
               if (key == "sim_iter_us") sim_iter = value;

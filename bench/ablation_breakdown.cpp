@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::chimaera();
   grid.base().machine = core::MachineConfig::xt4_dual_core();
+  runner::apply_machine_cli(cli, grid);
   grid.processors({64, 256, 1024, 4096});
 
   auto records = runner::BatchRunner(runner::options_from_cli(cli))

@@ -25,16 +25,19 @@ int main(int argc, char** argv) {
   core::benchmarks::Sweep3dConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 256;
 
+  // Only the node shape varies per level; interconnect parameters (and
+  // any --machine / --comm-model override) stay those of the base machine.
   auto shape = [](int cx, int cy) {
     return [cx, cy](runner::Scenario& s) {
-      s.machine = core::MachineConfig();
       s.machine.cx = cx;
       s.machine.cy = cy;
+      s.machine.buses_per_node = 1;
     };
   };
 
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::sweep3d(cfg);
+  runner::apply_machine_cli(cli, grid);
   grid.processors({256, 1024});
   grid.axis("node_shape", {{"1x1", shape(1, 1)},
                            {"1x2", shape(1, 2)},

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   // hide and both variants coincide.
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::chimaera();
+  runner::apply_comm_model_cli(cli, grid);
   grid.machines({{"XT4", core::MachineConfig::xt4_dual_core()},
                  {"SP/2", core::MachineConfig::sp2_single_core()}});
   grid.processors({64, 256});
@@ -37,15 +38,16 @@ int main(int argc, char** argv) {
           .run(grid, [](const runner::Scenario& s) {
             core::AppParams nonblocking = s.app;
             nonblocking.nonblocking_sends = true;
+            const auto machine = s.effective_machine();
             const double m_block =
-                core::Solver(s.app, s.machine).evaluate(s.grid).iteration.total;
-            const double m_nonblock = core::Solver(nonblocking, s.machine)
+                core::Solver(s.app, machine).evaluate(s.grid).iteration.total;
+            const double m_nonblock = core::Solver(nonblocking, machine)
                                           .evaluate(s.grid)
                                           .iteration.total;
             const auto s_block =
-                workloads::simulate_wavefront(s.app, s.machine, s.grid);
+                workloads::simulate_wavefront(s.app, machine, s.grid);
             const auto s_nonblock =
-                workloads::simulate_wavefront(nonblocking, s.machine, s.grid);
+                workloads::simulate_wavefront(nonblocking, machine, s.grid);
             return runner::Metrics{
                 {"model_gain_pct", 100.0 * (1.0 - m_nonblock / m_block)},
                 {"sim_gain_pct",

@@ -31,13 +31,14 @@ int main(int argc, char** argv) {
   // Htile optimum per machine, Sweep3D 20M-cell problem.
   runner::SweepGrid htile_grid;
   htile_grid.base().app = core::benchmarks::sweep3d_20m();
+  runner::apply_comm_model_cli(cli, htile_grid);
   htile_grid.processors({1024, 4096});
   htile_grid.machines(machines);
 
   const auto htile_records =
       batch.run(htile_grid, [](const runner::Scenario& s) {
         const auto scan =
-            core::scan_htile(s.app, s.machine, s.processors());
+            core::scan_htile(s.app, s.effective_machine(), s.processors());
         return runner::Metrics{
             {"best_htile", scan.best_htile},
             {"gain_pct", 100.0 * scan.improvement_vs_unit}};
@@ -51,14 +52,15 @@ int main(int argc, char** argv) {
   // Synchronization-term share of the iteration per machine.
   runner::SweepGrid sync_grid;
   sync_grid.base().app = core::benchmarks::sweep3d_20m();
+  runner::apply_comm_model_cli(cli, sync_grid);
   sync_grid.processors({256, 1024, 4096});
   sync_grid.machines(machines);
 
   const auto sync_records =
       batch.run(sync_grid, [](const runner::Scenario& s) {
-        core::MachineConfig without = s.machine;
+        core::MachineConfig without = s.effective_machine();
         without.synchronization_terms = false;
-        core::MachineConfig with = s.machine;
+        core::MachineConfig with = s.effective_machine();
         with.synchronization_terms = true;
         const double t0 =
             core::Solver(s.app, without).evaluate(s.grid).iteration.total;

@@ -1,5 +1,6 @@
 // §3.3 validation: the all-reduce model (eq. 9) against the simulated
 // recursive-doubling MPI_Allreduce, single- and dual-core nodes.
+#include "loggp/backends.h"
 #include "loggp/collectives.h"
 #include "runner/runner.h"
 #include "workloads/pingpong.h"
@@ -14,8 +15,10 @@ int main(int argc, char** argv) {
       "XT4; against our mechanistic simulator the model stays within a few "
       "percent once several off-node stages exist");
 
-  const auto params = loggp::xt4();
-  const loggp::CommModel model(params);
+  const core::MachineConfig machine =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+  const loggp::MachineParams params = machine.loggp;
+  const auto model = machine.make_comm_model();
   const int max_p = static_cast<int>(cli.get_int("max-p", 2048));
 
   std::vector<double> ranks;
@@ -31,7 +34,7 @@ int main(int argc, char** argv) {
             const int p = static_cast<int>(s.param("ranks"));
             const int c = static_cast<int>(s.param("cores_per_node"));
             const double sim = workloads::allreduce_sim_time(params, p, c);
-            const double mod = loggp::allreduce_time(model, p, c, 8);
+            const double mod = loggp::allreduce_time(*model, p, c, 8);
             return runner::Metrics{
                 {"sim_us", sim},
                 {"model_us", mod},

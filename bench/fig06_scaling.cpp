@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = app;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
+  runner::apply_machine_cli(cli, grid);
   std::vector<int> procs;
   for (int p = 256; p <= 131072; p *= 2) procs.push_back(p);
   grid.processors(procs);
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
   const auto records = runner::BatchRunner(runner::options_from_cli(cli))
                            .run(grid, [&](const runner::Scenario& s) {
                              runner::Metrics m;
-                             const core::Solver solver(s.app, s.machine);
+                             const auto machine = s.effective_machine();
+                             const core::Solver solver(s.app, machine);
                              m.emplace_back(
                                  "model_days",
                                  common::usec_to_days(
@@ -48,7 +50,7 @@ int main(int argc, char** argv) {
                                      steps);
                              if (s.processors() <= max_sim_p) {
                                const auto sim = workloads::simulate_wavefront(
-                                   s.app, s.machine, s.grid);
+                                   s.app, machine, s.grid);
                                const double sim_days =
                                    common::usec_to_days(
                                        sim.time_per_iteration * 120.0 *

@@ -59,13 +59,13 @@ int main(int argc, char** argv) {
 
   core::benchmarks::Sweep3dConfig s3;
   s3.energy_groups = 30;
-  const core::Solver sweep3d(core::benchmarks::sweep3d(s3),
-                             core::MachineConfig::xt4_dual_core());
+  const core::MachineConfig machine =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+  const core::Solver sweep3d(core::benchmarks::sweep3d(s3), machine);
   study(cli, "(a) Sweep3D 10^9 cells", sweep3d, {32768, 65536, 131072},
         4096);
 
-  const core::Solver chimaera(core::benchmarks::chimaera(),
-                              core::MachineConfig::xt4_dual_core());
+  const core::Solver chimaera(core::benchmarks::chimaera(), machine);
   study(cli, "(b) Chimaera 240^3 cells", chimaera, {16384, 32768}, 1024);
   return 0;
 }

@@ -15,8 +15,9 @@ int main(int argc, char** argv) {
 
   core::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
-  const core::Solver solver(core::benchmarks::sweep3d(cfg),
-                            core::MachineConfig::xt4_dual_core());
+  const core::Solver solver(
+      core::benchmarks::sweep3d(cfg),
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core()));
 
   runner::SweepGrid grid;
   grid.values("P_avail", {16384, 32768, 65536, 131072});

@@ -22,15 +22,23 @@ int main(int argc, char** argv) {
 
   // Node-count axis first; each node-shape level derives the machine and
   // the total rank count from the point's node count.
+  // The axis sets only the node shape; everything else about the machine
+  // (interconnect parameters, comm model, synchronization terms — and any
+  // --machine / --comm-model override) comes from the base machine.
   auto shape = [](int cores, int buses) {
     return [cores, buses](runner::Scenario& s) {
-      s.machine = core::MachineConfig::xt4_with_cores(cores, buses);
+      const core::MachineConfig shaped =
+          core::MachineConfig::xt4_with_cores(cores, buses);
+      s.machine.cx = shaped.cx;
+      s.machine.cy = shaped.cy;
+      s.machine.buses_per_node = shaped.buses_per_node;
       s.set_processors(static_cast<int>(s.param("nodes")) * cores);
     };
   };
 
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::sweep3d(cfg);
+  runner::apply_machine_cli(cli, grid);
   std::vector<double> nodes;
   for (int n = 8192; n <= 131072; n *= 2) nodes.push_back(n);
   grid.values("nodes", nodes);

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   if (cli.has("full")) procs.insert(procs.end(), {144, 196, 256, 324});
 
   runner::SweepGrid grid;
+  runner::apply_comm_model_cli(cli, grid);
   grid.apps({{"Sweep3D 96^3", core::benchmarks::sweep3d(s3)},
              {"Chimaera 96^3", core::benchmarks::chimaera(chim)}});
   grid.machines({{"XT4 single", core::MachineConfig::xt4_single_core()},

@@ -18,7 +18,11 @@ int main(int argc, char** argv) {
       "Gcopy = 0.000789, Gdma = 0.000072 us/B, o = 3.80, ocopy = 1.98 us "
       "on-chip — the fit recovers the machine's ground truth");
 
-  const auto truth = loggp::xt4();
+  // The calibration target: the XT4 by default, any machines/*.cfg ground
+  // truth with --machine.
+  const auto truth =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core())
+          .loggp;
 
   // A one-point sweep: the calibration is a single (machine, noise, seed)
   // scenario whose deterministic RNG seed comes from the sweep.

@@ -16,9 +16,12 @@ int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
 
   // Stand-in for "run the MPI ping-pong benchmark on your machine": we
-  // measure the simulated XT4 with 1% timer noise. On a real cluster the
-  // curve would be filled from MPI_Wtime measurements instead.
-  const loggp::MachineParams ground_truth = loggp::xt4();
+  // measure the simulated XT4 (or any --machine config) with 1% timer
+  // noise. On a real cluster the curve would be filled from MPI_Wtime
+  // measurements instead.
+  const loggp::MachineParams ground_truth =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core())
+          .loggp;
   const auto sizes = calibrate::default_sizes();
 
   runner::SweepGrid grid;

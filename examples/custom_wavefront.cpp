@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
 
   std::printf("Sweep-structure design study at P = 4096, Htile = 2:\n");
   runner::SweepGrid designs;
+  runner::apply_machine_cli(cli, designs);
   designs.apps({{"barrier-heavy (every sweep completes)",
                  make_app(barrier_heavy, 2.0)},
                 {"chained corners (Sweep3D-style)", make_app(chained, 2.0)},
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
 
   std::printf("Htile scan for the chained design at P = 4096:\n");
   runner::SweepGrid htile_grid;
+  runner::apply_machine_cli(cli, htile_grid);
   htile_grid.processors({4096});
   htile_grid.values("Htile", {1, 2, 4, 8, 16},
                     [&](runner::Scenario& s, double h) {
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
   // the numbers (the plug-and-play promise is accuracy without bespoke
   // equations — verify it holds for *your* code's structure).
   runner::SweepGrid check;
+  runner::apply_machine_cli(cli, check);
   check.base().app = make_app(chained, best_h);
   check.processors({256});
   const auto checked = batch.run(check, runner::model_vs_sim_metrics);

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
 
   // 3. Predictions: tile height tuning, then the scaling sweep through
   //    the batch runner.
-  const auto machine = core::MachineConfig::xt4_dual_core();
+  const auto machine =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
   const auto scan = core::scan_htile(app, machine, 16384);
   std::printf("optimal Htile at P = 16384: %.0f (%.1f%% faster than "
               "Htile = 1)\n\n",

@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
   // groups, 10,000 time steps each.
   core::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
-  const core::Solver solver(core::benchmarks::sweep3d(cfg),
-                            core::MachineConfig::xt4_dual_core());
+  const core::Solver solver(
+      core::benchmarks::sweep3d(cfg),
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core()));
   const long long timesteps = 10'000;
 
   std::printf("Candidate machine sizes (one simulation on the full "

@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
 
   // 1. The machine: Cray XT4 LogGP parameters, dual-core nodes stacked
-  //    1x2 in the processor grid.
-  const core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
+  //    1x2 in the processor grid — or any machines/*.cfg via --machine,
+  //    evaluated under any registered backend via --comm-model.
+  const core::MachineConfig machine =
+      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
 
   // 2. The application: Sweep3D on the 20-million-cell problem. Wg — the
   //    measured compute time for all angles of one cell — comes from

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = app;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
+  runner::apply_machine_cli(cli, grid);
   grid.processors({16, 64, 256, 1024});
 
   const auto records = runner::BatchRunner(runner::options_from_cli(cli))

@@ -14,7 +14,10 @@ BaselineResult hoisie_baseline(const AppParams& app,
                                const topo::Grid& grid) {
   app.validate();
   machine.validate();
-  const loggp::CommModel comm(machine.loggp);
+  // The baseline honours the machine's comm-backend selection like the
+  // plug-and-play solver does.
+  const auto comm_ptr = machine.make_comm_model();
+  const loggp::CommModel& comm = *comm_ptr;
   const int n = grid.n();
   const int m = grid.m();
 

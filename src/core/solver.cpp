@@ -14,9 +14,10 @@ namespace wave::core {
 using loggp::Placement;
 
 Solver::Solver(AppParams app, MachineConfig machine)
-    : app_(std::move(app)), machine_(machine), comm_(machine.loggp) {
+    : app_(std::move(app)), machine_(std::move(machine)) {
   app_.validate();
   machine_.validate();
+  comm_ = machine_.make_comm_model();
 }
 
 ModelResult Solver::evaluate(int processors) const {
@@ -56,9 +57,9 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
     if (app_.nonblocking_sends && where == Placement::OffNode)
       return machine_.loggp.off.o;
     if (app_.nonblocking_sends && where == Placement::OnChip)
-      return comm_.is_large(bytes) ? machine_.loggp.on.o
-                                   : machine_.loggp.on.ocopy;
-    return comm_.send(bytes, where);
+      return comm_->is_large(bytes) ? machine_.loggp.on.o
+                                    : machine_.loggp.on.ocopy;
+    return comm_->send(bytes, where);
   };
 
   ModelResult res;
@@ -106,11 +107,11 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
         // north message still costs its Receive processing.
         const topo::Coord me{i, j};
         TimeSplit cand = start_at(i - 1, j) + w_term;
-        cand += comm_term(comm_.total(
+        cand += comm_term(comm_->total(
             res.msg_bytes_ew,
             placed(node_map.is_on_node(me, topo::Direction::West))));
         if (j > 1) {
-          cand += comm_term(comm_.recv(
+          cand += comm_term(comm_->recv(
               res.msg_bytes_ns,
               placed(node_map.is_on_node(me, topo::Direction::North))));
         }
@@ -126,7 +127,7 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
               res.msg_bytes_ew,
               placed(node_map.is_on_node(sender, topo::Direction::East))));
         }
-        cand += comm_term(comm_.total(
+        cand += comm_term(comm_->total(
             res.msg_bytes_ns,
             placed(node_map.is_on_node(sender, topo::Direction::South))));
         if (cand.total > best.total) best = cand;
@@ -150,21 +151,27 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
   // (r4): stack-drain time. All communications are off-node ("the
   // processing of the stack of tiles occurs at the rate of the slowest
   // communication in each direction"), plus the shared-bus contention
-  // additions of Table 6. Degenerate single-row/column grids have no
-  // neighbours in the collapsed direction, so those terms vanish.
-  const auto mult = loggp::contention_multipliers(machine_.cx, machine_.cy,
-                                                  machine_.buses_per_node);
+  // additions of Table 6 — unless the comm backend already folds bus
+  // interference into every message cost, in which case adding the
+  // multipliers would charge contention twice. Degenerate
+  // single-row/column grids have no neighbours in the collapsed
+  // direction, so those terms vanish.
+  const auto mult = comm_->models_bus_contention()
+                        ? loggp::ContentionMultipliers{}
+                        : loggp::contention_multipliers(
+                              machine_.cx, machine_.cy,
+                              machine_.buses_per_node);
   const usec i_ew = loggp::interference_unit(machine_.loggp, res.msg_bytes_ew);
   const usec i_ns = loggp::interference_unit(machine_.loggp, res.msg_bytes_ns);
   usec recv_w = 0.0, send_e = 0.0, recv_n = 0.0, send_s = 0.0;
   if (n > 1) {
-    recv_w = comm_.recv(res.msg_bytes_ew, Placement::OffNode) +
+    recv_w = comm_->recv(res.msg_bytes_ew, Placement::OffNode) +
              mult.recv_west * i_ew;
     send_e = send_cost(res.msg_bytes_ew, Placement::OffNode) +
              mult.send_east * i_ew;
   }
   if (m > 1) {
-    recv_n = comm_.recv(res.msg_bytes_ns, Placement::OffNode) +
+    recv_n = comm_->recv(res.msg_bytes_ns, Placement::OffNode) +
              mult.recv_north * i_ns;
     send_s = send_cost(res.msg_bytes_ns, Placement::OffNode) +
              mult.send_south * i_ns;
@@ -181,7 +188,7 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
       floor_pow2(std::min(machine_.cores_per_node(), total_cores));
   const auto& nwf = app_.nonwavefront;
   if (nwf.allreduce_count > 0) {
-    const usec one = loggp::allreduce_time(comm_, total_cores, c_eff,
+    const usec one = loggp::allreduce_time(*comm_, total_cores, c_eff,
                                            nwf.allreduce_bytes);
     res.t_nonwavefront += comm_term(nwf.allreduce_count * one);
   }
@@ -191,7 +198,7 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
     phase.work_per_cell = nwf.stencil_work_per_cell;
     phase.msg_bytes_ew = n > 1 ? res.msg_bytes_ew : 0;
     phase.msg_bytes_ns = m > 1 ? res.msg_bytes_ns : 0;
-    const usec t = loggp::stencil_time(comm_, phase);
+    const usec t = loggp::stencil_time(*comm_, phase);
     const usec compute = phase.cells_per_processor * phase.work_per_cell;
     res.t_nonwavefront += TimeSplit{t, t - compute};
   }

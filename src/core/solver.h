@@ -21,6 +21,8 @@
 // model. The computation component is the rest."
 #pragma once
 
+#include <memory>
+
 #include "core/app_params.h"
 #include "core/machine.h"
 #include "loggp/comm_model.h"
@@ -77,13 +79,25 @@ struct ModelResult {
 };
 
 /// Evaluates the plug-and-play model. Immutable after construction; cheap
-/// to copy; evaluate() is const and thread-safe.
+/// to copy (copies share the immutable comm backend); evaluate() is const
+/// and thread-safe.
+///
+/// The communication submodel is chosen at runtime by
+/// MachineConfig::comm_model (see loggp/registry.h). Backends that fold
+/// shared-bus interference into every message cost
+/// (CommModel::models_bus_contention) suppress the solver's own Table-6
+/// stack-phase contention additions so interference is charged once.
 class Solver {
  public:
+  /// @throws common::contract_error when the app or machine is out of
+  ///   domain, or machine.comm_model names no registered backend.
   Solver(AppParams app, MachineConfig machine);
 
   const AppParams& app() const { return app_; }
   const MachineConfig& machine() const { return machine_; }
+
+  /// @brief The communication backend evaluating this machine.
+  const loggp::CommModel& comm() const { return *comm_; }
 
   /// Evaluates on the closest-to-square decomposition of `processors` MPI
   /// ranks (one rank per core).
@@ -95,7 +109,7 @@ class Solver {
  private:
   AppParams app_;
   MachineConfig machine_;
-  loggp::CommModel comm_;
+  std::shared_ptr<const loggp::CommModel> comm_;
 };
 
 }  // namespace wave::core

@@ -1,0 +1,105 @@
+// The three shipped communication-model backends.
+//
+// Each backend is one set of modelling assumptions about what a message
+// costs on the wire and inside the MPI library; all three consume the same
+// Table-2 machine parameters and present the same CommModel interface, so
+// the solver, simulator and scenario runner can swap them by name (see
+// registry.h) without recompiling:
+//
+//   "loggp"      — the paper's closed forms (Table 1, eqs. 1–8).
+//   "loggps"     — LogGPS-style [Ino, Fujimoto & Hagihara, PPoPP'01]:
+//                  LogGP plus an explicit synchronization cost s
+//                  (MachineParams::OffNodeParams::sync) per rendezvous
+//                  handshake, charged to the sender occupancy and the
+//                  end-to-end time of large off-node messages.
+//   "contention" — bandwidth-contention-aware derating built on
+//                  contention.h: every DMA bus window on the message path
+//                  additionally waits for the (bus_sharers - 1) sibling
+//                  cores of its node, each adding one interference unit
+//                  I = odma + S*Gdma (Table 6's unit). This models a
+//                  *saturated* node where all cores communicate at once —
+//                  a pessimistic envelope, where the paper's Table-6 terms
+//                  charge contention only in the stack phase.
+#pragma once
+
+#include "loggp/comm_model.h"
+
+namespace wave::loggp {
+
+/// @brief The paper's LogGP closed forms (Table 1). Registered as "loggp".
+class LogGpModel : public CommModel {
+ public:
+  using CommModel::CommModel;
+
+  const std::string& name() const override;
+
+  /// @brief Table 1 eqs. 1, 2, 5, 6.
+  usec total(int message_bytes, Placement where) const override;
+  /// @brief Table 1 eqs. 3, 4a, 7, 8a.
+  usec send(int message_bytes, Placement where) const override;
+  /// @brief Table 1 eqs. 3, 4b, 7, 8b.
+  usec recv(int message_bytes, Placement where) const override;
+};
+
+/// @brief LogGPS variant: LogGP plus a per-rendezvous synchronization
+///   overhead `params().off.sync`. Registered as "loggps".
+///
+/// Large off-node messages synchronize sender and receiver; LogGPS makes
+/// the cost of that synchronization explicit instead of assuming the
+/// handshake is pure wire time. With sync == 0 this backend degenerates
+/// exactly to LogGP. Eager and on-chip paths are unchanged.
+class LogGpsModel : public LogGpModel {
+ public:
+  using LogGpModel::LogGpModel;
+
+  const std::string& name() const override;
+
+  /// @brief eq. 2 with the handshake extended by sync: o+h+s+o+S*G+L+o.
+  usec total(int message_bytes, Placement where) const override;
+  /// @brief eq. 4a with the handshake extended by sync: o + h + s.
+  usec send(int message_bytes, Placement where) const override;
+
+  /// @brief The synchronization overhead the simulator must mirror.
+  usec rendezvous_sync() const override { return params_.off.sync; }
+};
+
+/// @brief Bandwidth-contention-aware backend. Registered as "contention".
+///
+/// Assumes every core of a node communicates simultaneously: each shared
+/// memory-bus DMA window on a message's path waits for the other
+/// (bus_sharers - 1) cores of its bus, each adding one interference unit
+/// I(S) = odma + S*Gdma (contention.h). Concretely, relative to LogGP:
+///   - off-node messages cross two bus windows (sender TX, receiver RX):
+///     total and the large-message receive gain 2*(sharers-1)*I, the
+///     eager receive gains the local RX window (sharers-1)*I,
+///   - large on-chip messages cross one shared-bus DMA:
+///     total and recv gain (sharers-1)*I,
+///   - sender occupancies are unchanged (MPI_Send returns before the
+///     data DMA in every protocol), as are small on-chip copies.
+/// With bus_sharers == 1 this backend degenerates exactly to LogGP.
+class BusContentionModel : public LogGpModel {
+ public:
+  /// @param params Table-2 machine parameters.
+  /// @param bus_sharers Cores sharing one memory bus (>= 1); pass the
+  ///   node's cores_per_node / buses_per_node.
+  BusContentionModel(MachineParams params, int bus_sharers);
+
+  const std::string& name() const override;
+
+  usec total(int message_bytes, Placement where) const override;
+  usec recv(int message_bytes, Placement where) const override;
+
+  /// @brief The solver must not add its Table-6 terms on top of this.
+  bool models_bus_contention() const override { return true; }
+
+  /// @brief Cores sharing one memory bus.
+  int bus_sharers() const { return bus_sharers_; }
+
+ private:
+  /// Interference added per bus window: (sharers - 1) * I(S).
+  usec window_wait(int message_bytes) const;
+
+  int bus_sharers_ = 1;
+};
+
+}  // namespace wave::loggp

@@ -1,62 +1,9 @@
 #include "loggp/comm_model.h"
 
-#include "common/contracts.h"
-
 namespace wave::loggp {
 
 CommModel::CommModel(MachineParams params) : params_(params) {
   params_.validate();
-}
-
-usec CommModel::total(int message_bytes, Placement where) const {
-  WAVE_EXPECTS_MSG(message_bytes >= 0, "message size must be non-negative");
-  const double s = static_cast<double>(message_bytes);
-  if (where == Placement::OffNode) {
-    const auto& p = params_.off;
-    if (!is_large(message_bytes)) {
-      // (1): o + S*G + L + o
-      return p.o + s * p.G + p.L + p.o;
-    }
-    // (2): o + h + o + S*G + L + o
-    return p.o + p.handshake() + p.o + s * p.G + p.L + p.o;
-  }
-  const auto& p = params_.on;
-  if (!is_large(message_bytes)) {
-    // (5): ocopy + S*Gcopy + ocopy
-    return p.ocopy + s * p.Gcopy + p.ocopy;
-  }
-  // (6): o + S*Gdma + ocopy
-  return p.o + s * p.Gdma + p.ocopy;
-}
-
-usec CommModel::send(int message_bytes, Placement where) const {
-  WAVE_EXPECTS(message_bytes >= 0);
-  if (where == Placement::OffNode) {
-    const auto& p = params_.off;
-    // (3): o          (4a): o + h
-    return is_large(message_bytes) ? p.o + p.handshake() : p.o;
-  }
-  const auto& p = params_.on;
-  // (7): ocopy       (8a): o = ocopy + odma
-  return is_large(message_bytes) ? p.o : p.ocopy;
-}
-
-usec CommModel::recv(int message_bytes, Placement where) const {
-  WAVE_EXPECTS(message_bytes >= 0);
-  const double s = static_cast<double>(message_bytes);
-  if (where == Placement::OffNode) {
-    const auto& p = params_.off;
-    // (3): o          (4b): L + o + S*G + L + o
-    return is_large(message_bytes) ? p.L + p.o + s * p.G + p.L + p.o : p.o;
-  }
-  const auto& p = params_.on;
-  // (7): ocopy       (8b): S*Gdma + ocopy
-  return is_large(message_bytes) ? s * p.Gdma + p.ocopy : p.ocopy;
-}
-
-CommCosts CommModel::costs(int message_bytes, Placement where) const {
-  return CommCosts{send(message_bytes, where), recv(message_bytes, where),
-                   total(message_bytes, where)};
 }
 
 }  // namespace wave::loggp

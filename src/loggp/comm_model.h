@@ -1,4 +1,4 @@
-// LogGP models of MPI blocking send / receive (paper §3.1–3.2, Table 1).
+// The pluggable communication-model interface (paper §3.1–3.2, Table 1).
 //
 // Three quantities are modelled per message:
 //   total — end-to-end time from send entry to receive completion
@@ -6,46 +6,86 @@
 //   send  — time the *sender's* code path is occupied by MPI_Send,
 //   recv  — time the *receiver's* code path is occupied by MPI_Recv
 //           assuming the message has not yet arrived when the receive posts.
-// Small messages (<= eager limit) go eagerly; large off-node messages pay a
-// rendezvous handshake h, large on-chip messages pay a DMA setup.
+//
+// CommModel is the abstract interface; concrete submodels live in
+// backends.h (the paper's LogGP closed forms, a LogGPS variant with
+// rendezvous-synchronization overhead, and a bandwidth-contention-aware
+// derating) and are selected by name through registry.h. Everything above
+// this layer — the solver, the collectives/stencil sub-models, the
+// scenario runner — consumes only this interface, which is what makes the
+// machine submodel "plug-and-play" in the paper's sense.
 #pragma once
+
+#include <string>
 
 #include "loggp/params.h"
 
 namespace wave::loggp {
 
-/// Send/receive/total execution times of one message, in µs.
+/// @brief Send/receive/total execution times of one message, in µs.
 struct CommCosts {
   usec send = 0.0;
   usec recv = 0.0;
   usec total = 0.0;
 };
 
-/// Evaluates Table 1 for a machine description.
+/// @brief Abstract point-to-point communication submodel.
+///
+/// A backend owns a validated copy of the machine's Table-2 parameters and
+/// answers the three Table-1 quantities for any (message size, placement).
+/// Implementations must be immutable after construction: every accessor is
+/// const and callable concurrently (the BatchRunner evaluates scenario
+/// points on many threads through shared backends).
 class CommModel {
  public:
+  /// @param params Table-2 machine parameters; validated on construction
+  ///   (throws common::contract_error when out of domain).
   explicit CommModel(MachineParams params);
+  virtual ~CommModel() = default;
 
+  /// @brief The registered name of the concrete backend ("loggp", ...).
+  virtual const std::string& name() const = 0;
+
+  /// @brief End-to-end message time (µs): send entry to receive completion.
+  /// @param message_bytes Payload size in bytes (>= 0).
+  /// @param where Off-node wire or on-chip core-to-core transfer.
+  virtual usec total(int message_bytes, Placement where) const = 0;
+
+  /// @brief Sender code-path occupancy of MPI_Send (µs).
+  virtual usec send(int message_bytes, Placement where) const = 0;
+
+  /// @brief Receiver code-path occupancy of MPI_Recv (µs), assuming the
+  ///   message has not yet arrived when the receive posts.
+  virtual usec recv(int message_bytes, Placement where) const = 0;
+
+  /// @brief True when the backend already folds shared-bus interference
+  ///   into every per-message cost. The solver then skips its own Table-6
+  ///   stack-phase contention additions so interference is not counted
+  ///   twice.
+  virtual bool models_bus_contention() const { return false; }
+
+  /// @brief Per-rendezvous synchronization overhead the backend charges
+  ///   (µs); zero for pure LogGP. The discrete-event simulator applies the
+  ///   same overhead to its mechanistic rendezvous path so that model and
+  ///   "measurement" share protocol assumptions.
+  virtual usec rendezvous_sync() const { return 0.0; }
+
+  /// @brief All three Table-1 quantities at once.
+  CommCosts costs(int message_bytes, Placement where) const {
+    return CommCosts{send(message_bytes, where), recv(message_bytes, where),
+                     total(message_bytes, where)};
+  }
+
+  /// @brief The validated Table-2 parameters this backend evaluates.
   const MachineParams& params() const { return params_; }
 
-  /// End-to-end message time (Table 1 eqs. 1, 2, 5, 6).
-  usec total(int message_bytes, Placement where) const;
-
-  /// Sender code-path occupancy (eqs. 3, 4a, 7, 8a).
-  usec send(int message_bytes, Placement where) const;
-
-  /// Receiver code-path occupancy (eqs. 3, 4b, 7, 8b).
-  usec recv(int message_bytes, Placement where) const;
-
-  /// All three at once.
-  CommCosts costs(int message_bytes, Placement where) const;
-
-  /// True when the message exceeds the eager limit (rendezvous/DMA path).
+  /// @brief True when the message exceeds the eager limit
+  ///   (rendezvous/DMA path).
   bool is_large(int message_bytes) const {
     return message_bytes > params_.eager_limit_bytes;
   }
 
- private:
+ protected:
   MachineParams params_;
 };
 

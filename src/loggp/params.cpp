@@ -5,7 +5,8 @@
 namespace wave::loggp {
 
 void MachineParams::validate() const {
-  WAVE_EXPECTS_MSG(off.G > 0 && off.L >= 0 && off.o >= 0 && off.oh >= 0,
+  WAVE_EXPECTS_MSG(off.G > 0 && off.L >= 0 && off.o >= 0 && off.oh >= 0 &&
+                       off.sync >= 0,
                    "off-node LogGP parameters out of domain");
   WAVE_EXPECTS_MSG(on.Gcopy > 0 && on.Gdma > 0 && on.o >= 0 && on.ocopy >= 0,
                    "on-chip LogGP parameters out of domain");
@@ -35,6 +36,10 @@ MachineParams sp2() {
   p.off.L = 23.0;
   p.off.o = 23.0;
   p.off.oh = 0.0;
+  // Rendezvous synchronization on the SP/2's MPL-era stack was of the
+  // same order as o. Only the "loggps" backend reads this; the paper's
+  // LogGP forms (the default backend) ignore it.
+  p.off.sync = 15.0;
   // Single MPI task per node on the 1999 SP/2 study: model "on-chip" with
   // the same costs so the multi-core equations degrade gracefully.
   p.on.Gcopy = 0.07;

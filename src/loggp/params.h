@@ -27,9 +27,16 @@ struct OffNodeParams {
   /// Overhead of processing one handshake control message; the paper assumes
   /// it negligible on the XT4 ("Assuming that oh is negligible...").
   usec oh = 0.0;
+  /// LogGPS synchronization cost s, µs: software overhead of one rendezvous
+  /// synchronization beyond the wire handshake (request matching, progress
+  /// polling). Only the "loggps" backend charges it; the paper's LogGP
+  /// forms ignore it, so 0 (the XT4 default) changes nothing.
+  usec sync = 0.0;
 
   /// Total rendezvous handshake time: h = L + oh + L + oh (paper eq. 2).
   usec handshake() const { return 2.0 * (L + oh); }
+
+  friend bool operator==(const OffNodeParams&, const OffNodeParams&) = default;
 };
 
 /// On-chip (same-die, core-to-core) parameters: Table 2 right column.
@@ -41,6 +48,8 @@ struct OnChipParams {
 
   /// DMA setup cost, the fixed jump at the eager limit (paper §3.2).
   usec odma() const { return o - ocopy; }
+
+  friend bool operator==(const OnChipParams&, const OnChipParams&) = default;
 };
 
 /// Complete machine description consumed by the communication models.
@@ -53,6 +62,8 @@ struct MachineParams {
 
   /// Validates parameter domains; throws wave::common::contract_error.
   void validate() const;
+
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
 };
 
 /// Cray XT4 parameters measured in the paper (Table 2).

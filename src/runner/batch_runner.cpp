@@ -8,7 +8,7 @@
 namespace wave::runner {
 
 Metrics model_metrics(const Scenario& s) {
-  const core::Solver solver(s.app, s.machine);
+  const core::Solver solver(s.app, s.effective_machine());
   const core::ModelResult res = solver.evaluate(s.grid);
   const core::TimeSplit step = res.timestep_split();
   return {{"model_iter_us", res.iteration.total},
@@ -20,8 +20,8 @@ Metrics model_metrics(const Scenario& s) {
 }
 
 Metrics sim_metrics(const Scenario& s) {
-  const workloads::SimRunResult res =
-      workloads::simulate_wavefront(s.app, s.machine, s.grid, s.iterations);
+  const workloads::SimRunResult res = workloads::simulate_wavefront(
+      s.app, s.effective_machine(), s.grid, s.iterations);
   return {{"sim_iter_us", res.time_per_iteration},
           {"sim_makespan_us", res.makespan},
           {"sim_events", static_cast<double>(res.events)},

@@ -1,0 +1,38 @@
+#include <iostream>
+
+#include "loggp/registry.h"
+#include "runner/runner.h"
+
+namespace wave::runner {
+
+void apply_machine_cli(const common::Cli& cli, Scenario& base) {
+  const std::string file = cli.get("machine", "");
+  if (!file.empty()) base.machine = core::load_machine_config(file);
+  const std::string model = cli.get("comm-model", "");
+  if (!model.empty()) {
+    loggp::require_comm_model(model);
+    base.comm_model = model;
+  }
+}
+
+void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
+  if (cli.has("machine")) {
+    std::cerr << "note: this driver sweeps its own machine axis; "
+                 "--machine is ignored (--comm-model still applies)\n";
+  }
+  const std::string model = cli.get("comm-model", "");
+  if (!model.empty()) {
+    loggp::require_comm_model(model);
+    base.comm_model = model;
+  }
+}
+
+core::MachineConfig machine_from_cli(const common::Cli& cli,
+                                     core::MachineConfig fallback) {
+  Scenario base;
+  base.machine = std::move(fallback);
+  apply_machine_cli(cli, base);
+  return base.effective_machine();
+}
+
+}  // namespace wave::runner

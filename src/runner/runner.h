@@ -2,9 +2,13 @@
 // (scenario.h), parallel batch execution (batch_runner.h), and result
 // sinks (sinks.h). The bench/ and examples/ drivers include this one
 // header and share the same CLI conventions:
-//   --threads N   worker threads for the batch (default: all cores)
-//   --csv         emit the rendered table as CSV
-//   --json        emit the raw record set as JSON
+//   --threads N          worker threads for the batch (default: all cores)
+//   --csv                emit the rendered table as CSV
+//   --json               emit the raw record set as JSON
+//   --machine=<file>     replace the driver's base machine with a
+//                        machines/*.cfg config loaded at runtime
+//   --comm-model=<name>  evaluate under the named communication backend
+//                        (loggp | loggps | contention | any registered)
 #pragma once
 
 #include "common/cli.h"
@@ -21,5 +25,36 @@ inline BatchRunner::Options options_from_cli(const common::Cli& cli) {
   return BatchRunner::Options(
       static_cast<int>(cli.get_int("threads", 0)));
 }
+
+/// @brief Applies the shared --machine=<file> / --comm-model=<name> flags
+///   to a base scenario: --machine replaces `base.machine` with the loaded
+///   config; --comm-model sets the override `base.comm_model`, which wins
+///   over the machine's own choice (Scenario::effective_machine) and
+///   survives machine axes. Call after the driver sets its defaults.
+/// @throws core::ConfigError on an unreadable/invalid machine file;
+///   common::contract_error on an unregistered comm-model name.
+void apply_machine_cli(const common::Cli& cli, Scenario& base);
+
+/// @brief Convenience overload targeting the sweep's base scenario.
+inline void apply_machine_cli(const common::Cli& cli, SweepGrid& grid) {
+  apply_machine_cli(cli, grid.base());
+}
+
+/// @brief Variant for drivers whose sweep declares its own machine axis
+///   (which replaces the base machine wholesale): honours --comm-model —
+///   the override survives machine axes — and prints a note on stderr
+///   that --machine is ignored instead of silently discarding it.
+void apply_comm_model_cli(const common::Cli& cli, Scenario& base);
+
+/// @brief Convenience overload targeting the sweep's base scenario.
+inline void apply_comm_model_cli(const common::Cli& cli, SweepGrid& grid) {
+  apply_comm_model_cli(cli, grid.base());
+}
+
+/// @brief The shared flags resolved to a concrete machine, for drivers
+///   that evaluate a machine directly instead of through a sweep:
+///   `fallback`, replaced by --machine, then --comm-model applied on top.
+core::MachineConfig machine_from_cli(const common::Cli& cli,
+                                     core::MachineConfig fallback);
 
 }  // namespace wave::runner

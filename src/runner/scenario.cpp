@@ -4,8 +4,15 @@
 #include <cstdio>
 
 #include "common/contracts.h"
+#include "loggp/registry.h"
 
 namespace wave::runner {
+
+core::MachineConfig Scenario::effective_machine() const {
+  core::MachineConfig m = machine;
+  if (!comm_model.empty()) m.comm_model = comm_model;
+  return m;
+}
 
 const std::string& Scenario::label(const std::string& axis) const {
   for (const auto& [name, value] : labels)
@@ -99,6 +106,28 @@ SweepGrid& SweepGrid::machines(
   for (auto& [label, machine] : machines)
     axis.levels.push_back(
         {label, [machine](Scenario& s) { s.machine = machine; }});
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::machine_files(const std::vector<std::string>& paths,
+                                    std::string name) {
+  std::vector<std::pair<std::string, core::MachineConfig>> loaded;
+  loaded.reserve(paths.size());
+  for (const std::string& path : paths) {
+    core::MachineConfig m = core::load_machine_config(path);
+    loaded.emplace_back(m.name, std::move(m));
+  }
+  return machines(std::move(loaded), std::move(name));
+}
+
+SweepGrid& SweepGrid::comm_models(const std::vector<std::string>& names,
+                                  std::string name) {
+  Axis axis{std::move(name), {}};
+  for (const std::string& model : names) {
+    loggp::require_comm_model(model);
+    axis.levels.push_back(
+        {model, [model](Scenario& s) { s.comm_model = model; }});
+  }
   return this->axis(std::move(axis));
 }
 

@@ -35,6 +35,10 @@ enum class Engine {
 struct Scenario {
   core::AppParams app;
   core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
+  /// When non-empty, overrides machine.comm_model (see effective_machine).
+  /// Kept separate from `machine` so a comm-model axis or a --comm-model
+  /// flag composes with machine axes regardless of declaration order.
+  std::string comm_model;
   topo::Grid grid{1, 1};  ///< processor decomposition
   Engine engine = Engine::Model;
   int iterations = 1;  ///< DES iterations for Engine::Simulation
@@ -62,6 +66,11 @@ struct Scenario {
   /// Sets the closest-to-square decomposition of `p` ranks.
   void set_processors(int p) { grid = topo::closest_to_square(p); }
   int processors() const { return grid.size(); }
+
+  /// The machine this point evaluates: `machine`, with comm_model replaced
+  /// by the override when one is set. The canned evaluators
+  /// (batch_runner.h) all go through this.
+  core::MachineConfig effective_machine() const;
 };
 
 /// A named sweep axis: an ordered list of levels, each a labelled mutation
@@ -113,6 +122,18 @@ class SweepGrid {
   SweepGrid& machines(
       std::vector<std::pair<std::string, core::MachineConfig>> machines,
       std::string name = "machine");
+
+  /// Machine axis from config files (machines/*.cfg), loaded eagerly so a
+  /// bad file fails at sweep construction; levels are labelled by each
+  /// config's `name`. Throws core::ConfigError on unreadable/invalid files.
+  SweepGrid& machine_files(const std::vector<std::string>& paths,
+                           std::string name = "machine");
+
+  /// Communication-backend axis: each level sets the scenario's comm-model
+  /// override (Scenario::comm_model), so it composes with machine axes in
+  /// either declaration order. Names must be registered (loggp/registry.h).
+  SweepGrid& comm_models(const std::vector<std::string>& names,
+                         std::string name = "comm");
 
   /// Evaluation-engine axis (labels "model" / "sim").
   SweepGrid& engines(std::vector<Engine> engines, std::string name = "engine");

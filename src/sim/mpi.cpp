@@ -28,11 +28,14 @@ struct Mpi::Message {
 };
 
 Mpi::Mpi(Engine& engine, loggp::MachineParams params,
-         std::vector<int> node_of_rank)
+         std::vector<int> node_of_rank, ProtocolOptions protocol)
     : engine_(engine),
       params_(params),
+      protocol_(protocol),
       node_of_rank_(std::move(node_of_rank)) {
   params_.validate();
+  WAVE_EXPECTS_MSG(protocol_.rendezvous_sync >= 0,
+                   "rendezvous sync must be non-negative");
   WAVE_EXPECTS_MSG(!node_of_rank_.empty(), "need at least one rank");
   int max_node = 0;
   for (int node : node_of_rank_) {
@@ -251,12 +254,14 @@ void Mpi::maybe_ack(const std::shared_ptr<Message>& msg) {
   msg->acked = true;
   // ACK wire time L (+oh); on arrival MPI_Send returns (occupancy o + h,
   // eq. 4a) and the sender-side NIC copy (the second o of eq. 2) starts.
+  // A LogGPS-style protocol additionally charges the synchronization cost
+  // s to this sender-side CPU phase (backends.h).
   engine_.after(params_.off.L + params_.off.oh, [this, msg] {
     Completion sender = std::move(msg->sender);
     msg->sender = nullptr;
+    const usec hold = params_.off.o + protocol_.rendezvous_sync;
     FifoResource& nic = nic_[node_of(msg->src)];
-    const usec cpu_done =
-        nic.reserve(engine_.now(), params_.off.o) + params_.off.o;
+    const usec cpu_done = nic.reserve(engine_.now(), hold) + hold;
     engine_.at(cpu_done, std::move(sender));
     schedule_offnode_data(msg, cpu_done);
   });
@@ -353,8 +358,10 @@ Process allreduce(RankCtx ctx, int bytes) {
   if (rank + p2 < p) co_await ctx.send(rank + p2, bytes);
 }
 
-World::World(loggp::MachineParams params, std::vector<int> node_of_rank)
-    : mpi_(std::make_unique<Mpi>(engine_, params, std::move(node_of_rank))) {}
+World::World(loggp::MachineParams params, std::vector<int> node_of_rank,
+             Mpi::ProtocolOptions protocol)
+    : mpi_(std::make_unique<Mpi>(engine_, params, std::move(node_of_rank),
+                                 protocol)) {}
 
 void World::spawn(std::string name, Process process) {
   WAVE_EXPECTS_MSG(!started_, "cannot spawn after run()");

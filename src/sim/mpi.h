@@ -43,13 +43,26 @@
 
 namespace wave::sim {
 
+/// Protocol knobs beyond the Table-2 parameters, mirroring the selected
+/// analytic comm backend so model and "measurement" share assumptions.
+struct ProtocolOptions {
+  /// Extra sender-side CPU time charged when a rendezvous ACK is
+  /// processed (the LogGPS synchronization cost s). 0 = pure LogGP, the
+  /// paper's protocol.
+  usec rendezvous_sync = 0.0;
+};
+
 /// The message-passing fabric. One instance per simulation.
 class Mpi {
  public:
+  /// Nested alias kept for discoverability: Mpi::ProtocolOptions.
+  using ProtocolOptions = sim::ProtocolOptions;
+
   /// `node_of_rank[r]` places rank r on a node; ranks on the same node
   /// communicate on-chip. Node ids must be dense in [0, max+1).
   Mpi(Engine& engine, loggp::MachineParams params,
-      std::vector<int> node_of_rank);
+      std::vector<int> node_of_rank,
+      ProtocolOptions protocol = ProtocolOptions());
 
   int size() const { return static_cast<int>(node_of_rank_.size()); }
   int node_of(int rank) const;
@@ -206,6 +219,7 @@ class Mpi {
 
   Engine& engine_;
   loggp::MachineParams params_;
+  ProtocolOptions protocol_;
   std::vector<int> node_of_rank_;
   // Per-node DMA engines. The shared bus of a CMP node serializes the
   // cores' concurrent transfers (Table 6's contention source); transmit and
@@ -265,7 +279,8 @@ Process allreduce(RankCtx ctx, int bytes);
 /// calendar drains) and propagates rank exceptions.
 class World {
  public:
-  World(loggp::MachineParams params, std::vector<int> node_of_rank);
+  World(loggp::MachineParams params, std::vector<int> node_of_rank,
+        Mpi::ProtocolOptions protocol = Mpi::ProtocolOptions());
 
   Engine& engine() { return engine_; }
   Mpi& mpi() { return *mpi_; }

@@ -155,7 +155,12 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
   for (int r = 0; r < grid.size(); ++r)
     node_of_rank[r] = node_map.node_of(grid.coord_of(r));
 
-  sim::World world(machine.loggp, std::move(node_of_rank));
+  // Mirror the machine's analytic comm-backend assumptions in the
+  // mechanistic protocol (e.g. LogGPS charges its synchronization cost on
+  // the rendezvous path), so "measurement" and model stay comparable.
+  sim::Mpi::ProtocolOptions protocol;
+  protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
   for (int r = 0; r < grid.size(); ++r)
     world.spawn("rank" + std::to_string(r),
                 wavefront_rank(world.ctx(r), spec, r));

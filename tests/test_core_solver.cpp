@@ -5,7 +5,7 @@
 #include "common/contracts.h"
 #include "core/benchmarks.h"
 #include "core/solver.h"
-#include "loggp/comm_model.h"
+#include "loggp/backends.h"
 
 namespace wc = wave::core;
 namespace wb = wave::core::benchmarks;
@@ -63,7 +63,7 @@ TEST(Solver, StartPRecurrenceOnARow) {
   const wc::Solver solver(app, kSingle);
   const wave::topo::Grid grid(4, 1);
   const auto res = solver.evaluate(grid);
-  const wl::CommModel comm(kSingle.loggp);
+  const wl::LogGpModel comm(kSingle.loggp);
   const int ew = app.message_bytes_ew(4, 1);
   const double w = app.wg * (8.0 / 4.0) * 8.0;
   const double hop = w + comm.total(ew, wl::Placement::OffNode);

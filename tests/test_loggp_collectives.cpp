@@ -4,12 +4,13 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "loggp/backends.h"
 #include "loggp/collectives.h"
 
 namespace wl = wave::loggp;
 
 namespace {
-const wl::CommModel kModel(wl::xt4());
+const wl::LogGpModel kModel(wl::xt4());
 }
 
 TEST(Allreduce, SingleCoreReducesToLogP) {

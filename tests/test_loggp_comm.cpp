@@ -2,13 +2,13 @@
 #include <gtest/gtest.h>
 
 #include "common/contracts.h"
-#include "loggp/comm_model.h"
+#include "loggp/backends.h"
 
 namespace wl = wave::loggp;
 
 namespace {
 const wl::MachineParams kXt4 = wl::xt4();
-const wl::CommModel kModel(kXt4);
+const wl::LogGpModel kModel(kXt4);
 }  // namespace
 
 TEST(Table2, Xt4Values) {
@@ -105,13 +105,13 @@ TEST(CommModel, RejectsNegativeSize) {
 TEST(CommModel, ValidatesParameters) {
   wl::MachineParams bad = kXt4;
   bad.off.G = 0.0;
-  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+  EXPECT_THROW(wl::LogGpModel{bad}, wave::common::contract_error);
   bad = kXt4;
   bad.on.ocopy = bad.on.o + 1.0;  // ocopy > o impossible
-  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+  EXPECT_THROW(wl::LogGpModel{bad}, wave::common::contract_error);
   bad = kXt4;
   bad.eager_limit_bytes = 0;
-  EXPECT_THROW(wl::CommModel{bad}, wave::common::contract_error);
+  EXPECT_THROW(wl::LogGpModel{bad}, wave::common::contract_error);
 }
 
 // Property sweep: total time is non-decreasing in message size within each

@@ -1,0 +1,212 @@
+// Machine-config parsing: the machines/*.cfg key/value format, its error
+// handling (typos must not become silent defaults), round-tripping, and
+// the shipped config files — including the acceptance contract that the
+// shipped paper-platform config reproduces the compiled-in XT4 machine
+// exactly (same solver output as bench/fig06_scaling's preset).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/contracts.h"
+#include "core/benchmarks.h"
+#include "core/machine.h"
+#include "core/solver.h"
+
+namespace wc = wave::core;
+
+#ifndef WAVE_MACHINES_DIR
+#define WAVE_MACHINES_DIR "machines"
+#endif
+
+namespace {
+
+/// A minimal valid config body (XT4 Table 2 values).
+std::string minimal_cfg() {
+  return "off.G = 0.0004\n"
+         "off.L = 0.305\n"
+         "off.o = 3.92\n"
+         "on.Gcopy = 0.000789\n"
+         "on.Gdma = 0.000072\n"
+         "on.o = 3.80\n"
+         "on.ocopy = 1.98\n";
+}
+
+std::string shipped(const std::string& file) {
+  return std::string(WAVE_MACHINES_DIR) + "/" + file;
+}
+
+}  // namespace
+
+TEST(MachineConfigParse, MinimalConfigGetsXt4SingleCoreDefaults) {
+  const wc::MachineConfig m = wc::parse_machine_config(minimal_cfg());
+  EXPECT_EQ(m.comm_model, "loggp");
+  EXPECT_EQ(m.cx, 1);
+  EXPECT_EQ(m.cy, 1);
+  EXPECT_EQ(m.buses_per_node, 1);
+  EXPECT_FALSE(m.synchronization_terms);
+  EXPECT_EQ(m.loggp.eager_limit_bytes, 1024);
+  EXPECT_DOUBLE_EQ(m.loggp.off.G, 0.0004);
+  EXPECT_DOUBLE_EQ(m.loggp.off.oh, 0.0);
+  EXPECT_DOUBLE_EQ(m.loggp.off.sync, 0.0);
+}
+
+TEST(MachineConfigParse, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n\n" + minimal_cfg() + "cx = 2  # trailing comment\n";
+  EXPECT_EQ(wc::parse_machine_config(text).cx, 2);
+}
+
+TEST(MachineConfigParse, UnknownKeyThrows) {
+  try {
+    wc::parse_machine_config(minimal_cfg() + "of.G = 1\n", "typo.cfg");
+    FAIL() << "expected ConfigError";
+  } catch (const wc::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown machine-config key 'of.G'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("typo.cfg:8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MachineConfigParse, MissingRequiredKeysThrowsNamingThem) {
+  try {
+    wc::parse_machine_config("off.G = 0.0004\noff.L = 0.3\n");
+    FAIL() << "expected ConfigError";
+  } catch (const wc::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing required key"), std::string::npos) << what;
+    EXPECT_NE(what.find("off.o"), std::string::npos) << what;
+    EXPECT_NE(what.find("on.Gcopy"), std::string::npos) << what;
+  }
+}
+
+TEST(MachineConfigParse, DuplicateKeyThrows) {
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "off.G = 0.1\n"),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigParse, MalformedValuesThrow) {
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = fast\n"),
+               wc::ConfigError);
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 2.5\n"),
+               wc::ConfigError);
+  EXPECT_THROW(
+      wc::parse_machine_config(minimal_cfg() + "synchronization_terms = ja\n"),
+      wc::ConfigError);
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "just words\n"),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigParse, UnknownCommModelThrowsListingBackends) {
+  try {
+    wc::parse_machine_config(minimal_cfg() + "comm_model = telepathy\n");
+    FAIL() << "expected ConfigError";
+  } catch (const wc::ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("telepathy"), std::string::npos) << what;
+    EXPECT_NE(what.find("loggp"), std::string::npos) << what;
+    EXPECT_NE(what.find("contention"), std::string::npos) << what;
+  }
+}
+
+TEST(MachineConfigParse, OutOfDomainValuesThrow) {
+  // Structurally fine, semantically invalid: validate() failures surface
+  // as ConfigError too (3 cores per node is not a power of two).
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 3\n"),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigRoundTrip, WriteThenParseIsIdentity) {
+  for (const wc::MachineConfig& m :
+       {wc::MachineConfig::xt4_dual_core(), wc::MachineConfig::xt4_single_core(),
+        wc::MachineConfig::sp2_single_core(),
+        wc::MachineConfig::xt4_with_cores(8, 2)}) {
+    const wc::MachineConfig back =
+        wc::parse_machine_config(wc::write_machine_config(m));
+    EXPECT_EQ(back, m) << "round-trip changed machine '" << m.name << "'";
+  }
+}
+
+TEST(MachineConfigRoundTrip, SurvivesAwkwardParameterValues) {
+  wc::MachineConfig m = wc::MachineConfig::xt4_dual_core();
+  m.comm_model = "loggps";
+  m.loggp.off.G = 1.0 / 3.0;  // no short decimal representation
+  m.loggp.off.sync = 6.25e-3;
+  EXPECT_EQ(wc::parse_machine_config(wc::write_machine_config(m)), m);
+}
+
+TEST(ShippedConfigs, AllLoadAndValidate) {
+  for (const char* file :
+       {"xt4-dual.cfg", "xt4-single.cfg", "sp2.cfg", "quadcore-shared-bus.cfg",
+        "fatnode-loggps.cfg"}) {
+    const wc::MachineConfig m = wc::load_machine_config(shipped(file));
+    EXPECT_FALSE(m.name.empty()) << file;
+    EXPECT_NO_THROW(m.validate()) << file;
+    EXPECT_NO_THROW(m.make_comm_model()) << file;
+  }
+}
+
+TEST(ShippedConfigs, Xt4DualMatchesCompiledInPreset) {
+  const wc::MachineConfig loaded =
+      wc::load_machine_config(shipped("xt4-dual.cfg"));
+  EXPECT_EQ(loaded, wc::MachineConfig::xt4_dual_core());
+}
+
+TEST(ShippedConfigs, Xt4DualReproducesFig06NumbersUnderLogGp) {
+  // The acceptance contract: the shipped paper-platform config must give
+  // byte-for-byte the same model predictions as the compiled-in machine
+  // that bench/fig06_scaling always used.
+  wc::benchmarks::Sweep3dConfig cfg;
+  cfg.energy_groups = 30;
+  const auto app = wc::benchmarks::sweep3d(cfg);
+  const wc::Solver from_file(app,
+                             wc::load_machine_config(shipped("xt4-dual.cfg")));
+  const wc::Solver preset(app, wc::MachineConfig::xt4_dual_core());
+  for (int p : {256, 4096, 65536}) {
+    const auto a = from_file.evaluate(p);
+    const auto b = preset.evaluate(p);
+    EXPECT_EQ(a.iteration.total, b.iteration.total) << "P=" << p;
+    EXPECT_EQ(a.iteration.comm, b.iteration.comm) << "P=" << p;
+    EXPECT_EQ(a.timestep(), b.timestep()) << "P=" << p;
+  }
+}
+
+TEST(ShippedConfigs, NameDefaultsToFileStem) {
+  // sp2.cfg sets its name explicitly; write a nameless config to a string
+  // and check the stem default through load_machine_config's path logic is
+  // exercised by the shipped files instead. Parsing a nameless body leaves
+  // the name empty.
+  EXPECT_TRUE(wc::parse_machine_config(minimal_cfg()).name.empty());
+  EXPECT_EQ(wc::load_machine_config(shipped("sp2.cfg")).name, "sp2");
+}
+
+TEST(ShippedConfigs, MissingFileThrows) {
+  EXPECT_THROW(wc::load_machine_config(shipped("no-such-machine.cfg")),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigParse, OutOfIntRangeValuesThrowInsteadOfOverflowing) {
+  EXPECT_THROW(
+      wc::parse_machine_config(minimal_cfg() + "eager_limit_bytes = 3e9\n"),
+      wc::ConfigError);
+  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 1e300\n"),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigRoundTrip, NamesWithInternalSpacesSurvive) {
+  wc::MachineConfig m = wc::MachineConfig::xt4_dual_core();
+  m.name = "my test cluster v2";
+  m.validate();
+  EXPECT_EQ(wc::parse_machine_config(wc::write_machine_config(m)), m);
+}
+
+TEST(MachineConfigValidate, RejectsConfigUnsafeNames) {
+  // Names that could not survive the cfg serialization are invalid, so
+  // the round-trip guarantee holds for every machine validate() accepts.
+  for (const char* bad : {"node #1", " padded", "padded ", "two\nlines"}) {
+    wc::MachineConfig m = wc::MachineConfig::xt4_dual_core();
+    m.name = bad;
+    EXPECT_THROW(m.validate(), wave::common::contract_error) << bad;
+  }
+}

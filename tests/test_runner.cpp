@@ -252,3 +252,76 @@ TEST(Sinks, JsonEscapesStringsAndEmitsAllMetrics) {
   EXPECT_NE(os.str().find("\\\"hi\\\""), std::string::npos);
   EXPECT_NE(os.str().find("\"v\": 1.5"), std::string::npos);
 }
+
+#ifndef WAVE_MACHINES_DIR
+#define WAVE_MACHINES_DIR "machines"
+#endif
+
+TEST(SweepGrid, CommModelAxisComposesWithMachineAxisInEitherOrder) {
+  // The comm-model axis sets the *override*, so it survives a machine
+  // axis declared after it — declaration order must not matter.
+  auto labels_and_models = [](wr::SweepGrid& grid) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const wr::Scenario& s : grid.points())
+      out.emplace_back(s.label("machine") + "/" + s.label("comm"),
+                       s.effective_machine().comm_model);
+    return out;
+  };
+
+  wr::SweepGrid comm_first;
+  comm_first.comm_models({"loggp", "contention"});
+  comm_first.machines({{"single", wc::MachineConfig::xt4_single_core()},
+                       {"dual", wc::MachineConfig::xt4_dual_core()}});
+  wr::SweepGrid machine_first;
+  machine_first.machines({{"single", wc::MachineConfig::xt4_single_core()},
+                          {"dual", wc::MachineConfig::xt4_dual_core()}});
+  machine_first.comm_models({"loggp", "contention"});
+
+  for (const auto& [point, model] : labels_and_models(comm_first))
+    EXPECT_EQ(model, point.substr(point.find('/') + 1)) << point;
+  for (const auto& [point, model] : labels_and_models(machine_first))
+    EXPECT_EQ(model, point.substr(point.find('/') + 1)) << point;
+}
+
+TEST(SweepGrid, CommModelAxisRejectsUnknownBackends) {
+  wr::SweepGrid grid;
+  EXPECT_THROW(grid.comm_models({"loggp", "telepathy"}),
+               wave::common::contract_error);
+}
+
+TEST(SweepGrid, MachineFilesAxisLoadsAndLabelsByConfigName) {
+  const std::string dir = WAVE_MACHINES_DIR;
+  wr::SweepGrid grid;
+  grid.machine_files({dir + "/xt4-dual.cfg", dir + "/sp2.cfg"});
+  const auto points = grid.points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].label("machine"), "xt4-dual");
+  EXPECT_EQ(points[1].label("machine"), "sp2");
+  EXPECT_TRUE(points[1].machine.synchronization_terms);
+  EXPECT_THROW(grid.machine_files({dir + "/missing.cfg"}), wc::ConfigError);
+}
+
+TEST(Scenario, EffectiveMachineAppliesOverrideOnly) {
+  wr::Scenario s;
+  s.machine = wc::MachineConfig::xt4_dual_core();
+  EXPECT_EQ(s.effective_machine(), s.machine);
+  s.comm_model = "loggps";
+  const wc::MachineConfig eff = s.effective_machine();
+  EXPECT_EQ(eff.comm_model, "loggps");
+  EXPECT_EQ(eff.loggp, s.machine.loggp);
+  EXPECT_EQ(s.machine.comm_model, "loggp");  // the stored machine is intact
+}
+
+TEST(BatchRunner, MachineAndCommAxesStayDeterministicAcrossThreads) {
+  const std::string dir = WAVE_MACHINES_DIR;
+  wr::SweepGrid grid;
+  grid.base().app = tiny_sweep3d();
+  grid.machine_files(
+      {dir + "/xt4-dual.cfg", dir + "/quadcore-shared-bus.cfg"});
+  grid.comm_models({"loggp", "loggps", "contention"});
+  grid.processors({4, 16});
+  const auto points = grid.points();
+  const auto one = wr::BatchRunner(wr::BatchRunner::Options(1)).run(points);
+  const auto many = wr::BatchRunner(wr::BatchRunner::Options(8)).run(points);
+  EXPECT_EQ(wr::to_csv(one), wr::to_csv(many));
+}

@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "loggp/collectives.h"
-#include "loggp/comm_model.h"
+#include "loggp/backends.h"
 #include "sim/mpi.h"
 #include "workloads/pingpong.h"
 
@@ -15,7 +15,7 @@ namespace ww = wave::workloads;
 
 namespace {
 const wl::MachineParams kXt4 = wl::xt4();
-const wl::CommModel kModel(kXt4);
+const wl::LogGpModel kModel(kXt4);
 }  // namespace
 
 // Uncontended ping-pong must reproduce the Table 1 end-to-end equations
@@ -220,7 +220,7 @@ TEST(MpiProtocol, ExactForOtherMachines) {
   // parameters the uncontended ping-pong reproduces that machine's
   // Table 1 equations exactly too.
   const wl::MachineParams sp2 = wl::sp2();
-  const wl::CommModel sp2_model(sp2);
+  const wl::LogGpModel sp2_model(sp2);
   for (int bytes : {8, 1024, 1025, 8192}) {
     EXPECT_NEAR(ww::pingpong_half_rtt(sp2, false, bytes),
                 sp2_model.total(bytes, wl::Placement::OffNode), 1e-9)

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Fails (exit 1) when README.md or docs/*.md contains an intra-repo
+# markdown link whose target does not exist. External links (http/https/
+# mailto) and pure #anchors are not checked; fenced code blocks and
+# inline code spans are ignored (C++ lambdas contain "](...)").
+# Dependency-free POSIX shell; run from the repository root (or pass the
+# root as $1). CI runs this in the docs job.
+set -u
+
+root="${1:-.}"
+status=0
+
+for doc in "$root/README.md" "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Drop ``` fenced blocks and `inline code`, then pull every "](target)"
+  # out, one per line.
+  targets=$(awk '
+    /^[[:space:]]*```/ { fence = !fence; next }
+    !fence { gsub(/`[^`]*`/, ""); print }
+  ' "$doc" | grep -o ']([^) ]*)' | sed 's/^](//; s/)$//')
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"            # drop any #anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit "$status"
