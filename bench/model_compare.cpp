@@ -12,8 +12,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/benchmarks.h"
 #include "loggp/registry.h"
+#include "runner/reference_grids.h"
 #include "runner/runner.h"
 
 using namespace wave;
@@ -43,27 +43,15 @@ int main(int argc, char** argv) {
       "one bus) and leaves single-core-per-node machines untouched; "
       "records are byte-identical at any thread count");
 
-  core::benchmarks::Sweep3dConfig cfg;
-  cfg.nx = cfg.ny = cfg.nz = 256;
-
-  runner::SweepGrid grid;
-  grid.base().app = core::benchmarks::sweep3d(cfg);
-
+  // The grid is pinned (tests/data/model_compare_records.csv), so it lives
+  // in runner/reference_grids.cpp where the fixture test can reuse it.
   const std::string dir = find_machines_dir(cli);
   if (dir.empty()) {
     // No machines/ directory in sight (e.g. the binary was moved);
     // fall back to the compiled-in presets so the sweep still runs.
     std::cout << "note: machines/*.cfg not found, using built-in presets\n";
-    grid.machines({{"xt4-dual", core::MachineConfig::xt4_dual_core()},
-                   {"sp2", core::MachineConfig::sp2_single_core()},
-                   {"quadcore-shared-bus", core::MachineConfig::xt4_with_cores(4)}});
-  } else {
-    grid.machine_files({dir + "/xt4-dual.cfg", dir + "/sp2.cfg",
-                        dir + "/quadcore-shared-bus.cfg",
-                        dir + "/fatnode-loggps.cfg"});
   }
-  grid.comm_models({"loggp", "loggps", "contention"});
-  grid.processors({256, 1024, 4096});
+  runner::SweepGrid grid = runner::model_compare_grid(dir);
 
   const auto points = grid.points();
   const auto serial =

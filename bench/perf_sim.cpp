@@ -4,6 +4,8 @@
 // afford.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "core/benchmarks.h"
 #include "sim/engine.h"
 #include "workloads/pingpong.h"

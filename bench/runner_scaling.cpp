@@ -9,7 +9,7 @@
 #include <chrono>
 #include <iostream>
 
-#include "core/benchmarks.h"
+#include "runner/reference_grids.h"
 #include "runner/runner.h"
 
 using namespace wave;
@@ -38,26 +38,11 @@ int main(int argc, char** argv) {
       "producing byte-identical records at any thread count");
 
   // 2 apps x 2 machines x 4 processor counts x 2 engines x 2 Htile values
-  // = 64 points; --full doubles the processor axis.
-  core::benchmarks::Sweep3dConfig s3;
-  s3.nx = s3.ny = s3.nz = 96;
-  core::benchmarks::ChimaeraConfig chim;
-  chim.nx = chim.ny = chim.nz = 96;
-
-  std::vector<int> procs = {16, 36, 64, 100};
-  if (cli.has("full")) procs.insert(procs.end(), {144, 196, 256, 324});
-
-  runner::SweepGrid grid;
+  // = 64 points; --full doubles the processor axis. The grid is pinned
+  // (tests/data/runner_scaling_records.csv), so it lives in
+  // runner/reference_grids.cpp where the fixture test can reuse it.
+  runner::SweepGrid grid = runner::runner_scaling_grid(cli.has("full"));
   runner::apply_comm_model_cli(cli, grid);
-  grid.apps({{"Sweep3D 96^3", core::benchmarks::sweep3d(s3)},
-             {"Chimaera 96^3", core::benchmarks::chimaera(chim)}});
-  grid.machines({{"XT4 single", core::MachineConfig::xt4_single_core()},
-                 {"XT4 dual", core::MachineConfig::xt4_dual_core()}});
-  grid.processors(procs);
-  grid.values("Htile", {1, 2}, [](runner::Scenario& s, double h) {
-    s.app.htile = h;
-  });
-  grid.engines({runner::Engine::Model, runner::Engine::Simulation});
 
   const auto points = grid.points();
   std::cout << "sweep points: " << points.size() << "\n";

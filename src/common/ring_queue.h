@@ -1,0 +1,70 @@
+// Vector-backed FIFO queue that never shrinks.
+//
+// std::deque allocates (and on libstdc++ frees) a block as elements flow
+// through it, which puts the allocator on every simulated message's path
+// when used for the MPI channel queues. RingQueue keeps a power-of-two
+// circular buffer that only ever grows: steady-state push/pop are a store,
+// a load and an index mask. The object itself is 24 bytes — two of them
+// (an MPI channel) fit in a cache line, which matters when a simulation
+// holds one channel per communicating rank pair.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace wave::common {
+
+/// Move-only FIFO on a circular buffer. T must be default-constructible
+/// and movable.
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+  RingQueue(RingQueue&&) noexcept = default;
+  RingQueue& operator=(RingQueue&&) noexcept = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Oldest element (queue must be non-empty).
+  T& front() {
+    WAVE_EXPECTS(size_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow();
+    buf_[(head_ + size_) & (cap_ - 1)] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes and returns the oldest element (queue must be non-empty).
+  T pop_front() {
+    WAVE_EXPECTS(size_ > 0);
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+    return value;
+  }
+
+ private:
+  void grow() {
+    const std::uint32_t cap = cap_ == 0 ? 4 : cap_ * 2;
+    std::unique_ptr<T[]> bigger(new T[cap]);
+    for (std::uint32_t i = 0; i < size_; ++i)
+      bigger[i] = std::move(buf_[(head_ + i) & (cap_ - 1)]);
+    buf_ = std::move(bigger);
+    head_ = 0;
+    cap_ = cap;
+  }
+
+  std::unique_ptr<T[]> buf_;
+  std::uint32_t cap_ = 0;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace wave::common

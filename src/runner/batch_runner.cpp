@@ -1,5 +1,7 @@
 #include "runner/batch_runner.h"
 
+#include <algorithm>
+
 #include "common/units.h"
 #include "core/solver.h"
 #include "runner/thread_pool.h"
@@ -48,11 +50,23 @@ Metrics model_vs_sim_metrics(const Scenario& s) {
 
 int BatchRunner::threads() const { return ThreadPool(options_.threads).threads(); }
 
+std::size_t BatchRunner::chunk_for(const std::vector<Scenario>& points) const {
+  if (options_.chunk > 0) return static_cast<std::size_t>(options_.chunk);
+  for (const Scenario& s : points) {
+    if (s.engine == Engine::Simulation) return 1;
+  }
+  // Pure-analytic sweep: ~16 dispatches per thread, capped so late-start
+  // imbalance stays bounded on small grids.
+  const auto nthreads = static_cast<std::size_t>(threads());
+  const std::size_t chunk = points.size() / (nthreads * 16 + 1);
+  return std::clamp<std::size_t>(chunk, 1, 4096);
+}
+
 std::vector<RunRecord> BatchRunner::run(const std::vector<Scenario>& points,
                                         const PointFn& fn) const {
   std::vector<RunRecord> records(points.size());
   const ThreadPool pool(options_.threads);
-  pool.for_each_index(points.size(), [&](std::size_t i) {
+  pool.for_each_chunk(points.size(), chunk_for(points), [&](std::size_t i) {
     const Scenario& s = points[i];
     RunRecord& r = records[i];
     r.index = s.index;

@@ -40,8 +40,18 @@ class BatchRunner {
  public:
   struct Options {
     int threads;  ///< <= 0 selects hardware concurrency
-    Options() : threads(0) {}
-    explicit Options(int threads_) : threads(threads_) {}
+    /// Points claimed per pool dispatch. 0 (the default) picks
+    /// automatically: pure-analytic sweeps use a chunk sized so each
+    /// thread sees ~16 dispatches (cheap microsecond points stop paying
+    /// one atomic round-trip each), while any sweep containing a DES
+    /// point keeps chunk = 1 (points are seconds-long; dispatch overhead
+    /// is noise and fine-grained claiming load-balances best). Chunking
+    /// never changes the records — only the execution schedule
+    /// (tests/test_runner.cpp pins this).
+    int chunk;
+    Options() : threads(0), chunk(0) {}
+    explicit Options(int threads_, int chunk_ = 0)
+        : threads(threads_), chunk(chunk_) {}
   };
 
   /// Computes the metrics of one scenario point.
@@ -50,6 +60,10 @@ class BatchRunner {
   explicit BatchRunner(Options options = Options()) : options_(options) {}
 
   int threads() const;
+
+  /// The chunk size `run` will use for `points` (resolves the automatic
+  /// choice; exposed for tests and diagnostics).
+  std::size_t chunk_for(const std::vector<Scenario>& points) const;
 
   /// Runs `fn` over every point; records come back in point order
   /// regardless of the execution schedule.

@@ -1,0 +1,30 @@
+// Pinned reference sweeps shared by drivers and the regression tests.
+//
+// bench/runner_scaling and bench/model_compare double as determinism gates:
+// their record sets are pinned byte-for-byte in tests/data/ so that hot-path
+// optimizations (event pooling, chunked scheduling, ...) can prove they did
+// not change a single simulated or modelled number. Keeping the grid
+// definitions here — used verbatim by both the bench drivers and
+// tests/test_pinned_records.cpp — guarantees the pinned fixture and the CI
+// smoke run describe the same sweep.
+#pragma once
+
+#include <string>
+
+#include "runner/scenario.h"
+
+namespace wave::runner {
+
+/// The bench/runner_scaling sweep: 2 apps x 2 machines x 4 processor counts
+/// x 2 Htile values x 2 engines = 64 mixed model+DES points. `full` doubles
+/// the processor axis (128 points).
+SweepGrid runner_scaling_grid(bool full = false);
+
+/// The bench/model_compare sweep: machine configs x comm-model backends x
+/// system sizes over Sweep3D 256^3. Machines load from `machines_dir`
+/// (xt4-dual, sp2, quadcore-shared-bus, fatnode-loggps); an empty dir falls
+/// back to the compiled-in presets so the sweep still runs when the *.cfg
+/// files are out of reach.
+SweepGrid model_compare_grid(const std::string& machines_dir);
+
+}  // namespace wave::runner

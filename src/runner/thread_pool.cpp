@@ -1,5 +1,6 @@
 #include "runner/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
@@ -16,9 +17,17 @@ ThreadPool::ThreadPool(int threads) : threads_(threads) {
 
 void ThreadPool::for_each_index(
     std::size_t count, const std::function<void(std::size_t)>& body) const {
+  for_each_chunk(count, 1, body);
+}
+
+void ThreadPool::for_each_chunk(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t)>& body) const {
   if (count == 0) return;
+  if (chunk == 0) chunk = 1;
   const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+      std::min<std::size_t>(static_cast<std::size_t>(threads_),
+                            (count + chunk - 1) / chunk);
 
   if (workers <= 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
@@ -32,10 +41,11 @@ void ThreadPool::for_each_index(
 
   auto worker = [&] {
     while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
       try {
-        body(i);
+        for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

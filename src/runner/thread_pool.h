@@ -28,6 +28,14 @@ class ThreadPool {
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& body) const;
 
+  /// Same contract, but workers claim `chunk` consecutive indices per
+  /// dispatch (one atomic increment per chunk instead of per index), so
+  /// million-point sweeps of cheap bodies don't serialize on the counter.
+  /// Results must be written to per-index slots as usual — chunking
+  /// changes the schedule, never the output.
+  void for_each_chunk(std::size_t count, std::size_t chunk,
+                      const std::function<void(std::size_t)>& body) const;
+
  private:
   int threads_;
 };

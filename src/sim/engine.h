@@ -8,14 +8,24 @@
 // (every validation bench must be exactly reproducible) and the simulated
 // workloads are far below the event rates where a parallel DES would pay
 // off.
+//
+// Steady-state scheduling is allocation-free and O(1) amortized per event:
+// callbacks are InlineTask (fixed inline storage, task.h) kept in a slab
+// of recycled slots, and the pending set is a self-calibrating calendar
+// queue — an array of time buckets of adaptive width — instead of a
+// binary heap, so cost does not grow with the number of pending events
+// (docs/PERFORMANCE.md has the design and the measurements).
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/units.h"
+#include "sim/task.h"
 
 namespace wave::sim {
 
@@ -26,7 +36,10 @@ class Engine {
  public:
   // Simulations with any concurrency immediately outgrow tiny geometric
   // doublings, so start the calendar at a useful size.
-  Engine() { queue_.reserve(256); }
+  Engine() {
+    set_buckets(kMinBuckets);
+    reserve(256);
+  }
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -34,15 +47,17 @@ class Engine {
   usec now() const { return now_; }
 
   /// Schedules `fn` at absolute simulated time `time` (>= now()). The
-  /// callback is moved into the calendar — captured state is never copied
-  /// on the hot path.
-  void at(usec time, std::function<void()> fn);
+  /// callback is moved into a recycled slab slot — captured state is never
+  /// copied, and in steady state never allocated, on the hot path.
+  /// (Defined inline below so callers construct the task straight into
+  /// its slab slot.)
+  void at(usec time, InlineTask fn);
 
   /// Schedules `fn` `delay` µs from now (delay >= 0).
-  void after(usec delay, std::function<void()> fn);
+  void after(usec delay, InlineTask fn);
 
   /// Pre-allocates calendar capacity for `events` pending events.
-  void reserve(std::size_t events) { queue_.reserve(events); }
+  void reserve(std::size_t events);
 
   /// Runs events until the calendar drains. Returns the final clock value.
   usec run();
@@ -55,32 +70,194 @@ class Engine {
   std::uint64_t events_processed() const { return processed_; }
 
   /// True when no events remain.
-  bool drained() const { return queue_.empty(); }
+  bool drained() const { return pending_ == 0; }
 
  private:
-  struct Event {
-    usec time;
-    std::uint64_t seq;  // tie-break: FIFO among equal-time events
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  // One pending event: 16 bytes, totally ordered by a single 128-bit
+  // integer compare. The high 64 bits are the event time's IEEE-754
+  // pattern — non-negative doubles order identically to their bit patterns
+  // as unsigned integers, and simulated time never goes negative (at()
+  // rejects t < now, now starts at 0; +0.0 normalizes a -0.0 input). The
+  // low 64 bits pack the FIFO tie-break sequence number (high 40 bits)
+  // over the task-slab slot (low 24 bits): equal-time events order by
+  // sequence, and the slot rides along for free. 2^24 bounds *pending*
+  // events (not total), 2^40 bounds events ever scheduled — both checked
+  // where they could overflow.
+  using Entry = unsigned __int128;
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint32_t kMaxSlots = 1u << kSlotBits;
+  static constexpr std::size_t kMinBuckets = 1024;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 18;
+  /// Inline entries per bucket: 4 × 16 bytes = one cache line.
+  static constexpr std::size_t kBucketCap = 4;
 
-  /// Pops the earliest event off the heap and returns it by move.
-  Event pop_next();
+  static Entry pack(usec time, std::uint64_t key) {
+    // + 0.0 turns a -0.0 input into +0.0 so the bit pattern orders right.
+    return static_cast<Entry>(std::bit_cast<std::uint64_t>(time + 0.0))
+               << 64 |
+           key;
+  }
+  static usec entry_time(Entry e) {
+    return std::bit_cast<usec>(static_cast<std::uint64_t>(e >> 64));
+  }
+  static std::uint32_t entry_slot(Entry e) {
+    return static_cast<std::uint32_t>(e) & (kMaxSlots - 1);
+  }
 
-  // Explicit binary heap (std::push_heap/pop_heap) instead of
-  // std::priority_queue: the vector can be reserved up front and the next
-  // event can be *moved* out of the container, so the std::function (and
-  // whatever state it captured) is never copied per event.
-  std::vector<Event> queue_;
+  /// Absolute bucket index of time `t` (relative to the rebuild epoch), or
+  /// kFarBucket when the index overflows (the entry then lives in far_).
+  static constexpr std::uint64_t kFarBucket = ~std::uint64_t{0};
+  std::uint64_t bucket_of(usec t) const {
+    const double d = (t - epoch_) * inv_width_;
+    return d >= 9.0e18 ? kFarBucket : static_cast<std::uint64_t>(d);
+  }
+
+  void insert(Entry e);
+  /// Appends `e` to its bucket (or far_) without growth checks.
+  void place(Entry e);
+  /// Cold path of at(): adds a task chunk; returns the first fresh slot.
+  std::uint32_t grow_task_slab();
+  Entry remove_min();
+  /// General removal: occupied-bucket walk merged with far_ candidates.
+  Entry remove_min_slow();
+  /// Minimum entry of physical bucket `phys` (inline + overflow chain);
+  /// `where` encodes the location for remove_from_bucket.
+  struct BucketMin {
+    Entry entry;
+    std::uint32_t inline_i;  // kNilChain when the min is a chain node
+    std::uint32_t chain_prev;
+  };
+  BucketMin bucket_min(std::size_t phys) const;
+  void remove_from_bucket(std::size_t phys, const BucketMin& loc);
+  /// Re-buckets everything into `nbuckets` buckets with a width
+  /// recalibrated from the live event-time distribution.
+  void rebuild(std::size_t nbuckets);
+  void set_buckets(std::size_t nbuckets);
+  void set_bit(std::size_t phys) {
+    occupied_[phys >> 6] |= std::uint64_t{1} << (phys & 63);
+  }
+  void clear_bit(std::size_t phys) {
+    occupied_[phys >> 6] &= ~(std::uint64_t{1} << (phys & 63));
+  }
+  /// Circular distance from physical bucket `from` to the next occupied
+  /// bucket (0 when `from` itself is occupied); npos when all are empty.
+  std::size_t next_occupied_distance(std::size_t from) const;
+
+  /// The task slab: chunked so addresses are stable while a task runs —
+  /// the run loop invokes tasks in place (no per-event move) and recycles
+  /// the slot only after the callback returns.
+  static constexpr std::size_t kTaskChunkShift = 9;
+  static constexpr std::size_t kTaskChunkSize = std::size_t{1}
+                                               << kTaskChunkShift;
+  InlineTask& task(std::uint32_t slot) {
+    return task_chunks_[slot >> kTaskChunkShift]
+                       [slot & (kTaskChunkSize - 1)];
+  }
+
+  // Calendar-queue pending set. Physical bucket p holds the entries of
+  // absolute time-bucket abs ≡ p (mod nbuckets); an entry a whole number
+  // of "years" ahead shares the slot and is skipped by the abs check.
+  // Storage is flat — kBucketCap entries inline per bucket (one cache
+  // line: data_[p*kBucketCap..], count in counts_[p]) — so the hot path
+  // never chases a per-bucket heap block. When a bucket overflows its
+  // cache line, the excess chains through recycled ChainNode slots
+  // (heads_[p] -> chain_), so crowding stays local to that bucket.
+  // Invariant: a bucket's chain is non-empty only while its inline line
+  // is full (removal refills the line from the chain), so the occupancy
+  // bitmap over inline counts covers chained entries too. occupied_ lets
+  // draining skip empties a word at a time. far_ holds the rare entries
+  // whose bucket index overflows. The InlineTask callables live in a
+  // slab indexed by recycled slot ids; calendar operations never move a
+  // task.
+  static constexpr std::uint32_t kNilChain = ~std::uint32_t{0};
+  struct ChainNode {
+    Entry entry;
+    std::uint32_t next;
+  };
+  std::vector<Entry> data_;
+  std::vector<std::uint8_t> counts_;
+  std::vector<std::uint32_t> heads_;
+  std::vector<ChainNode> chain_;
+  std::vector<std::uint32_t> chain_free_;
+  std::vector<std::uint64_t> occupied_;
+  std::vector<Entry> far_;
+  std::vector<Entry> scratch_;   // rebuild workspace (reused)
+  std::vector<usec> sample_;     // width-calibration workspace (reused)
+  std::vector<std::unique_ptr<InlineTask[]>> task_chunks_;
+  std::size_t task_slots_ = 0;  // slots ever created (chunks * chunk size)
+  std::vector<std::uint32_t> free_slots_;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  usec epoch_ = 0.0;  // time of absolute bucket 0 (re-anchored on rebuild)
+  std::uint64_t cur_ = 0;        // absolute bucket of the last-popped event
+  std::size_t bucket_mask_ = 0;  // buckets_.size() - 1 (power of two)
+  std::size_t pending_ = 0;      // entries in buckets_ plus far_
+  std::size_t scan_debt_ = 0;    // wasted scan work since last calibration
+  std::size_t rescue_debt_ = 0;  // cursor long-jumps since last calibration
   usec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
 };
+
+// ---- inline hot path --------------------------------------------------------
+// at()/insert()/place() are inline so call sites (the MPI protocol above
+// all else) construct each InlineTask directly into its slab slot and the
+// whole schedule path compiles into the caller — no per-event indirect
+// relocation.
+
+[[gnu::always_inline]] inline void Engine::place(Entry e) {
+  const std::uint64_t b = bucket_of(entry_time(e));
+  if (b == kFarBucket) {
+    far_.push_back(e);
+    return;
+  }
+  const std::size_t phys = static_cast<std::size_t>(b) & bucket_mask_;
+  const std::uint8_t n = counts_[phys];
+  if (n < kBucketCap) {
+    data_[phys * kBucketCap + n] = e;
+    counts_[phys] = n + 1;
+    if (n == 0) set_bit(phys);
+  } else {
+    // Inline line full: push onto this bucket's overflow chain.
+    std::uint32_t idx;
+    if (chain_free_.empty()) {
+      idx = static_cast<std::uint32_t>(chain_.size());
+      chain_.push_back(ChainNode{e, heads_[phys]});
+    } else {
+      idx = chain_free_.back();
+      chain_free_.pop_back();
+      chain_[idx] = ChainNode{e, heads_[phys]};
+    }
+    heads_[phys] = idx;
+  }
+}
+
+inline void Engine::insert(Entry e) {
+  ++pending_;
+  if (pending_ > bucket_mask_ + 1 && bucket_mask_ + 1 < kMaxBuckets) {
+    rebuild(2 * (bucket_mask_ + 1));
+  }
+  place(e);
+}
+
+[[gnu::always_inline]] inline void Engine::at(usec time, InlineTask fn) {
+  WAVE_EXPECTS_MSG(time >= now_, "cannot schedule events in the past");
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = grow_task_slab();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  task(slot) = std::move(fn);
+  WAVE_EXPECTS_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)),
+                   "event sequence number overflow");
+  insert(pack(time, next_seq_++ << kSlotBits | slot));
+}
+
+inline void Engine::after(usec delay, InlineTask fn) {
+  WAVE_EXPECTS_MSG(delay >= 0.0, "delay must be non-negative");
+  at(now_ + delay, std::move(fn));
+}
 
 }  // namespace wave::sim

@@ -8,9 +8,12 @@
 
 namespace wave::sim {
 
-/// One in-flight point-to-point message and its protocol state.
+/// One in-flight point-to-point message and its protocol state. Acquired
+/// from the per-Mpi slab pool at post_send and recycled at
+/// complete_receive, after which no event references it.
 struct Mpi::Message {
   int src = -1, dst = -1;
+  int src_node = -1, dst_node = -1;  // cached placement (hot-path lookups)
   int bytes = 0;
   bool on_chip = false;
   bool large = false;
@@ -46,7 +49,17 @@ Mpi::Mpi(Engine& engine, loggp::MachineParams params,
   rx_bus_.resize(static_cast<std::size_t>(max_node) + 1);
   nic_.resize(static_cast<std::size_t>(max_node) + 1);
   mpi_busy_.assign(node_of_rank_.size(), 0.0);
+  // Near-neighbour workloads materialize O(ranks) of the ranks^2 possible
+  // channels (4 neighbours in each direction plus ~2 log2 P collective
+  // partners per rank); pre-size for the common wavefront footprint —
+  // enough that a pure-neighbour run never rehashes, while collective-
+  // heavy runs pay at most a couple of amortized rehashes — capped so
+  // degenerate huge worlds don't balloon the empty table.
+  channels_.reserve_keys(
+      std::min<std::size_t>(node_of_rank_.size() * 24 + 64, 1u << 20));
 }
+
+Mpi::~Mpi() = default;
 
 usec Mpi::mpi_busy(int rank) const {
   WAVE_EXPECTS(rank >= 0 && rank < size());
@@ -91,18 +104,11 @@ usec Mpi::recv_overhead(const Message& msg) const {
   return msg.on_chip ? params_.on.ocopy : params_.off.o;
 }
 
-Mpi::Completion Mpi::with_busy(int rank, Completion inner) {
-  return [this, rank, t0 = engine_.now(), inner = std::move(inner)] {
-    mpi_busy_[rank] += engine_.now() - t0;
-    inner();
-  };
-}
-
 void Mpi::start_send(int src, int dst, int bytes, std::coroutine_handle<> h) {
   post_send(src, dst, bytes, with_busy(src, [h] { h.resume(); }));
 }
 
-void Mpi::start_isend(int src, int dst, int bytes, const RequestPtr& request,
+void Mpi::start_isend(int src, int dst, int bytes, RequestHandle request,
                       std::coroutine_handle<> h) {
   WAVE_EXPECTS_MSG(request != nullptr, "isend needs a Request token");
   post_send(
@@ -128,10 +134,11 @@ void Mpi::start_recv(int dst, int src, std::coroutine_handle<> h) {
   post_recv(dst, src, [h] { h.resume(); });
 }
 
-void Mpi::start_exchange(int self, int peer, int bytes,
+void Mpi::start_exchange(int self, int peer, int bytes, int* remaining,
                          std::coroutine_handle<> h) {
-  // Post both halves at once; resume when the second completes.
-  auto remaining = std::make_shared<int>(2);
+  // Post both halves at once; resume when the second completes. The
+  // counter lives in the exchange awaitable (the awaiting coroutine's
+  // frame), which outlives both completions.
   auto arm = [remaining, h] {
     if (--*remaining == 0) h.resume();
   };
@@ -145,12 +152,24 @@ void Mpi::post_send(int src, int dst, int bytes, Completion done,
   WAVE_EXPECTS_MSG(src != dst, "self-sends are not modelled");
   WAVE_EXPECTS(bytes >= 0);
 
-  auto msg = std::make_shared<Message>();
+  // Dirty acquire + explicit init of every field: a recycled message's
+  // sender/receiver tasks are always empty (complete_receive moved them
+  // out before release), so no InlineTask reset machinery runs here.
+  Message* msg = messages_.acquire_dirty();
   msg->src = src;
   msg->dst = dst;
+  msg->src_node = node_of_rank_[src];
+  msg->dst_node = node_of_rank_[dst];
   msg->bytes = bytes;
-  msg->on_chip = same_node(src, dst);
+  msg->on_chip = msg->src_node == msg->dst_node;
   msg->large = bytes > params_.eager_limit_bytes;
+  msg->delivered = false;
+  msg->req_arrived = false;
+  msg->acked = false;
+  msg->matched = false;
+  msg->dma_started = false;
+  msg->send_ready = 0.0;
+  msg->match_time = 0.0;
 
   Channel& ch = channel(src, dst);
   ch.unmatched.push_back(msg);
@@ -163,7 +182,7 @@ void Mpi::post_send(int src, int dst, int bytes, Completion done,
       // copies by sibling cores serialize (the C factor of eq. 9).
       const usec ocopy = params_.on.ocopy;
       const usec inject_done =
-          tx_bus_[node_of(src)].reserve(now, ocopy) + ocopy;
+          tx_bus_[msg->src_node].reserve(now, ocopy) + ocopy;
       if (cpu_done) engine_.at(inject_done, std::move(cpu_done));
       engine_.at(inject_done, std::move(done));
       const usec ready =
@@ -176,12 +195,13 @@ void Mpi::post_send(int src, int dst, int bytes, Completion done,
       msg->sender = std::move(done);
       msg->send_ready = now + params_.on.o;
       if (cpu_done) engine_.at(msg->send_ready, std::move(cpu_done));
-      if (msg->matched) start_onchip_dma(msg);
+      // A freshly posted message cannot be matched yet; the waiting-recv
+      // check at the bottom of this function starts the DMA via match().
     }
   } else {
     // Off-node sends serialize their CPU/NIC phase on the node's MPI
     // engine; uncontended this is exactly o.
-    FifoResource& nic = nic_[node_of(src)];
+    FifoResource& nic = nic_[msg->src_node];
     const usec inject_done =
         nic.reserve(now, params_.off.o) + params_.off.o;
     if (cpu_done) engine_.at(inject_done, std::move(cpu_done));
@@ -201,33 +221,33 @@ void Mpi::post_send(int src, int dst, int bytes, Completion done,
 
   // A receive may already be queued waiting on this channel.
   if (!ch.waiting_recvs.empty()) {
-    Completion recv = std::move(ch.waiting_recvs.front());
-    ch.waiting_recvs.pop_front();
+    Completion recv = ch.waiting_recvs.pop_front();
     WAVE_ENSURES(!ch.unmatched.empty());
-    auto head = ch.unmatched.front();
-    ch.unmatched.pop_front();
+    Message* head = ch.unmatched.pop_front();
     match(head, std::move(recv), now);
   }
 }
 
-void Mpi::post_recv(int dst, int src, Completion done) {
+template <typename F>
+void Mpi::post_recv(int dst, int src, F done) {
   WAVE_EXPECTS(src >= 0 && src < size() && dst >= 0 && dst < size());
-  done = [this, dst, t0 = engine_.now(), inner = std::move(done)] {
+  // Charge the post-to-completion span to the receiver's MPI occupancy.
+  // Wrapped before type erasure so the capture fits InlineTask's budget.
+  auto busy_done = [this, dst, t0 = engine_.now(),
+                    inner = std::move(done)]() mutable {
     mpi_busy_[dst] += engine_.now() - t0;
     inner();
   };
   Channel& ch = channel(src, dst);
   if (!ch.unmatched.empty()) {
-    auto msg = ch.unmatched.front();
-    ch.unmatched.pop_front();
-    match(msg, std::move(done), engine_.now());
+    Message* msg = ch.unmatched.pop_front();
+    match(msg, std::move(busy_done), engine_.now());
   } else {
-    ch.waiting_recvs.push_back(std::move(done));
+    ch.waiting_recvs.push_back(std::move(busy_done));
   }
 }
 
-void Mpi::match(const std::shared_ptr<Message>& msg, Completion recv,
-                usec time) {
+void Mpi::match(Message* msg, Completion recv, usec time) {
   WAVE_ENSURES(!msg->matched);
   msg->matched = true;
   msg->match_time = time;
@@ -235,7 +255,6 @@ void Mpi::match(const std::shared_ptr<Message>& msg, Completion recv,
   if (msg->delivered) {
     // Payload already queued at the receiver: pay the receive processing.
     Completion r = std::move(msg->receiver);
-    msg->receiver = nullptr;
     complete_receive(msg, std::move(r));
     return;
   }
@@ -249,7 +268,7 @@ void Mpi::match(const std::shared_ptr<Message>& msg, Completion recv,
   // Eager not yet delivered: deliver() will complete the receive.
 }
 
-void Mpi::maybe_ack(const std::shared_ptr<Message>& msg) {
+void Mpi::maybe_ack(Message* msg) {
   if (!msg->matched || !msg->req_arrived || msg->acked) return;
   msg->acked = true;
   // ACK wire time L (+oh); on arrival MPI_Send returns (occupancy o + h,
@@ -258,21 +277,19 @@ void Mpi::maybe_ack(const std::shared_ptr<Message>& msg) {
   // s to this sender-side CPU phase (backends.h).
   engine_.after(params_.off.L + params_.off.oh, [this, msg] {
     Completion sender = std::move(msg->sender);
-    msg->sender = nullptr;
     const usec hold = params_.off.o + protocol_.rendezvous_sync;
-    FifoResource& nic = nic_[node_of(msg->src)];
+    FifoResource& nic = nic_[msg->src_node];
     const usec cpu_done = nic.reserve(engine_.now(), hold) + hold;
     engine_.at(cpu_done, std::move(sender));
     schedule_offnode_data(msg, cpu_done);
   });
 }
 
-void Mpi::schedule_offnode_data(const std::shared_ptr<Message>& msg,
-                                usec departure_ready) {
+void Mpi::schedule_offnode_data(Message* msg, usec departure_ready) {
   // Sender-side DMA window: the payload departs at the bus grant (the
   // wire transfer is cut-through, so an uncontended grant adds no time).
   const usec i_window = interference(msg->bytes);
-  FifoResource& sbus = tx_bus_[node_of(msg->src)];
+  FifoResource& sbus = tx_bus_[msg->src_node];
   const usec departure = sbus.reserve(departure_ready, i_window);
   const usec tail_arrival = departure +
                             static_cast<double>(msg->bytes) * params_.off.G +
@@ -280,55 +297,55 @@ void Mpi::schedule_offnode_data(const std::shared_ptr<Message>& msg,
   // Receiver-side DMA window ends when the tail lands: reserve the final
   // stretch [tail - I, tail] so an idle bus leaves the arrival unchanged
   // and a busy one pushes the completion back by the queueing delay.
-  FifoResource& rbus = rx_bus_[node_of(msg->dst)];
+  FifoResource& rbus = rx_bus_[msg->dst_node];
   const usec rstart = std::max(0.0, tail_arrival - i_window);
   const usec ready = rbus.reserve(rstart, i_window) + i_window;
   engine_.at(std::max(ready, tail_arrival), [this, msg] { deliver(msg); });
 }
 
-void Mpi::start_onchip_dma(const std::shared_ptr<Message>& msg) {
+void Mpi::start_onchip_dma(Message* msg) {
   if (msg->dma_started) return;
   msg->dma_started = true;
   const usec start = std::max(msg->send_ready, msg->match_time);
   engine_.at(start, [this, msg] {
     // MPI_Send returns once the DMA is handed off (eq. 8a).
     Completion sender = std::move(msg->sender);
-    msg->sender = nullptr;
     if (sender) sender();
-    FifoResource& dbus = tx_bus_[node_of(msg->src)];
+    FifoResource& dbus = tx_bus_[msg->src_node];
     const usec hold = static_cast<double>(msg->bytes) * params_.on.Gdma;
     const usec done = dbus.reserve(engine_.now(), hold) + hold;
     engine_.at(done, [this, msg] { deliver(msg); });
   });
 }
 
-void Mpi::deliver(const std::shared_ptr<Message>& msg) {
+void Mpi::deliver(Message* msg) {
   msg->delivered = true;
   ++delivered_;
   if (!msg->receiver) return;  // receive not yet posted
   Completion recv = std::move(msg->receiver);
-  msg->receiver = nullptr;
   complete_receive(msg, std::move(recv));
 }
 
-void Mpi::complete_receive(const std::shared_ptr<Message>& msg,
-                           Completion recv) {
+void Mpi::complete_receive(Message* msg, Completion recv) {
   if (msg->on_chip) {
     if (!msg->large) {
       // The receive-side copy shares the memory bus like the send side.
       const usec ocopy = params_.on.ocopy;
       const usec done =
-          tx_bus_[node_of(msg->dst)].reserve(engine_.now(), ocopy) + ocopy;
+          tx_bus_[msg->dst_node].reserve(engine_.now(), ocopy) + ocopy;
       engine_.at(done, std::move(recv));
     } else {
       engine_.after(recv_overhead(*msg), std::move(recv));
     }
   } else {
-    FifoResource& nic = nic_[node_of(msg->dst)];
+    FifoResource& nic = nic_[msg->dst_node];
     const usec done =
         nic.reserve(engine_.now(), params_.off.o) + params_.off.o;
     engine_.at(done, std::move(recv));
   }
+  // The receive completion is scheduled and every sender-side event has
+  // been issued: nothing references the message any more — recycle it.
+  messages_.release(msg);
 }
 
 Process allreduce(RankCtx ctx, int bytes) {

@@ -26,20 +26,28 @@
 // 7/8a; rendezvous waits for the matching receive) are preserved, so
 // pipelined wavefront schedules — including their stalls — are simulated
 // faithfully.
+//
+// The fabric is allocation-free in steady state: messages and isend
+// requests are recycled through per-Mpi slab pools, protocol completions
+// are InlineTask (task.h) instead of std::function, and the (src, dst) ->
+// channel table is a dense open-addressed map pre-sized from the rank
+// count (docs/PERFORMANCE.md).
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/dense_map.h"
+#include "common/pool.h"
+#include "common/ring_queue.h"
 #include "loggp/params.h"
 #include "sim/engine.h"
 #include "sim/process.h"
 #include "sim/resource.h"
+#include "sim/task.h"
 
 namespace wave::sim {
 
@@ -63,6 +71,9 @@ class Mpi {
   Mpi(Engine& engine, loggp::MachineParams params,
       std::vector<int> node_of_rank,
       ProtocolOptions protocol = ProtocolOptions());
+  // Out-of-line so the pooled Message type is complete where the slab
+  // pool's destructor instantiates.
+  ~Mpi();
 
   int size() const { return static_cast<int>(node_of_rank_.size()); }
   int node_of(int rank) const;
@@ -122,20 +133,28 @@ class Mpi {
   };
 
   /// Completion token of a nonblocking send (MPI_Request for MPI_Isend).
-  /// Created by isend(); pass to wait(). The rank resumes from isend()
-  /// after the CPU injection phase only; the protocol (rendezvous
-  /// handshake, DMA, wire) completes in the background.
+  /// Acquired from the fabric's recycled pool via make_request(); pass to
+  /// isend(), then to wait() exactly once — wait() returns the token to
+  /// the pool when it resumes. The rank resumes from isend() after the CPU
+  /// injection phase only; the protocol (rendezvous handshake, DMA, wire)
+  /// completes in the background.
   struct Request {
     bool done = false;
     std::coroutine_handle<> waiter;
     usec wait_started = -1.0;
   };
-  using RequestPtr = std::shared_ptr<Request>;
+  /// Non-owning handle into the per-Mpi request pool (see Request).
+  using RequestHandle = Request*;
+
+  /// A fresh completion token from the recycled pool. Every token must be
+  /// passed to wait() exactly once; unwaited tokens are reclaimed only
+  /// when the Mpi is destroyed.
+  RequestHandle make_request() { return requests_.acquire(); }
 
   struct IsendAwaitable {
     Mpi* mpi;
     int src, dst, bytes;
-    RequestPtr request;  // caller-allocated completion token
+    RequestHandle request;  // caller-acquired completion token
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       mpi->start_isend(src, dst, bytes, request, h);
@@ -145,24 +164,29 @@ class Mpi {
 
   struct WaitAwaitable {
     Mpi* mpi;
-    RequestPtr request;
+    RequestHandle request;
     bool await_ready() const noexcept { return request->done; }
     void await_suspend(std::coroutine_handle<> h) const {
       request->wait_started = mpi->engine().now();
       request->waiter = h;
     }
-    void await_resume() const noexcept {}
+    /// Recycles the token: the request must not be touched after wait().
+    void await_resume() const noexcept { mpi->requests_.release(request); }
   };
 
   /// Concurrent send + receive with the same peer (MPI_Sendrecv): both
   /// operations are posted at once and the awaiter resumes when both
   /// complete. This is the exchange step of recursive-doubling collectives.
+  /// The completion counter lives in the awaitable itself — i.e. in the
+  /// awaiting coroutine's frame, which outlives the suspension — so no
+  /// shared state is allocated per exchange.
   struct ExchangeAwaitable {
     Mpi* mpi;
     int self, peer, bytes;
+    int remaining = 2;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      mpi->start_exchange(self, peer, bytes, h);
+      mpi->start_exchange(self, peer, bytes, &remaining, h);
     }
     void await_resume() const noexcept {}
   };
@@ -178,41 +202,54 @@ class Mpi {
     return ExchangeAwaitable{this, self, peer, bytes};
   }
   /// Nonblocking send: resumes the rank after the CPU injection phase and
-  /// returns (via the awaitable's `request` member, filled before
-  /// suspension) a Request to pass to wait().
-  IsendAwaitable isend(int src, int dst, int bytes,
-                       const RequestPtr& request) {
+  /// completes (via `request`) in the background; pass the handle to
+  /// wait().
+  IsendAwaitable isend(int src, int dst, int bytes, RequestHandle request) {
     return IsendAwaitable{this, src, dst, bytes, request};
   }
-  WaitAwaitable wait(RequestPtr request) {
-    return WaitAwaitable{this, std::move(request)};
+  WaitAwaitable wait(RequestHandle request) {
+    return WaitAwaitable{this, request};
   }
 
  private:
   struct Message;
-  using Completion = std::function<void()>;
+  /// Type-erased protocol continuation; inline storage keeps the hot path
+  /// out of the allocator (task.h static_asserts every capture fits).
+  using Completion = InlineTask;
   struct Channel {
-    std::deque<std::shared_ptr<Message>> unmatched;  // send order
-    std::deque<Completion> waiting_recvs;
+    common::RingQueue<Message*> unmatched;  // send order
+    common::RingQueue<Completion> waiting_recvs;
   };
 
   void start_send(int src, int dst, int bytes, std::coroutine_handle<> h);
   void start_recv(int dst, int src, std::coroutine_handle<> h);
-  void start_exchange(int self, int peer, int bytes,
+  void start_exchange(int self, int peer, int bytes, int* remaining,
                       std::coroutine_handle<> h);
-  void start_isend(int src, int dst, int bytes, const RequestPtr& request,
+  void start_isend(int src, int dst, int bytes, RequestHandle request,
                    std::coroutine_handle<> h);
   void post_send(int src, int dst, int bytes, Completion done,
-                 Completion cpu_done = nullptr);
-  Completion with_busy(int rank, Completion inner);
-  void post_recv(int dst, int src, Completion done);
-  void match(const std::shared_ptr<Message>& msg, Completion recv, usec time);
-  void maybe_ack(const std::shared_ptr<Message>& msg);
-  void schedule_offnode_data(const std::shared_ptr<Message>& msg,
-                             usec departure_ready);
-  void start_onchip_dma(const std::shared_ptr<Message>& msg);
-  void deliver(const std::shared_ptr<Message>& msg);
-  void complete_receive(const std::shared_ptr<Message>& msg, Completion recv);
+                 Completion cpu_done = Completion());
+
+  /// Wraps a small completion so the span from now to execution is charged
+  /// to `rank`'s MPI occupancy. Applied before type erasure so the wrapper
+  /// capture (this + rank + t0 + inner) stays within InlineTask's budget.
+  template <typename F>
+  auto with_busy(int rank, F inner) {
+    return [this, rank, t0 = engine_.now(),
+            inner = std::move(inner)]() mutable {
+      mpi_busy_[rank] += engine_.now() - t0;
+      inner();
+    };
+  }
+
+  template <typename F>
+  void post_recv(int dst, int src, F done);
+  void match(Message* msg, Completion recv, usec time);
+  void maybe_ack(Message* msg);
+  void schedule_offnode_data(Message* msg, usec departure_ready);
+  void start_onchip_dma(Message* msg);
+  void deliver(Message* msg);
+  void complete_receive(Message* msg, Completion recv);
   usec recv_overhead(const Message& msg) const;
   usec interference(int bytes) const;
   Channel& channel(int src, int dst);
@@ -229,9 +266,14 @@ class Mpi {
   std::vector<FifoResource> tx_bus_;
   std::vector<FifoResource> rx_bus_;
   std::vector<FifoResource> nic_;  // per node: NIC/MPI engine (CPU o phases)
-  // Sparse (src, dst) -> channel map: wavefront traffic is near-neighbour,
-  // so only O(ranks) of the ranks^2 possible channels ever exist.
-  std::unordered_map<std::uint64_t, Channel> channels_;
+  // Dense (src, dst) -> channel table, pre-sized from the rank count:
+  // wavefront traffic is near-neighbour, so only O(ranks) of the ranks^2
+  // possible channels ever exist — but each is hit per message, so the
+  // lookup is flat open addressing instead of a node-based hash map.
+  common::DenseMap64<Channel> channels_;
+  // Recycled protocol objects (see pool.h): allocation-free after warm-up.
+  common::SlabPool<Message> messages_;
+  common::SlabPool<Request> requests_;
   std::vector<usec> mpi_busy_;  // per rank: total MPI-operation occupancy
   std::uint64_t delivered_ = 0;
 };
@@ -255,14 +297,16 @@ class RankCtx {
   }
   /// Blocking MPI_Recv from `src`.
   Mpi::RecvAwaitable recv(int src) const { return mpi_->recv(rank_, src); }
+  /// A pooled isend completion token (see Mpi::make_request).
+  Mpi::RequestHandle make_request() const { return mpi_->make_request(); }
   /// Nonblocking MPI_Isend; resume after the CPU injection phase.
   Mpi::IsendAwaitable isend(int dst, int bytes,
-                            const Mpi::RequestPtr& request) const {
+                            Mpi::RequestHandle request) const {
     return mpi_->isend(rank_, dst, bytes, request);
   }
-  /// MPI_Wait on an isend request.
-  Mpi::WaitAwaitable wait(Mpi::RequestPtr request) const {
-    return mpi_->wait(std::move(request));
+  /// MPI_Wait on an isend request (recycles the token on resume).
+  Mpi::WaitAwaitable wait(Mpi::RequestHandle request) const {
+    return mpi_->wait(request);
   }
 
  private:

@@ -104,7 +104,8 @@ sim::Process wavefront_rank(sim::RankCtx ctx, const WavefrontSpec& spec,
   // Outstanding isend requests of the previous tile (double buffering:
   // the new boundary values live in a second buffer, so only the
   // previous tile's sends must have drained before sending again).
-  sim::Mpi::RequestPtr pending_x, pending_y;
+  // Handles come from the fabric's recycled pool; wait() returns them.
+  sim::Mpi::RequestHandle pending_x = nullptr, pending_y = nullptr;
   for (int iter = 0; iter < spec.iterations; ++iter) {
     for (const core::SweepOrigin origin : spec.sweep_origins) {
       const SweepNeighbours nb = neighbours_for(spec.grid, c, origin);
@@ -117,11 +118,11 @@ sim::Process wavefront_rank(sim::RankCtx ctx, const WavefrontSpec& spec,
           if (pending_x) co_await ctx.wait(std::exchange(pending_x, nullptr));
           if (pending_y) co_await ctx.wait(std::exchange(pending_y, nullptr));
           if (nb.downstream_x >= 0) {
-            pending_x = std::make_shared<sim::Mpi::Request>();
+            pending_x = ctx.make_request();
             co_await ctx.isend(nb.downstream_x, spec.msg_bytes_ew, pending_x);
           }
           if (nb.downstream_y >= 0) {
-            pending_y = std::make_shared<sim::Mpi::Request>();
+            pending_y = ctx.make_request();
             co_await ctx.isend(nb.downstream_y, spec.msg_bytes_ns, pending_y);
           }
         } else {
@@ -161,6 +162,11 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
   sim::Mpi::ProtocolOptions protocol;
   protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
   sim::World world(machine.loggp, std::move(node_of_rank), protocol);
+  // Pre-size the calendar from the decomposition: each rank keeps only a
+  // handful of events in flight (receives pending, one protocol step per
+  // outstanding message), so a small multiple of P covers the steady
+  // state and the warm-up never reallocates mid-run.
+  world.engine().reserve(static_cast<std::size_t>(grid.size()) * 8 + 256);
   for (int r = 0; r < grid.size(); ++r)
     world.spawn("rank" + std::to_string(r),
                 wavefront_rank(world.ctx(r), spec, r));

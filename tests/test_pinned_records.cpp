@@ -1,0 +1,59 @@
+// Byte-identical pinned record fixtures for the hot-path optimizations.
+//
+// tests/data/*.csv were generated with the PRE-optimization implementation
+// (std::function events, shared_ptr messages, unordered_map channels,
+// binary-heap calendar) on the reference sweeps of
+// runner/reference_grids.h. The pooled, calendar-queue implementation must
+// reproduce them to the byte: every simulated timestamp, contention
+// counter and event count — not approximately, exactly. This is the
+// determinism contract of docs/ARCHITECTURE.md applied across
+// implementations, and it is what lets perf work land without re-blessing
+// any validation number.
+//
+// If this test fails after an intentional semantic change (a new metric, a
+// protocol fix), regenerate the fixtures by running the sweeps through
+// runner::write_csv and committing the new files — with the change called
+// out in review, never silently.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/reference_grids.h"
+#include "runner/runner.h"
+
+namespace wr = wave::runner;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string records_csv(const wr::SweepGrid& grid) {
+  // Thread count deliberately != 1: the fixture also guards the batch
+  // runner's thread- and chunk-invariance on real sweeps.
+  const auto records = wr::BatchRunner(wr::BatchRunner::Options(0)).run(grid);
+  std::ostringstream os;
+  wr::write_csv(os, records);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(PinnedRecords, RunnerScalingGridMatchesPreOptimizationFixture) {
+  EXPECT_EQ(records_csv(wr::runner_scaling_grid(false)),
+            slurp(std::string(WAVE_TESTDATA_DIR) +
+                  "/runner_scaling_records.csv"));
+}
+
+TEST(PinnedRecords, ModelCompareGridMatchesPreOptimizationFixture) {
+  EXPECT_EQ(records_csv(wr::model_compare_grid(WAVE_MACHINES_DIR)),
+            slurp(std::string(WAVE_TESTDATA_DIR) +
+                  "/model_compare_records.csv"));
+}

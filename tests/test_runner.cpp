@@ -325,3 +325,57 @@ TEST(BatchRunner, MachineAndCommAxesStayDeterministicAcrossThreads) {
   const auto many = wr::BatchRunner(wr::BatchRunner::Options(8)).run(points);
   EXPECT_EQ(wr::to_csv(one), wr::to_csv(many));
 }
+
+TEST(BatchRunner, ChunkedSchedulingKeepsRecordsByteIdentical) {
+  // The chunked dispatch (Options::chunk) is a scheduling optimization
+  // only: the serialized record set must not change by a byte across any
+  // combination of chunk size and thread count.
+  const auto points = mixed_grid().points();
+  const auto reference =
+      wr::BatchRunner(wr::BatchRunner::Options(1, 1)).run(points);
+  const std::string expected = wr::to_csv(reference);
+  for (int threads : {1, 3, 8}) {
+    for (int chunk : {0, 1, 2, 7, 1024}) {
+      const auto records =
+          wr::BatchRunner(wr::BatchRunner::Options(threads, chunk))
+              .run(points);
+      EXPECT_EQ(wr::to_csv(records), expected)
+          << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(BatchRunner, AutoChunkIsOneForSweepsContainingDesPoints) {
+  const wr::BatchRunner batch{wr::BatchRunner::Options(4)};
+  EXPECT_EQ(batch.chunk_for(mixed_grid().points()), 1u);
+
+  // A pure-analytic sweep gets a real chunk once it has enough points.
+  wr::SweepGrid analytic;
+  analytic.base().app = tiny_sweep3d();
+  std::vector<double> htiles;
+  for (int h = 1; h <= 32; ++h) htiles.push_back(h);
+  analytic.values("Htile", htiles,
+                  [](wr::Scenario& s, double h) { s.app.htile = h; });
+  analytic.processors({4, 16, 36, 64, 100, 144, 196, 256});
+  const auto points = analytic.points();
+  const std::size_t chunk = batch.chunk_for(points);
+  EXPECT_GT(chunk, 1u);
+  EXPECT_LE(chunk, 4096u);
+  // An explicit chunk always wins over the automatic choice.
+  EXPECT_EQ(wr::BatchRunner(wr::BatchRunner::Options(4, 5)).chunk_for(points),
+            5u);
+}
+
+TEST(ThreadPool, ChunkedDispatchCoversEveryIndexExactlyOnce) {
+  const wr::ThreadPool pool(4);
+  for (std::size_t count : {0u, 1u, 5u, 64u, 1000u}) {
+    for (std::size_t chunk : {1u, 3u, 16u, 2000u}) {
+      std::vector<std::atomic<int>> hits(count);
+      pool.for_each_chunk(count, chunk,
+                          [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " chunk=" << chunk
+                                     << " i=" << i;
+    }
+  }
+}

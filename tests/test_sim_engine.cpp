@@ -1,6 +1,8 @@
 // Tests for the discrete-event engine: ordering, determinism, limits.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.h"
@@ -106,4 +108,94 @@ TEST(FifoResource, ZeroDurationIsAllowed) {
   ws::FifoResource r;
   EXPECT_DOUBLE_EQ(r.reserve(1.0, 0.0), 1.0);
   EXPECT_THROW(r.reserve(1.0, -1.0), wave::common::contract_error);
+}
+
+TEST(EngineStress, HundredThousandEventChurnIsExact) {
+  // 100k-event calendar churn: 64 interleaved self-rescheduling chains
+  // (steady near-future traffic, the DES pattern) plus a band of far
+  // events. events_processed and the final clock are pinned — any
+  // calendar implementation change (slab recycling, bucket calibration,
+  // rescue paths) must leave both untouched.
+  ws::Engine e;
+  constexpr int kChains = 64;
+  constexpr int kPerChain = 1562;           // 64 * 1562 = 99'968
+  constexpr int kFarEvents = 32;            // ... + 32 = 100'000
+  struct Chain {
+    ws::Engine* engine;
+    int* remaining;
+    double period;
+    double* last_seen;  // monotonicity probe
+    void operator()() const {
+      EXPECT_GE(engine->now(), *last_seen);
+      *last_seen = engine->now();
+      if (--*remaining > 0) engine->after(period, *this);
+    }
+  };
+  int remaining[kChains];
+  double last_seen = 0.0;
+  for (int c = 0; c < kChains; ++c) {
+    remaining[c] = kPerChain;
+    e.at(0.0, Chain{&e, &remaining[c], 1.0 + 0.01 * c, &last_seen});
+  }
+  for (int i = 0; i < kFarEvents; ++i) {
+    e.at(3000.0 + i, [&e, &last_seen] {
+      EXPECT_GE(e.now(), last_seen);
+      last_seen = e.now();
+    });
+  }
+
+  // Split the run so run_until's peek path is exercised under load too.
+  e.run_until(1000.0);
+  EXPECT_GT(e.events_processed(), 0u);
+  EXPECT_FALSE(e.drained());
+  e.run();
+
+  EXPECT_TRUE(e.drained());
+  EXPECT_EQ(e.events_processed(), 100'000u);
+  // Chain c's last event fires after (kPerChain - 1) periods; the far
+  // band ends at 3031. The last chain event is at 1561 * 1.63 = 2544.43,
+  // so the far band finishes last.
+  EXPECT_DOUBLE_EQ(e.now(), 3000.0 + (kFarEvents - 1));
+  for (int c = 0; c < kChains; ++c) EXPECT_EQ(remaining[c], 0);
+}
+
+TEST(EngineStress, EqualTimeBurstPreservesFifoAtScale) {
+  // A World-startup-shaped burst: thousands of events at the same
+  // instant must run in exact insertion order (the seq tie-break) no
+  // matter how the calendar buckets them.
+  ws::Engine e;
+  std::vector<int> order;
+  order.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    e.at(7.5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 4096u);
+  for (int i = 0; i < 4096; ++i) ASSERT_EQ(order[i], i);
+  EXPECT_EQ(e.events_processed(), 4096u);
+  EXPECT_DOUBLE_EQ(e.now(), 7.5);
+}
+
+TEST(InlineTask, MoveInvokeConsumeAndReset) {
+  int hits = 0;
+  ws::InlineTask task([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(task));
+
+  ws::InlineTask moved = std::move(task);
+  EXPECT_FALSE(static_cast<bool>(task));
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+  EXPECT_EQ(hits, 1);
+
+  moved.consume();  // second dispatch, then empties the task
+  EXPECT_EQ(hits, 2);
+  EXPECT_FALSE(static_cast<bool>(moved));
+
+  // reset destroys the capture exactly once.
+  auto counter = std::make_shared<int>(0);
+  ws::InlineTask holder([counter] { (void)counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  holder.reset();
+  EXPECT_EQ(counter.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(holder));
 }

@@ -257,7 +257,7 @@ namespace {
 
 ws::Process isend_then_compute(ws::RankCtx ctx, int bytes, double* resumed_at,
                                double* wait_done_at) {
-  auto req = std::make_shared<ws::Mpi::Request>();
+  auto req = ctx.make_request();
   co_await ctx.isend(1, bytes, req);
   *resumed_at = ctx.mpi().engine().now();
   co_await ctx.compute(50.0);

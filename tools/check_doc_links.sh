@@ -10,6 +10,16 @@ set -u
 root="${1:-.}"
 status=0
 
+# The documentation set this script guards: deleting or renaming one of
+# these must fail the docs job, not silently shrink the glob below.
+for required in README.md docs/ARCHITECTURE.md docs/MODEL.md \
+                docs/PERFORMANCE.md; do
+  if [ ! -f "$root/$required" ]; then
+    echo "MISSING DOC: $required"
+    status=1
+  fi
+done
+
 for doc in "$root/README.md" "$root"/docs/*.md; do
   [ -f "$doc" ] || continue
   dir=$(dirname "$doc")

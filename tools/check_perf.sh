@@ -1,0 +1,41 @@
+#!/bin/sh
+# Perf regression gate: compares a fresh `perf_sweep --quick` measurement
+# against the committed trajectory file and fails on a large events/sec
+# drop. CI runs this in the perf-smoke job.
+#
+# Usage: tools/check_perf.sh BENCH_pr3.json fresh_quick.json [min_ratio]
+#   BENCH_pr3.json    committed trajectory (its "quick" section is the
+#                     reference)
+#   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
+#   min_ratio         default 0.75 — i.e. fail on a >25% regression. The
+#                     threshold is deliberately generous: CI runners are
+#                     noisy and differ from the machine that wrote the
+#                     reference; this catches "the pooling broke and we
+#                     are allocating again", not 5% jitter.
+set -eu
+
+ref="${1:?usage: check_perf.sh BENCH.json fresh.json [min_ratio]}"
+fresh="${2:?usage: check_perf.sh BENCH.json fresh.json [min_ratio]}"
+min_ratio="${3:-0.75}"
+
+# The committed file keeps each section on one line, so the quick
+# reference is the number following des_events_per_sec on the "quick" line.
+ref_des=$(awk -F'"des_events_per_sec": ' '/"quick"/ { split($2, a, /[,}]/); print a[1] }' "$ref")
+fresh_des=$(awk -F': ' '$1 ~ /"des_events_per_sec"/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+
+if [ -z "$ref_des" ] || [ -z "$fresh_des" ]; then
+  echo "check_perf: could not extract des_events_per_sec (ref='$ref_des'," \
+       "fresh='$fresh_des')" >&2
+  exit 2
+fi
+
+ratio=$(awk "BEGIN { printf \"%.3f\", $fresh_des / $ref_des }")
+echo "DES events/sec: fresh $fresh_des vs committed quick $ref_des" \
+     "(ratio $ratio, minimum $min_ratio)"
+ok=$(awk "BEGIN { print ($fresh_des >= $min_ratio * $ref_des) ? 1 : 0 }")
+if [ "$ok" -ne 1 ]; then
+  echo "PERF REGRESSION: quick events/sec fell below ${min_ratio}x the" \
+       "committed reference" >&2
+  exit 1
+fi
+echo "perf OK"

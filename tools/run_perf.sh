@@ -1,0 +1,75 @@
+#!/bin/sh
+# Measures the repository's perf trajectory point and (re)writes the
+# committed BENCH_*.json. Runs bench/perf_sweep twice — the full grid (the
+# headline events/sec and points/sec numbers) and --quick (the small grid
+# CI compares against, tools/check_perf.sh) — and assembles the trajectory
+# file from both plus the recorded pre-optimization baseline.
+#
+# Usage: tools/run_perf.sh [build-dir] [out.json]
+#   build-dir  default: build   (needs bench/perf_sweep built, Release!)
+#   out.json   default: BENCH_pr3.json
+#
+# The baseline section is a constant: it was measured at PR3 time by
+# rebuilding the pre-PR3 implementation (commit 23832a9) with this same
+# bench and running it interleaved with the optimized build on one
+# machine. It cannot be re-measured from this checkout — do not edit it
+# unless you repeat that protocol; `current`/`quick` are re-measured on
+# every run of this script.
+set -eu
+
+build="${1:-build}"
+out="${2:-BENCH_pr3.json}"
+sweep="$build/bench/perf_sweep"
+
+if [ ! -x "$sweep" ]; then
+  echo "error: $sweep not found or not executable (build with" \
+       "cmake -B $build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $build)" >&2
+  exit 1
+fi
+
+tmp_full=$(mktemp) || exit 1
+tmp_quick=$(mktemp) || exit 1
+trap 'rm -f "$tmp_full" "$tmp_quick"' EXIT
+
+echo "== perf_sweep (full grid, ~30s) =="
+"$sweep" --out="$tmp_full"
+echo
+echo "== perf_sweep --quick (CI reference) =="
+"$sweep" --quick --out="$tmp_quick"
+
+# Pulls "key": value out of a flat perf_sweep JSON.
+metric() { # file key
+  awk -F': ' -v key="\"$2\"" '$1 ~ key { gsub(/[,\r]/, "", $2); print $2 }' "$1"
+}
+
+full_des=$(metric "$tmp_full" des_events_per_sec)
+full_engine=$(metric "$tmp_full" engine_events_per_sec)
+full_model=$(metric "$tmp_full" model_points_per_sec)
+quick_des=$(metric "$tmp_quick" des_events_per_sec)
+quick_engine=$(metric "$tmp_quick" engine_events_per_sec)
+quick_model=$(metric "$tmp_quick" model_points_per_sec)
+
+# Pre-PR3 baseline (see header comment). Keep in sync with docs/PERFORMANCE.md.
+base_des=2738960
+base_engine=13756500
+base_model=8821.67
+
+speedup_des=$(awk "BEGIN { printf \"%.2f\", $full_des / $base_des }")
+speedup_engine=$(awk "BEGIN { printf \"%.2f\", $full_engine / $base_engine }")
+
+cat > "$out" <<EOF
+{
+  "schema": "wavebench-perf-trajectory/1",
+  "bench": "perf_sweep",
+  "note": "Written by tools/run_perf.sh. baseline = the pre-PR3 hot path (std::function events, shared_ptr messages + requests, std::unordered_map channels, binary-heap calendar) at commit 23832a9, measured at PR3 time interleaved with the optimized build on one machine; current/quick re-measured on this machine by this run.",
+  "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
+  "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
+  "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
+  "current_label": "PR3 pooled hot path (InlineTask + slab pools + dense channels + calendar queue)",
+  "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model},
+  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model},
+  "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine}
+}
+EOF
+echo
+echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec)"
