@@ -15,6 +15,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Ablation: baseline model",
       "plug-and-play vs naive single-sweep-model reuse, vs simulation",

@@ -12,6 +12,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Ablation: communication share, model vs simulator",
       "Chimaera 240^3 on dual-core nodes",

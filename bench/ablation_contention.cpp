@@ -12,6 +12,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Ablation: contention model (Table 6) vs emergent contention",
       "multi-core slowdown factor, model vs simulator",

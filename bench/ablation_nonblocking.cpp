@@ -15,6 +15,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Ablation: nonblocking boundary sends",
       "blocking vs MPI_Isend double buffering, model and simulator",

@@ -16,6 +16,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Ablation: machine portability (XT4 vs SP/2)",
       "optimal Htile and synchronization share per machine",

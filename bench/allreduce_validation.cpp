@@ -9,6 +9,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "All-reduce (eq. 9)", "model vs simulated MPI_Allreduce",
       "paper reports < 2% error up to 1024 dual-core nodes on the real "

@@ -8,6 +8,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 3", "MPI ping-pong: simulated 'measured' vs LogGP model",
       "model points lie on the measured curve for all sizes; equal slopes "

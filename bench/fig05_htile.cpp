@@ -10,6 +10,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 5", "execution time per time step vs Htile",
       "Htile in the range 2-5 minimizes execution time for both transport "

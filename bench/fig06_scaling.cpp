@@ -13,6 +13,8 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  if (runner::handle_list_flags(cli)) return 0;
+  runner::reject_workload_cli(cli);
   const bool full = cli.has("full");
   runner::print_header(
       "Fig 6", "execution time vs system size (Sweep3D 10^9, 10^4 steps)",

@@ -50,6 +50,7 @@ void study(const common::Cli& cli, const char* title,
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 7", "throughput vs partition size",
       "(a) Sweep3D 10^9: on 128K processors two parallel simulations run "

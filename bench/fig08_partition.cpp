@@ -11,6 +11,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 8", "optimizing partition size (Sweep3D 10^9, 128K cores)",
       "R/X is minimized at 16K-processor partitions (8 parallel "

@@ -8,6 +8,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 9", "optimal number of parallel simulations (Sweep3D 10^9)",
       "min(R/X) chooses more parallel jobs than min(R^2/X) at every "

@@ -9,6 +9,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 10", "execution time on multi-core nodes (Sweep3D 10^9)",
       "diminishing returns with more cores per node; two cores on N nodes "

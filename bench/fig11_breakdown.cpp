@@ -10,6 +10,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 11", "cost breakdown (Chimaera 240^3, 10^4 time steps)",
       "computation time falls with P while communication time falls far "

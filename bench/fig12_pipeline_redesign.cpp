@@ -13,6 +13,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   runner::print_header(
       "Fig 12", "pipeline-fill redesign (Sweep3D, 4x4x1000 cells/processor)",
       "fill time is a growing share of the sequential-groups total as P "

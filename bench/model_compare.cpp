@@ -34,6 +34,8 @@ std::string find_machines_dir(const common::Cli& cli) {
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  if (runner::handle_list_flags(cli)) return 0;
+  runner::reject_workload_cli(cli);
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   runner::print_header(
       "Model compare", "machine configs x comm-model backends",

@@ -5,13 +5,17 @@
 // throughput, so it builds and runs everywhere (including CI, which gates
 // on it via tools/check_perf.sh):
 //
-//   engine  raw calendar overhead: a self-rescheduling event chain
-//           (events/sec through sim::Engine alone);
-//   sim     the DES hot path end-to-end: a wavefront grid executed
-//           serially through the batch runner (events/sec across every
-//           simulated protocol step — the headline number);
-//   model   a large analytic sweep through the chunked batch runner
-//           (points/sec — the cheap-what-if-exploration number).
+//   engine     raw calendar overhead: a self-rescheduling event chain
+//              (events/sec through sim::Engine alone);
+//   sim        the DES hot path end-to-end: a wavefront grid executed
+//              serially through the batch runner (events/sec across every
+//              simulated protocol step — the headline number);
+//   model      a large analytic sweep through the chunked batch runner
+//              (points/sec — the cheap-what-if-exploration number);
+//   workloads  every registered workload's DES path run serially
+//              (events/sec per workload — how each rank-program shape
+//              loads the fabric; registry-driven, so a newly registered
+//              workload shows up here without touching this file).
 //
 // Flags: --quick shrinks every section for CI smoke runs; --threads N sets
 // the model section's worker count (the sim section is measured serially
@@ -28,6 +32,7 @@
 #include "runner/reference_grids.h"
 #include "runner/runner.h"
 #include "sim/engine.h"
+#include "workloads/registry.h"
 
 using namespace wave;
 
@@ -133,6 +138,39 @@ SectionResult model_section(bool quick, int threads) {
   return res;
 }
 
+/// One registered workload's DES throughput, measured serially.
+struct WorkloadPerf {
+  std::string name;
+  double events = 0.0;
+  double wall_s = 0.0;
+};
+
+/// Runs every registered workload's simulate() path on the dual-core XT4
+/// with per-workload knobs sized so each run executes enough events to
+/// time (the cheap two-rank/collective shapes get more repetitions).
+std::vector<WorkloadPerf> workloads_section(bool quick) {
+  const core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
+  std::vector<WorkloadPerf> out;
+  for (const auto& info : workloads::WorkloadRegistry::instance().list()) {
+    const auto workload = workloads::get_workload(info.name);
+    workloads::WorkloadInputs in;
+    in.grid = wave::topo::closest_to_square(quick ? 16 : 64);
+    in.iterations = quick ? 1 : 2;
+    if (info.name == "pingpong") in.params["reps"] = quick ? 2000 : 20000;
+    if (info.name == "halo2d") in.params["phases"] = quick ? 32 : 128;
+    if (info.name == "allreduce-storm")
+      in.params["count"] = quick ? 64 : 256;
+    const auto start = std::chrono::steady_clock::now();
+    const workloads::SimOutput res = workload->simulate(machine, in);
+    WorkloadPerf perf;
+    perf.name = info.name;
+    perf.events = static_cast<double>(res.events);
+    perf.wall_s = seconds_since(start);
+    out.push_back(perf);
+  }
+  return out;
+}
+
 double rate(double amount, double wall_s) {
   return wall_s > 0.0 ? amount / wall_s : 0.0;
 }
@@ -141,6 +179,7 @@ double rate(double amount, double wall_s) {
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   const bool quick = cli.has("quick");
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   runner::print_header(
@@ -153,6 +192,7 @@ int main(int argc, char** argv) {
   const EngineResult eng = engine_section(quick ? 400'000 : 2'000'000);
   const SectionResult sim = sim_section(quick);
   const SectionResult model = model_section(quick, threads);
+  const std::vector<WorkloadPerf> wl = workloads_section(quick);
   const int model_threads = runner::BatchRunner(
       runner::BatchRunner::Options(threads)).threads();
 
@@ -176,6 +216,14 @@ int main(int argc, char** argv) {
                  common::Table::num(rate(model.points, model.wall_s) / 1e3, 1) +
                      " k points/s (" + common::Table::integer(model_threads) +
                      " threads)"});
+  for (const WorkloadPerf& w : wl) {
+    table.add_row({"wl:" + w.name,
+                   common::Table::integer(static_cast<long long>(w.events)) +
+                       " events",
+                   common::Table::num(w.wall_s, 3),
+                   common::Table::num(rate(w.events, w.wall_s) / 1e6, 2) +
+                       " M events/s"});
+  }
   table.print(std::cout);
 
   const std::string out = cli.get("out", "");
@@ -189,7 +237,7 @@ int main(int argc, char** argv) {
     std::snprintf(
         buf, sizeof buf,
         "{\n"
-        "  \"schema\": \"wavebench-perf/1\",\n"
+        "  \"schema\": \"wavebench-perf/2\",\n"
         "  \"bench\": \"perf_sweep\",\n"
         "  \"quick\": %s,\n"
         "  \"model_threads\": %d,\n"
@@ -199,13 +247,23 @@ int main(int argc, char** argv) {
         "  \"des_wall_s\": %.6g,\n"
         "  \"model_points_per_sec\": %.6g,\n"
         "  \"model_points\": %.6g,\n"
-        "  \"model_wall_s\": %.6g\n"
-        "}\n",
+        "  \"model_wall_s\": %.6g,\n",
         quick ? "true" : "false", model_threads,
         rate(eng.events, eng.wall_s), rate(sim.events, sim.wall_s),
         sim.events, sim.wall_s, rate(model.points, model.wall_s),
         model.points, model.wall_s);
     os << buf;
+    // One flat key per registered workload. The perf tooling
+    // (tools/run_perf.sh, tools/check_perf.sh) matches keys anchored to
+    // the whole field, so these can never alias the headline keys above
+    // whatever a workload is called.
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "  \"wl_%s_events_per_sec\": %.6g%s\n",
+                    wl[i].name.c_str(), rate(wl[i].events, wl[i].wall_s),
+                    i + 1 < wl.size() ? "," : "");
+      os << buf;
+    }
+    os << "}\n";
     std::cout << "\nwrote " << out << "\n";
   }
   return 0;

@@ -30,6 +30,7 @@ double run_timed(const std::vector<runner::Scenario>& points, int threads,
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  if (runner::handle_list_flags(cli)) return 0;
   const int threads = static_cast<int>(cli.get_int("threads", 4));
   runner::print_header(
       "Runner scaling", "parallel batch execution of a mixed sweep",
@@ -43,6 +44,9 @@ int main(int argc, char** argv) {
   // runner/reference_grids.cpp where the fixture test can reuse it.
   runner::SweepGrid grid = runner::runner_scaling_grid(cli.has("full"));
   runner::apply_comm_model_cli(cli, grid);
+  // --workload reroutes every point through the registry contract (the
+  // default, "wavefront", keeps the sweep on its pinned evaluators).
+  runner::apply_workload_cli(cli, grid);
 
   const auto points = grid.points();
   std::cout << "sweep points: " << points.size() << "\n";

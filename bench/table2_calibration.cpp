@@ -10,6 +10,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   const double noise = cli.get_double("noise", 0.005);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
   runner::print_header(

@@ -14,6 +14,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   const bool full = cli.has("full");
   runner::print_header(
       "Validation", "model vs simulated time per iteration (dual-core)",

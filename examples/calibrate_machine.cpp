@@ -14,6 +14,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
 
   // Stand-in for "run the MPI ping-pong benchmark on your machine": we
   // measure the simulated XT4 (or any --machine config) with 1% timer

@@ -43,6 +43,7 @@ using enum core::SweepPrecedence;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   const runner::BatchRunner batch(runner::options_from_cli(cli));
 
   // Three candidate sweep structures with identical total work.

@@ -16,6 +16,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
 
   // 1. The sequential science code: a source-iteration Sn solve on one
   //    processor's share of the grid (16x16x64 cells, 6 angles).

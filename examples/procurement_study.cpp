@@ -16,6 +16,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
   const runner::BatchRunner batch(runner::options_from_cli(cli));
 
   // The site's production workload: 10^9-cell Sweep3D runs with 30 energy

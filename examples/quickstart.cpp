@@ -19,6 +19,9 @@
 int main(int argc, char** argv) {
   using namespace wave;
   const common::Cli cli(argc, argv);
+  // --list-workloads / --list-comm-models print the registries and exit.
+  if (runner::handle_list_flags(cli)) return 0;
+  runner::reject_workload_cli(cli);
 
   // 1. The machine: Cray XT4 LogGP parameters, dual-core nodes stacked
   //    1x2 in the processor grid — or any machines/*.cfg via --machine,

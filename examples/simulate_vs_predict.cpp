@@ -13,6 +13,7 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
+  runner::reject_workload_cli(cli);
 
   // A mid-size Chimaera-like problem so the simulation finishes in
   // seconds.

@@ -48,4 +48,11 @@ constexpr bool is_power_of_two(std::size_t x) {
   return x != 0 && (x & (x - 1)) == 0;
 }
 
+/// Largest power of two <= x. Precondition: x >= 1.
+constexpr int floor_pow2(int x) {
+  int p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
 }  // namespace wave::common

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/contracts.h"
+#include "common/statistics.h"
 #include "loggp/collectives.h"
 #include "loggp/contention.h"
 #include "loggp/stencil.h"
@@ -35,13 +36,6 @@ namespace {
 
 /// Communication cost term of the recurrence, tagged entirely as comm time.
 TimeSplit comm_term(usec t) { return TimeSplit{t, t}; }
-
-/// Largest power of two <= x (x >= 1).
-int floor_pow2(int x) {
-  int p = 1;
-  while (p * 2 <= x) p *= 2;
-  return p;
-}
 
 }  // namespace
 
@@ -185,7 +179,7 @@ ModelResult Solver::evaluate(const topo::Grid& grid) const {
   // Tnonwavefront: the application's between-iteration phase.
   const int total_cores = grid.size();
   const int c_eff =
-      floor_pow2(std::min(machine_.cores_per_node(), total_cores));
+      common::floor_pow2(std::min(machine_.cores_per_node(), total_cores));
   const auto& nwf = app_.nonwavefront;
   if (nwf.allreduce_count > 0) {
     const usec one = loggp::allreduce_time(*comm_, total_cores, c_eff,

@@ -13,6 +13,7 @@
 
 #include "runner/record.h"
 #include "runner/scenario.h"
+#include "workloads/workload.h"
 
 namespace wave::runner {
 
@@ -28,12 +29,33 @@ Metrics sim_metrics(const Scenario& s);
 
 /// Dispatches on `s.engine` (Model -> model_metrics, Simulation ->
 /// sim_metrics). The default point function of BatchRunner::run.
+/// Scenarios whose `workload` is not "wavefront" route through the
+/// workload registry (workload_metrics) instead of the wavefront-specific
+/// evaluators above, so any registered workload rides every driver that
+/// uses the default point function.
 Metrics evaluate_scenario(const Scenario& s);
 
 /// Canned evaluation: model *and* simulator on the same point, plus
 /// err_pct = 100 * |model - sim| / sim per iteration — the paper's
 /// validation metric.
 Metrics model_vs_sim_metrics(const Scenario& s);
+
+/// Canned evaluation through the workload registry: dispatches on
+/// `s.engine` to the named workload's predict (metrics model_us,
+/// model_comm_us + workload extras) or simulate (sim_us, sim_makespan_us,
+/// sim_events, sim_messages, sim_bus_wait_us, sim_nic_wait_us,
+/// sim_mpi_busy_us + extras). Metric names are uniform across workloads —
+/// the point function of cross-workload sweeps (bench/workload_matrix).
+Metrics workload_metrics(const Scenario& s);
+
+/// Both workload paths on the same point plus err_pct and within_tol
+/// (1 when err is inside the workload's declared tolerance).
+Metrics workload_model_vs_sim_metrics(const Scenario& s);
+
+/// The WorkloadInputs a scenario point hands its workload: app, grid,
+/// iterations and the free-form params (axis values double as workload
+/// parameters).
+workloads::WorkloadInputs workload_inputs(const Scenario& s);
 
 /// Executes scenario points on a thread pool.
 class BatchRunner {

@@ -1,18 +1,63 @@
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 
 #include "loggp/registry.h"
 #include "runner/runner.h"
+#include "workloads/registry.h"
 
 namespace wave::runner {
+
+namespace {
+
+/// Prints the comm-model registry, one "name — description" line each.
+void print_comm_models(std::ostream& os) {
+  os << "registered comm models:\n";
+  for (const auto& info : loggp::CommModelRegistry::instance().list())
+    os << "  " << info.name << " — " << info.description << "\n";
+}
+
+/// Prints the workload registry with each workload's parameter schema.
+void print_workloads(std::ostream& os) {
+  os << "registered workloads:\n";
+  for (const auto& info : workloads::WorkloadRegistry::instance().list()) {
+    os << "  " << info.name << " — " << info.description << "\n";
+    for (const auto& p :
+         workloads::get_workload(info.name)->parameters()) {
+      char fallback[32];
+      std::snprintf(fallback, sizeof fallback, "%g", p.fallback);
+      os << "      " << p.name << " (default " << fallback << "): "
+         << p.description << "\n";
+    }
+  }
+}
+
+/// Unknown registry names on the command line are user errors, not
+/// programming errors: print the vocabulary and exit instead of letting a
+/// contract violation unwind through main.
+[[noreturn]] void fatal_unknown(const std::string& kind,
+                                const std::string& value,
+                                void (*print_registry)(std::ostream&)) {
+  std::cerr << "error: unknown " << kind << " '" << value << "'\n";
+  print_registry(std::cerr);
+  std::exit(1);
+}
+
+/// The --comm-model half shared by both apply_* entry points.
+void apply_comm_model_flag(const common::Cli& cli, Scenario& base) {
+  const std::string model = cli.get("comm-model", "");
+  if (model.empty()) return;
+  if (!loggp::CommModelRegistry::instance().contains(model))
+    fatal_unknown("comm model", model, print_comm_models);
+  base.comm_model = model;
+}
+
+}  // namespace
 
 void apply_machine_cli(const common::Cli& cli, Scenario& base) {
   const std::string file = cli.get("machine", "");
   if (!file.empty()) base.machine = core::load_machine_config(file);
-  const std::string model = cli.get("comm-model", "");
-  if (!model.empty()) {
-    loggp::require_comm_model(model);
-    base.comm_model = model;
-  }
+  apply_comm_model_flag(cli, base);
 }
 
 void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
@@ -20,11 +65,7 @@ void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
     std::cerr << "note: this driver sweeps its own machine axis; "
                  "--machine is ignored (--comm-model still applies)\n";
   }
-  const std::string model = cli.get("comm-model", "");
-  if (!model.empty()) {
-    loggp::require_comm_model(model);
-    base.comm_model = model;
-  }
+  apply_comm_model_flag(cli, base);
 }
 
 core::MachineConfig machine_from_cli(const common::Cli& cli,
@@ -33,6 +74,47 @@ core::MachineConfig machine_from_cli(const common::Cli& cli,
   base.machine = std::move(fallback);
   apply_machine_cli(cli, base);
   return base.effective_machine();
+}
+
+void apply_workload_cli(const common::Cli& cli, Scenario& base) {
+  if (!cli.has("workload")) return;
+  const std::string workload = cli.get("workload", "");
+  if (workload.empty()) {
+    // A bare/valueless --workload asked for *something* other than the
+    // default; guessing "wavefront" would silently ignore the request.
+    std::cerr << "error: --workload needs a value\n";
+    print_workloads(std::cerr);
+    std::exit(1);
+  }
+  if (!workloads::WorkloadRegistry::instance().contains(workload))
+    fatal_unknown("workload", workload, print_workloads);
+  base.workload = workload;
+}
+
+void reject_workload_cli(const common::Cli& cli) {
+  if (!cli.has("workload")) return;
+  const std::string workload = cli.get("workload", "");
+  // Validate the name first: asking this driver for an unknown workload
+  // is the same user error everywhere (and must not exit 0).
+  if (!workloads::WorkloadRegistry::instance().contains(workload))
+    fatal_unknown("workload", workload, print_workloads);
+  std::cerr << "error: this driver evaluates the wavefront pipeline only; "
+               "--workload is not supported here (try bench/workload_matrix "
+               "or bench/runner_scaling)\n";
+  std::exit(1);
+}
+
+bool handle_list_flags(const common::Cli& cli) {
+  bool handled = false;
+  if (cli.has("list-workloads")) {
+    print_workloads(std::cout);
+    handled = true;
+  }
+  if (cli.has("list-comm-models")) {
+    print_comm_models(std::cout);
+    handled = true;
+  }
+  return handled;
 }
 
 }  // namespace wave::runner

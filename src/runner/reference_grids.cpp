@@ -1,6 +1,7 @@
 #include "runner/reference_grids.h"
 
 #include "core/benchmarks.h"
+#include "workloads/registry.h"
 
 namespace wave::runner {
 
@@ -21,6 +22,22 @@ SweepGrid runner_scaling_grid(bool full) {
   grid.processors(procs);
   grid.values("Htile", {1, 2},
               [](Scenario& s, double h) { s.app.htile = h; });
+  grid.engines({Engine::Model, Engine::Simulation});
+  return grid;
+}
+
+SweepGrid workload_matrix_grid(bool full) {
+  SweepGrid grid;
+  grid.base().app = workloads::WorkloadInputs::default_app();
+
+  std::vector<int> procs = {16, 64};
+  if (full) procs.push_back(256);
+
+  grid.workloads(workloads::workload_names());
+  grid.machines({{"xt4-single", core::MachineConfig::xt4_single_core()},
+                 {"xt4-dual", core::MachineConfig::xt4_dual_core()}});
+  grid.comm_models({"loggp", "loggps", "contention"});
+  grid.processors(procs);
   grid.engines({Engine::Model, Engine::Simulation});
   return grid;
 }

@@ -27,4 +27,11 @@ SweepGrid runner_scaling_grid(bool full = false);
 /// files are out of reach.
 SweepGrid model_compare_grid(const std::string& machines_dir);
 
+/// The bench/workload_matrix sweep: every registered workload x machine
+/// presets x comm-model backends x processor counts x both evaluation
+/// engines, over the workload subsystem's canonical 64^3 application.
+/// `full` adds a larger processor count. Shared with the determinism test
+/// (byte-identical records at any thread count).
+SweepGrid workload_matrix_grid(bool full = false);
+
 }  // namespace wave::runner

@@ -9,6 +9,14 @@
 //                        machines/*.cfg config loaded at runtime
 //   --comm-model=<name>  evaluate under the named communication backend
 //                        (loggp | loggps | contention | any registered)
+//   --workload=<name>    evaluate the named registered workload
+//                        (wavefront | pingpong | halo2d | ... — see
+//                        workloads/registry.h) on drivers that accept it
+//   --list-workloads     print the workload registry (with each
+//                        workload's parameter schema) and exit
+//   --list-comm-models   print the comm-model registry and exit
+// Unknown --workload / --comm-model values are fatal: the driver prints
+// the registered names and exits non-zero instead of throwing.
 #pragma once
 
 #include "common/cli.h"
@@ -56,5 +64,29 @@ inline void apply_comm_model_cli(const common::Cli& cli, SweepGrid& grid) {
 ///   `fallback`, replaced by --machine, then --comm-model applied on top.
 core::MachineConfig machine_from_cli(const common::Cli& cli,
                                      core::MachineConfig fallback);
+
+/// @brief Applies the shared --workload=<name> flag: sets the base
+///   scenario's registered workload, routing the canned evaluators through
+///   the workload registry. An unknown name is fatal: prints the
+///   registered workloads and exits non-zero.
+void apply_workload_cli(const common::Cli& cli, Scenario& base);
+
+/// @brief Convenience overload targeting the sweep's base scenario.
+inline void apply_workload_cli(const common::Cli& cli, SweepGrid& grid) {
+  apply_workload_cli(cli, grid.base());
+}
+
+/// @brief For drivers whose study is inherently wavefront-shaped (the
+///   figure reproductions): a given --workload is never silently
+///   ignored — an unknown name is the usual fatal error, and a known one
+///   exits with a pointer at the drivers that do take the flag.
+void reject_workload_cli(const common::Cli& cli);
+
+/// @brief Handles the registry-listing flags: when --list-workloads or
+///   --list-comm-models was given, prints the corresponding registry
+///   (names with one-line descriptions; workloads also list their
+///   parameter schemas) to stdout and returns true — the driver should
+///   then exit 0 without running its sweep.
+bool handle_list_flags(const common::Cli& cli);
 
 }  // namespace wave::runner

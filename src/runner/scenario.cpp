@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "loggp/registry.h"
+#include "workloads/registry.h"
 
 namespace wave::runner {
 
@@ -127,6 +128,17 @@ SweepGrid& SweepGrid::comm_models(const std::vector<std::string>& names,
     loggp::require_comm_model(model);
     axis.levels.push_back(
         {model, [model](Scenario& s) { s.comm_model = model; }});
+  }
+  return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::workloads(const std::vector<std::string>& names,
+                                std::string name) {
+  Axis axis{std::move(name), {}};
+  for (const std::string& workload : names) {
+    workloads::require_workload(workload);
+    axis.levels.push_back(
+        {workload, [workload](Scenario& s) { s.workload = workload; }});
   }
   return this->axis(std::move(axis));
 }

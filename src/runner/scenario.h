@@ -39,6 +39,10 @@ struct Scenario {
   /// Kept separate from `machine` so a comm-model axis or a --comm-model
   /// flag composes with machine axes regardless of declaration order.
   std::string comm_model;
+  /// Registered workload evaluated at this point (workloads/registry.h).
+  /// "wavefront" — the default — keeps the canned evaluators on the
+  /// original wavefront pipeline, byte-identical with pre-registry sweeps.
+  std::string workload = "wavefront";
   topo::Grid grid{1, 1};  ///< processor decomposition
   Engine engine = Engine::Model;
   int iterations = 1;  ///< DES iterations for Engine::Simulation
@@ -134,6 +138,13 @@ class SweepGrid {
   /// either declaration order. Names must be registered (loggp/registry.h).
   SweepGrid& comm_models(const std::vector<std::string>& names,
                          std::string name = "comm");
+
+  /// Workload axis: each level selects a registered workload by name
+  /// (workloads/registry.h), validated eagerly so a typo fails at sweep
+  /// construction. The canned evaluators route non-wavefront names through
+  /// the registry's paired predict/simulate contract.
+  SweepGrid& workloads(const std::vector<std::string>& names,
+                       std::string name = "workload");
 
   /// Evaluation-engine axis (labels "model" / "sim").
   SweepGrid& engines(std::vector<Engine> engines, std::string name = "engine");

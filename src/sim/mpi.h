@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/dense_map.h"
 #include "common/pool.h"
 #include "common/ring_queue.h"
@@ -191,6 +192,44 @@ class Mpi {
     void await_resume() const noexcept {}
   };
 
+  /// Concurrent sendrecv with up to `kMaxPeers` distinct peers at once
+  /// (the bulk-synchronous halo swap of stencil codes, MPI_Neighbor_
+  /// alltoall-style): every half of every exchange is posted before any
+  /// completes, so the peers' transfers overlap instead of cascading rank
+  /// by rank. Build with add(), then co_await; awaiting with no peers
+  /// completes immediately. The completion counter lives in the awaiting
+  /// coroutine's frame, like ExchangeAwaitable's.
+  struct HaloExchangeAwaitable {
+    /// 6 covers a full 3-D face-neighbour halo (±x, ±y, ±z).
+    static constexpr int kMaxPeers = 6;
+
+    Mpi* mpi;
+    int self;
+    int count = 0;
+    int peers[kMaxPeers] = {};
+    int bytes[kMaxPeers] = {};
+    int remaining = 0;
+
+    /// Adds one peer to the swap; ignored when `peer` is negative (so
+    /// callers can pass "neighbour or -1" without branching).
+    void add(int peer, int message_bytes) {
+      if (peer < 0) return;
+      WAVE_EXPECTS_MSG(count < kMaxPeers,
+                       "halo exchange supports at most 6 peers");
+      peers[count] = peer;
+      bytes[count] = message_bytes;
+      ++count;
+    }
+
+    bool await_ready() const noexcept { return count == 0; }
+    void await_suspend(std::coroutine_handle<> h) {
+      remaining = 2 * count;  // a send and a receive per peer
+      for (int idx = 0; idx < count; ++idx)
+        mpi->start_exchange(self, peers[idx], bytes[idx], &remaining, h);
+    }
+    void await_resume() const noexcept {}
+  };
+
   ComputeAwaitable compute(usec duration) {
     return ComputeAwaitable{&engine_, duration};
   }
@@ -200,6 +239,10 @@ class Mpi {
   RecvAwaitable recv(int dst, int src) { return RecvAwaitable{this, dst, src}; }
   ExchangeAwaitable exchange(int self, int peer, int bytes) {
     return ExchangeAwaitable{this, self, peer, bytes};
+  }
+  /// An empty halo swap for `self`; add() peers, then co_await.
+  HaloExchangeAwaitable halo_exchange(int self) {
+    return HaloExchangeAwaitable{this, self};
   }
   /// Nonblocking send: resumes the rank after the CPU injection phase and
   /// completes (via `request`) in the background; pass the handle to
@@ -307,6 +350,10 @@ class RankCtx {
   /// MPI_Wait on an isend request (recycles the token on resume).
   Mpi::WaitAwaitable wait(Mpi::RequestHandle request) const {
     return mpi_->wait(request);
+  }
+  /// A concurrent multi-neighbour halo swap; add() peers, then co_await.
+  Mpi::HaloExchangeAwaitable halo_exchange() const {
+    return mpi_->halo_exchange(rank_);
   }
 
  private:

@@ -1,0 +1,125 @@
+#include "workloads/halo2d.h"
+
+#include <string>
+
+#include "common/contracts.h"
+#include "topology/node_map.h"
+#include "workloads/builtin.h"
+
+namespace wave::workloads {
+
+namespace {
+
+/// Everything one rank needs, derived once from the inputs.
+struct HaloSpec {
+  topo::Grid grid{1, 1};
+  int phases = 1;       ///< compute+exchange rounds per iteration
+  usec w_block = 0.0;   ///< compute per rank per phase
+  int msg_bytes_ew = 0;
+  int msg_bytes_ns = 0;
+  int iterations = 1;
+};
+
+HaloSpec make_halo_spec(const WorkloadInputs& in) {
+  in.app.validate();
+  WAVE_EXPECTS(in.iterations >= 1);
+  HaloSpec spec;
+  spec.grid = in.grid;
+  spec.phases = static_cast<int>(in.param_or("phases", 1));
+  WAVE_EXPECTS_MSG(spec.phases >= 1, "halo2d phases must be >= 1");
+  spec.w_block = in.app.wg * (in.app.nx / in.grid.n()) *
+                 (in.app.ny / in.grid.m()) * in.app.nz;
+  spec.msg_bytes_ew = in.app.message_bytes_ew(in.grid.n(), in.grid.m());
+  spec.msg_bytes_ns = in.app.message_bytes_ns(in.grid.n(), in.grid.m());
+  spec.iterations = in.iterations;
+  return spec;
+}
+
+sim::Process halo_rank(sim::RankCtx ctx, const HaloSpec& spec, int rank) {
+  const topo::Grid& g = spec.grid;
+  const topo::Coord c = g.coord_of(rank);
+  auto rank_or_minus1 = [&](topo::Coord other) {
+    return g.contains(other) ? g.rank_of(other) : -1;
+  };
+  const int west = rank_or_minus1({c.i - 1, c.j});
+  const int east = rank_or_minus1({c.i + 1, c.j});
+  const int north = rank_or_minus1({c.i, c.j - 1});
+  const int south = rank_or_minus1({c.i, c.j + 1});
+  for (int iter = 0; iter < spec.iterations; ++iter) {
+    for (int phase = 0; phase < spec.phases; ++phase) {
+      co_await ctx.compute(spec.w_block);
+      // Bulk-synchronous swap: all four faces in flight at once.
+      auto halo = ctx.halo_exchange();
+      halo.add(west, spec.msg_bytes_ew);
+      halo.add(east, spec.msg_bytes_ew);
+      halo.add(north, spec.msg_bytes_ns);
+      halo.add(south, spec.msg_bytes_ns);
+      co_await halo;
+    }
+  }
+}
+
+}  // namespace
+
+const std::string& Halo2dWorkload::name() const {
+  static const std::string n = "halo2d";
+  return n;
+}
+
+const std::string& Halo2dWorkload::description() const {
+  static const std::string d =
+      "Jacobi-style bulk-synchronous halo exchange: compute + one "
+      "E/W + one N/S face swap per phase, no pipelining (the LU "
+      "stencil-phase model as a standalone workload)";
+  return d;
+}
+
+std::vector<ParamSpec> Halo2dWorkload::parameters() const {
+  return {{"phases", 1, "compute+exchange rounds per iteration"}};
+}
+
+ModelOutput Halo2dWorkload::predict(const core::MachineConfig& machine,
+                                    const loggp::CommModel& comm,
+                                    const WorkloadInputs& in) const {
+  const HaloSpec spec = make_halo_spec(in);
+  const int n = in.grid.n();
+  const int m = in.grid.m();
+  // The critical path runs through an interior rank, whose neighbours are
+  // off-node unless the whole direction fits inside one node's cx × cy
+  // rectangle of the processor grid.
+  const loggp::Placement ew = n <= machine.cx ? loggp::Placement::OnChip
+                                              : loggp::Placement::OffNode;
+  const loggp::Placement ns = m <= machine.cy ? loggp::Placement::OnChip
+                                              : loggp::Placement::OffNode;
+  // One Send + TotalComm per exchanged direction pair (loggp/stencil.h's
+  // abstraction), with degenerate single-row/column directions free.
+  usec exchange = 0.0;
+  if (n > 1)
+    exchange += comm.send(spec.msg_bytes_ew, ew) +
+                comm.total(spec.msg_bytes_ew, ew);
+  if (m > 1)
+    exchange += comm.send(spec.msg_bytes_ns, ns) +
+                comm.total(spec.msg_bytes_ns, ns);
+  ModelOutput out;
+  out.time_us = spec.phases * (spec.w_block + exchange);
+  out.comm_us = spec.phases * exchange;
+  out.extra = {{"model_exchange_us", exchange}};
+  return out;
+}
+
+SimOutput Halo2dWorkload::simulate(const core::MachineConfig& machine,
+                                   const WorkloadInputs& in) const {
+  machine.validate();
+  const HaloSpec spec = make_halo_spec(in);
+  const topo::NodeMap node_map(in.grid, machine.cx, machine.cy);
+  std::vector<int> node_of_rank(static_cast<std::size_t>(in.grid.size()));
+  for (int r = 0; r < in.grid.size(); ++r)
+    node_of_rank[r] = node_map.node_of(in.grid.coord_of(r));
+  sim::World world(machine.loggp, std::move(node_of_rank),
+                   protocol_for(machine));
+  for (int r = 0; r < in.grid.size(); ++r)
+    world.spawn("rank" + std::to_string(r), halo_rank(world.ctx(r), spec, r));
+  return collect_run(world, in.iterations);
+}
+
+}  // namespace wave::workloads

@@ -30,16 +30,25 @@ sim::Process ponger(sim::RankCtx ctx, int bytes, int reps) {
 
 usec pingpong_half_rtt(const loggp::MachineParams& params, bool on_chip,
                        int bytes, int reps) {
+  return pingpong_run(params, sim::ProtocolOptions(), on_chip, bytes, reps)
+      .half_rtt;
+}
+
+PingPongRun pingpong_run(const loggp::MachineParams& params,
+                         const sim::ProtocolOptions& protocol, bool on_chip,
+                         int bytes, int reps) {
   WAVE_EXPECTS(bytes >= 0);
   WAVE_EXPECTS(reps >= 1);
   const std::vector<int> placement =
       on_chip ? std::vector<int>{0, 0} : std::vector<int>{0, 1};
-  sim::World world(params, placement);
-  usec half_rtt = 0.0;
-  world.spawn("ping", pinger(world.ctx(0), bytes, reps, &half_rtt));
+  sim::World world(params, placement, protocol);
+  PingPongRun run;
+  world.spawn("ping", pinger(world.ctx(0), bytes, reps, &run.half_rtt));
   world.spawn("pong", ponger(world.ctx(1), bytes, reps));
-  world.run();
-  return half_rtt;
+  run.makespan = world.run();
+  run.events = world.engine().events_processed();
+  run.messages = world.mpi().messages_delivered();
+  return run;
 }
 
 usec allreduce_sim_time(const loggp::MachineParams& params, int ranks,

@@ -10,6 +10,7 @@
 
 #include "common/units.h"
 #include "loggp/params.h"
+#include "sim/mpi.h"
 
 namespace wave::workloads {
 
@@ -21,6 +22,21 @@ using common::usec;
 /// ranks share a node.
 usec pingpong_half_rtt(const loggp::MachineParams& params, bool on_chip,
                        int bytes, int reps = 10);
+
+/// Everything a ping-pong run measures, for callers that need more than
+/// the headline half-RTT (the registered "pingpong" workload).
+struct PingPongRun {
+  usec half_rtt = 0.0;
+  usec makespan = 0.0;         ///< simulated time for all reps
+  std::uint64_t events = 0;    ///< DES events executed
+  std::uint64_t messages = 0;  ///< MPI messages delivered
+};
+
+/// As pingpong_half_rtt, with explicit protocol options (so the run can
+/// mirror a comm backend's rendezvous assumptions) and full run statistics.
+PingPongRun pingpong_run(const loggp::MachineParams& params,
+                         const sim::ProtocolOptions& protocol, bool on_chip,
+                         int bytes, int reps = 10);
 
 /// Simulated MPI_Allreduce completion time for `ranks` ranks packed
 /// `cores_per_node` per node. Requires power-of-two `ranks`.

@@ -1,0 +1,84 @@
+#include "workloads/registry.h"
+
+#include "common/contracts.h"
+#include "workloads/builtin.h"
+
+namespace wave::workloads {
+
+WorkloadRegistry::WorkloadRegistry() {
+  for (auto& workload : builtin_workloads()) add(std::move(workload));
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(std::shared_ptr<const Workload> workload) {
+  WAVE_EXPECTS_MSG(workload != nullptr, "workload must be non-null");
+  const std::string& name = workload->name();
+  WAVE_EXPECTS_MSG(!name.empty(), "workload name must be non-empty");
+  // Names appear as CLI flag values and CSV axis labels: keep them single
+  // config-safe tokens (same rule as comm-model names).
+  WAVE_EXPECTS_MSG(name.find_first_of("# \t\r\n=,") == std::string::npos,
+                   "workload name must be a single token without "
+                   "whitespace, '#', '=' or ','");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_)
+    WAVE_EXPECTS_MSG(e->name() != name,
+                     "workload '" + name + "' is already registered");
+  entries_.push_back(std::move(workload));
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_)
+    if (e->name() == name) return true;
+  return false;
+}
+
+std::shared_ptr<const Workload> WorkloadRegistry::get(
+    const std::string& name) const {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& e : entries_)
+      if (e->name() == name) return e;
+  }
+  require_workload(name);  // throws: not registered
+  return nullptr;          // unreachable; keep the compiler happy
+}
+
+std::vector<WorkloadInfo> WorkloadRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkloadInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_)
+    out.push_back(WorkloadInfo{e->name(), e->description()});
+  return out;
+}
+
+std::shared_ptr<const Workload> get_workload(const std::string& name) {
+  return WorkloadRegistry::instance().get(name);
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> out;
+  for (const WorkloadInfo& info : WorkloadRegistry::instance().list())
+    out.push_back(info.name);
+  return out;
+}
+
+std::string workload_names_joined() {
+  std::string out;
+  for (const std::string& n : workload_names())
+    out += (out.empty() ? "" : ", ") + n;
+  return out;
+}
+
+void require_workload(const std::string& name) {
+  WAVE_EXPECTS_MSG(WorkloadRegistry::instance().contains(name),
+                   "unknown workload '" + name +
+                       "' (registered: " + workload_names_joined() + ")");
+}
+
+}  // namespace wave::workloads

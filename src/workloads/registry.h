@@ -1,0 +1,77 @@
+// Name-indexed registry of paired model+simulation workloads.
+//
+// Mirrors loggp/registry.h on the application axis: where CommModelRegistry
+// makes the *machine* submodel a runtime choice, WorkloadRegistry does the
+// same for the *application* — a driver flag says `--workload=halo2d`, a
+// SweepGrid axis sweeps every registered name, and the same batch pipeline
+// evaluates each workload's analytic and DES paths. The six shipped
+// workloads (wavefront, pingpong, halo2d, pipeline1d, sweep3d-hybrid,
+// allreduce-storm) are registered on first use; studies can add their own
+// with WorkloadRegistry::add before building sweeps.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace wave::workloads {
+
+/// @brief One registry entry, as listed by WorkloadRegistry::list().
+struct WorkloadInfo {
+  std::string name;         ///< the registered lookup key
+  std::string description;  ///< one-line workload summary
+};
+
+/// @brief Process-wide registry of workloads, keyed by name.
+///
+/// Thread-safe: lookups may run concurrently from BatchRunner workers;
+/// registration may race with lookups. Registered workloads are shared
+/// immutable instances (every Workload method is const), so one entry
+/// serves any number of concurrent scenario points.
+class WorkloadRegistry {
+ public:
+  /// @brief The process-wide registry (built-ins already registered).
+  static WorkloadRegistry& instance();
+
+  /// @brief Registers `workload` under its own name().
+  /// @throws common::contract_error when the name is already taken, empty,
+  ///   or not a single config-safe token.
+  void add(std::shared_ptr<const Workload> workload);
+
+  /// @brief True when `name` is registered.
+  bool contains(const std::string& name) const;
+
+  /// @brief The named workload (shared immutable instance).
+  /// @throws common::contract_error for unknown names; the message lists
+  ///   the registered alternatives.
+  std::shared_ptr<const Workload> get(const std::string& name) const;
+
+  /// @brief All registered workloads, in registration order.
+  std::vector<WorkloadInfo> list() const;
+
+ private:
+  WorkloadRegistry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const Workload>> entries_;
+};
+
+/// @brief Convenience: WorkloadRegistry::instance().get(name).
+std::shared_ptr<const Workload> get_workload(const std::string& name);
+
+/// @brief Names of every registered workload, in registration order.
+std::vector<std::string> workload_names();
+
+/// @brief The registered names joined as "a, b, c" — the shared vocabulary
+///   of every unknown-workload error message.
+std::string workload_names_joined();
+
+/// @brief No-op when `name` is registered.
+/// @throws common::contract_error naming `name` and listing the registered
+///   workloads otherwise.
+void require_workload(const std::string& name);
+
+}  // namespace wave::workloads

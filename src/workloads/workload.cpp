@@ -1,0 +1,31 @@
+#include "workloads/workload.h"
+
+#include "common/units.h"
+#include "core/benchmarks.h"
+
+namespace wave::workloads {
+
+core::AppParams WorkloadInputs::default_app() {
+  core::benchmarks::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 64;
+  return core::benchmarks::sweep3d(cfg);
+}
+
+ModelOutput Workload::predict(const core::MachineConfig& machine,
+                              const WorkloadInputs& in) const {
+  return predict(machine, *machine.make_comm_model(), in);
+}
+
+ValidationReport Workload::validate(const core::MachineConfig& machine,
+                                    const WorkloadInputs& in) const {
+  ValidationReport report;
+  report.model = predict(machine, in);
+  report.sim = simulate(machine, in);
+  report.rel_error =
+      common::relative_error(report.model.time_us, report.sim.time_us);
+  report.tolerance = tolerance();
+  report.ok = report.rel_error <= report.tolerance;
+  return report;
+}
+
+}  // namespace wave::workloads

@@ -1,0 +1,41 @@
+// Wall-clock Wg-measurement tests, isolated from the main suite.
+//
+// These compare two *measured* per-cell times, so they are only
+// meaningful when nothing else competes for the CPU: under parallel ctest
+// on a 1-core box the slower-but-lighter run can lose its timeslice and
+// invert the comparison. The binary is therefore registered with the
+// ctest RUN_SERIAL property (see CMakeLists.txt) — ctest runs it alone —
+// and the assertion is a monotonic lower bound with headroom (6x the
+// angular work must show at least a 1.5x per-cell time increase) rather
+// than a bare greater-than, so residual OS noise cannot flip it.
+#include <gtest/gtest.h>
+
+#include "kernels/miniapp.h"
+
+namespace wk = wave::kernels;
+
+namespace {
+wk::MiniAppConfig small_config() {
+  wk::MiniAppConfig cfg;
+  cfg.nx = cfg.ny = 8;
+  cfg.nz = 16;
+  cfg.tile_height = 4;
+  cfg.angles = 4;
+  return cfg;
+}
+}  // namespace
+
+TEST(WgTiming, MeasurementScalesWithAngles) {
+  wk::MiniAppConfig few = small_config();
+  few.angles = 2;
+  wk::MiniAppConfig many = small_config();
+  many.angles = 12;
+  const auto r_few = wk::run_miniapp(few);
+  const auto r_many = wk::run_miniapp(many);
+  ASSERT_GT(r_few.wg_measured, 0.0);
+  ASSERT_GT(r_many.wg_measured, 0.0);
+  // 6x the angles means ~6x the transport work per cell; demanding only
+  // 1.5x leaves a 4x margin for timer and scheduler noise while still
+  // failing if wg_measured stopped scaling with the angular work at all.
+  EXPECT_GT(r_many.wg_measured, 1.5 * r_few.wg_measured);
+}

@@ -75,12 +75,8 @@ TEST(MiniApp, RejectsBadConfig) {
   EXPECT_THROW(wk::run_miniapp(cfg), wave::common::contract_error);
 }
 
-TEST(MiniApp, WgMeasurementScalesWithAngles) {
-  wk::MiniAppConfig few = small_config();
-  few.angles = 2;
-  wk::MiniAppConfig many = small_config();
-  many.angles = 12;
-  const auto r_few = wk::run_miniapp(few);
-  const auto r_many = wk::run_miniapp(many);
-  EXPECT_GT(r_many.wg_measured, r_few.wg_measured);
-}
+// MiniApp.WgMeasurementScalesWithAngles compares two wall-clock
+// measurements, which flaked under parallel ctest on 1-core boxes; it now
+// lives in tests/serial/test_wg_timing.cpp, a separate binary registered
+// with the ctest RUN_SERIAL property so nothing competes for the CPU
+// while it measures.

@@ -310,3 +310,67 @@ TEST(MpiWorld, RejectsEmptyProcess) {
   EXPECT_THROW(world.spawn("p", ws::Process{}),
                wave::common::contract_error);
 }
+
+// The concurrent halo-swap primitive: every half of every exchange is
+// posted before any completes, so a chain of ranks swapping with both
+// neighbours finishes in O(1) exchange times — it must not cascade rank
+// by rank the way sequential pairwise exchanges do.
+TEST(MpiHaloExchange, ChainSwapsOverlapInsteadOfCascading) {
+  constexpr int kRanks = 8;
+  constexpr int kBytes = 256;
+  auto chain_placement = [] {
+    std::vector<int> nodes(kRanks);
+    for (int r = 0; r < kRanks; ++r) nodes[r] = r;
+    return nodes;
+  };
+
+  auto halo_rank = [](ws::RankCtx ctx) -> ws::Process {
+    auto halo = ctx.mpi().halo_exchange(ctx.rank());
+    if (ctx.rank() > 0) halo.add(ctx.rank() - 1, kBytes);
+    if (ctx.rank() + 1 < ctx.size()) halo.add(ctx.rank() + 1, kBytes);
+    co_await halo;
+  };
+  ws::World concurrent(kXt4, chain_placement());
+  for (int r = 0; r < kRanks; ++r)
+    concurrent.spawn("rank" + std::to_string(r),
+                     halo_rank(concurrent.ctx(r)));
+  const double t_concurrent = concurrent.run();
+
+  // The same swap as sequential pairwise exchanges: rank r's West
+  // exchange can only match once r-1 has finished its own West exchange
+  // and posted East, so completion ripples down the chain.
+  auto sequential_rank = [](ws::RankCtx ctx) -> ws::Process {
+    if (ctx.rank() > 0)
+      co_await ctx.mpi().exchange(ctx.rank(), ctx.rank() - 1, kBytes);
+    if (ctx.rank() + 1 < ctx.size())
+      co_await ctx.mpi().exchange(ctx.rank(), ctx.rank() + 1, kBytes);
+  };
+  ws::World sequential(kXt4, chain_placement());
+  for (int r = 0; r < kRanks; ++r)
+    sequential.spawn("rank" + std::to_string(r),
+                     sequential_rank(sequential.ctx(r)));
+  const double t_sequential = sequential.run();
+
+  // Concurrent must beat the cascade decisively, and must cost only a
+  // small constant number of message times — not O(ranks) of them.
+  EXPECT_LT(t_concurrent, t_sequential);
+  EXPECT_LT(t_concurrent,
+            4.0 * kModel.total(kBytes, wl::Placement::OffNode));
+  EXPECT_GT(t_sequential,
+            (kRanks / 2.0) * kModel.total(kBytes, wl::Placement::OffNode));
+}
+
+// An empty halo swap completes immediately; a single-peer swap is one
+// plain exchange.
+TEST(MpiHaloExchange, EmptySwapIsFree) {
+  auto lonely = [](ws::RankCtx ctx) -> ws::Process {
+    auto halo = ctx.mpi().halo_exchange(ctx.rank());
+    co_await halo;  // no peers added
+    co_await ctx.compute(5.0);
+  };
+  ws::World world(kXt4, {0, 1});
+  auto idle = [](ws::RankCtx) -> ws::Process { co_return; };
+  world.spawn("lonely", lonely(world.ctx(0)));
+  world.spawn("idle", idle(world.ctx(1)));
+  EXPECT_NEAR(world.run(), 5.0, 1e-9);
+}

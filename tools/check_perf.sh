@@ -3,8 +3,8 @@
 # against the committed trajectory file and fails on a large events/sec
 # drop. CI runs this in the perf-smoke job.
 #
-# Usage: tools/check_perf.sh BENCH_pr3.json fresh_quick.json [min_ratio]
-#   BENCH_pr3.json    committed trajectory (its "quick" section is the
+# Usage: tools/check_perf.sh BENCH_pr4.json fresh_quick.json [min_ratio]
+#   BENCH_pr4.json    committed trajectory (its "quick" section is the
 #                     reference)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
 #   min_ratio         default 0.75 — i.e. fail on a >25% regression. The
@@ -20,8 +20,11 @@ min_ratio="${3:-0.75}"
 
 # The committed file keeps each section on one line, so the quick
 # reference is the number following des_events_per_sec on the "quick" line.
+# The fresh-file key match is anchored to the whole field so registry-
+# derived wl_<name>_events_per_sec keys can never alias it, whatever a
+# future workload is called.
 ref_des=$(awk -F'"des_events_per_sec": ' '/"quick"/ { split($2, a, /[,}]/); print a[1] }' "$ref")
-fresh_des=$(awk -F': ' '$1 ~ /"des_events_per_sec"/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_des=$(awk -F': ' '$1 ~ /^[[:space:]]*"des_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
 
 if [ -z "$ref_des" ] || [ -z "$fresh_des" ]; then
   echo "check_perf: could not extract des_events_per_sec (ref='$ref_des'," \

@@ -7,7 +7,7 @@
 #
 # Usage: tools/run_perf.sh [build-dir] [out.json]
 #   build-dir  default: build   (needs bench/perf_sweep built, Release!)
-#   out.json   default: BENCH_pr3.json
+#   out.json   default: BENCH_pr4.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -18,7 +18,7 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr3.json}"
+out="${2:-BENCH_pr4.json}"
 sweep="$build/bench/perf_sweep"
 
 if [ ! -x "$sweep" ]; then
@@ -37,9 +37,11 @@ echo
 echo "== perf_sweep --quick (CI reference) =="
 "$sweep" --quick --out="$tmp_quick"
 
-# Pulls "key": value out of a flat perf_sweep JSON.
+# Pulls "key": value out of a flat perf_sweep JSON. Anchored to the whole
+# field, so one key can never match another key containing it.
 metric() { # file key
-  awk -F': ' -v key="\"$2\"" '$1 ~ key { gsub(/[,\r]/, "", $2); print $2 }' "$1"
+  awk -F': ' -v key="\"$2\"" \
+    '$1 ~ ("^[[:space:]]*" key "$") { gsub(/[,\r]/, "", $2); print $2 }' "$1"
 }
 
 full_des=$(metric "$tmp_full" des_events_per_sec)
@@ -48,6 +50,22 @@ full_model=$(metric "$tmp_full" model_points_per_sec)
 quick_des=$(metric "$tmp_quick" des_events_per_sec)
 quick_engine=$(metric "$tmp_quick" engine_events_per_sec)
 quick_model=$(metric "$tmp_quick" model_points_per_sec)
+
+# Per-workload DES events/sec from the full run, assembled as one JSON
+# object line ("name": rate, ...). The names are discovered from the
+# perf_sweep output's wl_<name>_events_per_sec keys (registry-driven), so
+# a newly registered workload lands here without touching this script.
+workloads_json=$(awk -F': ' '
+  $1 ~ /"wl_.*_events_per_sec"/ {
+    name = $1
+    sub(/^[[:space:]]*"wl_/, "", name)
+    sub(/_events_per_sec"$/, "", name)
+    gsub(/[,\r]/, "", $2)
+    if (out != "") out = out ", "
+    out = out "\"" name "\": " $2
+  }
+  END { print out }
+' "$tmp_full")
 
 # Pre-PR3 baseline (see header comment). Keep in sync with docs/PERFORMANCE.md.
 base_des=2738960
@@ -65,9 +83,11 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "PR3 pooled hot path (InlineTask + slab pools + dense channels + calendar queue)",
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem), measured by this run",
   "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model},
   "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model},
+  "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
+  "workloads_events_per_sec": {$workloads_json},
   "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine}
 }
 EOF
