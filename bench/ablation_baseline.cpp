@@ -15,7 +15,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Ablation: baseline model",
       "plug-and-play vs naive single-sweep-model reuse, vs simulation",
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.apps({{"LU 162^3 (nfull=2)", core::benchmarks::lu()},
              {"Sweep3D 256^3 (nfull=2, ndiag=2)",
               core::benchmarks::sweep3d(s3)},
@@ -48,9 +52,9 @@ int main(int argc, char** argv) {
   grid.processors({64, 256, 1024});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
-          .run(grid, [](const runner::Scenario& s) {
-            runner::Metrics m = runner::model_vs_sim_metrics(s);
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
+          .run(grid, [&ctx](const runner::Scenario& s) {
+            runner::Metrics m = runner::model_vs_sim_metrics(ctx, s);
             const auto base =
                 core::hoisie_baseline(s.app, s.effective_machine(), s.grid);
             double sim_iter = 0.0;

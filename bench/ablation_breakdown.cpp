@@ -12,7 +12,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Ablation: communication share, model vs simulator",
       "Chimaera 240^3 on dual-core nodes",
@@ -23,11 +27,13 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::chimaera();
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.processors({64, 256, 1024, 4096});
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli))
-                     .run(grid, runner::model_vs_sim_metrics);
+  auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
+                     .run(grid, [&ctx](const runner::Scenario& s) {
+                       return runner::model_vs_sim_metrics(ctx, s);
+                     });
   for (auto& r : records) {
     r.set("model_share_pct", 100.0 * r.metric("model_iter_comm_us") /
                                  r.metric("model_iter_us"));

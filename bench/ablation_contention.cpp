@@ -12,7 +12,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Ablation: contention model (Table 6) vs emergent contention",
       "multi-core slowdown factor, model vs simulator",
@@ -38,15 +42,17 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::sweep3d(cfg);
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.processors({256, 1024});
   grid.axis("node_shape", {{"1x1", shape(1, 1)},
                            {"1x2", shape(1, 2)},
                            {"2x2", shape(2, 2)},
                            {"2x4", shape(2, 4)}});
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli))
-                     .run(grid, runner::model_vs_sim_metrics);
+  auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
+                     .run(grid, [&ctx](const runner::Scenario& s) {
+                       return runner::model_vs_sim_metrics(ctx, s);
+                     });
 
   // Slowdown factors are relative to the single-core (1x1) record at the
   // same processor count.

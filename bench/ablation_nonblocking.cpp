@@ -15,7 +15,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Ablation: nonblocking boundary sends",
       "blocking vs MPI_Isend double buffering, model and simulator",
@@ -29,13 +33,13 @@ int main(int argc, char** argv) {
   // hide and both variants coincide.
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::chimaera();
-  runner::apply_comm_model_cli(cli, grid);
+  runner::apply_comm_model_cli(cli, ctx, grid);
   grid.machines({{"XT4", core::MachineConfig::xt4_dual_core()},
                  {"SP/2", core::MachineConfig::sp2_single_core()}});
   grid.processors({64, 256});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [](const runner::Scenario& s) {
             core::AppParams nonblocking = s.app;
             nonblocking.nonblocking_sends = true;

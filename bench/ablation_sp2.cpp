@@ -16,7 +16,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Ablation: machine portability (XT4 vs SP/2)",
       "optimal Htile and synchronization share per machine",
@@ -32,7 +36,7 @@ int main(int argc, char** argv) {
   // Htile optimum per machine, Sweep3D 20M-cell problem.
   runner::SweepGrid htile_grid;
   htile_grid.base().app = core::benchmarks::sweep3d_20m();
-  runner::apply_comm_model_cli(cli, htile_grid);
+  runner::apply_comm_model_cli(cli, ctx, htile_grid);
   htile_grid.processors({1024, 4096});
   htile_grid.machines(machines);
 
@@ -53,7 +57,7 @@ int main(int argc, char** argv) {
   // Synchronization-term share of the iteration per machine.
   runner::SweepGrid sync_grid;
   sync_grid.base().app = core::benchmarks::sweep3d_20m();
-  runner::apply_comm_model_cli(cli, sync_grid);
+  runner::apply_comm_model_cli(cli, ctx, sync_grid);
   sync_grid.processors({256, 1024, 4096});
   sync_grid.machines(machines);
 

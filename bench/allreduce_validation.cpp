@@ -9,7 +9,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "All-reduce (eq. 9)", "model vs simulated MPI_Allreduce",
       "paper reports < 2% error up to 1024 dual-core nodes on the real "
@@ -17,7 +21,7 @@ int main(int argc, char** argv) {
       "percent once several off-node stages exist");
 
   const core::MachineConfig machine =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const loggp::MachineParams params = machine.loggp;
   const auto model = machine.make_comm_model();
   const int max_p = static_cast<int>(cli.get_int("max-p", 2048));
@@ -30,7 +34,7 @@ int main(int argc, char** argv) {
   grid.values("ranks", ranks);
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             const int p = static_cast<int>(s.param("ranks"));
             const int c = static_cast<int>(s.param("cores_per_node"));

@@ -8,7 +8,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 3", "MPI ping-pong: simulated 'measured' vs LogGP model",
       "model points lie on the measured curve for all sizes; equal slopes "
@@ -20,7 +24,7 @@ int main(int argc, char** argv) {
   // analytic curve (the simulated "measurement" keeps the mechanistic
   // LogGP protocol, so the table shows what the chosen backend changes).
   const core::MachineConfig machine =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const loggp::MachineParams params = machine.loggp;
   const auto model = machine.make_comm_model();
 
@@ -35,7 +39,7 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.values("bytes", sizes);
 
-  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+  const auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
                            .run(grid, [&](const runner::Scenario& s) {
                              const int bytes =
                                  static_cast<int>(s.param("bytes"));

@@ -10,7 +10,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 5", "execution time per time step vs Htile",
       "Htile in the range 2-5 minimizes execution time for both transport "
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.values("Htile", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
   grid.axis("config",
             {{"Chimaera_240^3_P4K",
@@ -47,7 +51,7 @@ int main(int argc, char** argv) {
               [&](runner::Scenario& s) { sweep3d_at(s, 16384); }}});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+      runner::BatchRunner(ctx, runner::options_from_cli(cli)).run(grid);
 
   runner::emit(cli, records,
                runner::pivot_table(records, "Htile", "config",

@@ -13,8 +13,9 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  if (runner::handle_list_flags(cli)) return 0;
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   const bool full = cli.has("full");
   runner::print_header(
       "Fig 6", "execution time vs system size (Sweep3D 10^9, 10^4 steps)",
@@ -35,12 +36,12 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = app;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   std::vector<int> procs;
   for (int p = 256; p <= 131072; p *= 2) procs.push_back(p);
   grid.processors(procs);
 
-  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
+  const auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
                            .run(grid, [&](const runner::Scenario& s) {
                              runner::Metrics m;
                              const auto machine = s.effective_machine();

@@ -12,9 +12,9 @@ using namespace wave;
 
 namespace {
 
-void study(const common::Cli& cli, const char* title,
-           const core::Solver& solver, const std::vector<int>& machine_sizes,
-           int min_procs) {
+void study(const common::Cli& cli, const wave::Context& ctx,
+           const char* title, const core::Solver& solver,
+           const std::vector<int>& machine_sizes, int min_procs) {
   std::cout << "-- " << title << " --\n";
 
   std::vector<double> sizes(machine_sizes.begin(), machine_sizes.end());
@@ -28,7 +28,7 @@ void study(const common::Cli& cli, const char* title,
   });
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             const auto pt = core::partition_point(
                 solver, static_cast<int>(s.param("P_total")),
@@ -50,7 +50,11 @@ void study(const common::Cli& cli, const char* title,
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 7", "throughput vs partition size",
       "(a) Sweep3D 10^9: on 128K processors two parallel simulations run "
@@ -61,12 +65,12 @@ int main(int argc, char** argv) {
   core::benchmarks::Sweep3dConfig s3;
   s3.energy_groups = 30;
   const core::MachineConfig machine =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const core::Solver sweep3d(core::benchmarks::sweep3d(s3), machine);
-  study(cli, "(a) Sweep3D 10^9 cells", sweep3d, {32768, 65536, 131072},
+  study(cli, ctx, "(a) Sweep3D 10^9 cells", sweep3d, {32768, 65536, 131072},
         4096);
 
   const core::Solver chimaera(core::benchmarks::chimaera(), machine);
-  study(cli, "(b) Chimaera 240^3 cells", chimaera, {16384, 32768}, 1024);
+  study(cli, ctx, "(b) Chimaera 240^3 cells", chimaera, {16384, 32768}, 1024);
   return 0;
 }

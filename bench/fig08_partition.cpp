@@ -11,7 +11,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 8", "optimizing partition size (Sweep3D 10^9, 128K cores)",
       "R/X is minimized at 16K-processor partitions (8 parallel "
@@ -22,7 +26,7 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(
       core::benchmarks::sweep3d(cfg),
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core()));
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()));
   const int total = 131072;
   const long long timesteps = 10'000;
 
@@ -34,7 +38,7 @@ int main(int argc, char** argv) {
   });
 
   auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             const auto pt = core::partition_point(
                 solver, total, static_cast<int>(s.param("partitions")),

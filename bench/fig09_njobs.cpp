@@ -8,7 +8,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 9", "optimal number of parallel simulations (Sweep3D 10^9)",
       "min(R/X) chooses more parallel jobs than min(R^2/X) at every "
@@ -18,13 +22,13 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(
       core::benchmarks::sweep3d(cfg),
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core()));
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()));
 
   runner::SweepGrid grid;
   grid.values("P_avail", {16384, 32768, 65536, 131072});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             const int p = static_cast<int>(s.param("P_avail"));
             const auto points = core::partition_study(solver, p, 10'000, 2048);

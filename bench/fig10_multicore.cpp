@@ -9,7 +9,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 10", "execution time on multi-core nodes (Sweep3D 10^9)",
       "diminishing returns with more cores per node; two cores on N nodes "
@@ -39,7 +43,7 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::sweep3d(cfg);
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   std::vector<double> nodes;
   for (int n = 8192; n <= 131072; n *= 2) nodes.push_back(n);
   grid.values("nodes", nodes);
@@ -51,7 +55,7 @@ int main(int argc, char** argv) {
                            {"16core_4bus_days", shape(16, 4)}});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+      runner::BatchRunner(ctx, runner::options_from_cli(cli)).run(grid);
 
   runner::emit(cli, records,
                runner::pivot_table(records, "nodes", "node_shape",

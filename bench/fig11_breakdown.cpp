@@ -10,7 +10,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 11", "cost breakdown (Chimaera 240^3, 10^4 time steps)",
       "computation time falls with P while communication time falls far "
@@ -23,12 +27,12 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = core::benchmarks::chimaera();
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   std::vector<int> procs;
   for (int p = 1024; p <= 32768; p *= 2) procs.push_back(p);
   grid.processors(procs);
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+  auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli)).run(grid);
 
   std::string crossover = "";
   for (auto& r : records) {

@@ -13,7 +13,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   runner::print_header(
       "Fig 12", "pipeline-fill redesign (Sweep3D, 4x4x1000 cells/processor)",
       "fill time is a growing share of the sequential-groups total as P "
@@ -36,7 +40,7 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.processors({1024, 4096, 16384, 65536});
   grid.axis("design",
             {{"sequential_groups",
@@ -58,7 +62,7 @@ int main(int argc, char** argv) {
                 s.app.energy_groups = 1;
               }}});
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+  auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli)).run(grid);
 
   // The fill share refers to the sequential design: fill per iteration
   // times 120 iterations and 30 groups per time step.

@@ -34,8 +34,9 @@ std::string find_machines_dir(const common::Cli& cli) {
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  if (runner::handle_list_flags(cli)) return 0;
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   runner::print_header(
       "Model compare", "machine configs x comm-model backends",
@@ -53,13 +54,13 @@ int main(int argc, char** argv) {
     // fall back to the compiled-in presets so the sweep still runs.
     std::cout << "note: machines/*.cfg not found, using built-in presets\n";
   }
-  runner::SweepGrid grid = runner::model_compare_grid(dir);
+  runner::SweepGrid grid = runner::model_compare_grid(ctx, dir);
 
   const auto points = grid.points();
   const auto serial =
-      runner::BatchRunner(runner::BatchRunner::Options(1)).run(points);
+      runner::BatchRunner(ctx, runner::BatchRunner::Options(1)).run(points);
   const auto parallel =
-      runner::BatchRunner(runner::BatchRunner::Options(threads)).run(points);
+      runner::BatchRunner(ctx, runner::BatchRunner::Options(threads)).run(points);
   const bool identical =
       runner::to_csv(serial) == runner::to_csv(parallel);
 

@@ -15,7 +15,11 @@
 //   workloads  every registered workload's DES path run serially
 //              (events/sec per workload — how each rank-program shape
 //              loads the fabric; registry-driven, so a newly registered
-//              workload shows up here without touching this file).
+//              workload shows up here without touching this file);
+//   service    the facade's memoizing EvalService: cold analytic
+//              evaluations/sec vs cache-hit lookups/sec on the same query
+//              mix, plus the hit speedup (the production-traffic number —
+//              repeated queries must be O(lookup), >= 10x a model solve).
 //
 // Flags: --quick shrinks every section for CI smoke runs; --threads N sets
 // the model section's worker count (the sim section is measured serially
@@ -32,6 +36,7 @@
 #include "runner/reference_grids.h"
 #include "runner/runner.h"
 #include "sim/engine.h"
+#include "wave/wave.h"
 #include "workloads/registry.h"
 
 using namespace wave;
@@ -80,7 +85,7 @@ struct SectionResult {
 };
 
 /// The DES section: wavefront simulations over a processor axis, serial.
-SectionResult sim_section(bool quick) {
+SectionResult sim_section(const wave::Context& ctx, bool quick) {
   core::benchmarks::Sweep3dConfig s3;
   s3.nx = s3.ny = s3.nz = 96;
 
@@ -98,7 +103,7 @@ SectionResult sim_section(bool quick) {
               [](runner::Scenario& s, double h) { s.app.htile = h; });
 
   const auto points = grid.points();
-  const runner::BatchRunner serial{runner::BatchRunner::Options(1)};
+  const runner::BatchRunner serial{ctx, runner::BatchRunner::Options(1)};
   const auto start = std::chrono::steady_clock::now();
   const auto records = serial.run(points);
   SectionResult res;
@@ -109,7 +114,8 @@ SectionResult sim_section(bool quick) {
 }
 
 /// The analytic section: a large model-only sweep through the batch runner.
-SectionResult model_section(bool quick, int threads) {
+SectionResult model_section(const wave::Context& ctx, bool quick,
+                            int threads) {
   core::benchmarks::Sweep3dConfig s3;
   core::benchmarks::ChimaeraConfig chim;
 
@@ -129,7 +135,7 @@ SectionResult model_section(bool quick, int threads) {
               [](runner::Scenario& s, double h) { s.app.htile = h; });
 
   const auto points = grid.points();
-  const runner::BatchRunner batch{runner::BatchRunner::Options(threads)};
+  const runner::BatchRunner batch{ctx, runner::BatchRunner::Options(threads)};
   const auto start = std::chrono::steady_clock::now();
   const auto records = batch.run(points);
   SectionResult res;
@@ -148,11 +154,13 @@ struct WorkloadPerf {
 /// Runs every registered workload's simulate() path on the dual-core XT4
 /// with per-workload knobs sized so each run executes enough events to
 /// time (the cheap two-rank/collective shapes get more repetitions).
-std::vector<WorkloadPerf> workloads_section(bool quick) {
+std::vector<WorkloadPerf> workloads_section(const wave::Context& ctx,
+                                            bool quick) {
   const core::MachineConfig machine = core::MachineConfig::xt4_dual_core();
   std::vector<WorkloadPerf> out;
-  for (const auto& info : workloads::WorkloadRegistry::instance().list()) {
-    const auto workload = workloads::get_workload(info.name);
+  for (const auto& info : ctx.workloads()) {
+    const auto workload =
+        workloads::get_workload(ctx.workload_registry(), info.name);
     workloads::WorkloadInputs in;
     in.grid = wave::topo::closest_to_square(quick ? 16 : 64);
     in.iterations = quick ? 1 : 2;
@@ -161,7 +169,8 @@ std::vector<WorkloadPerf> workloads_section(bool quick) {
     if (info.name == "allreduce-storm")
       in.params["count"] = quick ? 64 : 256;
     const auto start = std::chrono::steady_clock::now();
-    const workloads::SimOutput res = workload->simulate(machine, in);
+    const workloads::SimOutput res =
+        workload->simulate(machine, ctx.comm_model_registry(), in);
     WorkloadPerf perf;
     perf.name = info.name;
     perf.events = static_cast<double>(res.events);
@@ -175,11 +184,68 @@ double rate(double amount, double wall_s) {
   return wall_s > 0.0 ? amount / wall_s : 0.0;
 }
 
+/// The facade's memoizing service measured on production-shaped traffic:
+/// a small set of distinct analytic queries evaluated cold, then hammered
+/// hot. The speedup (hit rate / cold rate) is the headline cache number.
+struct ServiceResult {
+  double cold_evals = 0.0;
+  double cold_wall_s = 0.0;
+  double hits = 0.0;
+  double hit_wall_s = 0.0;
+};
+
+ServiceResult service_section(const wave::Context& ctx, bool quick) {
+  // Distinct production-ish points: the model path at depths where a
+  // solve costs real work (the r2 recurrence is O(P)).
+  std::vector<wave::Query> queries;
+  for (const char* machine : {"xt4-dual", "xt4-single"})
+    for (int p : {1024, 2048, 4096})
+      queries.push_back(ctx.query()
+                            .machine(machine)
+                            .app("sweep3d-1g")
+                            .processors(p));
+
+  ServiceResult res;
+  // Cold: evaluation + key canonicalization (all misses). Repeat the
+  // whole set through fresh services so the measurement is not one
+  // microsecond-scale sample.
+  const int cold_rounds = quick ? 20 : 100;
+  const auto cold_start = std::chrono::steady_clock::now();
+  for (int round = 0; round < cold_rounds; ++round) {
+    wave::EvalService service(ctx);
+    for (const wave::Query& q : queries) {
+      if (!service.evaluate(q).ok()) std::abort();
+    }
+  }
+  res.cold_wall_s = seconds_since(cold_start);
+  res.cold_evals = static_cast<double>(cold_rounds) *
+                   static_cast<double>(queries.size());
+
+  // Hot: one warm service, same query mix, all hits.
+  wave::EvalService service(ctx);
+  for (const wave::Query& q : queries) {
+    if (!service.evaluate(q).ok()) std::abort();
+  }
+  const long long hot_rounds = quick ? 2'000 : 20'000;
+  const auto hot_start = std::chrono::steady_clock::now();
+  for (long long round = 0; round < hot_rounds; ++round) {
+    for (const wave::Query& q : queries) {
+      if (!service.evaluate(q).ok()) std::abort();
+    }
+  }
+  res.hit_wall_s = seconds_since(hot_start);
+  res.hits = static_cast<double>(hot_rounds) *
+             static_cast<double>(queries.size());
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   const bool quick = cli.has("quick");
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   runner::print_header(
@@ -190,11 +256,12 @@ int main(int argc, char** argv) {
       "with cores via chunked scheduling");
 
   const EngineResult eng = engine_section(quick ? 400'000 : 2'000'000);
-  const SectionResult sim = sim_section(quick);
-  const SectionResult model = model_section(quick, threads);
-  const std::vector<WorkloadPerf> wl = workloads_section(quick);
+  const SectionResult sim = sim_section(ctx, quick);
+  const SectionResult model = model_section(ctx, quick, threads);
+  const std::vector<WorkloadPerf> wl = workloads_section(ctx, quick);
+  const ServiceResult svc = service_section(ctx, quick);
   const int model_threads = runner::BatchRunner(
-      runner::BatchRunner::Options(threads)).threads();
+      ctx, runner::BatchRunner::Options(threads)).threads();
 
   common::Table table({"section", "work", "wall_s", "throughput"});
   table.add_row({"engine",
@@ -224,6 +291,21 @@ int main(int argc, char** argv) {
                    common::Table::num(rate(w.events, w.wall_s) / 1e6, 2) +
                        " M events/s"});
   }
+  const double svc_cold = rate(svc.cold_evals, svc.cold_wall_s);
+  const double svc_hot = rate(svc.hits, svc.hit_wall_s);
+  table.add_row({"service:cold",
+                 common::Table::integer(
+                     static_cast<long long>(svc.cold_evals)) + " evals",
+                 common::Table::num(svc.cold_wall_s, 3),
+                 common::Table::num(svc_cold / 1e3, 1) + " k evals/s"});
+  table.add_row({"service:hit",
+                 common::Table::integer(static_cast<long long>(svc.hits)) +
+                     " hits",
+                 common::Table::num(svc.hit_wall_s, 3),
+                 common::Table::num(svc_hot / 1e3, 1) + " k hits/s (" +
+                     common::Table::num(svc_cold > 0.0 ? svc_hot / svc_cold
+                                                       : 0.0, 1) +
+                     "x cold)"});
   table.print(std::cout);
 
   const std::string out = cli.get("out", "");
@@ -247,11 +329,15 @@ int main(int argc, char** argv) {
         "  \"des_wall_s\": %.6g,\n"
         "  \"model_points_per_sec\": %.6g,\n"
         "  \"model_points\": %.6g,\n"
-        "  \"model_wall_s\": %.6g,\n",
+        "  \"model_wall_s\": %.6g,\n"
+        "  \"service_cold_evals_per_sec\": %.6g,\n"
+        "  \"service_hits_per_sec\": %.6g,\n"
+        "  \"service_hit_speedup\": %.6g,\n",
         quick ? "true" : "false", model_threads,
         rate(eng.events, eng.wall_s), rate(sim.events, sim.wall_s),
         sim.events, sim.wall_s, rate(model.points, model.wall_s),
-        model.points, model.wall_s);
+        model.points, model.wall_s, svc_cold, svc_hot,
+        svc_cold > 0.0 ? svc_hot / svc_cold : 0.0);
     os << buf;
     // One flat key per registered workload. The perf tooling
     // (tools/run_perf.sh, tools/check_perf.sh) matches keys anchored to

@@ -16,9 +16,10 @@ using namespace wave;
 
 namespace {
 
-double run_timed(const std::vector<runner::Scenario>& points, int threads,
+double run_timed(const wave::Context& ctx,
+                 const std::vector<runner::Scenario>& points, int threads,
                  std::string* csv) {
-  const runner::BatchRunner batch{runner::BatchRunner::Options(threads)};
+  const runner::BatchRunner batch{ctx, runner::BatchRunner::Options(threads)};
   const auto start = std::chrono::steady_clock::now();
   const auto records = batch.run(points);
   const auto stop = std::chrono::steady_clock::now();
@@ -30,7 +31,8 @@ double run_timed(const std::vector<runner::Scenario>& points, int threads,
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  if (runner::handle_list_flags(cli)) return 0;
+  const wave::Context ctx = runner::default_context();
+  if (runner::handle_list_flags(cli, ctx)) return 0;
   const int threads = static_cast<int>(cli.get_int("threads", 4));
   runner::print_header(
       "Runner scaling", "parallel batch execution of a mixed sweep",
@@ -43,17 +45,17 @@ int main(int argc, char** argv) {
   // (tests/data/runner_scaling_records.csv), so it lives in
   // runner/reference_grids.cpp where the fixture test can reuse it.
   runner::SweepGrid grid = runner::runner_scaling_grid(cli.has("full"));
-  runner::apply_comm_model_cli(cli, grid);
+  runner::apply_comm_model_cli(cli, ctx, grid);
   // --workload reroutes every point through the registry contract (the
   // default, "wavefront", keeps the sweep on its pinned evaluators).
-  runner::apply_workload_cli(cli, grid);
+  runner::apply_workload_cli(cli, ctx, grid);
 
   const auto points = grid.points();
   std::cout << "sweep points: " << points.size() << "\n";
 
   std::string csv_serial, csv_parallel;
-  const double t1 = run_timed(points, 1, &csv_serial);
-  const double tn = run_timed(points, threads, &csv_parallel);
+  const double t1 = run_timed(ctx, points, 1, &csv_serial);
+  const double tn = run_timed(ctx, points, threads, &csv_parallel);
 
   common::Table table({"threads", "wall_s", "speedup"});
   table.add_row({"1", common::Table::num(t1, 3), common::Table::num(1.0, 2)});

@@ -10,7 +10,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   const double noise = cli.get_double("noise", 0.005);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2008));
   runner::print_header(
@@ -22,7 +26,7 @@ int main(int argc, char** argv) {
   // The calibration target: the XT4 by default, any machines/*.cfg ground
   // truth with --machine.
   const auto truth =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core())
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core())
           .loggp;
 
   // A one-point sweep: the calibration is a single (machine, noise, seed)
@@ -32,7 +36,7 @@ int main(int argc, char** argv) {
   grid.values("noise", {noise});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             common::Rng rng(s.seed);
             const auto fitted =

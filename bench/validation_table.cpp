@@ -14,7 +14,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
   const bool full = cli.has("full");
   runner::print_header(
       "Validation", "model vs simulated time per iteration (dual-core)",
@@ -33,15 +37,17 @@ int main(int argc, char** argv) {
 
   runner::SweepGrid grid;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.apps({{"LU 162^3", core::benchmarks::lu()},
              {full ? "Sweep3D 1000^3" : "Sweep3D 512^3",
               core::benchmarks::sweep3d(s3)},
              {"Chimaera 240^3", core::benchmarks::chimaera()}});
   grid.processors(procs);
 
-  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
-                           .run(grid, runner::model_vs_sim_metrics);
+  const auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
+                           .run(grid, [&ctx](const runner::Scenario& s) {
+                       return runner::model_vs_sim_metrics(ctx, s);
+                     });
 
   runner::emit(
       cli, records,

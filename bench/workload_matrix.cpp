@@ -20,7 +20,8 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  if (runner::handle_list_flags(cli)) return 0;
+  const wave::Context ctx = runner::default_context();
+  if (runner::handle_list_flags(cli, ctx)) return 0;
   const int threads = static_cast<int>(cli.get_int("threads", 0));
   runner::print_header(
       "Workload matrix", "registered workloads x machines x comm backends",
@@ -29,12 +30,12 @@ int main(int argc, char** argv) {
       "terms, halo2d only the per-pair exchange terms, allreduce-storm "
       "only eq. 9; records are byte-identical at any thread count");
 
-  runner::SweepGrid grid = runner::workload_matrix_grid(cli.has("full"));
+  runner::SweepGrid grid = runner::workload_matrix_grid(ctx, cli.has("full"));
   // --workload narrows the matrix's workload axis to the one name (the
   // axis already enumerates every registered workload, so selection here
   // is a filter rather than a base override).
   runner::Scenario selector;
-  runner::apply_workload_cli(cli, selector);
+  runner::apply_workload_cli(cli, ctx, selector);
   if (cli.has("workload")) {
     const std::string chosen = selector.workload;
     grid.filter([chosen](const runner::Scenario& s) {
@@ -43,11 +44,15 @@ int main(int argc, char** argv) {
   }
 
   const auto points = grid.points();
-  const auto serial = runner::BatchRunner(runner::BatchRunner::Options(1))
-                          .run(points, runner::workload_metrics);
+  const auto serial = runner::BatchRunner(ctx, runner::BatchRunner::Options(1))
+                          .run(points, [&ctx](const runner::Scenario& s) {
+            return runner::workload_metrics(ctx, s);
+          });
   const auto parallel =
-      runner::BatchRunner(runner::BatchRunner::Options(threads))
-          .run(points, runner::workload_metrics);
+      runner::BatchRunner(ctx, runner::BatchRunner::Options(threads))
+          .run(points, [&ctx](const runner::Scenario& s) {
+            return runner::workload_metrics(ctx, s);
+          });
   const bool identical = runner::to_csv(serial) == runner::to_csv(parallel);
 
   auto time_cell = [](const runner::RunRecord& r) {

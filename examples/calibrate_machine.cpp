@@ -14,14 +14,18 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
 
   // Stand-in for "run the MPI ping-pong benchmark on your machine": we
   // measure the simulated XT4 (or any --machine config) with 1% timer
   // noise. On a real cluster the curve would be filled from MPI_Wtime
   // measurements instead.
   const loggp::MachineParams ground_truth =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core())
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core())
           .loggp;
   const auto sizes = calibrate::default_sizes();
 
@@ -30,7 +34,7 @@ int main(int argc, char** argv) {
   grid.values("on_chip", {0, 1});
 
   const auto records =
-      runner::BatchRunner(runner::options_from_cli(cli))
+      runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             const bool on_chip = s.param("on_chip") != 0;
             common::Rng noise(s.seed);

@@ -43,8 +43,12 @@ using enum core::SweepPrecedence;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
-  const runner::BatchRunner batch(runner::options_from_cli(cli));
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
+  const runner::BatchRunner batch(ctx, runner::options_from_cli(cli));
 
   // Three candidate sweep structures with identical total work.
   const core::SweepStructure barrier_heavy({{NorthWest, FullComplete},
@@ -62,7 +66,7 @@ int main(int argc, char** argv) {
 
   std::printf("Sweep-structure design study at P = 4096, Htile = 2:\n");
   runner::SweepGrid designs;
-  runner::apply_machine_cli(cli, designs);
+  runner::apply_machine_cli(cli, ctx, designs);
   designs.apps({{"barrier-heavy (every sweep completes)",
                  make_app(barrier_heavy, 2.0)},
                 {"chained corners (Sweep3D-style)", make_app(chained, 2.0)},
@@ -92,7 +96,7 @@ int main(int argc, char** argv) {
 
   std::printf("Htile scan for the chained design at P = 4096:\n");
   runner::SweepGrid htile_grid;
-  runner::apply_machine_cli(cli, htile_grid);
+  runner::apply_machine_cli(cli, ctx, htile_grid);
   htile_grid.processors({4096});
   htile_grid.values("Htile", {1, 2, 4, 8, 16},
                     [&](runner::Scenario& s, double h) {
@@ -116,10 +120,12 @@ int main(int argc, char** argv) {
   // the numbers (the plug-and-play promise is accuracy without bespoke
   // equations — verify it holds for *your* code's structure).
   runner::SweepGrid check;
-  runner::apply_machine_cli(cli, check);
+  runner::apply_machine_cli(cli, ctx, check);
   check.base().app = make_app(chained, best_h);
   check.processors({256});
-  const auto checked = batch.run(check, runner::model_vs_sim_metrics);
+  const auto checked = batch.run(check, [&ctx](const runner::Scenario& s) {
+    return runner::model_vs_sim_metrics(ctx, s);
+  });
   const auto& c = checked.front();
   std::printf(
       "\ncross-check at P = 256: model %.3f ms/iter, simulated %.3f "

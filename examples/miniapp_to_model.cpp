@@ -16,7 +16,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
 
   // 1. The sequential science code: a source-iteration Sn solve on one
   //    processor's share of the grid (16x16x64 cells, 6 angles).
@@ -52,7 +56,7 @@ int main(int argc, char** argv) {
   // 3. Predictions: tile height tuning, then the scaling sweep through
   //    the batch runner.
   const auto machine =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const auto scan = core::scan_htile(app, machine, 16384);
   std::printf("optimal Htile at P = 16384: %.0f (%.1f%% faster than "
               "Htile = 1)\n\n",
@@ -64,7 +68,7 @@ int main(int argc, char** argv) {
   grid.base().machine = machine;
   grid.processors({1024, 4096, 16384, 65536});
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
+  auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli)).run(grid);
   for (auto& r : records)
     r.set("comm_pct",
           100.0 * r.metric("model_iter_comm_us") / r.metric("model_iter_us"));

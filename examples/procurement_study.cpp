@@ -16,8 +16,12 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
-  const runner::BatchRunner batch(runner::options_from_cli(cli));
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
+  const runner::BatchRunner batch(ctx, runner::options_from_cli(cli));
 
   // The site's production workload: 10^9-cell Sweep3D runs with 30 energy
   // groups, 10,000 time steps each.
@@ -25,7 +29,7 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(
       core::benchmarks::sweep3d(cfg),
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core()));
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()));
   const long long timesteps = 10'000;
 
   std::printf("Candidate machine sizes (one simulation on the full "

@@ -1,68 +1,91 @@
 // Quickstart: predict the runtime and scaling of a wavefront application
-// in a dozen lines.
+// through the stable embedding facade — `#include "wave/wave.h"` is the
+// only header an application needs.
 //
 // The plug-and-play workflow is exactly the paper's:
-//   1. describe the machine (LogGP parameters + node architecture),
-//   2. describe the application (the few Table 3 parameters — here the
-//      stock Sweep3D benchmark, with Wg measured by a real kernel),
-//   3. declare the sweep and hand it to the batch runner.
+//   1. open a Context (machines, workloads and comm models, all by name),
+//   2. describe the application (an app preset, with Wg — the measured
+//      per-cell compute time — calibrated on *this* host),
+//   3. ask: one point via Query, a sweep via Study, and repeated traffic
+//      via the memoizing EvalService.
 //
-// Build and run:  ./build/examples/quickstart
+// Build and run:  ./build/examples/quickstart [machine-name-or-cfg-path]
 #include <cstdio>
-#include <iostream>
+#include <string>
 
-#include "common/units.h"
-#include "core/benchmarks.h"
-#include "kernels/transport.h"
-#include "runner/runner.h"
+#include "wave/wave.h"
 
 int main(int argc, char** argv) {
-  using namespace wave;
-  const common::Cli cli(argc, argv);
-  // --list-workloads / --list-comm-models print the registries and exit.
-  if (runner::handle_list_flags(cli)) return 0;
-  runner::reject_workload_cli(cli);
+  // 1. The Context owns all state: registries plus the machine catalog.
+  //    Nothing is process-global — embed as many contexts as you like.
+  wave::Context ctx;
+  ctx.add_machine_dir("machines");  // optional: shipped *.cfg configs
+  const std::string machine = argc > 1 ? argv[1] : "xt4-dual";
 
-  // 1. The machine: Cray XT4 LogGP parameters, dual-core nodes stacked
-  //    1x2 in the processor grid — or any machines/*.cfg via --machine,
-  //    evaluated under any registered backend via --comm-model.
-  const core::MachineConfig machine =
-      runner::machine_from_cli(cli, core::MachineConfig::xt4_dual_core());
-
-  // 2. The application: Sweep3D on the 20-million-cell problem. Wg — the
-  //    measured compute time for all angles of one cell — comes from
-  //    timing a real discrete-ordinates kernel on *this* host (§4.3 says
-  //    to measure it on the machine you predict for; we only have this
-  //    one, so predictions describe "an XT4 with this host's cores").
-  const common::usec wg = kernels::measure_wg_transport(/*angles=*/6);
+  // 2. Sweep3D on the 20-million-cell problem. Wg is a *measured* model
+  //    input (§4.3: time it on the machine you predict for; we only have
+  //    this host, so predictions describe "an XT4 with this host's cores").
+  const double wg = wave::measure_wg_us(/*angles=*/6);
   std::printf("measured Wg (6 angles): %.4f us/cell\n\n", wg);
 
-  // 3. The sweep: time per iteration and per time step across system
-  //    sizes, evaluated in parallel by the batch runner.
-  runner::SweepGrid grid;
-  grid.base().app = core::benchmarks::sweep3d_20m(wg);
-  grid.base().machine = machine;
-  grid.processors({256, 1024, 4096, 16384, 65536});
+  // 3a. One point: a fluent Query returning a typed Result. Errors come
+  //     back as a Status — a typo'd name never throws across the API.
+  auto point = ctx.query()
+                   .machine(machine)
+                   .app("sweep3d-20m")
+                   .wg(wg)
+                   .processors(1024)
+                   .run();
+  if (!point.ok()) {
+    std::fprintf(stderr, "%s\n", point.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("P=1024 on %s: %.3f ms per iteration (%.1f%% communication)\n\n",
+              point.value().machine.c_str(), point.value().time_us * 1e-3,
+              100.0 * point.value().comm_us / point.value().time_us);
 
-  auto records = runner::BatchRunner(runner::options_from_cli(cli)).run(grid);
-  for (auto& r : records) {
-    r.set("fill_pct",
-          100.0 * r.metric("model_fill_us") / r.metric("model_iter_us"));
-    r.set("comm_pct",
-          100.0 * r.metric("model_iter_comm_us") / r.metric("model_iter_us"));
+  // 3b. The scaling sweep: a Study evaluates the cartesian product on a
+  //     thread pool; rows carry axis labels plus the full term breakdown.
+  auto study = ctx.study()
+                   .machine(machine)
+                   .app("sweep3d-20m")
+                   .wg(wg)
+                   .processors({256, 1024, 4096, 16384, 65536})
+                   .run();
+  if (!study.ok()) {
+    std::fprintf(stderr, "%s\n", study.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%8s %12s %14s %8s %8s\n", "P", "iter (ms)", "timestep (s)",
+              "fill %", "comm %");
+  for (const auto& row : study.value().rows) {
+    const double iter = row.metric_or("model_iter_us", 0.0);
+    std::printf("%8s %12.3f %14.2f %8.1f %8.1f\n",
+                row.label_or("P", "?").c_str(), iter * 1e-3,
+                row.metric_or("model_timestep_us", 0.0) * 1e-6,
+                100.0 * row.metric_or("model_fill_us", 0.0) / iter,
+                100.0 * row.metric_or("model_iter_comm_us", 0.0) / iter);
   }
 
-  runner::emit(
-      cli, records,
-      {runner::Column::label("P"),
-       runner::Column::metric("iter (ms)", "model_iter_us", 3, 1.0e-3),
-       runner::Column::metric("timestep (s)", "model_timestep_us", 2,
-                              1.0 / common::kUsecPerSec),
-       runner::Column::metric("fill %", "fill_pct", 1),
-       runner::Column::metric("comm %", "comm_pct", 1)});
+  // 3c. Production traffic: EvalService memoizes behind a canonical
+  //     scenario key, so the dashboard's repeated questions cost a hash
+  //     lookup, not a model solve.
+  wave::EvalService service(ctx);
+  const wave::Query hot =
+      ctx.query().machine(machine).app("sweep3d-20m").wg(wg).processors(4096);
+  for (int i = 0; i < 1000; ++i) {
+    if (!service.evaluate(hot).ok()) return 1;
+  }
+  const auto stats = service.stats();
+  std::printf(
+      "\nEvalService: %llu evaluations -> %llu model solve(s), "
+      "%llu cache hits\n",
+      static_cast<unsigned long long>(stats.hits + stats.misses),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.hits));
 
   std::printf(
-      "Reading the table: pipeline fill and communication shares grow\n"
+      "\nReading the table: pipeline fill and communication shares grow\n"
       "with P — the model makes the diminishing returns quantitative\n"
       "before anyone queues for machine time.\n");
   return 0;

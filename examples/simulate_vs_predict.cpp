@@ -13,7 +13,11 @@ using namespace wave;
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
-  runner::reject_workload_cli(cli);
+  const wave::Context ctx = runner::default_context();
+  // --list-workloads / --list-comm-models / --list-machines
+  // print the context's catalogs and exit.
+  if (runner::handle_list_flags(cli, ctx)) return 0;
+  runner::reject_workload_cli(cli, ctx);
 
   // A mid-size Chimaera-like problem so the simulation finishes in
   // seconds.
@@ -27,11 +31,13 @@ int main(int argc, char** argv) {
   runner::SweepGrid grid;
   grid.base().app = app;
   grid.base().machine = core::MachineConfig::xt4_dual_core();
-  runner::apply_machine_cli(cli, grid);
+  runner::apply_machine_cli(cli, ctx, grid);
   grid.processors({16, 64, 256, 1024});
 
-  const auto records = runner::BatchRunner(runner::options_from_cli(cli))
-                           .run(grid, runner::model_vs_sim_metrics);
+  const auto records = runner::BatchRunner(ctx, runner::options_from_cli(cli))
+                           .run(grid, [&ctx](const runner::Scenario& s) {
+                       return runner::model_vs_sim_metrics(ctx, s);
+                     });
 
   runner::emit(
       cli, records,

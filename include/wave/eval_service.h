@@ -1,0 +1,98 @@
+// Long-lived, memoizing evaluation service of the `wave::` facade.
+//
+// Production query traffic is heavily repetitive: a procurement dashboard
+// asks for the same few machine × workload × P points over and over. An
+// EvalService sits in front of a Context and caches every successful
+// Result behind a canonical scenario key, so a repeated query costs one
+// hash lookup instead of a model solve (or a multi-second DES run):
+//
+//   wave::Context ctx;
+//   wave::EvalService service(ctx);
+//   auto a = service.evaluate(ctx.query().processors(1024));  // miss: solves
+//   auto b = service.evaluate(ctx.query().processors(1024));  // hit: O(lookup)
+//   assert(service.stats().hits == 1);
+//
+// Guarantees:
+//   - hits return a bit-identical copy of the first evaluation's Result
+//     (the evaluation pipeline itself is deterministic, so cold and
+//     cached answers never disagree);
+//   - evaluate() is thread-safe: concurrent mixed queries may race to
+//     fill the same slot, but the first stored Result wins and every
+//     caller observes a fully-formed value;
+//   - the cache is capacity-bounded: reaching `Options::capacity` distinct
+//     scenarios resets the cache generation (counted in Stats::resets) —
+//     a deliberately simple bound that keeps the dense map allocation-free
+//     in steady state;
+//   - errors are never cached: a query that fails (unknown name, bad
+//     domain) is re-validated on every call, so fixing the Context
+//     (e.g. adding the missing machine) takes effect immediately.
+//
+// This header is self-contained: it depends only on the C++ standard
+// library and the sibling wave/ headers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "wave/query.h"
+#include "wave/status.h"
+
+namespace wave {
+
+class Context;
+
+/// @brief Thread-safe memoizing front-end over a Context.
+class EvalService {
+ public:
+  struct Options {
+    /// Distinct scenarios cached before the generation resets.
+    std::size_t capacity;
+    // Written out (not a default member initializer) so the constructor
+    // below may default-construct Options before EvalService is complete.
+    Options() : capacity(4096) {}
+    explicit Options(std::size_t capacity_) : capacity(capacity_) {}
+  };
+
+  /// The service borrows `ctx`, which must outlive it. Queries evaluated
+  /// through the service resolve against *this* context, regardless of
+  /// which context the query was built from.
+  explicit EvalService(const Context& ctx, Options options = Options());
+  ~EvalService();
+
+  EvalService(EvalService&&) noexcept;
+  EvalService& operator=(EvalService&&) noexcept;
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// @brief The memoized equivalent of query.run(): a cache hit returns a
+  ///   bit-identical copy of the first evaluation's Result.
+  Expected<Result> evaluate(const Query& query);
+
+  /// @brief The canonical scenario key `query` caches under — the full
+  ///   resolved identity (machine config text included, so two catalogs
+  ///   mapping one name to different machines never alias). Exposed for
+  ///   diagnostics and tests.
+  std::string canonical_key(const Query& query) const;
+
+  /// @brief Cache counters (a consistent snapshot).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;    ///< evaluations performed (cachable ones)
+    std::uint64_t errors = 0;    ///< failed queries (never cached)
+    std::uint64_t resets = 0;    ///< capacity-triggered generation resets
+    std::size_t size = 0;        ///< scenarios currently cached
+    std::size_t capacity = 0;
+  };
+  Stats stats() const;
+
+  /// @brief Drops every cached scenario (counters other than size keep
+  ///   their values).
+  void clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wave

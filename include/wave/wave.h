@@ -1,0 +1,35 @@
+// Umbrella header of the stable `wave::` embedding facade.
+//
+// This is the one include an embedding application needs:
+//
+//   #include "wave/wave.h"
+//
+//   int main() {
+//     wave::Context ctx;
+//     auto r = ctx.query().machine("xt4-dual").processors(1024).run();
+//     if (r.ok()) std::cout << r.value().time_us << " us\n";
+//   }
+//
+// The facade surface is Context (state), Query/Result and Study
+// (evaluation), EvalService (memoization) and Status/Expected (errors);
+// docs/API.md is the embedding guide and states the versioning policy.
+// Everything under src/ remains internal: reachable for power users and
+// extensions, but outside the compatibility promise.
+#pragma once
+
+#include "wave/context.h"
+#include "wave/eval_service.h"
+#include "wave/query.h"
+#include "wave/status.h"
+#include "wave/study.h"
+
+namespace wave {
+
+/// @brief Measures Wg — the per-cell compute time for all angles of one
+///   cell, the model's measured input (§4.3) — by timing a real
+///   discrete-ordinates kernel on *this* host. Feed it to
+///   Query::wg()/Study::wg() so predictions describe "the target machine
+///   with this host's cores".
+double measure_wg_us(int angles = 6);
+
+}  // namespace wave

@@ -1,0 +1,159 @@
+#include "api/api_internal.h"
+
+#include <typeinfo>
+
+#include "common/contracts.h"
+#include "core/benchmarks.h"
+#include "core/machine.h"
+#include "loggp/registry.h"
+#include "runner/batch_runner.h"
+#include "workloads/registry.h"
+
+namespace wave::api {
+
+namespace {
+
+struct PresetEntry {
+  const char* name;
+  core::AppParams (*make)();
+};
+
+const PresetEntry kPresets[] = {
+    {"sweep3d-64",
+     [] {
+       core::benchmarks::Sweep3dConfig cfg;
+       cfg.nx = cfg.ny = cfg.nz = 64;
+       return core::benchmarks::sweep3d(cfg);
+     }},
+    {"sweep3d-20m", [] { return core::benchmarks::sweep3d_20m(); }},
+    {"sweep3d-1g", [] { return core::benchmarks::sweep3d(); }},
+    {"lu", [] { return core::benchmarks::lu(); }},
+    {"chimaera", [] { return core::benchmarks::chimaera(); }},
+};
+
+}  // namespace
+
+std::string app_preset_names_joined() {
+  std::string out;
+  for (const PresetEntry& p : kPresets)
+    out += (out.empty() ? "" : ", ") + std::string(p.name);
+  return out;
+}
+
+core::AppParams app_preset(const std::string& name) {
+  for (const PresetEntry& p : kPresets)
+    if (name == p.name) return p.make();
+  WAVE_EXPECTS_MSG(false, "unknown app preset '" + name +
+                              "' (available: " + app_preset_names_joined() +
+                              ")");
+  return core::AppParams();  // unreachable; keep the compiler happy
+}
+
+runner::Engine to_runner_engine(Engine engine) {
+  return engine == Engine::Model ? runner::Engine::Model
+                                 : runner::Engine::Simulation;
+}
+
+runner::Scenario scenario_from(const Context& ctx, const Query& query) {
+  runner::Scenario s;
+  s.machine = ctx.resolve_machine(query.machine_name());
+
+  const std::string& workload = query.workload_name();
+  WAVE_EXPECTS_MSG(!workload.empty(), "workload name must be non-empty");
+  workloads::require_workload(ctx.workload_registry(), workload);
+  s.workload = workload;
+
+  if (!query.comm_model_name().empty()) {
+    loggp::require_comm_model(ctx.comm_model_registry(),
+                              query.comm_model_name());
+    s.comm_model = query.comm_model_name();
+  }
+
+  if (!query.app_preset().empty()) s.app = app_preset(query.app_preset());
+  if (query.wg_override() > 0.0) {
+    // An explicit Wg with no preset applies to the workload subsystem's
+    // canonical default app rather than silently doing nothing.
+    if (s.app.nx <= 0.0) s.app = workloads::WorkloadInputs::default_app();
+    s.app.wg = query.wg_override();
+  }
+  if (query.problem_nx() > 0.0) {
+    if (s.app.nx <= 0.0) s.app = workloads::WorkloadInputs::default_app();
+    s.app.nx = query.problem_nx();
+    s.app.ny = query.problem_ny();
+    s.app.nz = query.problem_nz();
+  }
+  // No preset and no overrides: the workload subsystem's canonical app
+  // (Sweep3D 64^3), so a bare ctx.query().run() is a valid question.
+  if (s.app.nx <= 0.0) s.app = workloads::WorkloadInputs::default_app();
+  s.app.validate();
+
+  WAVE_EXPECTS_MSG(query.processor_count() >= 1,
+                   "processors must be >= 1");
+  if (query.grid_columns() > 0 && query.grid_rows() > 0) {
+    s.grid = topo::Grid(query.grid_columns(), query.grid_rows());
+  } else {
+    s.set_processors(query.processor_count());
+  }
+
+  WAVE_EXPECTS_MSG(query.iteration_count() >= 1, "iterations must be >= 1");
+  s.iterations = query.iteration_count();
+  s.engine = to_runner_engine(query.engine_choice());
+  s.params = query.params();
+  return s;
+}
+
+Result result_from(const Context& ctx, const Query& query,
+                   const runner::Scenario& scenario) {
+  Result out;
+  const core::MachineConfig machine = scenario.effective_machine();
+  out.workload = scenario.workload;
+  out.machine = machine.name;
+  out.comm_model = machine.comm_model;
+  out.processors = scenario.processors();
+  out.engine = query.engine_choice();
+
+  if (query.validate_requested()) {
+    out.terms = runner::workload_model_vs_sim_metrics(ctx, scenario);
+    out.validated = true;
+    out.model_us = out.term_or("model_us", 0.0);
+    out.sim_us = out.term_or("sim_us", 0.0);
+    out.divergence_pct = out.term_or("err_pct", 0.0);
+    out.within_tolerance = out.term_or("within_tol", 0.0) != 0.0;
+    out.time_us =
+        out.engine == Engine::Model ? out.model_us : out.sim_us;
+    out.comm_us = out.term_or("model_comm_us", 0.0);
+    return out;
+  }
+
+  out.terms = runner::evaluate_scenario(ctx, scenario);
+  // The first metric of every canned evaluator is the headline
+  // per-iteration time (model_iter_us / model_us / sim_iter_us / sim_us).
+  if (!out.terms.empty()) out.time_us = out.terms.front().second;
+  out.comm_us = out.term_or(
+      "model_iter_comm_us", out.term_or("model_comm_us", 0.0));
+  return out;
+}
+
+Status to_status(const std::exception& error) {
+  const std::string what = error.what();
+  if (dynamic_cast<const common::contract_error*>(&error) != nullptr) {
+    // The facade's own name-lookup failures (require_workload,
+    // require_comm_model, resolve_machine, app_preset) are kNotFound;
+    // every other contract violation is a bad value. Matched against the
+    // exact error vocabulary those helpers emit, not a loose substring —
+    // a ConfigError about an "unknown machine-config key" is a malformed
+    // file, not a failed lookup.
+    for (const char* lookup :
+         {"unknown workload '", "unknown comm model '", "unknown machine '",
+          "unknown app preset '"}) {
+      if (what.find(lookup) != std::string::npos)
+        return Status::not_found(what);
+    }
+    return Status::invalid_argument(what);
+  }
+  if (dynamic_cast<const core::ConfigError*>(&error) != nullptr)
+    return Status::invalid_argument(what);
+  return Status::internal(what);
+}
+
+}  // namespace wave::api

@@ -1,0 +1,43 @@
+// Shared plumbing of the facade implementation (src/api/*.cpp): the
+// Query-vocabulary -> internal-scenario translation, the app-preset
+// table, and the exception -> Status boundary. Internal — never installed
+// and never included from include/wave/.
+#pragma once
+
+#include <string>
+
+#include "core/app_params.h"
+#include "runner/scenario.h"
+#include "wave/context.h"
+#include "wave/query.h"
+#include "wave/status.h"
+
+namespace wave::api {
+
+/// The application presets the facade exposes by name. Throws
+/// common::contract_error (listing the vocabulary) on an unknown name.
+core::AppParams app_preset(const std::string& name);
+
+/// "a, b, c" — the preset vocabulary for error messages and docs.
+std::string app_preset_names_joined();
+
+/// Builds the internal scenario a Query describes: resolves the machine
+/// against `ctx`, validates workload and comm-model names, applies the
+/// app preset plus wg/problem overrides. Throws on any unknown name or
+/// domain violation (callers wrap with to_status).
+runner::Scenario scenario_from(const Context& ctx, const Query& query);
+
+/// Maps the evaluated metrics of `scenario` onto the typed Result,
+/// including the divergence block when the query asked to validate.
+Result result_from(const Context& ctx, const Query& query,
+                   const runner::Scenario& scenario);
+
+/// The facade's engine enum <-> the runner's.
+runner::Engine to_runner_engine(Engine engine);
+
+/// Translates the internal exception taxonomy onto the Status codes the
+/// facade promises (contract/config errors -> kNotFound or
+/// kInvalidArgument; anything else -> kInternal).
+Status to_status(const std::exception& error);
+
+}  // namespace wave::api

@@ -1,0 +1,182 @@
+#include "wave/eval_service.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api_internal.h"
+#include "common/dense_map.h"
+#include "core/machine.h"
+#include "wave/context.h"
+
+namespace wave {
+
+namespace {
+
+/// Exact decimal round-trip for key fields: two doubles map to one key
+/// text iff they are the same value.
+std::string exact(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// FNV-1a 64 over the canonical key text.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // The all-ones value is DenseMap64's empty-slot sentinel.
+  if (h == common::DenseMap64<int>::kEmptyKey) h = 0;
+  return h;
+}
+
+/// The canonical scenario identity: every query field that can change the
+/// result, plus the fully-serialized machine config (so two catalogs
+/// mapping one name onto different machines never alias).
+std::string key_text(const Query& query,
+                     const runner::Scenario& scenario) {
+  std::string key = "wave-scenario/1\n";
+  key += "workload=" + scenario.workload + "\n";
+  key += "engine=" + to_string(query.engine_choice()) + "\n";
+  key += std::string("validate=") +
+         (query.validate_requested() ? "1" : "0") + "\n";
+  key += "grid=" + std::to_string(scenario.grid.n()) + "x" +
+         std::to_string(scenario.grid.m()) + "\n";
+  key += "iterations=" + std::to_string(scenario.iterations) + "\n";
+  key += "comm_override=" + scenario.comm_model + "\n";
+  key += "app=" + query.app_preset() + "\n";
+  key += "wg=" + exact(query.wg_override()) + "\n";
+  key += "problem=" + exact(query.problem_nx()) + "," +
+         exact(query.problem_ny()) + "," + exact(query.problem_nz()) + "\n";
+  for (const auto& [name, value] : query.params())  // std::map: sorted
+    key += "param." + name + "=" + exact(value) + "\n";
+  key += "machine:\n" + core::write_machine_config(scenario.machine);
+  return key;
+}
+
+}  // namespace
+
+struct EvalService::Impl {
+  struct Entry {
+    std::string key;
+    Result result;
+  };
+
+  const Context* ctx;
+  Options options;
+
+  mutable std::mutex mutex;
+  /// hash(key) -> entries with that hash (collision chains stay tiny; the
+  /// full key string disambiguates).
+  common::DenseMap64<std::vector<Entry>> cache;
+  std::size_t size = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t resets = 0;
+
+  const Result* find_locked(std::uint64_t hash, const std::string& key) {
+    const std::vector<Entry>* chain = cache.find(hash);
+    if (chain == nullptr) return nullptr;
+    for (const Entry& e : *chain)
+      if (e.key == key) return &e.result;
+    return nullptr;
+  }
+};
+
+EvalService::EvalService(const Context& ctx, Options options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->ctx = &ctx;
+  impl_->options = options;
+  if (impl_->options.capacity == 0) impl_->options.capacity = 1;
+  impl_->cache.reserve_keys(impl_->options.capacity);
+}
+
+EvalService::~EvalService() = default;
+EvalService::EvalService(EvalService&&) noexcept = default;
+EvalService& EvalService::operator=(EvalService&&) noexcept = default;
+
+std::string EvalService::canonical_key(const Query& query) const {
+  try {
+    return key_text(query, api::scenario_from(*impl_->ctx, query));
+  } catch (const std::exception& e) {
+    // Unresolvable queries have no cache identity; return a diagnostic
+    // text (never stored — evaluate() fails before caching).
+    return std::string("unresolvable: ") + e.what();
+  }
+}
+
+Expected<Result> EvalService::evaluate(const Query& query) {
+  runner::Scenario scenario;
+  try {
+    scenario = api::scenario_from(*impl_->ctx, query);
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->errors;
+    return api::to_status(e);
+  }
+  const std::string key = key_text(query, scenario);
+  const std::uint64_t hash = fnv1a(key);
+
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (const Result* cached = impl_->find_locked(hash, key)) {
+      ++impl_->hits;
+      return *cached;
+    }
+  }
+
+  // Evaluate outside the lock: a DES point can take seconds, and
+  // concurrent distinct queries must not serialize behind it. Two threads
+  // racing on the same key both evaluate; the pipeline is deterministic,
+  // so both compute the identical Result and the first store wins.
+  Result result;
+  try {
+    result = api::result_from(*impl_->ctx, query, scenario);
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->errors;
+    return api::to_status(e);
+  }
+
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  ++impl_->misses;
+  if (const Result* cached = impl_->find_locked(hash, key))
+    return *cached;  // lost the race; the stored copy is authoritative
+  if (impl_->size >= impl_->options.capacity) {
+    // Generation reset: the simple capacity bound (see eval_service.h).
+    impl_->cache = common::DenseMap64<std::vector<Impl::Entry>>();
+    impl_->cache.reserve_keys(impl_->options.capacity);
+    impl_->size = 0;
+    ++impl_->resets;
+  }
+  impl_->cache[hash].push_back(Impl::Entry{key, result});
+  ++impl_->size;
+  return result;
+}
+
+EvalService::Stats EvalService::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  Stats out;
+  out.hits = impl_->hits;
+  out.misses = impl_->misses;
+  out.errors = impl_->errors;
+  out.resets = impl_->resets;
+  out.size = impl_->size;
+  out.capacity = impl_->options.capacity;
+  return out;
+}
+
+void EvalService::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->cache = common::DenseMap64<std::vector<Impl::Entry>>();
+  impl_->cache.reserve_keys(impl_->options.capacity);
+  impl_->size = 0;
+}
+
+}  // namespace wave

@@ -1,0 +1,90 @@
+#include "wave/query.h"
+
+#include <utility>
+
+#include "api/api_internal.h"
+#include "wave/context.h"
+
+namespace wave {
+
+std::string to_string(Engine engine) {
+  return engine == Engine::Model ? "model" : "sim";
+}
+
+Query& Query::machine(std::string name_or_path) {
+  machine_ = std::move(name_or_path);
+  return *this;
+}
+
+Query& Query::workload(std::string name) {
+  workload_ = std::move(name);
+  return *this;
+}
+
+Query& Query::comm_model(std::string name) {
+  comm_model_ = std::move(name);
+  return *this;
+}
+
+Query& Query::app(std::string preset) {
+  app_ = std::move(preset);
+  return *this;
+}
+
+Query& Query::wg(double us_per_cell) {
+  wg_ = us_per_cell;
+  return *this;
+}
+
+Query& Query::problem(double nx, double ny, double nz) {
+  nx_ = nx;
+  ny_ = ny;
+  nz_ = nz;
+  return *this;
+}
+
+Query& Query::processors(int count) {
+  processors_ = count;
+  grid_n_ = grid_m_ = 0;
+  return *this;
+}
+
+Query& Query::grid(int columns, int rows) {
+  grid_n_ = columns;
+  grid_m_ = rows;
+  return *this;
+}
+
+Query& Query::iterations(int count) {
+  iterations_ = count;
+  return *this;
+}
+
+Query& Query::engine(Engine engine) {
+  engine_ = engine;
+  return *this;
+}
+
+Query& Query::param(std::string name, double value) {
+  params_[std::move(name)] = value;
+  return *this;
+}
+
+Query& Query::validate(bool on) {
+  validate_ = on;
+  return *this;
+}
+
+Expected<Result> Query::run() const {
+  if (ctx_ == nullptr)
+    return Status::failed_precondition(
+        "query is not bound to a Context (obtain it via Context::query())");
+  try {
+    const runner::Scenario scenario = api::scenario_from(*ctx_, *this);
+    return api::result_from(*ctx_, *this, scenario);
+  } catch (const std::exception& e) {
+    return api::to_status(e);
+  }
+}
+
+}  // namespace wave

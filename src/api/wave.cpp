@@ -1,0 +1,45 @@
+#include "wave/wave.h"
+
+#include <string>
+
+#include "kernels/transport.h"
+
+namespace wave {
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  const char* code = "INTERNAL";
+  switch (code_) {
+    case StatusCode::kOk:
+      code = "OK";
+      break;
+    case StatusCode::kInvalidArgument:
+      code = "INVALID_ARGUMENT";
+      break;
+    case StatusCode::kNotFound:
+      code = "NOT_FOUND";
+      break;
+    case StatusCode::kAlreadyExists:
+      code = "ALREADY_EXISTS";
+      break;
+    case StatusCode::kFailedPrecondition:
+      code = "FAILED_PRECONDITION";
+      break;
+    case StatusCode::kInternal:
+      code = "INTERNAL";
+      break;
+  }
+  return std::string(code) + ": " + message_;
+}
+
+std::string api_version() {
+  return std::to_string(WAVE_API_VERSION_MAJOR) + "." +
+         std::to_string(WAVE_API_VERSION_MINOR) + "." +
+         std::to_string(WAVE_API_VERSION_PATCH);
+}
+
+double measure_wg_us(int angles) {
+  return kernels::measure_wg_transport(angles);
+}
+
+}  // namespace wave

@@ -45,6 +45,20 @@ class DenseMap64 {
     }
   }
 
+  /// Value for `key`, or nullptr — never inserts.
+  V* find(std::uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = mix(key) & mask_;
+    while (true) {
+      if (keys_[i] == key) return &values_[i];
+      if (keys_[i] == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<DenseMap64*>(this)->find(key);
+  }
+
   std::size_t size() const { return size_; }
   std::size_t buckets() const { return keys_.size(); }
 

@@ -30,11 +30,16 @@ MachineConfig MachineConfig::xt4_with_cores(int cores, int buses) {
   return m;
 }
 
-std::shared_ptr<const loggp::CommModel> MachineConfig::make_comm_model()
-    const {
+std::shared_ptr<const loggp::CommModel> MachineConfig::make_comm_model(
+    const loggp::CommModelRegistry& registry) const {
   loggp::CommModelOptions options;
   options.bus_sharers = bus_sharers();
-  return loggp::make_comm_model(comm_model, loggp, options);
+  return registry.make(comm_model, loggp, options);
+}
+
+std::shared_ptr<const loggp::CommModel> MachineConfig::make_comm_model()
+    const {
+  return make_comm_model(loggp::CommModelRegistry::instance());
 }
 
 namespace {
@@ -202,7 +207,8 @@ const std::vector<KeySpec>& key_specs() {
 }  // namespace
 
 MachineConfig parse_machine_config(const std::string& text,
-                                   const std::string& source) {
+                                   const std::string& source,
+                                   const loggp::CommModelRegistry& registry) {
   // Every recognized key writes through its KeySpec; anything not in the
   // table is a hard error, so typos can't silently become defaults.
   MachineConfig m;
@@ -249,10 +255,10 @@ MachineConfig parse_machine_config(const std::string& text,
   if (!missing.empty())
     config_fail(source, 0, "missing required key(s): " + missing);
 
-  if (!loggp::CommModelRegistry::instance().contains(m.comm_model)) {
+  if (!registry.contains(m.comm_model)) {
     config_fail(source, seen.count("comm_model") ? seen["comm_model"] : 0,
                 "unknown comm model '" + m.comm_model + "' (registered: " +
-                    loggp::comm_model_names_joined() + ")");
+                    loggp::comm_model_names_joined(registry) + ")");
   }
   try {
     m.validate();
@@ -262,12 +268,19 @@ MachineConfig parse_machine_config(const std::string& text,
   return m;
 }
 
-MachineConfig load_machine_config(const std::string& path) {
+MachineConfig parse_machine_config(const std::string& text,
+                                   const std::string& source) {
+  return parse_machine_config(text, source,
+                              loggp::CommModelRegistry::instance());
+}
+
+MachineConfig load_machine_config(const std::string& path,
+                                  const loggp::CommModelRegistry& registry) {
   std::ifstream in(path);
   if (!in) throw ConfigError(path + ": cannot open machine config");
   std::ostringstream body;
   body << in.rdbuf();
-  MachineConfig m = parse_machine_config(body.str(), path);
+  MachineConfig m = parse_machine_config(body.str(), path, registry);
   if (m.name.empty()) {
     // Default the display name to the file stem: "machines/sp2.cfg" -> "sp2".
     std::string stem = path;
@@ -278,6 +291,10 @@ MachineConfig load_machine_config(const std::string& path) {
     m.name = stem;
   }
   return m;
+}
+
+MachineConfig load_machine_config(const std::string& path) {
+  return load_machine_config(path, loggp::CommModelRegistry::instance());
 }
 
 std::string write_machine_config(const MachineConfig& machine) {

@@ -34,6 +34,10 @@
 #include "loggp/comm_model.h"
 #include "loggp/params.h"
 
+namespace wave::loggp {
+class CommModelRegistry;
+}  // namespace wave::loggp
+
 namespace wave::core {
 
 /// @brief A machine = LogGP parameters + multi-core node shape + the name
@@ -71,9 +75,14 @@ struct MachineConfig {
   /// @brief Cores sharing one memory bus: cores_per_node / buses_per_node.
   int bus_sharers() const { return cores_per_node() / buses_per_node; }
 
-  /// @brief Constructs this machine's communication backend from the
+  /// @brief Constructs this machine's communication backend from the given
   ///   registry (shared, immutable, safe to use from many threads).
   /// @throws common::contract_error when `comm_model` is not registered.
+  std::shared_ptr<const loggp::CommModel> make_comm_model(
+      const loggp::CommModelRegistry& registry) const;
+
+  /// @brief DEPRECATED shim: resolves through the legacy process-wide
+  ///   registry (CommModelRegistry::instance()).
   std::shared_ptr<const loggp::CommModel> make_comm_model() const;
 
   void validate() const {
@@ -151,15 +160,27 @@ class ConfigError : public std::runtime_error {
 ///
 /// @param text The config body.
 /// @param source Name used in error messages (file path or "<string>").
+/// @param registry The comm-model registry `comm_model` must name a
+///   backend of (a wave::Context's scoped registry, usually).
 /// @returns The validated machine description.
 /// @throws ConfigError on any syntactic or semantic problem, including an
 ///   unregistered `comm_model` name.
+MachineConfig parse_machine_config(const std::string& text,
+                                   const std::string& source,
+                                   const loggp::CommModelRegistry& registry);
+
+/// @brief DEPRECATED shim: parses against the legacy process-wide
+///   comm-model registry.
 MachineConfig parse_machine_config(const std::string& text,
                                    const std::string& source = "<string>");
 
 /// @brief Loads and parses a machine-config file. When the file does not
 ///   set `name`, the file's stem (basename without extension) is used.
 /// @throws ConfigError when the file cannot be read or fails to parse.
+MachineConfig load_machine_config(const std::string& path,
+                                  const loggp::CommModelRegistry& registry);
+
+/// @brief DEPRECATED shim: loads against the legacy process-wide registry.
 MachineConfig load_machine_config(const std::string& path);
 
 /// @brief Serializes a machine back to config text;

@@ -14,6 +14,32 @@ namespace wave::core {
 
 using loggp::Placement;
 
+Solver::Solver(AppParams app, MachineConfig machine,
+               std::shared_ptr<const loggp::CommModel> comm)
+    : app_(std::move(app)),
+      machine_(std::move(machine)),
+      comm_(std::move(comm)) {
+  app_.validate();
+  machine_.validate();
+  WAVE_EXPECTS_MSG(comm_ != nullptr, "solver needs a comm backend");
+}
+
+Solver::Solver(AppParams app, MachineConfig machine,
+               const loggp::CommModel& comm)
+    : Solver(std::move(app), std::move(machine),
+             // Aliasing ctor with an empty owner: a non-owning
+             // shared_ptr onto the caller's backend.
+             std::shared_ptr<const loggp::CommModel>(
+                 std::shared_ptr<const loggp::CommModel>(), &comm)) {}
+
+Solver::Solver(AppParams app, MachineConfig machine,
+               const loggp::CommModelRegistry& registry)
+    : app_(std::move(app)), machine_(std::move(machine)) {
+  app_.validate();
+  machine_.validate();
+  comm_ = machine_.make_comm_model(registry);
+}
+
 Solver::Solver(AppParams app, MachineConfig machine)
     : app_(std::move(app)), machine_(std::move(machine)) {
   app_.validate();

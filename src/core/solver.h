@@ -28,6 +28,10 @@
 #include "loggp/comm_model.h"
 #include "topology/grid.h"
 
+namespace wave::loggp {
+class CommModelRegistry;
+}  // namespace wave::loggp
+
 namespace wave::core {
 
 /// A duration along the critical path, split into its communication part
@@ -89,8 +93,26 @@ struct ModelResult {
 /// stack-phase contention additions so interference is charged once.
 class Solver {
  public:
+  /// @brief Resolves machine.comm_model through the given registry (a
+  ///   wave::Context's scoped registry, usually).
   /// @throws common::contract_error when the app or machine is out of
   ///   domain, or machine.comm_model names no registered backend.
+  Solver(AppParams app, MachineConfig machine,
+         const loggp::CommModelRegistry& registry);
+
+  /// @brief Evaluates through an already-constructed backend (must match
+  ///   the assumptions of machine.comm_model; the facade resolves it once
+  ///   and shares it across points).
+  Solver(AppParams app, MachineConfig machine,
+         std::shared_ptr<const loggp::CommModel> comm);
+
+  /// @brief Non-owning variant of the above for callers handed a backend
+  ///   by reference (the Workload::predict hook): `comm` must outlive the
+  ///   solver.
+  Solver(AppParams app, MachineConfig machine, const loggp::CommModel& comm);
+
+  /// @brief DEPRECATED shim: resolves machine.comm_model through the
+  ///   legacy process-wide registry.
   Solver(AppParams app, MachineConfig machine);
 
   const AppParams& app() const { return app_; }

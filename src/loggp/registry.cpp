@@ -64,7 +64,10 @@ std::unique_ptr<CommModel> CommModelRegistry::make(
         break;
       }
   }
-  if (!factory) require_comm_model(name);  // throws: no factory, not known
+  // Validate against *this* registry — registries are instance-scoped
+  // now, and consulting the singleton here would miss (or wrongly
+  // accept) names registered elsewhere.
+  if (!factory) require_comm_model(*this, name);  // throws: not registered
   return factory(params, options);
 }
 
@@ -76,30 +79,49 @@ std::vector<CommModelInfo> CommModelRegistry::list() const {
   return out;
 }
 
-std::unique_ptr<CommModel> make_comm_model(const std::string& name,
+std::unique_ptr<CommModel> make_comm_model(const CommModelRegistry& registry,
+                                           const std::string& name,
                                            const MachineParams& params,
                                            const CommModelOptions& options) {
-  return CommModelRegistry::instance().make(name, params, options);
+  return registry.make(name, params, options);
 }
 
-std::vector<std::string> comm_model_names() {
+std::vector<std::string> comm_model_names(const CommModelRegistry& registry) {
   std::vector<std::string> out;
-  for (const CommModelInfo& info : CommModelRegistry::instance().list())
-    out.push_back(info.name);
+  for (const CommModelInfo& info : registry.list()) out.push_back(info.name);
   return out;
 }
 
-std::string comm_model_names_joined() {
+std::string comm_model_names_joined(const CommModelRegistry& registry) {
   std::string out;
-  for (const std::string& n : comm_model_names())
+  for (const std::string& n : comm_model_names(registry))
     out += (out.empty() ? "" : ", ") + n;
   return out;
 }
 
+void require_comm_model(const CommModelRegistry& registry,
+                        const std::string& name) {
+  WAVE_EXPECTS_MSG(registry.contains(name),
+                   "unknown comm model '" + name + "' (registered: " +
+                       comm_model_names_joined(registry) + ")");
+}
+
+std::unique_ptr<CommModel> make_comm_model(const std::string& name,
+                                           const MachineParams& params,
+                                           const CommModelOptions& options) {
+  return make_comm_model(CommModelRegistry::instance(), name, params, options);
+}
+
+std::vector<std::string> comm_model_names() {
+  return comm_model_names(CommModelRegistry::instance());
+}
+
+std::string comm_model_names_joined() {
+  return comm_model_names_joined(CommModelRegistry::instance());
+}
+
 void require_comm_model(const std::string& name) {
-  WAVE_EXPECTS_MSG(CommModelRegistry::instance().contains(name),
-                   "unknown comm model '" + name +
-                       "' (registered: " + comm_model_names_joined() + ")");
+  require_comm_model(CommModelRegistry::instance(), name);
 }
 
 }  // namespace wave::loggp

@@ -35,15 +35,24 @@ struct CommModelInfo {
   std::string description;  ///< one-line modelling assumption
 };
 
-/// @brief Process-wide registry of comm-model backends, keyed by name.
+/// @brief Instance-scoped registry of comm-model backends, keyed by name.
+///
+/// Registries are owned — a wave::Context holds one per instance, so two
+/// embedding studies in one process can register different backends
+/// without interfering. Construction pre-registers the three built-in
+/// backends (backends.h).
 ///
 /// Thread-safe: lookups may run concurrently from BatchRunner workers
 /// (a Solver is constructed per scenario point); registration may race
-/// with lookups. The built-in backends are registered lazily on first
-/// access to instance().
+/// with lookups.
 class CommModelRegistry {
  public:
-  /// @brief The process-wide registry (built-ins already registered).
+  /// @brief A fresh registry with the built-in backends pre-registered.
+  CommModelRegistry();
+
+  /// @brief DEPRECATED (kept as a one-PR migration shim): the legacy
+  ///   process-wide registry. New code should scope registries through
+  ///   wave::Context instead of sharing this singleton.
   static CommModelRegistry& instance();
 
   /// @brief Registers a backend under `name`.
@@ -65,8 +74,6 @@ class CommModelRegistry {
   std::vector<CommModelInfo> list() const;
 
  private:
-  CommModelRegistry();
-
   struct Entry {
     CommModelInfo info;
     CommModelFactory factory;
@@ -76,21 +83,42 @@ class CommModelRegistry {
   std::vector<Entry> entries_;
 };
 
-/// @brief Convenience: CommModelRegistry::instance().make(...).
+/// @brief Convenience: registry.make(...).
+std::unique_ptr<CommModel> make_comm_model(
+    const CommModelRegistry& registry, const std::string& name,
+    const MachineParams& params,
+    const CommModelOptions& options = CommModelOptions());
+
+/// @brief Names of every backend registered in `registry`, in
+///   registration order.
+std::vector<std::string> comm_model_names(const CommModelRegistry& registry);
+
+/// @brief The backend names of `registry` joined as "a, b, c" — the shared
+///   vocabulary of every unknown-backend error message.
+std::string comm_model_names_joined(const CommModelRegistry& registry);
+
+/// @brief No-op when `name` is registered in `registry`.
+/// @throws common::contract_error naming `name` and listing the
+///   registered backends otherwise.
+void require_comm_model(const CommModelRegistry& registry,
+                        const std::string& name);
+
+// ---- DEPRECATED global shims (one-PR migration aids) ----------------------
+// Each delegates to CommModelRegistry::instance(); new code should pass an
+// explicit registry (usually wave::Context::comm_model_registry()).
+
+/// @brief DEPRECATED: CommModelRegistry::instance().make(...).
 std::unique_ptr<CommModel> make_comm_model(
     const std::string& name, const MachineParams& params,
     const CommModelOptions& options = CommModelOptions());
 
-/// @brief Names of every registered backend, in registration order.
+/// @brief DEPRECATED: comm_model_names(CommModelRegistry::instance()).
 std::vector<std::string> comm_model_names();
 
-/// @brief The registered backend names joined as "a, b, c" — the shared
-///   vocabulary of every unknown-backend error message.
+/// @brief DEPRECATED: comm_model_names_joined(instance()).
 std::string comm_model_names_joined();
 
-/// @brief No-op when `name` is registered.
-/// @throws common::contract_error naming `name` and listing the
-///   registered backends otherwise.
+/// @brief DEPRECATED: require_comm_model(instance(), name).
 void require_comm_model(const std::string& name);
 
 }  // namespace wave::loggp

@@ -5,13 +5,16 @@
 #include "common/units.h"
 #include "core/solver.h"
 #include "runner/thread_pool.h"
+#include "wave/context.h"
+#include "workloads/builtin.h"
 #include "workloads/registry.h"
 #include "workloads/wavefront.h"
 
 namespace wave::runner {
 
-Metrics model_metrics(const Scenario& s) {
-  const core::Solver solver(s.app, s.effective_machine());
+Metrics model_metrics(const wave::Context& ctx, const Scenario& s) {
+  const core::Solver solver(s.app, s.effective_machine(),
+                            ctx.comm_model_registry());
   const core::ModelResult res = solver.evaluate(s.grid);
   const core::TimeSplit step = res.timestep_split();
   return {{"model_iter_us", res.iteration.total},
@@ -22,9 +25,11 @@ Metrics model_metrics(const Scenario& s) {
           {"model_fill_comm_us", res.fill.comm}};
 }
 
-Metrics sim_metrics(const Scenario& s) {
+Metrics sim_metrics(const wave::Context& ctx, const Scenario& s) {
+  const core::MachineConfig machine = s.effective_machine();
   const workloads::SimRunResult res = workloads::simulate_wavefront(
-      s.app, s.effective_machine(), s.grid, s.iterations);
+      s.app, machine, s.grid, s.iterations,
+      workloads::protocol_for(machine, ctx.comm_model_registry()));
   return {{"sim_iter_us", res.time_per_iteration},
           {"sim_makespan_us", res.makespan},
           {"sim_events", static_cast<double>(res.events)},
@@ -46,18 +51,20 @@ workloads::WorkloadInputs workload_inputs(const Scenario& s) {
   return in;
 }
 
-Metrics workload_metrics(const Scenario& s) {
+Metrics workload_metrics(const wave::Context& ctx, const Scenario& s) {
   const auto workload = workloads::get_workload(
-      s.workload.empty() ? "wavefront" : s.workload);
+      ctx.workload_registry(), s.workload.empty() ? "wavefront" : s.workload);
   const workloads::WorkloadInputs in = workload_inputs(s);
   const core::MachineConfig machine = s.effective_machine();
   Metrics out;
   if (s.engine == Engine::Model) {
-    const workloads::ModelOutput model = workload->predict(machine, in);
+    const workloads::ModelOutput model =
+        workload->predict(machine, ctx.comm_model_registry(), in);
     out = {{"model_us", model.time_us}, {"model_comm_us", model.comm_us}};
     out.insert(out.end(), model.extra.begin(), model.extra.end());
   } else {
-    const workloads::SimOutput sim = workload->simulate(machine, in);
+    const workloads::SimOutput sim =
+        workload->simulate(machine, ctx.comm_model_registry(), in);
     out = {{"sim_us", sim.time_us},
            {"sim_makespan_us", sim.makespan_us},
            {"sim_events", static_cast<double>(sim.events)},
@@ -70,12 +77,14 @@ Metrics workload_metrics(const Scenario& s) {
   return out;
 }
 
-Metrics workload_model_vs_sim_metrics(const Scenario& s) {
+Metrics workload_model_vs_sim_metrics(const wave::Context& ctx,
+                                      const Scenario& s) {
   const auto workload = workloads::get_workload(
-      s.workload.empty() ? "wavefront" : s.workload);
-  const workloads::ValidationReport report =
-      workload->validate(s.effective_machine(), workload_inputs(s));
+      ctx.workload_registry(), s.workload.empty() ? "wavefront" : s.workload);
+  const workloads::ValidationReport report = workload->validate(
+      s.effective_machine(), ctx.comm_model_registry(), workload_inputs(s));
   Metrics out = {{"model_us", report.model.time_us},
+                 {"model_comm_us", report.model.comm_us},
                  {"sim_us", report.sim.time_us},
                  {"err_pct", 100.0 * report.rel_error},
                  {"within_tol", report.ok ? 1.0 : 0.0}};
@@ -84,24 +93,57 @@ Metrics workload_model_vs_sim_metrics(const Scenario& s) {
   return out;
 }
 
-Metrics evaluate_scenario(const Scenario& s) {
+Metrics evaluate_scenario(const wave::Context& ctx, const Scenario& s) {
   // The wavefront default keeps the original metric names (and therefore
   // the pinned record fixtures of tests/data/) byte-identical; any other
   // registered workload evaluates through the registry contract.
   if (!s.workload.empty() && s.workload != "wavefront")
-    return workload_metrics(s);
-  return s.engine == Engine::Model ? model_metrics(s) : sim_metrics(s);
+    return workload_metrics(ctx, s);
+  return s.engine == Engine::Model ? model_metrics(ctx, s)
+                                   : sim_metrics(ctx, s);
 }
 
-Metrics model_vs_sim_metrics(const Scenario& s) {
-  Metrics out = model_metrics(s);
-  Metrics sim = sim_metrics(s);
+Metrics model_vs_sim_metrics(const wave::Context& ctx, const Scenario& s) {
+  Metrics out = model_metrics(ctx, s);
+  Metrics sim = sim_metrics(ctx, s);
   const double model_iter = out.front().second;
   const double sim_iter = sim.front().second;
   out.insert(out.end(), sim.begin(), sim.end());
   out.emplace_back("err_pct",
                    100.0 * common::relative_error(model_iter, sim_iter));
   return out;
+}
+
+// ---- DEPRECATED context-free shims ------------------------------------
+
+Metrics model_metrics(const Scenario& s) {
+  return model_metrics(wave::Context::global(), s);
+}
+
+Metrics sim_metrics(const Scenario& s) {
+  return sim_metrics(wave::Context::global(), s);
+}
+
+Metrics workload_metrics(const Scenario& s) {
+  return workload_metrics(wave::Context::global(), s);
+}
+
+Metrics workload_model_vs_sim_metrics(const Scenario& s) {
+  return workload_model_vs_sim_metrics(wave::Context::global(), s);
+}
+
+Metrics evaluate_scenario(const Scenario& s) {
+  return evaluate_scenario(wave::Context::global(), s);
+}
+
+Metrics model_vs_sim_metrics(const Scenario& s) {
+  return model_vs_sim_metrics(wave::Context::global(), s);
+}
+
+// ---- BatchRunner ------------------------------------------------------
+
+const wave::Context& BatchRunner::context() const {
+  return ctx_ != nullptr ? *ctx_ : wave::Context::global();
 }
 
 int BatchRunner::threads() const { return ThreadPool(options_.threads).threads(); }
@@ -134,7 +176,9 @@ std::vector<RunRecord> BatchRunner::run(const std::vector<Scenario>& points,
 
 std::vector<RunRecord> BatchRunner::run(
     const std::vector<Scenario>& points) const {
-  return run(points, evaluate_scenario);
+  const wave::Context& ctx = context();
+  return run(points,
+             [&ctx](const Scenario& s) { return evaluate_scenario(ctx, s); });
 }
 
 std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid,
@@ -143,7 +187,7 @@ std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid,
 }
 
 std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid) const {
-  return run(grid.points(), evaluate_scenario);
+  return run(grid.points());
 }
 
 }  // namespace wave::runner

@@ -17,27 +17,36 @@
 
 namespace wave::runner {
 
+// The canned evaluators resolve registry names (machine.comm_model,
+// Scenario::workload) against an explicit wave::Context, so two embedded
+// studies with different registrations never interfere. Each has a
+// DEPRECATED context-free shim that resolves against Context::global().
+
 /// Canned evaluation: the analytic model on the point's (app, machine,
 /// grid). Metrics: model_iter_us, model_iter_comm_us, model_timestep_us,
 /// model_timestep_comm_us, model_fill_us, model_fill_comm_us.
+Metrics model_metrics(const wave::Context& ctx, const Scenario& s);
 Metrics model_metrics(const Scenario& s);
 
 /// Canned evaluation: the discrete-event simulator on the same point.
 /// Metrics: sim_iter_us, sim_makespan_us, sim_events, sim_messages,
 /// sim_bus_wait_us, sim_nic_wait_us, sim_mpi_busy_us.
+Metrics sim_metrics(const wave::Context& ctx, const Scenario& s);
 Metrics sim_metrics(const Scenario& s);
 
 /// Dispatches on `s.engine` (Model -> model_metrics, Simulation ->
 /// sim_metrics). The default point function of BatchRunner::run.
 /// Scenarios whose `workload` is not "wavefront" route through the
-/// workload registry (workload_metrics) instead of the wavefront-specific
-/// evaluators above, so any registered workload rides every driver that
-/// uses the default point function.
+/// context's workload registry (workload_metrics) instead of the
+/// wavefront-specific evaluators above, so any registered workload rides
+/// every driver that uses the default point function.
+Metrics evaluate_scenario(const wave::Context& ctx, const Scenario& s);
 Metrics evaluate_scenario(const Scenario& s);
 
 /// Canned evaluation: model *and* simulator on the same point, plus
 /// err_pct = 100 * |model - sim| / sim per iteration — the paper's
 /// validation metric.
+Metrics model_vs_sim_metrics(const wave::Context& ctx, const Scenario& s);
 Metrics model_vs_sim_metrics(const Scenario& s);
 
 /// Canned evaluation through the workload registry: dispatches on
@@ -46,10 +55,13 @@ Metrics model_vs_sim_metrics(const Scenario& s);
 /// sim_events, sim_messages, sim_bus_wait_us, sim_nic_wait_us,
 /// sim_mpi_busy_us + extras). Metric names are uniform across workloads —
 /// the point function of cross-workload sweeps (bench/workload_matrix).
+Metrics workload_metrics(const wave::Context& ctx, const Scenario& s);
 Metrics workload_metrics(const Scenario& s);
 
 /// Both workload paths on the same point plus err_pct and within_tol
 /// (1 when err is inside the workload's declared tolerance).
+Metrics workload_model_vs_sim_metrics(const wave::Context& ctx,
+                                      const Scenario& s);
 Metrics workload_model_vs_sim_metrics(const Scenario& s);
 
 /// The WorkloadInputs a scenario point hands its workload: app, grid,
@@ -79,6 +91,13 @@ class BatchRunner {
   /// Computes the metrics of one scenario point.
   using PointFn = std::function<Metrics(const Scenario&)>;
 
+  /// Runs point functions against `ctx` (the default point function
+  /// resolves workload/comm-model names through it). `ctx` must outlive
+  /// the runner.
+  explicit BatchRunner(const wave::Context& ctx, Options options = Options())
+      : ctx_(&ctx), options_(options) {}
+
+  /// DEPRECATED shim: runs against Context::global().
   explicit BatchRunner(Options options = Options()) : options_(options) {}
 
   int threads() const;
@@ -96,6 +115,10 @@ class BatchRunner {
   std::vector<RunRecord> run(const SweepGrid& grid) const;
 
  private:
+  /// The context the default point function evaluates under.
+  const wave::Context& context() const;
+
+  const wave::Context* ctx_ = nullptr;  // null = Context::global()
   Options options_;
 };
 

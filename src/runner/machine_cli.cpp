@@ -1,5 +1,6 @@
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "loggp/registry.h"
@@ -11,19 +12,20 @@ namespace wave::runner {
 namespace {
 
 /// Prints the comm-model registry, one "name — description" line each.
-void print_comm_models(std::ostream& os) {
+void print_comm_models(std::ostream& os, const wave::Context& ctx) {
   os << "registered comm models:\n";
-  for (const auto& info : loggp::CommModelRegistry::instance().list())
+  for (const auto& info : ctx.comm_models())
     os << "  " << info.name << " — " << info.description << "\n";
 }
 
 /// Prints the workload registry with each workload's parameter schema.
-void print_workloads(std::ostream& os) {
+void print_workloads(std::ostream& os, const wave::Context& ctx) {
   os << "registered workloads:\n";
-  for (const auto& info : workloads::WorkloadRegistry::instance().list()) {
+  for (const auto& info : ctx.workloads()) {
     os << "  " << info.name << " — " << info.description << "\n";
     for (const auto& p :
-         workloads::get_workload(info.name)->parameters()) {
+         workloads::get_workload(ctx.workload_registry(), info.name)
+             ->parameters()) {
       char fallback[32];
       std::snprintf(fallback, sizeof fallback, "%g", p.fallback);
       os << "      " << p.name << " (default " << fallback << "): "
@@ -32,89 +34,158 @@ void print_workloads(std::ostream& os) {
   }
 }
 
+/// Prints the machine catalog: presets plus discovered machines/*.cfg.
+void print_machines(std::ostream& os, const wave::Context& ctx) {
+  os << "machine catalog:\n";
+  for (const auto& info : ctx.machines())
+    os << "  " << info.name << " — " << info.description << "\n";
+  os << "(--machine also accepts a machines/*.cfg file path)\n";
+}
+
 /// Unknown registry names on the command line are user errors, not
 /// programming errors: print the vocabulary and exit instead of letting a
 /// contract violation unwind through main.
-[[noreturn]] void fatal_unknown(const std::string& kind,
-                                const std::string& value,
-                                void (*print_registry)(std::ostream&)) {
+[[noreturn]] void fatal_unknown(
+    const std::string& kind, const std::string& value, const wave::Context& ctx,
+    void (*print_catalog)(std::ostream&, const wave::Context&)) {
   std::cerr << "error: unknown " << kind << " '" << value << "'\n";
-  print_registry(std::cerr);
+  print_catalog(std::cerr, ctx);
   std::exit(1);
 }
 
 /// The --comm-model half shared by both apply_* entry points.
-void apply_comm_model_flag(const common::Cli& cli, Scenario& base) {
+void apply_comm_model_flag(const common::Cli& cli, const wave::Context& ctx,
+                           Scenario& base) {
   const std::string model = cli.get("comm-model", "");
   if (model.empty()) return;
-  if (!loggp::CommModelRegistry::instance().contains(model))
-    fatal_unknown("comm model", model, print_comm_models);
+  if (!ctx.has_comm_model(model))
+    fatal_unknown("comm model", model, ctx, print_comm_models);
   base.comm_model = model;
 }
 
 }  // namespace
 
-void apply_machine_cli(const common::Cli& cli, Scenario& base) {
-  const std::string file = cli.get("machine", "");
-  if (!file.empty()) base.machine = core::load_machine_config(file);
-  apply_comm_model_flag(cli, base);
+wave::Context default_context() {
+  wave::Context ctx;
+  std::error_code ec;
+  if (std::filesystem::is_directory("machines", ec)) {
+    // The CWD may be any directory, and a ./machines folder there is not
+    // necessarily ours — so an unparsable file is a loud stderr note, not
+    // a fatal error before the CLI was even looked at. A missing *name*
+    // still fails properly when --machine=<name> does not resolve (and
+    // CI smokes --machine=sp2 from the repository root, so a broken
+    // shipped config cannot slip through silently).
+    if (const Status s = ctx.add_machine_dir("machines"); !s.is_ok())
+      std::cerr << "note: ignoring rest of machines/: " << s.message()
+                << "\n";
+  }
+  return ctx;
 }
 
-void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
+void apply_machine_cli(const common::Cli& cli, const wave::Context& ctx,
+                       Scenario& base) {
+  const std::string spec = cli.get("machine", "");
+  if (!spec.empty()) {
+    try {
+      base.machine = ctx.resolve_machine(spec);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      print_machines(std::cerr, ctx);
+      std::exit(1);
+    }
+  }
+  apply_comm_model_flag(cli, ctx, base);
+}
+
+void apply_comm_model_cli(const common::Cli& cli, const wave::Context& ctx,
+                          Scenario& base) {
   if (cli.has("machine")) {
     std::cerr << "note: this driver sweeps its own machine axis; "
                  "--machine is ignored (--comm-model still applies)\n";
   }
-  apply_comm_model_flag(cli, base);
+  apply_comm_model_flag(cli, ctx, base);
 }
 
 core::MachineConfig machine_from_cli(const common::Cli& cli,
+                                     const wave::Context& ctx,
                                      core::MachineConfig fallback) {
   Scenario base;
   base.machine = std::move(fallback);
-  apply_machine_cli(cli, base);
+  apply_machine_cli(cli, ctx, base);
   return base.effective_machine();
 }
 
-void apply_workload_cli(const common::Cli& cli, Scenario& base) {
+void apply_workload_cli(const common::Cli& cli, const wave::Context& ctx,
+                        Scenario& base) {
   if (!cli.has("workload")) return;
   const std::string workload = cli.get("workload", "");
   if (workload.empty()) {
     // A bare/valueless --workload asked for *something* other than the
     // default; guessing "wavefront" would silently ignore the request.
     std::cerr << "error: --workload needs a value\n";
-    print_workloads(std::cerr);
+    print_workloads(std::cerr, ctx);
     std::exit(1);
   }
-  if (!workloads::WorkloadRegistry::instance().contains(workload))
-    fatal_unknown("workload", workload, print_workloads);
+  if (!ctx.has_workload(workload))
+    fatal_unknown("workload", workload, ctx, print_workloads);
   base.workload = workload;
 }
 
-void reject_workload_cli(const common::Cli& cli) {
+void reject_workload_cli(const common::Cli& cli, const wave::Context& ctx) {
   if (!cli.has("workload")) return;
   const std::string workload = cli.get("workload", "");
   // Validate the name first: asking this driver for an unknown workload
   // is the same user error everywhere (and must not exit 0).
-  if (!workloads::WorkloadRegistry::instance().contains(workload))
-    fatal_unknown("workload", workload, print_workloads);
+  if (!ctx.has_workload(workload))
+    fatal_unknown("workload", workload, ctx, print_workloads);
   std::cerr << "error: this driver evaluates the wavefront pipeline only; "
                "--workload is not supported here (try bench/workload_matrix "
                "or bench/runner_scaling)\n";
   std::exit(1);
 }
 
-bool handle_list_flags(const common::Cli& cli) {
+bool handle_list_flags(const common::Cli& cli, const wave::Context& ctx) {
   bool handled = false;
   if (cli.has("list-workloads")) {
-    print_workloads(std::cout);
+    print_workloads(std::cout, ctx);
     handled = true;
   }
   if (cli.has("list-comm-models")) {
-    print_comm_models(std::cout);
+    print_comm_models(std::cout, ctx);
+    handled = true;
+  }
+  if (cli.has("list-machines")) {
+    print_machines(std::cout, ctx);
     handled = true;
   }
   return handled;
+}
+
+// ---- DEPRECATED context-free shims ------------------------------------
+
+void apply_machine_cli(const common::Cli& cli, Scenario& base) {
+  apply_machine_cli(cli, wave::Context::global(), base);
+}
+
+void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
+  apply_comm_model_cli(cli, wave::Context::global(), base);
+}
+
+core::MachineConfig machine_from_cli(const common::Cli& cli,
+                                     core::MachineConfig fallback) {
+  return machine_from_cli(cli, wave::Context::global(), std::move(fallback));
+}
+
+void apply_workload_cli(const common::Cli& cli, Scenario& base) {
+  apply_workload_cli(cli, wave::Context::global(), base);
+}
+
+void reject_workload_cli(const common::Cli& cli) {
+  reject_workload_cli(cli, wave::Context::global());
+}
+
+bool handle_list_flags(const common::Cli& cli) {
+  return handle_list_flags(cli, wave::Context::global());
 }
 
 }  // namespace wave::runner

@@ -1,6 +1,7 @@
 #include "runner/reference_grids.h"
 
 #include "core/benchmarks.h"
+#include "wave/context.h"
 #include "workloads/registry.h"
 
 namespace wave::runner {
@@ -26,23 +27,28 @@ SweepGrid runner_scaling_grid(bool full) {
   return grid;
 }
 
-SweepGrid workload_matrix_grid(bool full) {
+SweepGrid workload_matrix_grid(const wave::Context& ctx, bool full) {
   SweepGrid grid;
   grid.base().app = workloads::WorkloadInputs::default_app();
 
   std::vector<int> procs = {16, 64};
   if (full) procs.push_back(256);
 
-  grid.workloads(workloads::workload_names());
+  grid.workloads(ctx, workloads::workload_names(ctx.workload_registry()));
   grid.machines({{"xt4-single", core::MachineConfig::xt4_single_core()},
                  {"xt4-dual", core::MachineConfig::xt4_dual_core()}});
-  grid.comm_models({"loggp", "loggps", "contention"});
+  grid.comm_models(ctx, {"loggp", "loggps", "contention"});
   grid.processors(procs);
   grid.engines({Engine::Model, Engine::Simulation});
   return grid;
 }
 
-SweepGrid model_compare_grid(const std::string& machines_dir) {
+SweepGrid workload_matrix_grid(bool full) {
+  return workload_matrix_grid(wave::Context::global(), full);
+}
+
+SweepGrid model_compare_grid(const wave::Context& ctx,
+                             const std::string& machines_dir) {
   core::benchmarks::Sweep3dConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 256;
 
@@ -59,9 +65,13 @@ SweepGrid model_compare_grid(const std::string& machines_dir) {
                         machines_dir + "/quadcore-shared-bus.cfg",
                         machines_dir + "/fatnode-loggps.cfg"});
   }
-  grid.comm_models({"loggp", "loggps", "contention"});
+  grid.comm_models(ctx, {"loggp", "loggps", "contention"});
   grid.processors({256, 1024, 4096});
   return grid;
+}
+
+SweepGrid model_compare_grid(const std::string& machines_dir) {
+  return model_compare_grid(wave::Context::global(), machines_dir);
 }
 
 }  // namespace wave::runner

@@ -13,6 +13,10 @@
 
 #include "runner/scenario.h"
 
+namespace wave {
+class Context;
+}  // namespace wave
+
 namespace wave::runner {
 
 /// The bench/runner_scaling sweep: 2 apps x 2 machines x 4 processor counts
@@ -24,14 +28,25 @@ SweepGrid runner_scaling_grid(bool full = false);
 /// system sizes over Sweep3D 256^3. Machines load from `machines_dir`
 /// (xt4-dual, sp2, quadcore-shared-bus, fatnode-loggps); an empty dir falls
 /// back to the compiled-in presets so the sweep still runs when the *.cfg
-/// files are out of reach.
+/// files are out of reach. Axis names validate against `ctx` — pass the
+/// context the sweep will be evaluated under.
+SweepGrid model_compare_grid(const wave::Context& ctx,
+                             const std::string& machines_dir);
+
+/// DEPRECATED shim over Context::global().
 SweepGrid model_compare_grid(const std::string& machines_dir);
 
-/// The bench/workload_matrix sweep: every registered workload x machine
-/// presets x comm-model backends x processor counts x both evaluation
-/// engines, over the workload subsystem's canonical 64^3 application.
-/// `full` adds a larger processor count. Shared with the determinism test
-/// (byte-identical records at any thread count).
+/// The bench/workload_matrix sweep: every workload registered in `ctx` x
+/// machine presets x comm-model backends x processor counts x both
+/// evaluation engines, over the workload subsystem's canonical 64^3
+/// application. `full` adds a larger processor count. Shared with the
+/// determinism test (byte-identical records at any thread count). The
+/// workload axis enumerates `ctx`'s registry — the same registry the
+/// evaluators resolve against, so a context-registered workload can never
+/// enter the sweep without being resolvable.
+SweepGrid workload_matrix_grid(const wave::Context& ctx, bool full = false);
+
+/// DEPRECATED shim over Context::global().
 SweepGrid workload_matrix_grid(bool full = false);
 
 }  // namespace wave::runner

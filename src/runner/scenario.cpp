@@ -5,6 +5,7 @@
 
 #include "common/contracts.h"
 #include "loggp/registry.h"
+#include "wave/context.h"
 #include "workloads/registry.h"
 
 namespace wave::runner {
@@ -121,26 +122,38 @@ SweepGrid& SweepGrid::machine_files(const std::vector<std::string>& paths,
   return machines(std::move(loaded), std::move(name));
 }
 
-SweepGrid& SweepGrid::comm_models(const std::vector<std::string>& names,
+SweepGrid& SweepGrid::comm_models(const wave::Context& ctx,
+                                  const std::vector<std::string>& names,
                                   std::string name) {
   Axis axis{std::move(name), {}};
   for (const std::string& model : names) {
-    loggp::require_comm_model(model);
+    loggp::require_comm_model(ctx.comm_model_registry(), model);
     axis.levels.push_back(
         {model, [model](Scenario& s) { s.comm_model = model; }});
   }
   return this->axis(std::move(axis));
 }
 
-SweepGrid& SweepGrid::workloads(const std::vector<std::string>& names,
+SweepGrid& SweepGrid::comm_models(const std::vector<std::string>& names,
+                                  std::string name) {
+  return comm_models(wave::Context::global(), names, std::move(name));
+}
+
+SweepGrid& SweepGrid::workloads(const wave::Context& ctx,
+                                const std::vector<std::string>& names,
                                 std::string name) {
   Axis axis{std::move(name), {}};
   for (const std::string& workload : names) {
-    workloads::require_workload(workload);
+    workloads::require_workload(ctx.workload_registry(), workload);
     axis.levels.push_back(
         {workload, [workload](Scenario& s) { s.workload = workload; }});
   }
   return this->axis(std::move(axis));
+}
+
+SweepGrid& SweepGrid::workloads(const std::vector<std::string>& names,
+                                std::string name) {
+  return workloads(wave::Context::global(), names, std::move(name));
 }
 
 SweepGrid& SweepGrid::engines(std::vector<Engine> engines, std::string name) {
@@ -176,37 +189,54 @@ SweepGrid& SweepGrid::seed(std::uint64_t base_seed) {
   return *this;
 }
 
-std::vector<Scenario> SweepGrid::points() const {
+std::size_t SweepGrid::cartesian_size() const {
   std::size_t total = 1;
   for (const Axis& axis : axes_) total *= axis.levels.size();
+  return total;
+}
 
+bool SweepGrid::build_point(std::size_t index, std::size_t total,
+                            Scenario& out) const {
+  out = base_;
+  out.index = index;
+  out.seed = derive_seed(base_seed_, index);
+
+  // Decompose row-major: the first axis varies slowest.
+  std::size_t rest = index;
+  std::size_t stride = total;
+  for (const Axis& axis : axes_) {
+    stride /= axis.levels.size();
+    const Axis::Level& level = axis.levels[rest / stride];
+    rest %= stride;
+    out.labels.emplace_back(axis.name, level.label);
+    if (level.apply) level.apply(out);
+  }
+
+  for (const auto& pred : filters_)
+    if (!pred(out)) return false;
+  return true;
+}
+
+std::vector<Scenario> SweepGrid::points() const {
+  const std::size_t total = cartesian_size();
   std::vector<Scenario> out;
   out.reserve(total);
-  for (std::size_t index = 0; index < total; ++index) {
-    Scenario s = base_;
-    s.index = index;
-    s.seed = derive_seed(base_seed_, index);
-
-    // Decompose row-major: the first axis varies slowest.
-    std::size_t rest = index;
-    std::size_t stride = total;
-    for (const Axis& axis : axes_) {
-      stride /= axis.levels.size();
-      const Axis::Level& level = axis.levels[rest / stride];
-      rest %= stride;
-      s.labels.emplace_back(axis.name, level.label);
-      if (level.apply) level.apply(s);
-    }
-
-    bool keep = true;
-    for (const auto& pred : filters_)
-      if (!pred(s)) {
-        keep = false;
-        break;
-      }
-    if (keep) out.push_back(std::move(s));
-  }
+  Scenario s;
+  for (std::size_t index = 0; index < total; ++index)
+    if (build_point(index, total, s)) out.push_back(std::move(s));
   return out;
+}
+
+std::size_t SweepGrid::size() const {
+  const std::size_t total = cartesian_size();
+  if (filters_.empty()) return total;
+  // Filters see a fully-built scenario, so each point is still constructed
+  // once — but into one reused slot, not an accumulating vector.
+  std::size_t count = 0;
+  Scenario s;
+  for (std::size_t index = 0; index < total; ++index)
+    if (build_point(index, total, s)) ++count;
+  return count;
 }
 
 }  // namespace wave::runner

@@ -23,6 +23,10 @@
 #include "core/machine.h"
 #include "topology/grid.h"
 
+namespace wave {
+class Context;
+}  // namespace wave
+
 namespace wave::runner {
 
 /// How a scenario point is evaluated by the canned evaluators.
@@ -135,14 +139,25 @@ class SweepGrid {
 
   /// Communication-backend axis: each level sets the scenario's comm-model
   /// override (Scenario::comm_model), so it composes with machine axes in
-  /// either declaration order. Names must be registered (loggp/registry.h).
+  /// either declaration order. Names are validated eagerly against the
+  /// context's registry so a typo fails at sweep construction.
+  SweepGrid& comm_models(const wave::Context& ctx,
+                         const std::vector<std::string>& names,
+                         std::string name = "comm");
+
+  /// DEPRECATED shim: validates against Context::global().
   SweepGrid& comm_models(const std::vector<std::string>& names,
                          std::string name = "comm");
 
-  /// Workload axis: each level selects a registered workload by name
-  /// (workloads/registry.h), validated eagerly so a typo fails at sweep
+  /// Workload axis: each level selects a workload registered in the
+  /// context by name, validated eagerly so a typo fails at sweep
   /// construction. The canned evaluators route non-wavefront names through
   /// the registry's paired predict/simulate contract.
+  SweepGrid& workloads(const wave::Context& ctx,
+                       const std::vector<std::string>& names,
+                       std::string name = "workload");
+
+  /// DEPRECATED shim: validates against Context::global().
   SweepGrid& workloads(const std::vector<std::string>& names,
                        std::string name = "workload");
 
@@ -166,10 +181,20 @@ class SweepGrid {
   /// Enumerates the (filtered) cartesian product.
   std::vector<Scenario> points() const;
 
-  /// Number of points after filtering (enumerates).
-  std::size_t size() const { return points().size(); }
+  /// Number of points after filtering. An unfiltered grid is the plain
+  /// product of the axis sizes (O(#axes)); a filtered grid applies the
+  /// predicates to one scenario at a time without materializing the
+  /// point vector.
+  std::size_t size() const;
 
  private:
+  /// Builds the point at cartesian `index` (labels, seed, axis mutations
+  /// applied); returns false when a filter rejects it.
+  bool build_point(std::size_t index, std::size_t total, Scenario& out) const;
+
+  /// Product of the axis level counts (the pre-filter point count).
+  std::size_t cartesian_size() const;
+
   Scenario base_;
   std::vector<Axis> axes_;
   std::vector<std::function<bool(const Scenario&)>> filters_;

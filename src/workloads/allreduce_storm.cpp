@@ -86,13 +86,13 @@ ModelOutput AllreduceStormWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput AllreduceStormWorkload::simulate(const core::MachineConfig& machine,
+                                           const sim::ProtocolOptions& protocol,
                                            const WorkloadInputs& in) const {
   machine.validate();
   const StormSpec spec = make_storm_spec(machine, in);
   std::vector<int> node_of_rank(static_cast<std::size_t>(spec.ranks));
   for (int r = 0; r < spec.ranks; ++r) node_of_rank[r] = r / spec.cores_per_node;
-  sim::World world(machine.loggp, std::move(node_of_rank),
-                   protocol_for(machine));
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
   for (int r = 0; r < spec.ranks; ++r)
     world.spawn("rank" + std::to_string(r), storm_rank(world.ctx(r), spec));
   return collect_run(world, in.iterations);

@@ -2,6 +2,7 @@
 
 #include "common/contracts.h"
 #include "core/solver.h"
+#include "loggp/registry.h"
 #include "workloads/allreduce_storm.h"
 #include "workloads/halo2d.h"
 #include "workloads/pingpong.h"
@@ -24,10 +25,16 @@ SimOutput collect_run(sim::World& world, int iterations) {
   return out;
 }
 
-sim::ProtocolOptions protocol_for(const core::MachineConfig& machine) {
+sim::ProtocolOptions protocol_for(const core::MachineConfig& machine,
+                                  const loggp::CommModelRegistry& registry) {
   sim::ProtocolOptions protocol;
-  protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
+  protocol.rendezvous_sync =
+      machine.make_comm_model(registry)->rendezvous_sync();
   return protocol;
+}
+
+sim::ProtocolOptions protocol_for(const core::MachineConfig& machine) {
+  return protocol_for(machine, loggp::CommModelRegistry::instance());
 }
 
 SimOutput to_sim_output(const SimRunResult& res) {
@@ -59,12 +66,12 @@ const std::string& WavefrontWorkload::description() const {
 ModelOutput WavefrontWorkload::predict(const core::MachineConfig& machine,
                                        const loggp::CommModel& comm,
                                        const WorkloadInputs& in) const {
-  // The Solver owns the backend choice via machine.comm_model, which is
-  // the same backend `comm` was constructed from (workload.h's predict
-  // convenience); constructing through the Solver keeps the wavefront
-  // path byte-identical with the pre-registry drivers.
-  (void)comm;
-  const core::Solver solver(in.app, machine);
+  // Evaluate through the backend the caller resolved (non-owning: `comm`
+  // outlives the Solver's scope here). It is the same backend
+  // machine.comm_model names, so the wavefront path stays byte-identical
+  // with the pre-registry drivers — but the *registry* that resolved it
+  // remains the caller's choice.
+  const core::Solver solver(in.app, machine, comm);
   const core::ModelResult res = solver.evaluate(in.grid);
   ModelOutput out;
   out.time_us = res.iteration.total;
@@ -75,9 +82,10 @@ ModelOutput WavefrontWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput WavefrontWorkload::simulate(const core::MachineConfig& machine,
+                                      const sim::ProtocolOptions& protocol,
                                       const WorkloadInputs& in) const {
   return to_sim_output(
-      simulate_wavefront(in.app, machine, in.grid, in.iterations));
+      simulate_wavefront(in.app, machine, in.grid, in.iterations, protocol));
 }
 
 // ---- pingpong ---------------------------------------------------------
@@ -138,9 +146,10 @@ ModelOutput PingpongWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput PingpongWorkload::simulate(const core::MachineConfig& machine,
+                                     const sim::ProtocolOptions& protocol,
                                      const WorkloadInputs& in) const {
   const PingPongKnobs knobs(in);
-  const PingPongRun run = pingpong_run(machine.loggp, protocol_for(machine),
+  const PingPongRun run = pingpong_run(machine.loggp, protocol,
                                        knobs.on_chip, knobs.bytes, knobs.reps);
   SimOutput out;
   out.time_us = run.half_rtt;  // per-message, the quantity the model predicts

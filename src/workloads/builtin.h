@@ -31,7 +31,9 @@ class WavefrontWorkload : public Workload {
   ModelOutput predict(const core::MachineConfig& machine,
                       const loggp::CommModel& comm,
                       const WorkloadInputs& in) const override;
+  using Workload::simulate;
   SimOutput simulate(const core::MachineConfig& machine,
+                     const sim::ProtocolOptions& protocol,
                      const WorkloadInputs& in) const override;
 };
 
@@ -49,7 +51,9 @@ class PingpongWorkload : public Workload {
   ModelOutput predict(const core::MachineConfig& machine,
                       const loggp::CommModel& comm,
                       const WorkloadInputs& in) const override;
+  using Workload::simulate;
   SimOutput simulate(const core::MachineConfig& machine,
+                     const sim::ProtocolOptions& protocol,
                      const WorkloadInputs& in) const override;
 };
 
@@ -66,10 +70,15 @@ SimOutput collect_run(sim::World& world, int iterations);
 ///   workload).
 SimOutput to_sim_output(const SimRunResult& res);
 
-/// @brief Protocol knobs mirroring the machine's registered comm backend
-///   (e.g. LogGPS charges its synchronization cost on the rendezvous
-///   path), so every workload's "measurement" shares the model's protocol
-///   assumptions the way simulate_wavefront does.
+/// @brief Protocol knobs mirroring the machine's comm backend as resolved
+///   through `registry` (e.g. LogGPS charges its synchronization cost on
+///   the rendezvous path), so every workload's "measurement" shares the
+///   model's protocol assumptions the way simulate_wavefront does.
+sim::ProtocolOptions protocol_for(const core::MachineConfig& machine,
+                                  const loggp::CommModelRegistry& registry);
+
+/// @brief DEPRECATED shim: resolves through the legacy process-wide
+///   registry.
 sim::ProtocolOptions protocol_for(const core::MachineConfig& machine);
 
 }  // namespace wave::workloads

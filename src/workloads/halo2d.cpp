@@ -108,6 +108,7 @@ ModelOutput Halo2dWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput Halo2dWorkload::simulate(const core::MachineConfig& machine,
+                                   const sim::ProtocolOptions& protocol,
                                    const WorkloadInputs& in) const {
   machine.validate();
   const HaloSpec spec = make_halo_spec(in);
@@ -115,8 +116,7 @@ SimOutput Halo2dWorkload::simulate(const core::MachineConfig& machine,
   std::vector<int> node_of_rank(static_cast<std::size_t>(in.grid.size()));
   for (int r = 0; r < in.grid.size(); ++r)
     node_of_rank[r] = node_map.node_of(in.grid.coord_of(r));
-  sim::World world(machine.loggp, std::move(node_of_rank),
-                   protocol_for(machine));
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
   for (int r = 0; r < in.grid.size(); ++r)
     world.spawn("rank" + std::to_string(r), halo_rank(world.ctx(r), spec, r));
   return collect_run(world, in.iterations);

@@ -36,8 +36,10 @@ const std::string& Pipeline1dWorkload::description() const {
 ModelOutput Pipeline1dWorkload::predict(const core::MachineConfig& machine,
                                         const loggp::CommModel& comm,
                                         const WorkloadInputs& in) const {
-  (void)comm;  // the Solver constructs the same registered backend
-  const core::Solver solver(chain_app(in), machine);
+  // Evaluate through the backend the caller resolved (non-owning; `comm`
+  // outlives this scope), keeping the registry choice with the caller
+  // instead of the process-wide singleton.
+  const core::Solver solver(chain_app(in), machine, comm);
   const core::ModelResult res = solver.evaluate(chain_grid(in));
   ModelOutput out;
   out.time_us = res.iteration.total;
@@ -48,9 +50,11 @@ ModelOutput Pipeline1dWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput Pipeline1dWorkload::simulate(const core::MachineConfig& machine,
+                                       const sim::ProtocolOptions& protocol,
                                        const WorkloadInputs& in) const {
   return to_sim_output(simulate_wavefront(chain_app(in), machine,
-                                          chain_grid(in), in.iterations));
+                                          chain_grid(in), in.iterations,
+                                          protocol));
 }
 
 }  // namespace wave::workloads

@@ -28,7 +28,9 @@ class Pipeline1dWorkload : public Workload {
   ModelOutput predict(const core::MachineConfig& machine,
                       const loggp::CommModel& comm,
                       const WorkloadInputs& in) const override;
+  using Workload::simulate;
   SimOutput simulate(const core::MachineConfig& machine,
+                     const sim::ProtocolOptions& protocol,
                      const WorkloadInputs& in) const override;
 
   /// @brief The 1×P chain and single-sweep AppParams this workload

@@ -44,8 +44,11 @@ std::shared_ptr<const Workload> WorkloadRegistry::get(
     for (const auto& e : entries_)
       if (e->name() == name) return e;
   }
-  require_workload(name);  // throws: not registered
-  return nullptr;          // unreachable; keep the compiler happy
+  // Validate against *this* registry — registries are instance-scoped
+  // now, and consulting the singleton here would miss (or wrongly
+  // accept) names registered elsewhere.
+  require_workload(*this, name);  // throws: not registered
+  return nullptr;                 // unreachable; keep the compiler happy
 }
 
 std::vector<WorkloadInfo> WorkloadRegistry::list() const {
@@ -57,28 +60,45 @@ std::vector<WorkloadInfo> WorkloadRegistry::list() const {
   return out;
 }
 
-std::shared_ptr<const Workload> get_workload(const std::string& name) {
-  return WorkloadRegistry::instance().get(name);
+std::shared_ptr<const Workload> get_workload(const WorkloadRegistry& registry,
+                                             const std::string& name) {
+  return registry.get(name);
 }
 
-std::vector<std::string> workload_names() {
+std::vector<std::string> workload_names(const WorkloadRegistry& registry) {
   std::vector<std::string> out;
-  for (const WorkloadInfo& info : WorkloadRegistry::instance().list())
-    out.push_back(info.name);
+  for (const WorkloadInfo& info : registry.list()) out.push_back(info.name);
   return out;
 }
 
-std::string workload_names_joined() {
+std::string workload_names_joined(const WorkloadRegistry& registry) {
   std::string out;
-  for (const std::string& n : workload_names())
+  for (const std::string& n : workload_names(registry))
     out += (out.empty() ? "" : ", ") + n;
   return out;
 }
 
+void require_workload(const WorkloadRegistry& registry,
+                      const std::string& name) {
+  WAVE_EXPECTS_MSG(registry.contains(name),
+                   "unknown workload '" + name + "' (registered: " +
+                       workload_names_joined(registry) + ")");
+}
+
+std::shared_ptr<const Workload> get_workload(const std::string& name) {
+  return get_workload(WorkloadRegistry::instance(), name);
+}
+
+std::vector<std::string> workload_names() {
+  return workload_names(WorkloadRegistry::instance());
+}
+
+std::string workload_names_joined() {
+  return workload_names_joined(WorkloadRegistry::instance());
+}
+
 void require_workload(const std::string& name) {
-  WAVE_EXPECTS_MSG(WorkloadRegistry::instance().contains(name),
-                   "unknown workload '" + name +
-                       "' (registered: " + workload_names_joined() + ")");
+  require_workload(WorkloadRegistry::instance(), name);
 }
 
 }  // namespace wave::workloads

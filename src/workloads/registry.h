@@ -25,7 +25,11 @@ struct WorkloadInfo {
   std::string description;  ///< one-line workload summary
 };
 
-/// @brief Process-wide registry of workloads, keyed by name.
+/// @brief Instance-scoped registry of workloads, keyed by name.
+///
+/// Registries are owned — a wave::Context holds one per instance, so two
+/// embedding studies in one process can register different workloads
+/// without interfering. Construction pre-registers the six built-ins.
 ///
 /// Thread-safe: lookups may run concurrently from BatchRunner workers;
 /// registration may race with lookups. Registered workloads are shared
@@ -33,7 +37,12 @@ struct WorkloadInfo {
 /// serves any number of concurrent scenario points.
 class WorkloadRegistry {
  public:
-  /// @brief The process-wide registry (built-ins already registered).
+  /// @brief A fresh registry with the built-in workloads pre-registered.
+  WorkloadRegistry();
+
+  /// @brief DEPRECATED (kept as a one-PR migration shim): the legacy
+  ///   process-wide registry. New code should scope registries through
+  ///   wave::Context instead of sharing this singleton.
   static WorkloadRegistry& instance();
 
   /// @brief Registers `workload` under its own name().
@@ -53,25 +62,42 @@ class WorkloadRegistry {
   std::vector<WorkloadInfo> list() const;
 
  private:
-  WorkloadRegistry();
-
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<const Workload>> entries_;
 };
 
-/// @brief Convenience: WorkloadRegistry::instance().get(name).
-std::shared_ptr<const Workload> get_workload(const std::string& name);
+/// @brief Convenience: registry.get(name).
+std::shared_ptr<const Workload> get_workload(const WorkloadRegistry& registry,
+                                             const std::string& name);
 
-/// @brief Names of every registered workload, in registration order.
-std::vector<std::string> workload_names();
+/// @brief Names of every workload registered in `registry`, in
+///   registration order.
+std::vector<std::string> workload_names(const WorkloadRegistry& registry);
 
-/// @brief The registered names joined as "a, b, c" — the shared vocabulary
-///   of every unknown-workload error message.
-std::string workload_names_joined();
+/// @brief The workload names of `registry` joined as "a, b, c" — the shared
+///   vocabulary of every unknown-workload error message.
+std::string workload_names_joined(const WorkloadRegistry& registry);
 
-/// @brief No-op when `name` is registered.
+/// @brief No-op when `name` is registered in `registry`.
 /// @throws common::contract_error naming `name` and listing the registered
 ///   workloads otherwise.
+void require_workload(const WorkloadRegistry& registry,
+                      const std::string& name);
+
+// ---- DEPRECATED global shims (one-PR migration aids) ----------------------
+// Each delegates to WorkloadRegistry::instance(); new code should pass an
+// explicit registry (usually wave::Context::workload_registry()).
+
+/// @brief DEPRECATED: WorkloadRegistry::instance().get(name).
+std::shared_ptr<const Workload> get_workload(const std::string& name);
+
+/// @brief DEPRECATED: workload_names(WorkloadRegistry::instance()).
+std::vector<std::string> workload_names();
+
+/// @brief DEPRECATED: workload_names_joined(instance()).
+std::string workload_names_joined();
+
+/// @brief DEPRECATED: require_workload(instance(), name).
 void require_workload(const std::string& name);
 
 }  // namespace wave::workloads

@@ -206,6 +206,7 @@ ModelOutput Sweep3dHybridWorkload::predict(const core::MachineConfig& machine,
 }
 
 SimOutput Sweep3dHybridWorkload::simulate(const core::MachineConfig& machine,
+                                          const sim::ProtocolOptions& protocol,
                                           const WorkloadInputs& in) const {
   machine.validate();
   const HybridSpec spec = make_hybrid_spec(in);
@@ -214,8 +215,7 @@ SimOutput Sweep3dHybridWorkload::simulate(const core::MachineConfig& machine,
   // applied (the model assumes all faces off-node for the same reason).
   std::vector<int> node_of_rank(static_cast<std::size_t>(spec.grid.size()));
   for (int r = 0; r < spec.grid.size(); ++r) node_of_rank[r] = r;
-  sim::World world(machine.loggp, std::move(node_of_rank),
-                   protocol_for(machine));
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
   world.engine().reserve(static_cast<std::size_t>(spec.grid.size()) * 8 + 256);
   for (int r = 0; r < spec.grid.size(); ++r)
     world.spawn("rank" + std::to_string(r),

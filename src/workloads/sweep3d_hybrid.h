@@ -37,7 +37,9 @@ class Sweep3dHybridWorkload : public Workload {
   ModelOutput predict(const core::MachineConfig& machine,
                       const loggp::CommModel& comm,
                       const WorkloadInputs& in) const override;
+  using Workload::simulate;
   SimOutput simulate(const core::MachineConfig& machine,
+                     const sim::ProtocolOptions& protocol,
                      const WorkloadInputs& in) const override;
 };
 

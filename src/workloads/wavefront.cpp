@@ -147,7 +147,8 @@ sim::Process wavefront_rank(sim::RankCtx ctx, const WavefrontSpec& spec,
 
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
-                                const topo::Grid& grid, int iterations) {
+                                const topo::Grid& grid, int iterations,
+                                const sim::ProtocolOptions& protocol) {
   machine.validate();
   const WavefrontSpec spec = make_spec(app, grid, iterations);
 
@@ -156,11 +157,6 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
   for (int r = 0; r < grid.size(); ++r)
     node_of_rank[r] = node_map.node_of(grid.coord_of(r));
 
-  // Mirror the machine's analytic comm-backend assumptions in the
-  // mechanistic protocol (e.g. LogGPS charges its synchronization cost on
-  // the rendezvous path), so "measurement" and model stay comparable.
-  sim::Mpi::ProtocolOptions protocol;
-  protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
   sim::World world(machine.loggp, std::move(node_of_rank), protocol);
   // Pre-size the calendar from the decomposition: each rank keeps only a
   // handful of events in flight (receives pending, one protocol step per
@@ -180,6 +176,17 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
   result.nic_wait = world.mpi().nic_wait_total();
   result.mpi_busy_mean = world.mpi().mpi_busy_mean();
   return result;
+}
+
+SimRunResult simulate_wavefront(const core::AppParams& app,
+                                const core::MachineConfig& machine,
+                                const topo::Grid& grid, int iterations) {
+  // Mirror the machine's analytic comm-backend assumptions in the
+  // mechanistic protocol (e.g. LogGPS charges its synchronization cost on
+  // the rendezvous path), so "measurement" and model stay comparable.
+  sim::Mpi::ProtocolOptions protocol;
+  protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
+  return simulate_wavefront(app, machine, grid, iterations, protocol);
 }
 
 SimRunResult simulate_wavefront(const core::AppParams& app,

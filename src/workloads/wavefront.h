@@ -68,13 +68,23 @@ struct SimRunResult {
   usec mpi_busy_mean = 0.0;
 };
 
-/// Builds the world (placing ranks on nodes in cx × cy rectangles), runs
-/// the simulation, and returns timing plus contention counters.
+/// Builds the world (placing ranks on nodes in cx × cy rectangles) under
+/// the given protocol options — resolved by the caller from the machine's
+/// comm backend (protocol_for in builtin.h) — runs the simulation, and
+/// returns timing plus contention counters.
+SimRunResult simulate_wavefront(const core::AppParams& app,
+                                const core::MachineConfig& machine,
+                                const topo::Grid& grid, int iterations,
+                                const sim::ProtocolOptions& protocol);
+
+/// DEPRECATED shim: resolves the protocol through the legacy process-wide
+/// comm-model registry.
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
                                 const topo::Grid& grid, int iterations = 1);
 
-/// Convenience: closest-to-square decomposition of `processors`.
+/// Convenience: closest-to-square decomposition of `processors`
+/// (DEPRECATED shim — resolves through the legacy global registry).
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
                                 int processors, int iterations = 1);

@@ -2,6 +2,8 @@
 
 #include "common/units.h"
 #include "core/benchmarks.h"
+#include "loggp/registry.h"
+#include "workloads/builtin.h"
 
 namespace wave::workloads {
 
@@ -12,20 +14,43 @@ core::AppParams WorkloadInputs::default_app() {
 }
 
 ModelOutput Workload::predict(const core::MachineConfig& machine,
+                              const loggp::CommModelRegistry& registry,
                               const WorkloadInputs& in) const {
-  return predict(machine, *machine.make_comm_model(), in);
+  return predict(machine, *machine.make_comm_model(registry), in);
+}
+
+SimOutput Workload::simulate(const core::MachineConfig& machine,
+                             const loggp::CommModelRegistry& registry,
+                             const WorkloadInputs& in) const {
+  return simulate(machine, protocol_for(machine, registry), in);
 }
 
 ValidationReport Workload::validate(const core::MachineConfig& machine,
+                                    const loggp::CommModelRegistry& registry,
                                     const WorkloadInputs& in) const {
   ValidationReport report;
-  report.model = predict(machine, in);
-  report.sim = simulate(machine, in);
+  report.model = predict(machine, registry, in);
+  report.sim = simulate(machine, registry, in);
   report.rel_error =
       common::relative_error(report.model.time_us, report.sim.time_us);
   report.tolerance = tolerance();
   report.ok = report.rel_error <= report.tolerance;
   return report;
+}
+
+ModelOutput Workload::predict(const core::MachineConfig& machine,
+                              const WorkloadInputs& in) const {
+  return predict(machine, loggp::CommModelRegistry::instance(), in);
+}
+
+SimOutput Workload::simulate(const core::MachineConfig& machine,
+                             const WorkloadInputs& in) const {
+  return simulate(machine, loggp::CommModelRegistry::instance(), in);
+}
+
+ValidationReport Workload::validate(const core::MachineConfig& machine,
+                                    const WorkloadInputs& in) const {
+  return validate(machine, loggp::CommModelRegistry::instance(), in);
 }
 
 }  // namespace wave::workloads

@@ -32,6 +32,14 @@
 #include "loggp/comm_model.h"
 #include "topology/grid.h"
 
+namespace wave::loggp {
+class CommModelRegistry;
+}  // namespace wave::loggp
+
+namespace wave::sim {
+struct ProtocolOptions;
+}  // namespace wave::sim
+
 namespace wave::workloads {
 
 using common::usec;
@@ -127,18 +135,46 @@ class Workload {
 
   /// @brief DES path: builds a sim::World (engine + MPI fabric) for the
   ///   machine, runs the workload's rank programs, and reports timing plus
-  ///   fabric counters.
+  ///   fabric counters. `protocol` carries the machine's resolved
+  ///   comm-backend assumptions (e.g. the LogGPS rendezvous sync cost) so
+  ///   the "measurement" shares the model's protocol — callers resolve it
+  ///   once via protocol_for(machine, registry) (builtin.h) and the
+  ///   registry choice stays with the caller, not a process-wide global.
   virtual SimOutput simulate(const core::MachineConfig& machine,
+                             const sim::ProtocolOptions& protocol,
                              const WorkloadInputs& in) const = 0;
 
-  /// @brief Convenience: constructs the machine's registered comm backend,
-  ///   then predicts through it.
+  // ---- conveniences over the two hooks ---------------------------------
+
+  /// @brief Constructs the machine's backend from `registry`, then
+  ///   predicts through it.
   ModelOutput predict(const core::MachineConfig& machine,
+                      const loggp::CommModelRegistry& registry,
                       const WorkloadInputs& in) const;
+
+  /// @brief Resolves the protocol options from `registry`, then simulates.
+  SimOutput simulate(const core::MachineConfig& machine,
+                     const loggp::CommModelRegistry& registry,
+                     const WorkloadInputs& in) const;
 
   /// @brief The contract: runs both paths on the same inputs and checks
   ///   the divergence bound. Never throws on divergence — the report says
   ///   whether the contract held (tests assert report.ok).
+  ValidationReport validate(const core::MachineConfig& machine,
+                            const loggp::CommModelRegistry& registry,
+                            const WorkloadInputs& in) const;
+
+  // ---- DEPRECATED global shims (resolve via the legacy singleton) ------
+
+  /// @brief DEPRECATED: predict through CommModelRegistry::instance().
+  ModelOutput predict(const core::MachineConfig& machine,
+                      const WorkloadInputs& in) const;
+
+  /// @brief DEPRECATED: simulate through CommModelRegistry::instance().
+  SimOutput simulate(const core::MachineConfig& machine,
+                     const WorkloadInputs& in) const;
+
+  /// @brief DEPRECATED: validate through CommModelRegistry::instance().
   ValidationReport validate(const core::MachineConfig& machine,
                             const WorkloadInputs& in) const;
 };

@@ -1,0 +1,317 @@
+// The stable `wave::` facade: Context scoping, the fluent Query builder,
+// the Study round-trip against the pre-facade runner, and the error
+// contract at the API boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/solver.h"
+#include "loggp/backends.h"
+#include "loggp/registry.h"
+#include "runner/runner.h"
+#include "wave/wave.h"
+#include "workloads/registry.h"
+#include "workloads/workload.h"
+
+namespace ww = wave::workloads;
+
+namespace {
+
+/// A minimal registrable workload: constant model and sim answers.
+class StubWorkload : public ww::Workload {
+ public:
+  explicit StubWorkload(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  const std::string& description() const override {
+    static const std::string d = "constant-answer context-isolation stub";
+    return d;
+  }
+  double tolerance() const override { return 1.0; }
+  ww::ModelOutput predict(const wave::core::MachineConfig&,
+                          const wave::loggp::CommModel&,
+                          const ww::WorkloadInputs&) const override {
+    return {42.0, 21.0, {{"model_stub_term", 7.0}}};
+  }
+  ww::SimOutput simulate(const wave::core::MachineConfig&,
+                         const wave::sim::ProtocolOptions&,
+                         const ww::WorkloadInputs&) const override {
+    ww::SimOutput out;
+    out.time_us = 42.0;
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+// ---- Context scoping ---------------------------------------------------
+
+TEST(ApiContext, BuiltinsArePreRegistered) {
+  const wave::Context ctx;
+  EXPECT_TRUE(ctx.has_workload("wavefront"));
+  EXPECT_TRUE(ctx.has_workload("sweep3d-hybrid"));
+  EXPECT_TRUE(ctx.has_comm_model("loggp"));
+  EXPECT_TRUE(ctx.has_comm_model("loggps"));
+  EXPECT_TRUE(ctx.has_comm_model("contention"));
+  EXPECT_TRUE(ctx.has_machine("xt4-dual"));
+  EXPECT_TRUE(ctx.has_machine("xt4-single"));
+  EXPECT_TRUE(ctx.has_machine("sp2"));
+  EXPECT_EQ(ctx.workloads().size(), 6u);
+  EXPECT_EQ(ctx.comm_models().size(), 3u);
+}
+
+TEST(ApiContext, TwoContextsDoNotShareRegistrations) {
+  wave::Context a;
+  wave::Context b;
+  ASSERT_TRUE(
+      a.register_workload(std::make_shared<StubWorkload>("only-in-a"))
+          .is_ok());
+  EXPECT_TRUE(a.has_workload("only-in-a"));
+  EXPECT_FALSE(b.has_workload("only-in-a"));
+  // Registration is context-local: the legacy process-wide registry does
+  // not see it either.
+  EXPECT_FALSE(ww::WorkloadRegistry::instance().contains("only-in-a"));
+  // And b can reuse the name for a different workload without conflict.
+  EXPECT_TRUE(
+      b.register_workload(std::make_shared<StubWorkload>("only-in-a"))
+          .is_ok());
+}
+
+TEST(ApiContext, DuplicateRegistrationIsAStatusNotAnException) {
+  wave::Context ctx;
+  const wave::Status dup =
+      ctx.register_workload(std::make_shared<StubWorkload>("wavefront"));
+  EXPECT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.code(), wave::StatusCode::kAlreadyExists);
+  EXPECT_NE(dup.message().find("wavefront"), std::string::npos);
+}
+
+TEST(ApiContext, ScopedCommModelIsEvaluatable) {
+  // A custom backend registered in one context drives both engines there
+  // and stays invisible to a sibling context.
+  wave::Context a;
+  wave::Context b;
+  a.comm_model_registry().add(
+      "test-loggp-clone", "LogGP clone registered in context a",
+      [](const wave::loggp::MachineParams& p,
+         const wave::loggp::CommModelOptions&) {
+        return std::make_unique<wave::loggp::LogGpModel>(p);
+      });
+  EXPECT_TRUE(a.has_comm_model("test-loggp-clone"));
+  EXPECT_FALSE(b.has_comm_model("test-loggp-clone"));
+
+  const auto with = a.query()
+                        .comm_model("test-loggp-clone")
+                        .processors(64)
+                        .run();
+  const auto loggp = a.query().comm_model("loggp").processors(64).run();
+  ASSERT_TRUE(with.ok()) << with.status().to_string();
+  ASSERT_TRUE(loggp.ok());
+  EXPECT_EQ(with.value().time_us, loggp.value().time_us);
+
+  const auto elsewhere =
+      b.query().comm_model("test-loggp-clone").processors(64).run();
+  ASSERT_FALSE(elsewhere.ok());
+  EXPECT_EQ(elsewhere.status().code(), wave::StatusCode::kNotFound);
+
+  // The DES path resolves the protocol through the same scoped registry.
+  const auto sim = a.query()
+                       .comm_model("test-loggp-clone")
+                       .processors(16)
+                       .engine(wave::Engine::Simulation)
+                       .run();
+  ASSERT_TRUE(sim.ok()) << sim.status().to_string();
+  EXPECT_GT(sim.value().time_us, 0.0);
+}
+
+TEST(ApiContext, MachineCatalogResolvesNamesAndPaths) {
+  wave::Context ctx;
+  ASSERT_TRUE(ctx.add_machine_dir(WAVE_MACHINES_DIR).is_ok());
+  EXPECT_TRUE(ctx.has_machine("quadcore-shared-bus"));
+  EXPECT_TRUE(ctx.has_machine("fatnode-loggps"));
+
+  // By name (a discovered config) and by explicit path: same machine.
+  const wave::core::MachineConfig by_name =
+      ctx.resolve_machine("fatnode-loggps");
+  const wave::core::MachineConfig by_path = ctx.resolve_machine(
+      std::string(WAVE_MACHINES_DIR) + "/fatnode-loggps.cfg");
+  EXPECT_EQ(by_name, by_path);
+
+  // The shipped xt4-dual.cfg shadows (and equals) the preset.
+  EXPECT_EQ(ctx.resolve_machine("xt4-dual"),
+            wave::core::MachineConfig::xt4_dual_core());
+}
+
+TEST(ApiContext, GlobalShimSeesSingletonRegistrations) {
+  const std::string name = "global-shim-workload";
+  if (!ww::WorkloadRegistry::instance().contains(name))
+    ww::WorkloadRegistry::instance().add(std::make_shared<StubWorkload>(name));
+  EXPECT_TRUE(wave::Context::global().has_workload(name));
+  // A fresh Context stays unaffected.
+  EXPECT_FALSE(wave::Context().has_workload(name));
+}
+
+// ---- Query -------------------------------------------------------------
+
+TEST(ApiQuery, ModelQueryMatchesDirectSolverEvaluation) {
+  const wave::Context ctx;
+  const auto r = ctx.query().machine("xt4-dual").processors(256).run();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+
+  const wave::core::Solver solver(ww::WorkloadInputs::default_app(),
+                                  wave::core::MachineConfig::xt4_dual_core(),
+                                  ctx.comm_model_registry());
+  const wave::core::ModelResult direct = solver.evaluate(256);
+  EXPECT_EQ(r.value().time_us, direct.iteration.total);
+  EXPECT_EQ(r.value().comm_us, direct.iteration.comm);
+  EXPECT_EQ(r.value().machine, "xt4-dual");
+  EXPECT_EQ(r.value().comm_model, "loggp");
+  EXPECT_EQ(r.value().processors, 256);
+  EXPECT_EQ(r.value().term_or("model_iter_us", -1.0),
+            direct.iteration.total);
+}
+
+TEST(ApiQuery, SimulationEngineAndTermBreakdown) {
+  const wave::Context ctx;
+  const auto r = ctx.query()
+                     .machine("xt4-single")
+                     .processors(16)
+                     .engine(wave::Engine::Simulation)
+                     .run();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_GT(r.value().time_us, 0.0);
+  EXPECT_GT(r.value().term_or("sim_events", 0.0), 0.0);
+  EXPECT_GT(r.value().term_or("sim_messages", 0.0), 0.0);
+}
+
+TEST(ApiQuery, ValidatePopulatesDivergence) {
+  const wave::Context ctx;
+  const auto r = ctx.query()
+                     .machine("xt4-single")
+                     .workload("pingpong")
+                     .validate()
+                     .run();
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r.value().validated);
+  EXPECT_GT(r.value().model_us, 0.0);
+  EXPECT_GT(r.value().sim_us, 0.0);
+  // The pingpong contract is exact: model == fabric to ~1e-6.
+  EXPECT_TRUE(r.value().within_tolerance);
+  EXPECT_LT(r.value().divergence_pct, 1e-4);
+}
+
+TEST(ApiQuery, ErrorsAreStatusesNotExceptions) {
+  const wave::Context ctx;
+  const auto unknown_workload =
+      ctx.query().workload("no-such-workload").run();
+  ASSERT_FALSE(unknown_workload.ok());
+  EXPECT_EQ(unknown_workload.status().code(), wave::StatusCode::kNotFound);
+  // The message carries the registered vocabulary.
+  EXPECT_NE(unknown_workload.status().message().find("wavefront"),
+            std::string::npos);
+
+  const auto unknown_machine = ctx.query().machine("no-such-machine").run();
+  ASSERT_FALSE(unknown_machine.ok());
+  EXPECT_EQ(unknown_machine.status().code(), wave::StatusCode::kNotFound);
+
+  const auto unknown_comm = ctx.query().comm_model("no-such-model").run();
+  ASSERT_FALSE(unknown_comm.ok());
+  EXPECT_EQ(unknown_comm.status().code(), wave::StatusCode::kNotFound);
+
+  const auto bad_domain = ctx.query().processors(0).run();
+  ASSERT_FALSE(bad_domain.ok());
+  EXPECT_EQ(bad_domain.status().code(), wave::StatusCode::kInvalidArgument);
+
+  const auto unbound = wave::Query().run();
+  ASSERT_FALSE(unbound.ok());
+  EXPECT_EQ(unbound.status().code(), wave::StatusCode::kFailedPrecondition);
+}
+
+// ---- Study round-trip against the pre-facade runner --------------------
+
+TEST(ApiStudy, CsvIsByteIdenticalWithHandBuiltSweep) {
+  const wave::Context ctx;
+
+  // The facade study…
+  const auto study = ctx.study()
+                         .machines({"xt4-dual", "xt4-single"})
+                         .comm_models({"loggp", "loggps"})
+                         .processors({16, 64, 256})
+                         .engines({wave::Engine::Model})
+                         .run();
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+  ASSERT_EQ(study.value().rows.size(), 12u);
+
+  // …and the same sweep built the pre-facade way.
+  wave::runner::SweepGrid grid;
+  grid.base().app = ww::WorkloadInputs::default_app();
+  grid.machines({{"xt4-dual", wave::core::MachineConfig::xt4_dual_core()},
+                 {"xt4-single", wave::core::MachineConfig::xt4_single_core()}});
+  grid.comm_models(ctx, {"loggp", "loggps"});
+  grid.processors({16, 64, 256});
+  grid.engines({wave::runner::Engine::Model});
+  const auto records =
+      wave::runner::BatchRunner(ctx, wave::runner::BatchRunner::Options(0))
+          .run(grid);
+
+  EXPECT_EQ(study.value().csv(), wave::runner::to_csv(records));
+}
+
+TEST(ApiStudy, MixedEnginesAndWorkloadAxisRoundTrip) {
+  const wave::Context ctx;
+  const auto study =
+      ctx.study()
+          .machine("xt4-single")
+          .workloads({"pingpong", "allreduce-storm"})
+          .processors({4})
+          .engines({wave::Engine::Model, wave::Engine::Simulation})
+          .run();
+  ASSERT_TRUE(study.ok()) << study.status().to_string();
+
+  wave::runner::SweepGrid grid;
+  grid.base().app = ww::WorkloadInputs::default_app();
+  grid.base().machine = wave::core::MachineConfig::xt4_single_core();
+  grid.workloads(ctx, {"pingpong", "allreduce-storm"});
+  grid.processors({4});
+  grid.engines(
+      {wave::runner::Engine::Model, wave::runner::Engine::Simulation});
+  const auto records =
+      wave::runner::BatchRunner(ctx, wave::runner::BatchRunner::Options(0))
+          .run(grid);
+
+  EXPECT_EQ(study.value().csv(), wave::runner::to_csv(records));
+}
+
+TEST(ApiStudy, UnknownAxisNameFailsAsStatus) {
+  const wave::Context ctx;
+  const auto study = ctx.study().workloads({"wavefront", "typo"}).run();
+  ASSERT_FALSE(study.ok());
+  EXPECT_EQ(study.status().code(), wave::StatusCode::kNotFound);
+}
+
+// ---- SweepGrid::size() (satellite) -------------------------------------
+
+TEST(SweepGridSize, UnfilteredSizeIsTheAxisProduct) {
+  wave::runner::SweepGrid grid;
+  grid.processors({1, 2, 4, 8});
+  grid.values("x", {0.5, 1.0, 2.0});
+  EXPECT_EQ(grid.size(), 12u);
+  EXPECT_EQ(grid.points().size(), 12u);
+}
+
+TEST(SweepGridSize, FilteredSizeMatchesPointsWithoutMaterializing) {
+  wave::runner::SweepGrid grid;
+  grid.processors({1, 2, 4, 8, 16, 32});
+  grid.values("x", {1.0, 2.0, 3.0});
+  grid.filter([](const wave::runner::Scenario& s) {
+    return s.processors() * s.param("x") >= 8.0;
+  });
+  EXPECT_EQ(grid.size(), grid.points().size());
+  EXPECT_GT(grid.size(), 0u);
+  EXPECT_LT(grid.size(), 18u);
+}

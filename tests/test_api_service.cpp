@@ -1,0 +1,228 @@
+// The memoizing EvalService: cache determinism (hits are bit-identical
+// with the first evaluation), the canonical-key identity, the capacity
+// bound, error handling, and thread-safety under concurrent mixed
+// queries.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/machine.h"
+#include "runner/runner.h"
+#include "wave/wave.h"
+
+namespace {
+
+/// Bit-exact Result comparison: every double compared by memcmp, so an
+/// "equal-looking" recomputation with different rounding would fail.
+void expect_bit_identical(const wave::Result& a, const wave::Result& b) {
+  auto same_bits = [](double x, double y) {
+    return std::memcmp(&x, &y, sizeof x) == 0;
+  };
+  EXPECT_TRUE(same_bits(a.time_us, b.time_us));
+  EXPECT_TRUE(same_bits(a.comm_us, b.comm_us));
+  EXPECT_TRUE(same_bits(a.model_us, b.model_us));
+  EXPECT_TRUE(same_bits(a.sim_us, b.sim_us));
+  EXPECT_TRUE(same_bits(a.divergence_pct, b.divergence_pct));
+  ASSERT_EQ(a.terms.size(), b.terms.size());
+  for (std::size_t i = 0; i < a.terms.size(); ++i) {
+    EXPECT_EQ(a.terms[i].first, b.terms[i].first);
+    EXPECT_TRUE(same_bits(a.terms[i].second, b.terms[i].second))
+        << a.terms[i].first;
+  }
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.comm_model, b.comm_model);
+}
+
+}  // namespace
+
+TEST(EvalService, HitReturnsBitIdenticalResultAndCounts) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const wave::Query q = ctx.query().machine("xt4-dual").processors(256);
+
+  const auto first = service.evaluate(q);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.size, 1u);
+
+  const auto second = service.evaluate(q);
+  ASSERT_TRUE(second.ok());
+  expect_bit_identical(first.value(), second.value());
+  stats = service.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(EvalService, SimulationResultsAreCachedToo) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const wave::Query q = ctx.query()
+                            .machine("xt4-single")
+                            .processors(16)
+                            .engine(wave::Engine::Simulation);
+  const auto a = service.evaluate(q);
+  const auto b = service.evaluate(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  expect_bit_identical(a.value(), b.value());
+  EXPECT_EQ(service.stats().hits, 1u);
+}
+
+TEST(EvalService, DistinctQueriesHaveDistinctKeys) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const wave::Query base = ctx.query().machine("xt4-dual").processors(256);
+  // Every axis of the canonical identity separates.
+  const std::vector<wave::Query> variants = {
+      ctx.query().machine("xt4-single").processors(256),
+      ctx.query().machine("xt4-dual").processors(512),
+      ctx.query().machine("xt4-dual").processors(256).comm_model("loggps"),
+      ctx.query().machine("xt4-dual").processors(256).workload("pingpong"),
+      ctx.query().machine("xt4-dual").processors(256).engine(
+          wave::Engine::Simulation),
+      ctx.query().machine("xt4-dual").processors(256).param("htile", 2.0),
+      ctx.query().machine("xt4-dual").processors(256).app("sweep3d-20m"),
+      ctx.query().machine("xt4-dual").processors(256).iterations(2),
+  };
+  const std::string base_key = service.canonical_key(base);
+  for (const wave::Query& q : variants)
+    EXPECT_NE(service.canonical_key(q), base_key);
+  // And the key is a pure function of the query.
+  EXPECT_EQ(service.canonical_key(base), base_key);
+}
+
+TEST(EvalService, CapacityBoundResetsTheGeneration) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx, wave::EvalService::Options(4));
+  for (int p = 1; p <= 6; ++p) {
+    const auto r = service.evaluate(ctx.query().processors(p));
+    ASSERT_TRUE(r.ok());
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.misses, 6u);
+  EXPECT_EQ(stats.resets, 1u);      // 4 cached -> reset -> 2 cached
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(EvalService, ErrorsAreReportedAndNeverCached) {
+  wave::Context ctx;
+  wave::EvalService service(ctx);
+  const wave::Query bad = ctx.query().workload("not-registered");
+  EXPECT_FALSE(service.evaluate(bad).ok());
+  EXPECT_FALSE(service.evaluate(bad).ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.errors, 2u);
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(EvalService, ClearDropsEntriesButKeepsCounters) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  ASSERT_TRUE(service.evaluate(ctx.query().processors(64)).ok());
+  ASSERT_TRUE(service.evaluate(ctx.query().processors(64)).ok());
+  service.clear();
+  auto stats = service.stats();
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  // The next identical query misses again and repopulates.
+  ASSERT_TRUE(service.evaluate(ctx.query().processors(64)).ok());
+  EXPECT_EQ(service.stats().misses, 2u);
+}
+
+TEST(EvalService, ConcurrentMixedQueriesAgreeWithSerialReference) {
+  const wave::Context ctx;
+
+  // The mixed query set: analytic points at several depths plus a couple
+  // of small DES points (long enough to hold the evaluation slot while
+  // other threads hit and miss around it).
+  std::vector<wave::Query> queries;
+  for (int p : {16, 64, 256, 1024})
+    queries.push_back(ctx.query().machine("xt4-dual").processors(p));
+  queries.push_back(ctx.query().machine("xt4-single").processors(16).engine(
+      wave::Engine::Simulation));
+  queries.push_back(ctx.query().workload("pingpong").processors(2).engine(
+      wave::Engine::Simulation));
+
+  // Serial reference results (its own service; determinism across service
+  // instances is part of the contract).
+  wave::EvalService reference(ctx);
+  std::vector<wave::Result> expected;
+  for (const wave::Query& q : queries) {
+    auto r = reference.evaluate(q);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    expected.push_back(r.value());
+  }
+
+  wave::EvalService service(ctx);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::vector<wave::Result>> got(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Offset the start so threads collide on different keys.
+        for (std::size_t i = 0; i < queries.size(); ++i) {
+          const std::size_t at =
+              (i + static_cast<std::size_t>(t)) % queries.size();
+          auto r = service.evaluate(queries[at]);
+          if (r.ok() && round == 0) got[t].push_back(r.value());
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Every thread's first pass observed exactly the serial answers.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(got[t].size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::size_t at =
+          (i + static_cast<std::size_t>(t)) % queries.size();
+      expect_bit_identical(got[t][i], expected[at]);
+    }
+  }
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.size, queries.size());
+  EXPECT_EQ(stats.errors, 0u);
+  // Racing threads may each evaluate a key before the first store lands,
+  // so misses can exceed the distinct-query count — but every remaining
+  // call must have hit.
+  EXPECT_GE(stats.misses, queries.size());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kRounds * queries.size());
+}
+
+TEST(EvalService, PinnedRecordEquivalenceThroughTheFacade) {
+  // The facade must answer exactly what the pre-facade pipeline answers:
+  // pick a point of the pinned runner_scaling grid and compare the
+  // service's cached Result against the direct evaluator.
+  const wave::Context ctx;
+  wave::runner::Scenario s;
+  s.app = wave::workloads::WorkloadInputs::default_app();
+  s.machine = wave::core::MachineConfig::xt4_dual_core();
+  s.set_processors(256);
+  const wave::runner::Metrics direct =
+      wave::runner::evaluate_scenario(ctx, s);
+
+  wave::EvalService service(ctx);
+  const auto r =
+      service.evaluate(ctx.query().machine("xt4-dual").processors(256));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().terms.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(r.value().terms[i].first, direct[i].first);
+    EXPECT_EQ(r.value().terms[i].second, direct[i].second);
+  }
+}

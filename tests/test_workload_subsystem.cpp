@@ -109,6 +109,7 @@ TEST(WorkloadRegistry, AddAndLookUpACustomWorkload) {
       return {1.0, 0.0, {}};
     }
     ww::SimOutput simulate(const wc::MachineConfig&,
+                           const wave::sim::ProtocolOptions&,
                            const ww::WorkloadInputs&) const override {
       ww::SimOutput out;
       out.time_us = 1.0;
@@ -342,8 +343,10 @@ TEST(WorkloadMatrix, RecordsByteIdenticalAcrossThreadCounts) {
   const auto points = grid.points();
   ASSERT_GE(points.size(), 100u);
   const auto serial = wr::BatchRunner(wr::BatchRunner::Options(1))
-                          .run(points, wr::workload_metrics);
+                          .run(points,
+               [](const wr::Scenario& s) { return wr::workload_metrics(s); });
   const auto parallel = wr::BatchRunner(wr::BatchRunner::Options(4))
-                            .run(points, wr::workload_metrics);
+                            .run(points,
+               [](const wr::Scenario& s) { return wr::workload_metrics(s); });
   EXPECT_EQ(wr::to_csv(serial), wr::to_csv(parallel));
 }

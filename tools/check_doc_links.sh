@@ -12,7 +12,7 @@ status=0
 
 # The documentation set this script guards: deleting or renaming one of
 # these must fail the docs job, not silently shrink the glob below.
-for required in README.md docs/ARCHITECTURE.md docs/MODEL.md \
+for required in README.md docs/API.md docs/ARCHITECTURE.md docs/MODEL.md \
                 docs/PERFORMANCE.md docs/WORKLOADS.md; do
   if [ ! -f "$root/$required" ]; then
     echo "MISSING DOC: $required"
@@ -41,6 +41,23 @@ for doc in "$root/README.md" "$root"/docs/*.md; do
     fi
   done
 done
+
+# The embedding quickstart is the README's headline example and must stay
+# facade-only: every quoted include is a wave/ public header (system
+# includes use <>). An internal include here would break the installed-
+# tree build that docs/API.md promises.
+quickstart="$root/examples/quickstart.cpp"
+if [ ! -f "$quickstart" ]; then
+  echo "MISSING EXAMPLE: examples/quickstart.cpp"
+  status=1
+else
+  leaks=$(grep -n '#include "' "$quickstart" | grep -v '#include "wave/' || true)
+  if [ -n "$leaks" ]; then
+    echo "QUICKSTART INCLUDES INTERNAL HEADERS:"
+    echo "$leaks"
+    status=1
+  fi
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "doc links OK"

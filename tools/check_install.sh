@@ -1,0 +1,52 @@
+#!/bin/sh
+# Embedding smoke test: installs the built tree into a scratch prefix and
+# builds examples/quickstart against it with find_package(wave CONFIG) —
+# proving the installed surface (libwave + include/wave only, no internal
+# headers) is complete for a facade-only application. CI runs this in the
+# install job.
+#
+# Usage: tools/check_install.sh [build-dir]
+#   build-dir  default: build (must already be configured + built)
+set -eu
+
+build="${1:-build}"
+root=$(cd "$(dirname "$0")/.." && pwd)
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+echo "== cmake --install -> $scratch/prefix =="
+cmake --install "$build" --prefix "$scratch/prefix" > /dev/null
+
+# The installed tree must NOT leak internal headers: the facade promise is
+# include/wave only.
+if [ -d "$scratch/prefix/include/core" ] || \
+   [ -d "$scratch/prefix/include/runner" ]; then
+  echo "FAIL: internal headers leaked into the install prefix" >&2
+  exit 1
+fi
+if [ ! -f "$scratch/prefix/include/wave/wave.h" ]; then
+  echo "FAIL: include/wave/wave.h missing from the install prefix" >&2
+  exit 1
+fi
+
+echo "== find_package(wave) consumer build =="
+mkdir "$scratch/app"
+cat > "$scratch/app/CMakeLists.txt" <<EOF
+cmake_minimum_required(VERSION 3.20)
+project(wave_install_smoke CXX)
+set(CMAKE_CXX_STANDARD 20)
+set(CMAKE_CXX_STANDARD_REQUIRED ON)
+find_package(wave CONFIG REQUIRED)
+add_executable(quickstart "$root/examples/quickstart.cpp")
+target_link_libraries(quickstart PRIVATE wave::wave)
+EOF
+cmake -S "$scratch/app" -B "$scratch/app/build" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_PREFIX_PATH="$scratch/prefix" > /dev/null
+cmake --build "$scratch/app/build" -j > /dev/null
+
+echo "== run the installed-tree quickstart =="
+# Run from the repository root so the example's machines/ catalog resolves.
+(cd "$root" && "$scratch/app/build/quickstart" > /dev/null)
+
+echo "install/find_package(wave) smoke OK"

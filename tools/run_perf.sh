@@ -7,7 +7,7 @@
 #
 # Usage: tools/run_perf.sh [build-dir] [out.json]
 #   build-dir  default: build   (needs bench/perf_sweep built, Release!)
-#   out.json   default: BENCH_pr4.json
+#   out.json   default: BENCH_pr5.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -18,7 +18,7 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr4.json}"
+out="${2:-BENCH_pr5.json}"
 sweep="$build/bench/perf_sweep"
 
 if [ ! -x "$sweep" ]; then
@@ -50,6 +50,9 @@ full_model=$(metric "$tmp_full" model_points_per_sec)
 quick_des=$(metric "$tmp_quick" des_events_per_sec)
 quick_engine=$(metric "$tmp_quick" engine_events_per_sec)
 quick_model=$(metric "$tmp_quick" model_points_per_sec)
+svc_cold=$(metric "$tmp_full" service_cold_evals_per_sec)
+svc_hits=$(metric "$tmp_full" service_hits_per_sec)
+svc_speedup=$(metric "$tmp_full" service_hit_speedup)
 
 # Per-workload DES events/sec from the full run, assembled as one JSON
 # object line ("name": rate, ...). The names are discovered from the
@@ -83,13 +86,16 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem), measured by this run",
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade), measured by this run",
   "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model},
   "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model},
   "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
   "workloads_events_per_sec": {$workloads_json},
+  "service_label": "EvalService memoization, full grid (PR5 facade): cold analytic evals/sec vs cache-hit lookups/sec on the same query mix",
+  "service": {"cold_evals_per_sec": $svc_cold, "hits_per_sec": $svc_hits, "hit_speedup": $svc_speedup},
   "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine}
 }
 EOF
 echo
-echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec)"
+echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec;" \
+     "EvalService hits ${svc_speedup}x cold evals)"
