@@ -55,8 +55,9 @@ int main(int argc, char** argv) {
       runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&ctx](const runner::Scenario& s) {
             runner::Metrics m = runner::model_vs_sim_metrics(ctx, s);
-            const auto base =
-                core::hoisie_baseline(s.app, s.effective_machine(), s.grid);
+            const auto base = core::hoisie_baseline(
+                s.app, s.effective_machine(), ctx.comm_model_registry(),
+                s.grid);
             double sim_iter = 0.0;
             for (const auto& [key, value] : m)
               if (key == "sim_iter_us") sim_iter = value;

@@ -40,19 +40,24 @@ int main(int argc, char** argv) {
 
   const auto records =
       runner::BatchRunner(ctx, runner::options_from_cli(cli))
-          .run(grid, [](const runner::Scenario& s) {
+          .run(grid, [&ctx](const runner::Scenario& s) {
             core::AppParams nonblocking = s.app;
             nonblocking.nonblocking_sends = true;
             const auto machine = s.effective_machine();
-            const double m_block =
-                core::Solver(s.app, machine).evaluate(s.grid).iteration.total;
-            const double m_nonblock = core::Solver(nonblocking, machine)
+            const auto& registry = ctx.comm_model_registry();
+            const double m_block = core::Solver(s.app, machine, registry)
+                                       .evaluate(s.grid)
+                                       .iteration.total;
+            const double m_nonblock = core::Solver(nonblocking, machine,
+                                                   registry)
                                           .evaluate(s.grid)
                                           .iteration.total;
             const auto s_block =
-                workloads::simulate_wavefront(s.app, machine, s.grid);
+                workloads::simulate_wavefront(s.app, machine, registry,
+                                              s.grid);
             const auto s_nonblock =
-                workloads::simulate_wavefront(nonblocking, machine, s.grid);
+                workloads::simulate_wavefront(nonblocking, machine, registry,
+                                              s.grid);
             return runner::Metrics{
                 {"model_gain_pct", 100.0 * (1.0 - m_nonblock / m_block)},
                 {"sim_gain_pct",

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       "band and make the (m-1)L sync terms noticeable; on the XT4 they "
       "are negligible");
 
-  const runner::BatchRunner batch(runner::options_from_cli(cli));
+  const runner::BatchRunner batch(ctx, runner::options_from_cli(cli));
   const std::vector<std::pair<std::string, core::MachineConfig>> machines = {
       {"XT4", core::MachineConfig::xt4_single_core()},
       {"SP/2", core::MachineConfig::sp2_single_core()}};
@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
   htile_grid.machines(machines);
 
   const auto htile_records =
-      batch.run(htile_grid, [](const runner::Scenario& s) {
+      batch.run(htile_grid, [&ctx](const runner::Scenario& s) {
         const auto scan =
-            core::scan_htile(s.app, s.effective_machine(), s.processors());
+            core::scan_htile(s.app, s.effective_machine(),
+                             ctx.comm_model_registry(), s.processors());
         return runner::Metrics{
             {"best_htile", scan.best_htile},
             {"gain_pct", 100.0 * scan.improvement_vs_unit}};
@@ -62,15 +63,18 @@ int main(int argc, char** argv) {
   sync_grid.machines(machines);
 
   const auto sync_records =
-      batch.run(sync_grid, [](const runner::Scenario& s) {
+      batch.run(sync_grid, [&ctx](const runner::Scenario& s) {
         core::MachineConfig without = s.effective_machine();
         without.synchronization_terms = false;
         core::MachineConfig with = s.effective_machine();
         with.synchronization_terms = true;
-        const double t0 =
-            core::Solver(s.app, without).evaluate(s.grid).iteration.total;
-        const double t1 =
-            core::Solver(s.app, with).evaluate(s.grid).iteration.total;
+        const auto& registry = ctx.comm_model_registry();
+        const double t0 = core::Solver(s.app, without, registry)
+                              .evaluate(s.grid)
+                              .iteration.total;
+        const double t1 = core::Solver(s.app, with, registry)
+                              .evaluate(s.grid)
+                              .iteration.total;
         return runner::Metrics{{"iter_no_sync_us", t0},
                                {"iter_sync_us", t1},
                                {"sync_share_pct", 100.0 * (t1 - t0) / t1}};

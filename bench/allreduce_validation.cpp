@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const core::MachineConfig machine =
       runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const loggp::MachineParams params = machine.loggp;
-  const auto model = machine.make_comm_model();
+  const auto model = machine.make_comm_model(ctx.comm_model_registry());
   const int max_p = static_cast<int>(cli.get_int("max-p", 2048));
 
   std::vector<double> ranks;

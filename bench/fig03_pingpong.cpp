@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const core::MachineConfig machine =
       runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
   const loggp::MachineParams params = machine.loggp;
-  const auto model = machine.make_comm_model();
+  const auto model = machine.make_comm_model(ctx.comm_model_registry());
 
   // The size sweep of the figure, plus the protocol-jump pair the paper
   // singles out (zero-byte messages still ping: size 1).

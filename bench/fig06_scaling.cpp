@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
                            .run(grid, [&](const runner::Scenario& s) {
                              runner::Metrics m;
                              const auto machine = s.effective_machine();
-                             const core::Solver solver(s.app, machine);
+                             const core::Solver solver(
+                                 s.app, machine, ctx.comm_model_registry());
                              m.emplace_back(
                                  "model_days",
                                  common::usec_to_days(
@@ -53,7 +54,8 @@ int main(int argc, char** argv) {
                                      steps);
                              if (s.processors() <= max_sim_p) {
                                const auto sim = workloads::simulate_wavefront(
-                                   s.app, machine, s.grid);
+                                   s.app, machine, ctx.comm_model_registry(),
+                                   s.grid);
                                const double sim_days =
                                    common::usec_to_days(
                                        sim.time_per_iteration * 120.0 *

@@ -66,11 +66,13 @@ int main(int argc, char** argv) {
   s3.energy_groups = 30;
   const core::MachineConfig machine =
       runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
-  const core::Solver sweep3d(core::benchmarks::sweep3d(s3), machine);
+  const core::Solver sweep3d(core::benchmarks::sweep3d(s3), machine,
+                             ctx.comm_model_registry());
   study(cli, ctx, "(a) Sweep3D 10^9 cells", sweep3d, {32768, 65536, 131072},
         4096);
 
-  const core::Solver chimaera(core::benchmarks::chimaera(), machine);
+  const core::Solver chimaera(core::benchmarks::chimaera(), machine,
+                              ctx.comm_model_registry());
   study(cli, ctx, "(b) Chimaera 240^3 cells", chimaera, {16384, 32768}, 1024);
   return 0;
 }

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(
       core::benchmarks::sweep3d(cfg),
-      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()));
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()),
+      ctx.comm_model_registry());
   const int total = 131072;
   const long long timesteps = 10'000;
 

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   cfg.energy_groups = 30;
   const core::Solver solver(
       core::benchmarks::sweep3d(cfg),
-      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()));
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core()),
+      ctx.comm_model_registry());
 
   runner::SweepGrid grid;
   grid.values("P_avail", {16384, 32768, 65536, 131072});

@@ -12,9 +12,17 @@ using namespace wave;
 
 namespace {
 
+/// One shared context: registry lookups are not what these benchmarks
+/// measure, so every solver resolves against the same catalog.
+const wave::Context& bench_context() {
+  static const wave::Context ctx;
+  return ctx;
+}
+
 void BM_SolverEvaluate(benchmark::State& state) {
   const core::Solver solver(core::benchmarks::chimaera(),
-                            core::MachineConfig::xt4_dual_core());
+                            core::MachineConfig::xt4_dual_core(),
+                            bench_context().comm_model_registry());
   const int p = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.evaluate(p).iteration.total);
@@ -26,7 +34,8 @@ BENCHMARK(BM_SolverEvaluate)->Arg(1024)->Arg(16384)->Arg(131072);
 void BM_SolverEvaluateMulticore(benchmark::State& state) {
   const core::Solver solver(
       core::benchmarks::sweep3d(),
-      core::MachineConfig::xt4_with_cores(static_cast<int>(state.range(0))));
+      core::MachineConfig::xt4_with_cores(static_cast<int>(state.range(0))),
+      bench_context().comm_model_registry());
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.evaluate(65536).iteration.total);
   }
@@ -37,7 +46,8 @@ void BM_PartitionStudy(benchmark::State& state) {
   core::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
   const core::Solver solver(core::benchmarks::sweep3d(cfg),
-                            core::MachineConfig::xt4_dual_core());
+                            core::MachineConfig::xt4_dual_core(),
+                            bench_context().comm_model_registry());
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         core::partition_study(solver, 131072, 10'000, 2048).size());
@@ -53,7 +63,8 @@ void BM_HtileScan(benchmark::State& state) {
       core::benchmarks::ChimaeraConfig cfg;
       cfg.htile = h;
       const core::Solver solver(core::benchmarks::chimaera(cfg),
-                                core::MachineConfig::xt4_dual_core());
+                                core::MachineConfig::xt4_dual_core(),
+                                bench_context().comm_model_registry());
       sum += solver.evaluate(4096).iteration.total;
       sum += solver.evaluate(16384).iteration.total;
     }
@@ -76,6 +87,7 @@ void BM_BatchRunnerModelSweep(benchmark::State& state) {
   grid.processors({4096, 16384});
   const auto points = grid.points();
   const runner::BatchRunner batch(
+      bench_context(),
       runner::BatchRunner::Options(static_cast<int>(state.range(0))));
   for (auto _ : state) {
     benchmark::DoNotOptimize(batch.run(points).size());

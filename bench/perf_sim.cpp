@@ -8,6 +8,7 @@
 
 #include "core/benchmarks.h"
 #include "sim/engine.h"
+#include "wave/context.h"
 #include "workloads/pingpong.h"
 #include "workloads/wavefront.h"
 
@@ -46,10 +47,12 @@ void BM_WavefrontIteration(benchmark::State& state) {
   cfg.nx = cfg.ny = cfg.nz = 128;
   const auto app = core::benchmarks::sweep3d(cfg);
   const auto machine = core::MachineConfig::xt4_dual_core();
+  static const wave::Context ctx;
   const int p = static_cast<int>(state.range(0));
   std::uint64_t events = 0;
   for (auto _ : state) {
-    const auto res = workloads::simulate_wavefront(app, machine, p);
+    const auto res = workloads::simulate_wavefront(
+        app, machine, ctx.comm_model_registry(), p);
     events += res.events;
     benchmark::DoNotOptimize(res.makespan);
   }

@@ -11,7 +11,13 @@
 //              serially through the batch runner (events/sec across every
 //              simulated protocol step — the headline number);
 //   model      a large analytic sweep through the chunked batch runner
-//              (points/sec — the cheap-what-if-exploration number);
+//              with batch routing OFF — every point pays the scalar
+//              Solver (points/sec — the pre-batch reference);
+//   model:batch  the same grid through the default batch-routed runner:
+//              one batch-solver plan for the whole sweep, backends and
+//              app terms hoisted per unique axis value (points/sec plus
+//              the speedup over the scalar row — the headline batch
+//              number, gated by tools/check_perf.sh);
 //   workloads  every registered workload's DES path run serially
 //              (events/sec per workload — how each rank-program shape
 //              loads the fabric; registry-driven, so a newly registered
@@ -26,6 +32,7 @@
 // so events/sec gauges one core's hot path); --out=FILE writes the flat
 // JSON consumed by tools/run_perf.sh and tools/check_perf.sh.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -113,15 +120,14 @@ SectionResult sim_section(const wave::Context& ctx, bool quick) {
   return res;
 }
 
-/// The analytic section: a large model-only sweep through the batch runner.
-SectionResult model_section(const wave::Context& ctx, bool quick,
-                            int threads) {
+/// The analytic grid both model sections share: Solver::evaluate runs the
+/// r2 fill recurrence over all P cells, so the axis stays in the
+/// cheap-point regime (P <= 4096) — points/sec here gauges sweep
+/// orchestration plus O(P)-bounded model evaluations.
+runner::SweepGrid model_grid(bool quick) {
   core::benchmarks::Sweep3dConfig s3;
   core::benchmarks::ChimaeraConfig chim;
 
-  // Solver::evaluate runs the r2 fill recurrence over all P cells, so the
-  // axis stays in the cheap-point regime (P <= 4096) — points/sec here
-  // gauges sweep orchestration plus O(P)-bounded model evaluations.
   std::vector<int> procs;
   const int step = quick ? 40 : 4;
   for (int p = 64; p <= 4'096; p += step) procs.push_back(p);
@@ -133,9 +139,18 @@ SectionResult model_section(const wave::Context& ctx, bool quick,
   grid.processors(procs);
   grid.values("Htile", {1, 2, 5, 10},
               [](runner::Scenario& s, double h) { s.app.htile = h; });
+  return grid;
+}
 
-  const auto points = grid.points();
-  const runner::BatchRunner batch{ctx, runner::BatchRunner::Options(threads)};
+/// The analytic section, scalar or batch-routed on the same grid. The
+/// scalar run pins Options::batch = false so it keeps measuring the
+/// per-point Solver path the batch speedup is quoted against.
+SectionResult model_section(const wave::Context& ctx, bool quick,
+                            int threads, bool batch_route) {
+  const auto points = model_grid(quick).points();
+  runner::BatchRunner::Options options(threads);
+  options.batch = batch_route;
+  const runner::BatchRunner batch{ctx, options};
   const auto start = std::chrono::steady_clock::now();
   const auto records = batch.run(points);
   SectionResult res;
@@ -257,7 +272,10 @@ int main(int argc, char** argv) {
 
   const EngineResult eng = engine_section(quick ? 400'000 : 2'000'000);
   const SectionResult sim = sim_section(ctx, quick);
-  const SectionResult model = model_section(ctx, quick, threads);
+  const SectionResult model =
+      model_section(ctx, quick, threads, /*batch_route=*/false);
+  const SectionResult model_batch =
+      model_section(ctx, quick, threads, /*batch_route=*/true);
   const std::vector<WorkloadPerf> wl = workloads_section(ctx, quick);
   const ServiceResult svc = service_section(ctx, quick);
   const int model_threads = runner::BatchRunner(
@@ -282,7 +300,18 @@ int main(int argc, char** argv) {
                  common::Table::num(model.wall_s, 3),
                  common::Table::num(rate(model.points, model.wall_s) / 1e3, 1) +
                      " k points/s (" + common::Table::integer(model_threads) +
-                     " threads)"});
+                     " threads, scalar)"});
+  const double model_scalar_rate = rate(model.points, model.wall_s);
+  const double model_batch_rate = rate(model_batch.points, model_batch.wall_s);
+  const double batch_speedup =
+      model_scalar_rate > 0.0 ? model_batch_rate / model_scalar_rate : 0.0;
+  table.add_row(
+      {"model:batch",
+       common::Table::integer(static_cast<long long>(model_batch.points)) +
+           " points",
+       common::Table::num(model_batch.wall_s, 3),
+       common::Table::num(model_batch_rate / 1e3, 1) + " k points/s (" +
+           common::Table::num(batch_speedup, 1) + "x scalar)"});
   for (const WorkloadPerf& w : wl) {
     table.add_row({"wl:" + w.name,
                    common::Table::integer(static_cast<long long>(w.events)) +
@@ -315,7 +344,11 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << out << "\n";
       return 1;
     }
-    char buf[1024];
+    char buf[1536];
+    // Per-second rates are written as fixed-point integers: shell tooling
+    // (tools/check_perf.sh) compares them with awk, and %.6g's scientific
+    // notation for large rates (e.g. 2.7e+06) made those comparisons
+    // format-dependent. An integer events/sec loses nothing measurable.
     std::snprintf(
         buf, sizeof buf,
         "{\n"
@@ -323,29 +356,36 @@ int main(int argc, char** argv) {
         "  \"bench\": \"perf_sweep\",\n"
         "  \"quick\": %s,\n"
         "  \"model_threads\": %d,\n"
-        "  \"engine_events_per_sec\": %.6g,\n"
-        "  \"des_events_per_sec\": %.6g,\n"
+        "  \"engine_events_per_sec\": %lld,\n"
+        "  \"des_events_per_sec\": %lld,\n"
         "  \"des_events\": %.6g,\n"
         "  \"des_wall_s\": %.6g,\n"
-        "  \"model_points_per_sec\": %.6g,\n"
+        "  \"model_points_per_sec\": %lld,\n"
         "  \"model_points\": %.6g,\n"
         "  \"model_wall_s\": %.6g,\n"
-        "  \"service_cold_evals_per_sec\": %.6g,\n"
-        "  \"service_hits_per_sec\": %.6g,\n"
+        "  \"model_batch_points_per_sec\": %lld,\n"
+        "  \"model_batch_points\": %.6g,\n"
+        "  \"model_batch_wall_s\": %.6g,\n"
+        "  \"model_batch_speedup\": %.6g,\n"
+        "  \"service_cold_evals_per_sec\": %lld,\n"
+        "  \"service_hits_per_sec\": %lld,\n"
         "  \"service_hit_speedup\": %.6g,\n",
         quick ? "true" : "false", model_threads,
-        rate(eng.events, eng.wall_s), rate(sim.events, sim.wall_s),
-        sim.events, sim.wall_s, rate(model.points, model.wall_s),
-        model.points, model.wall_s, svc_cold, svc_hot,
-        svc_cold > 0.0 ? svc_hot / svc_cold : 0.0);
+        std::llround(rate(eng.events, eng.wall_s)),
+        std::llround(rate(sim.events, sim.wall_s)), sim.events, sim.wall_s,
+        std::llround(model_scalar_rate), model.points, model.wall_s,
+        std::llround(model_batch_rate), model_batch.points,
+        model_batch.wall_s, batch_speedup, std::llround(svc_cold),
+        std::llround(svc_hot), svc_cold > 0.0 ? svc_hot / svc_cold : 0.0);
     os << buf;
     // One flat key per registered workload. The perf tooling
     // (tools/run_perf.sh, tools/check_perf.sh) matches keys anchored to
     // the whole field, so these can never alias the headline keys above
     // whatever a workload is called.
     for (std::size_t i = 0; i < wl.size(); ++i) {
-      std::snprintf(buf, sizeof buf, "  \"wl_%s_events_per_sec\": %.6g%s\n",
-                    wl[i].name.c_str(), rate(wl[i].events, wl[i].wall_s),
+      std::snprintf(buf, sizeof buf, "  \"wl_%s_events_per_sec\": %lld%s\n",
+                    wl[i].name.c_str(),
+                    std::llround(rate(wl[i].events, wl[i].wall_s)),
                     i + 1 < wl.size() ? "," : "");
       os << buf;
     }

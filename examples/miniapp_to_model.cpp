@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
   //    the batch runner.
   const auto machine =
       runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
-  const auto scan = core::scan_htile(app, machine, 16384);
+  const auto scan =
+      core::scan_htile(app, machine, ctx.comm_model_registry(), 16384);
   std::printf("optimal Htile at P = 16384: %.0f (%.1f%% faster than "
               "Htile = 1)\n\n",
               scan.best_htile, 100.0 * scan.improvement_vs_unit);
@@ -80,7 +81,8 @@ int main(int argc, char** argv) {
                 runner::Column::metric("comm %", "comm_pct", 1)});
 
   const int fit = core::processors_for_deadline(
-      app, machine, /*timestep_seconds=*/60.0, /*max_processors=*/262144);
+      app, machine, ctx.comm_model_registry(),
+      /*timestep_seconds=*/60.0, /*max_processors=*/262144);
   std::printf("smallest machine that solves one time step per minute: "
               "P = %d\n", fit);
   return 0;

@@ -125,16 +125,6 @@ class Context {
   /// returning a Status.
   core::MachineConfig resolve_machine(const std::string& name_or_path) const;
 
-  // ---- legacy bridge ---------------------------------------------------
-
-  /// DEPRECATED (one-PR migration shim): a process-wide Context whose
-  /// registries *are* the legacy singletons (CommModelRegistry::instance,
-  /// WorkloadRegistry::instance) and whose catalog holds the presets.
-  /// Internals that used to consult the singletons now take a
-  /// `const Context&` and default to this; it will be removed once every
-  /// caller passes its own.
-  static const Context& global();
-
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -41,6 +41,7 @@
 namespace wave {
 
 class Context;
+class Study;
 
 /// @brief Thread-safe memoizing front-end over a Context.
 class EvalService {
@@ -68,6 +69,20 @@ class EvalService {
   /// @brief The memoized equivalent of query.run(): a cache hit returns a
   ///   bit-identical copy of the first evaluation's Result.
   Expected<Result> evaluate(const Query& query);
+
+  /// @brief Bulk-populates the cache with every point of `study` (the
+  ///   cartesian product of its axes over its base scenario), so a
+  ///   dashboard can pay the whole grid once at startup and serve every
+  ///   subsequent evaluate() from cache.
+  ///
+  ///   Analytic wavefront points are evaluated through one shared
+  ///   batch-solver plan — machine backends and app terms resolve once
+  ///   per unique axis value — and the cached Results are bit-identical
+  ///   to what a cold evaluate() of the same query would store (the batch
+  ///   solver's correctness contract). Already-cached points are skipped.
+  ///
+  /// @return The number of scenarios newly added to the cache.
+  Expected<std::size_t> warm(const Study& study);
 
   /// @brief The canonical scenario key `query` caches under — the full
   ///   resolved identity (machine config text included, so two catalogs

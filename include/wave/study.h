@@ -112,10 +112,20 @@ class Study {
   /// @brief Enumerates and evaluates the product. Lookups resolve against
   ///   the bound Context; failures surface as a Status, never an
   ///   exception.
+  ///
+  ///   Analytic wavefront points take the batched fast path: the runner
+  ///   compiles them into one shared batch-solver plan (machine backends
+  ///   and app terms resolve once per unique axis value, not once per
+  ///   point), so wide model sweeps cost a fraction of the scalar path.
+  ///   The rows are byte-identical either way — batching is a scheduling
+  ///   choice, never a semantic one.
   Expected<StudyResult> run() const;
 
  private:
   friend class Context;
+  /// EvalService::warm(Study) replays the axes into concrete queries and
+  /// bulk-populates its cache through the batch solver.
+  friend class EvalService;
   explicit Study(const Context* ctx) : ctx_(ctx) {}
 
   /// One recorded axis, replayed onto the internal SweepGrid in order.

@@ -90,20 +90,6 @@ Context::~Context() = default;
 Context::Context(Context&&) noexcept = default;
 Context& Context::operator=(Context&&) noexcept = default;
 
-const Context& Context::global() {
-  // Deliberately leaked: the shim must outlive every static consumer, and
-  // the singletons it borrows have the same lifetime.
-  static const Context* shim = [] {
-    auto* ctx = new Context();
-    ctx->impl_->comm = &loggp::CommModelRegistry::instance();
-    ctx->impl_->workloads = &workloads::WorkloadRegistry::instance();
-    ctx->impl_->owned_comm.reset();
-    ctx->impl_->owned_workloads.reset();
-    return ctx;
-  }();
-  return *shim;
-}
-
 Query Context::query() const { return Query(this); }
 Study Context::study() const { return Study(this); }
 

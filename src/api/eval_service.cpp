@@ -8,8 +8,11 @@
 
 #include "api/api_internal.h"
 #include "common/dense_map.h"
+#include "core/batch_solver.h"
 #include "core/machine.h"
+#include "runner/batch_runner.h"
 #include "wave/context.h"
+#include "wave/study.h"
 
 namespace wave {
 
@@ -87,6 +90,19 @@ struct EvalService::Impl {
       if (e.key == key) return &e.result;
     return nullptr;
   }
+
+  void store_locked(std::uint64_t hash, const std::string& key,
+                    const Result& result) {
+    if (size >= options.capacity) {
+      // Generation reset: the simple capacity bound (see eval_service.h).
+      cache = common::DenseMap64<std::vector<Entry>>();
+      cache.reserve_keys(options.capacity);
+      size = 0;
+      ++resets;
+    }
+    cache[hash].push_back(Entry{key, result});
+    ++size;
+  }
 };
 
 EvalService::EvalService(const Context& ctx, Options options)
@@ -148,16 +164,149 @@ Expected<Result> EvalService::evaluate(const Query& query) {
   ++impl_->misses;
   if (const Result* cached = impl_->find_locked(hash, key))
     return *cached;  // lost the race; the stored copy is authoritative
-  if (impl_->size >= impl_->options.capacity) {
-    // Generation reset: the simple capacity bound (see eval_service.h).
-    impl_->cache = common::DenseMap64<std::vector<Impl::Entry>>();
-    impl_->cache.reserve_keys(impl_->options.capacity);
-    impl_->size = 0;
-    ++impl_->resets;
-  }
-  impl_->cache[hash].push_back(Impl::Entry{key, result});
-  ++impl_->size;
+  impl_->store_locked(hash, key, result);
   return result;
+}
+
+Expected<std::size_t> EvalService::warm(const Study& study) {
+  const Context& ctx = *impl_->ctx;
+  try {
+    // Expand the study's axes into concrete queries, first axis varying
+    // slowest — the same enumeration order Study::run() produces.
+    std::vector<Query> queries{study.base_};
+    for (const Study::AxisSpec& axis : study.axes_) {
+      std::vector<Query> next;
+      for (const Query& q : queries) {
+        switch (axis.kind) {
+          case Study::AxisSpec::Kind::kMachines:
+            for (const std::string& name : axis.names)
+              next.push_back(Query(q).machine(name));
+            break;
+          case Study::AxisSpec::Kind::kWorkloads:
+            for (const std::string& name : axis.names)
+              next.push_back(Query(q).workload(name));
+            break;
+          case Study::AxisSpec::Kind::kCommModels:
+            for (const std::string& name : axis.names)
+              next.push_back(Query(q).comm_model(name));
+            break;
+          case Study::AxisSpec::Kind::kProcessors:
+            for (const int count : axis.ints)
+              next.push_back(Query(q).processors(count));
+            break;
+          case Study::AxisSpec::Kind::kEngines:
+            for (const Engine engine : axis.engines)
+              next.push_back(Query(q).engine(engine));
+            break;
+          case Study::AxisSpec::Kind::kValues:
+            for (const double value : axis.doubles)
+              next.push_back(Query(q).param(axis.name, value));
+            break;
+        }
+      }
+      queries = std::move(next);
+    }
+    if (study.validate_)
+      for (Query& q : queries) q.validate();
+
+    // Resolve every query first: a bad axis value fails the whole warm
+    // before anything is evaluated or cached.
+    constexpr std::size_t kScalar = static_cast<std::size_t>(-1);
+    struct Pending {
+      const Query* query;
+      runner::Scenario scenario;
+      std::string key;
+      std::uint64_t hash;
+      std::size_t batch_index = kScalar;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(queries.size());
+    for (const Query& q : queries) {
+      Pending p;
+      p.query = &q;
+      p.scenario = api::scenario_from(ctx, q);
+      p.key = key_text(q, p.scenario);
+      p.hash = fnv1a(p.key);
+      pending.push_back(std::move(p));
+    }
+
+    // Skip scenarios already cached (and duplicates within this warm).
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mutex);
+      std::vector<Pending> fresh;
+      fresh.reserve(pending.size());
+      for (Pending& p : pending) {
+        if (impl_->find_locked(p.hash, p.key) != nullptr) continue;
+        bool duplicate = false;
+        for (const Pending& f : fresh) duplicate |= f.key == p.key;
+        if (!duplicate) fresh.push_back(std::move(p));
+      }
+      pending = std::move(fresh);
+    }
+
+    // Compile the analytic wavefront points into one shared batch plan:
+    // each unique machine resolves its comm backend once, each unique app
+    // derives its sweep terms once (the memoized add_app/add_machine).
+    core::BatchEval plan(ctx.comm_model_registry());
+    std::vector<core::BatchPoint> bpoints;
+    for (Pending& p : pending) {
+      const runner::Scenario& s = p.scenario;
+      const bool batchable = s.engine == runner::Engine::Model &&
+                             (s.workload.empty() ||
+                              s.workload == "wavefront") &&
+                             !p.query->validate_requested();
+      if (!batchable) continue;
+      core::BatchPoint bp;
+      bp.app = plan.add_app(s.app);
+      bp.machine = plan.add_machine(s.effective_machine());
+      bp.grid = s.grid;
+      p.batch_index = bpoints.size();
+      bpoints.push_back(bp);
+    }
+
+    // Evaluate outside the lock (DES points can take seconds), then store
+    // everything under one lock. Bit-identity with a cold evaluate():
+    // the batch path replays the exact doubles of the scalar solver, and
+    // the Result fields mirror result_from's non-validate branch.
+    core::BatchScratch scratch;
+    core::ModelResult res;
+    std::vector<Result> results;
+    results.reserve(pending.size());
+    for (const Pending& p : pending) {
+      if (p.batch_index == kScalar) {
+        results.push_back(api::result_from(ctx, *p.query, p.scenario));
+        continue;
+      }
+      plan.evaluate_point(bpoints[p.batch_index], scratch, res);
+      Result out;
+      const core::MachineConfig machine = p.scenario.effective_machine();
+      out.workload = p.scenario.workload;
+      out.machine = machine.name;
+      out.comm_model = machine.comm_model;
+      out.processors = p.scenario.processors();
+      out.engine = p.query->engine_choice();
+      out.terms = runner::model_metrics_from(res);
+      if (!out.terms.empty()) out.time_us = out.terms.front().second;
+      out.comm_us = out.term_or("model_iter_comm_us",
+                                out.term_or("model_comm_us", 0.0));
+      results.push_back(std::move(out));
+    }
+
+    std::size_t added = 0;
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (impl_->find_locked(pending[i].hash, pending[i].key) != nullptr)
+        continue;  // a concurrent evaluate() won the race
+      ++impl_->misses;
+      impl_->store_locked(pending[i].hash, pending[i].key, results[i]);
+      ++added;
+    }
+    return added;
+  } catch (const std::exception& e) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->errors;
+    return api::to_status(e);
+  }
 }
 
 EvalService::Stats EvalService::stats() const {

@@ -23,6 +23,8 @@ struct NonWavefrontPhase {
   int allreduce_bytes = 8;       ///< payload of each all-reduce (one double)
   bool has_stencil = false;
   usec stencil_work_per_cell = 0.0;  ///< measured per-cell stencil time
+
+  bool operator==(const NonWavefrontPhase&) const = default;
 };
 
 /// Table 3, one application. All times in µs; all cell counts as doubles
@@ -82,6 +84,9 @@ struct AppParams {
   /// whole bytes (at least 1).
   int message_bytes_ew(int n_columns, int m_rows) const;
   int message_bytes_ns(int n_columns, int m_rows) const;
+
+  /// Field-wise equality (used by the batch solver's per-axis memo tables).
+  bool operator==(const AppParams&) const = default;
 };
 
 }  // namespace wave::core

@@ -11,12 +11,13 @@ namespace wave::core {
 
 BaselineResult hoisie_baseline(const AppParams& app,
                                const MachineConfig& machine,
+                               const loggp::CommModelRegistry& registry,
                                const topo::Grid& grid) {
   app.validate();
   machine.validate();
   // The baseline honours the machine's comm-backend selection like the
   // plug-and-play solver does.
-  const auto comm_ptr = machine.make_comm_model();
+  const auto comm_ptr = machine.make_comm_model(registry);
   const loggp::CommModel& comm = *comm_ptr;
   const int n = grid.n();
   const int m = grid.m();
@@ -68,9 +69,12 @@ BaselineResult hoisie_baseline(const AppParams& app,
 }
 
 BaselineResult hoisie_baseline(const AppParams& app,
-                               const MachineConfig& machine, int processors) {
+                               const MachineConfig& machine,
+                               const loggp::CommModelRegistry& registry,
+                               int processors) {
   WAVE_EXPECTS(processors >= 1);
-  return hoisie_baseline(app, machine, topo::closest_to_square(processors));
+  return hoisie_baseline(app, machine, registry,
+                         topo::closest_to_square(processors));
 }
 
 }  // namespace wave::core

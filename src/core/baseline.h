@@ -33,13 +33,18 @@ struct BaselineResult {
 
 /// Evaluates the naive nsweeps-independent-sweeps baseline on an explicit
 /// decomposition. Multi-core placement is ignored (the 2000-era model
-/// predates CMP nodes); all communication is charged off-node.
+/// predates CMP nodes); all communication is charged off-node. The
+/// machine's comm backend is resolved through `registry` (a
+/// wave::Context's scoped registry, usually).
 BaselineResult hoisie_baseline(const AppParams& app,
                                const MachineConfig& machine,
+                               const loggp::CommModelRegistry& registry,
                                const topo::Grid& grid);
 
 /// Convenience: closest-to-square decomposition of `processors`.
 BaselineResult hoisie_baseline(const AppParams& app,
-                               const MachineConfig& machine, int processors);
+                               const MachineConfig& machine,
+                               const loggp::CommModelRegistry& registry,
+                               int processors);
 
 }  // namespace wave::core

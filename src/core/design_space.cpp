@@ -9,7 +9,8 @@
 namespace wave::core {
 
 HtileScan scan_htile(AppParams app, const MachineConfig& machine,
-                     int processors, std::span<const double> candidates) {
+                     const loggp::CommModelRegistry& registry, int processors,
+                     std::span<const double> candidates) {
   WAVE_EXPECTS(processors >= 1);
   WAVE_EXPECTS_MSG(!candidates.empty(), "need at least one Htile candidate");
 
@@ -18,13 +19,18 @@ HtileScan scan_htile(AppParams app, const MachineConfig& machine,
     heights.push_back(1.0);
   std::sort(heights.begin(), heights.end());
 
+  // One backend resolution serves every candidate (the scan only varies
+  // Htile, never the machine).
+  machine.validate();
+  const auto comm = machine.make_comm_model(registry);
+
   HtileScan scan;
   usec at_unit = 0.0;
   scan.best_iteration = std::numeric_limits<double>::infinity();
   for (double h : heights) {
     if (h <= 0.0 || h > app.nz) continue;
     app.htile = h;
-    const Solver solver(app, machine);
+    const Solver solver(app, machine, comm);
     const usec t = solver.evaluate(processors).iteration.total;
     scan.points.push_back({h, t});
     if (h == 1.0) at_unit = t;
@@ -41,19 +47,20 @@ HtileScan scan_htile(AppParams app, const MachineConfig& machine,
 }
 
 HtileScan scan_htile(AppParams app, const MachineConfig& machine,
-                     int processors) {
+                     const loggp::CommModelRegistry& registry, int processors) {
   const double candidates[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
-  return scan_htile(std::move(app), machine, processors, candidates);
+  return scan_htile(std::move(app), machine, registry, processors, candidates);
 }
 
 std::vector<DecompositionPoint> scan_decompositions(
-    const AppParams& app, const MachineConfig& machine, int processors) {
+    const AppParams& app, const MachineConfig& machine,
+    const loggp::CommModelRegistry& registry, int processors) {
   WAVE_EXPECTS(processors >= 1);
+  const Solver solver(app, machine, registry);
   std::vector<DecompositionPoint> points;
   for (int m = 1; m * m <= processors; ++m) {
     if (processors % m != 0) continue;
     const topo::Grid grid(processors / m, m);
-    const Solver solver(app, machine);
     points.push_back({grid, solver.evaluate(grid).iteration.total});
   }
   std::sort(points.begin(), points.end(),
@@ -64,12 +71,12 @@ std::vector<DecompositionPoint> scan_decompositions(
   return points;
 }
 
-int processors_for_deadline(const AppParams& app,
-                            const MachineConfig& machine,
+int processors_for_deadline(const AppParams& app, const MachineConfig& machine,
+                            const loggp::CommModelRegistry& registry,
                             double timestep_seconds, int max_processors) {
   WAVE_EXPECTS(timestep_seconds > 0.0);
   WAVE_EXPECTS(max_processors >= 1);
-  const Solver solver(app, machine);
+  const Solver solver(app, machine, registry);
   for (int p = 1; p <= max_processors; p *= 2) {
     const double t =
         common::usec_to_sec(solver.evaluate(p).timestep());

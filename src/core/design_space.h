@@ -7,7 +7,9 @@
 //     sweep?),
 //   * platform sizing (§5.2: the smallest machine meeting a deadline).
 // Each runs the analytic model a handful of times, so full scans cost
-// microseconds — the "rapid evaluation" the paper advertises.
+// microseconds — the "rapid evaluation" the paper advertises. Every entry
+// point takes the comm-model registry resolving the machine's backend
+// (a wave::Context's scoped registry, usually).
 #pragma once
 
 #include <span>
@@ -37,11 +39,12 @@ struct HtileScan {
 /// exceed the stack height Nz are skipped. Requires at least one valid
 /// candidate including 1.0 (added automatically if missing).
 HtileScan scan_htile(AppParams app, const MachineConfig& machine,
-                     int processors, std::span<const double> candidates);
+                     const loggp::CommModelRegistry& registry, int processors,
+                     std::span<const double> candidates);
 
 /// Default candidate set 1..10, the Fig 5 range.
 HtileScan scan_htile(AppParams app, const MachineConfig& machine,
-                     int processors);
+                     const loggp::CommModelRegistry& registry, int processors);
 
 /// One decomposition candidate.
 struct DecompositionPoint {
@@ -52,13 +55,14 @@ struct DecompositionPoint {
 /// Evaluates every n×m factorization of `processors` (n >= m), sorted
 /// fastest first. Quantifies how much the near-square choice matters.
 std::vector<DecompositionPoint> scan_decompositions(
-    const AppParams& app, const MachineConfig& machine, int processors);
+    const AppParams& app, const MachineConfig& machine,
+    const loggp::CommModelRegistry& registry, int processors);
 
 /// The smallest power-of-two processor count whose modelled time step
 /// meets `timestep_seconds` (or `max_processors` if none does) — the
 /// §5.2 sizing question.
-int processors_for_deadline(const AppParams& app,
-                            const MachineConfig& machine,
+int processors_for_deadline(const AppParams& app, const MachineConfig& machine,
+                            const loggp::CommModelRegistry& registry,
                             double timestep_seconds, int max_processors);
 
 }  // namespace wave::core

@@ -37,11 +37,6 @@ std::shared_ptr<const loggp::CommModel> MachineConfig::make_comm_model(
   return registry.make(comm_model, loggp, options);
 }
 
-std::shared_ptr<const loggp::CommModel> MachineConfig::make_comm_model()
-    const {
-  return make_comm_model(loggp::CommModelRegistry::instance());
-}
-
 namespace {
 
 [[noreturn]] void config_fail(const std::string& source, int line,
@@ -268,12 +263,6 @@ MachineConfig parse_machine_config(const std::string& text,
   return m;
 }
 
-MachineConfig parse_machine_config(const std::string& text,
-                                   const std::string& source) {
-  return parse_machine_config(text, source,
-                              loggp::CommModelRegistry::instance());
-}
-
 MachineConfig load_machine_config(const std::string& path,
                                   const loggp::CommModelRegistry& registry) {
   std::ifstream in(path);
@@ -291,10 +280,6 @@ MachineConfig load_machine_config(const std::string& path,
     m.name = stem;
   }
   return m;
-}
-
-MachineConfig load_machine_config(const std::string& path) {
-  return load_machine_config(path, loggp::CommModelRegistry::instance());
 }
 
 std::string write_machine_config(const MachineConfig& machine) {

@@ -81,10 +81,6 @@ struct MachineConfig {
   std::shared_ptr<const loggp::CommModel> make_comm_model(
       const loggp::CommModelRegistry& registry) const;
 
-  /// @brief DEPRECATED shim: resolves through the legacy process-wide
-  ///   registry (CommModelRegistry::instance()).
-  std::shared_ptr<const loggp::CommModel> make_comm_model() const;
-
   void validate() const {
     loggp.validate();
     // The name must survive machines/*.cfg serialization — a single line
@@ -169,19 +165,11 @@ MachineConfig parse_machine_config(const std::string& text,
                                    const std::string& source,
                                    const loggp::CommModelRegistry& registry);
 
-/// @brief DEPRECATED shim: parses against the legacy process-wide
-///   comm-model registry.
-MachineConfig parse_machine_config(const std::string& text,
-                                   const std::string& source = "<string>");
-
 /// @brief Loads and parses a machine-config file. When the file does not
 ///   set `name`, the file's stem (basename without extension) is used.
 /// @throws ConfigError when the file cannot be read or fails to parse.
 MachineConfig load_machine_config(const std::string& path,
                                   const loggp::CommModelRegistry& registry);
-
-/// @brief DEPRECATED shim: loads against the legacy process-wide registry.
-MachineConfig load_machine_config(const std::string& path);
 
 /// @brief Serializes a machine back to config text;
 ///   `parse_machine_config(write_machine_config(m)) == m` for any valid m.

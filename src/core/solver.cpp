@@ -40,13 +40,6 @@ Solver::Solver(AppParams app, MachineConfig machine,
   comm_ = machine_.make_comm_model(registry);
 }
 
-Solver::Solver(AppParams app, MachineConfig machine)
-    : app_(std::move(app)), machine_(std::move(machine)) {
-  app_.validate();
-  machine_.validate();
-  comm_ = machine_.make_comm_model();
-}
-
 ModelResult Solver::evaluate(int processors) const {
   WAVE_EXPECTS_MSG(processors >= 1, "need at least one processor");
   return evaluate(topo::closest_to_square(processors));

@@ -111,10 +111,6 @@ class Solver {
   ///   solver.
   Solver(AppParams app, MachineConfig machine, const loggp::CommModel& comm);
 
-  /// @brief DEPRECATED shim: resolves machine.comm_model through the
-  ///   legacy process-wide registry.
-  Solver(AppParams app, MachineConfig machine);
-
   const AppParams& app() const { return app_; }
   const MachineConfig& machine() const { return machine_; }
 

@@ -31,6 +31,8 @@ enum class SweepOrigin { NorthWest, NorthEast, SouthWest, SouthEast };
 struct Sweep {
   SweepOrigin origin = SweepOrigin::NorthWest;
   SweepPrecedence precedence = SweepPrecedence::OriginFree;
+
+  bool operator==(const Sweep&) const = default;
 };
 
 /// Ordered list of the sweeps in one iteration, with the Table 3 parameter
@@ -67,6 +69,8 @@ class SweepStructure {
 
   /// Human-readable one-line description for reports.
   std::string describe() const;
+
+  bool operator==(const SweepStructure&) const = default;
 
  private:
   std::vector<Sweep> sweeps_;

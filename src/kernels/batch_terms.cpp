@@ -1,0 +1,31 @@
+#include "kernels/batch_terms.h"
+
+namespace wave::kernels {
+
+// Plain indexed loops over restrict-free pointers: the arrays the batch
+// solver passes never alias (distinct vectors), and the bodies are simple
+// enough that GCC and Clang vectorize them at -O2 without pragmas. The
+// operation order inside each element matches the TimeSplit arithmetic of
+// the scalar r5 assembly exactly — see core/solver.cpp — which is what
+// makes batch results byte-identical.
+
+void assemble_fill(const double* ndiag, const double* nfull,
+                   const double* diag, const double* full, double* fill,
+                   std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k)
+    fill[k] = ndiag[k] * diag[k] + nfull[k] * full[k];
+}
+
+void assemble_iteration(const double* fill, const double* nsweeps,
+                        const double* stack, const double* nonwf, double* iter,
+                        std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k)
+    iter[k] = (fill[k] + nsweeps[k] * stack[k]) + nonwf[k];
+}
+
+void scale_by(const double* scale, const double* value, double* out,
+              std::size_t count) {
+  for (std::size_t k = 0; k < count; ++k) out[k] = scale[k] * value[k];
+}
+
+}  // namespace wave::kernels

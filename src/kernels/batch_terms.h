@@ -1,0 +1,31 @@
+// SoA assembly kernels of the batch analytic solver (core/batch_solver.h).
+//
+// Each kernel is a straight-line loop over contiguous double arrays — the
+// r5 closed forms of core/solver.cpp applied element-wise — so the
+// compiler can vectorize them. They live in their own TU so the build can
+// compile just src/kernels/ with -march=native (CMake option
+// WAVE_NATIVE_SIMD) while the rest of the library keeps portable flags.
+// That option also forces -ffp-contract=off on these files: contracting
+// a*b + c into an FMA would change result bits, and the batch path
+// promises byte-identical results with the scalar Solver.
+#pragma once
+
+#include <cstddef>
+
+namespace wave::kernels {
+
+/// (r5, fill share) fill[k] = ndiag[k]*diag[k] + nfull[k]*full[k].
+void assemble_fill(const double* ndiag, const double* nfull,
+                   const double* diag, const double* full, double* fill,
+                   std::size_t count);
+
+/// (r5) iter[k] = (fill[k] + nsweeps[k]*stack[k]) + nonwf[k].
+void assemble_iteration(const double* fill, const double* nsweeps,
+                        const double* stack, const double* nonwf, double* iter,
+                        std::size_t count);
+
+/// Timestep roll-up: out[k] = scale[k] * value[k].
+void scale_by(const double* scale, const double* value, double* out,
+              std::size_t count);
+
+}  // namespace wave::kernels

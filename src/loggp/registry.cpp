@@ -23,11 +23,6 @@ CommModelRegistry::CommModelRegistry() {
       });
 }
 
-CommModelRegistry& CommModelRegistry::instance() {
-  static CommModelRegistry registry;
-  return registry;
-}
-
 void CommModelRegistry::add(const std::string& name,
                             const std::string& description,
                             CommModelFactory factory) {
@@ -104,24 +99,6 @@ void require_comm_model(const CommModelRegistry& registry,
   WAVE_EXPECTS_MSG(registry.contains(name),
                    "unknown comm model '" + name + "' (registered: " +
                        comm_model_names_joined(registry) + ")");
-}
-
-std::unique_ptr<CommModel> make_comm_model(const std::string& name,
-                                           const MachineParams& params,
-                                           const CommModelOptions& options) {
-  return make_comm_model(CommModelRegistry::instance(), name, params, options);
-}
-
-std::vector<std::string> comm_model_names() {
-  return comm_model_names(CommModelRegistry::instance());
-}
-
-std::string comm_model_names_joined() {
-  return comm_model_names_joined(CommModelRegistry::instance());
-}
-
-void require_comm_model(const std::string& name) {
-  require_comm_model(CommModelRegistry::instance(), name);
 }
 
 }  // namespace wave::loggp

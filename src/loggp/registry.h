@@ -50,11 +50,6 @@ class CommModelRegistry {
   /// @brief A fresh registry with the built-in backends pre-registered.
   CommModelRegistry();
 
-  /// @brief DEPRECATED (kept as a one-PR migration shim): the legacy
-  ///   process-wide registry. New code should scope registries through
-  ///   wave::Context instead of sharing this singleton.
-  static CommModelRegistry& instance();
-
   /// @brief Registers a backend under `name`.
   /// @throws common::contract_error when the name is already taken.
   void add(const std::string& name, const std::string& description,
@@ -102,23 +97,5 @@ std::string comm_model_names_joined(const CommModelRegistry& registry);
 ///   registered backends otherwise.
 void require_comm_model(const CommModelRegistry& registry,
                         const std::string& name);
-
-// ---- DEPRECATED global shims (one-PR migration aids) ----------------------
-// Each delegates to CommModelRegistry::instance(); new code should pass an
-// explicit registry (usually wave::Context::comm_model_registry()).
-
-/// @brief DEPRECATED: CommModelRegistry::instance().make(...).
-std::unique_ptr<CommModel> make_comm_model(
-    const std::string& name, const MachineParams& params,
-    const CommModelOptions& options = CommModelOptions());
-
-/// @brief DEPRECATED: comm_model_names(CommModelRegistry::instance()).
-std::vector<std::string> comm_model_names();
-
-/// @brief DEPRECATED: comm_model_names_joined(instance()).
-std::string comm_model_names_joined();
-
-/// @brief DEPRECATED: require_comm_model(instance(), name).
-void require_comm_model(const std::string& name);
 
 }  // namespace wave::loggp

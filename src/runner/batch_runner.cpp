@@ -12,10 +12,7 @@
 
 namespace wave::runner {
 
-Metrics model_metrics(const wave::Context& ctx, const Scenario& s) {
-  const core::Solver solver(s.app, s.effective_machine(),
-                            ctx.comm_model_registry());
-  const core::ModelResult res = solver.evaluate(s.grid);
+Metrics model_metrics_from(const core::ModelResult& res) {
   const core::TimeSplit step = res.timestep_split();
   return {{"model_iter_us", res.iteration.total},
           {"model_iter_comm_us", res.iteration.comm},
@@ -23,6 +20,12 @@ Metrics model_metrics(const wave::Context& ctx, const Scenario& s) {
           {"model_timestep_comm_us", step.comm},
           {"model_fill_us", res.fill.total},
           {"model_fill_comm_us", res.fill.comm}};
+}
+
+Metrics model_metrics(const wave::Context& ctx, const Scenario& s) {
+  const core::Solver solver(s.app, s.effective_machine(),
+                            ctx.comm_model_registry());
+  return model_metrics_from(solver.evaluate(s.grid));
 }
 
 Metrics sim_metrics(const wave::Context& ctx, const Scenario& s) {
@@ -114,37 +117,7 @@ Metrics model_vs_sim_metrics(const wave::Context& ctx, const Scenario& s) {
   return out;
 }
 
-// ---- DEPRECATED context-free shims ------------------------------------
-
-Metrics model_metrics(const Scenario& s) {
-  return model_metrics(wave::Context::global(), s);
-}
-
-Metrics sim_metrics(const Scenario& s) {
-  return sim_metrics(wave::Context::global(), s);
-}
-
-Metrics workload_metrics(const Scenario& s) {
-  return workload_metrics(wave::Context::global(), s);
-}
-
-Metrics workload_model_vs_sim_metrics(const Scenario& s) {
-  return workload_model_vs_sim_metrics(wave::Context::global(), s);
-}
-
-Metrics evaluate_scenario(const Scenario& s) {
-  return evaluate_scenario(wave::Context::global(), s);
-}
-
-Metrics model_vs_sim_metrics(const Scenario& s) {
-  return model_vs_sim_metrics(wave::Context::global(), s);
-}
-
 // ---- BatchRunner ------------------------------------------------------
-
-const wave::Context& BatchRunner::context() const {
-  return ctx_ != nullptr ? *ctx_ : wave::Context::global();
-}
 
 int BatchRunner::threads() const { return ThreadPool(options_.threads).threads(); }
 
@@ -174,11 +147,63 @@ std::vector<RunRecord> BatchRunner::run(const std::vector<Scenario>& points,
   return records;
 }
 
+namespace {
+
+/// A point the default run() can evaluate through the batch solver: the
+/// analytic engine on the wavefront pipeline (the pair model_metrics
+/// serves). Everything else — DES points, registry workloads — keeps the
+/// scalar evaluators.
+bool batchable(const Scenario& s) {
+  return s.engine == Engine::Model &&
+         (s.workload.empty() || s.workload == "wavefront");
+}
+
+}  // namespace
+
 std::vector<RunRecord> BatchRunner::run(
     const std::vector<Scenario>& points) const {
-  const wave::Context& ctx = context();
-  return run(points,
-             [&ctx](const Scenario& s) { return evaluate_scenario(ctx, s); });
+  const wave::Context& ctx = *ctx_;
+  if (!options_.batch)
+    return run(points,
+               [&ctx](const Scenario& s) { return evaluate_scenario(ctx, s); });
+
+  // Compile the analytic wavefront points into one shared plan: each
+  // unique machine resolves its comm backend once, each unique app
+  // validates and derives its sweep terms once. Runs on the calling
+  // thread so plan errors surface before any worker starts.
+  constexpr std::size_t kScalar = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> plan_index(points.size(), kScalar);
+  core::BatchEval plan(ctx.comm_model_registry());
+  std::vector<core::BatchPoint> bpoints;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Scenario& s = points[i];
+    if (!batchable(s)) continue;
+    core::BatchPoint p;
+    p.app = plan.add_app(s.app);
+    p.machine = plan.add_machine(s.effective_machine());
+    p.grid = s.grid;
+    plan_index[i] = bpoints.size();
+    bpoints.push_back(p);
+  }
+
+  std::vector<RunRecord> records(points.size());
+  const ThreadPool pool(options_.threads);
+  pool.for_each_chunk(points.size(), chunk_for(points), [&](std::size_t i) {
+    const Scenario& s = points[i];
+    RunRecord& r = records[i];
+    r.index = s.index;
+    r.labels = s.labels;
+    if (plan_index[i] != kScalar) {
+      // Workspace per worker thread, reused across points and runs.
+      thread_local core::BatchScratch scratch;
+      core::ModelResult res;
+      plan.evaluate_point(bpoints[plan_index[i]], scratch, res);
+      r.metrics = model_metrics_from(res);
+    } else {
+      r.metrics = evaluate_scenario(ctx, s);
+    }
+  });
+  return records;
 }
 
 std::vector<RunRecord> BatchRunner::run(const SweepGrid& grid,

@@ -6,11 +6,19 @@
 // scenario level; results land in slots indexed by point, and any
 // randomness comes from the point's own derived seed, so the record set is
 // bit-identical at any thread count.
+//
+// The default (no-PointFn) run() additionally routes analytic wavefront
+// points through the batch solver (core/batch_solver.h): one BatchEval
+// plan is compiled for the whole sweep, so machine backends and app terms
+// resolve once per unique axis value instead of once per point. The
+// records are byte-identical to the scalar path — the batch solver's
+// correctness contract — so routing is on by default (Options::batch).
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "core/batch_solver.h"
 #include "runner/record.h"
 #include "runner/scenario.h"
 #include "workloads/workload.h"
@@ -19,20 +27,22 @@ namespace wave::runner {
 
 // The canned evaluators resolve registry names (machine.comm_model,
 // Scenario::workload) against an explicit wave::Context, so two embedded
-// studies with different registrations never interfere. Each has a
-// DEPRECATED context-free shim that resolves against Context::global().
+// studies with different registrations never interfere.
 
 /// Canned evaluation: the analytic model on the point's (app, machine,
 /// grid). Metrics: model_iter_us, model_iter_comm_us, model_timestep_us,
 /// model_timestep_comm_us, model_fill_us, model_fill_comm_us.
 Metrics model_metrics(const wave::Context& ctx, const Scenario& s);
-Metrics model_metrics(const Scenario& s);
+
+/// The model metric set of an already-evaluated result — the shared tail
+/// of model_metrics and the batch-routed path, so both emit identical
+/// records from identical ModelResult bits.
+Metrics model_metrics_from(const core::ModelResult& res);
 
 /// Canned evaluation: the discrete-event simulator on the same point.
 /// Metrics: sim_iter_us, sim_makespan_us, sim_events, sim_messages,
 /// sim_bus_wait_us, sim_nic_wait_us, sim_mpi_busy_us.
 Metrics sim_metrics(const wave::Context& ctx, const Scenario& s);
-Metrics sim_metrics(const Scenario& s);
 
 /// Dispatches on `s.engine` (Model -> model_metrics, Simulation ->
 /// sim_metrics). The default point function of BatchRunner::run.
@@ -41,13 +51,11 @@ Metrics sim_metrics(const Scenario& s);
 /// wavefront-specific evaluators above, so any registered workload rides
 /// every driver that uses the default point function.
 Metrics evaluate_scenario(const wave::Context& ctx, const Scenario& s);
-Metrics evaluate_scenario(const Scenario& s);
 
 /// Canned evaluation: model *and* simulator on the same point, plus
 /// err_pct = 100 * |model - sim| / sim per iteration — the paper's
 /// validation metric.
 Metrics model_vs_sim_metrics(const wave::Context& ctx, const Scenario& s);
-Metrics model_vs_sim_metrics(const Scenario& s);
 
 /// Canned evaluation through the workload registry: dispatches on
 /// `s.engine` to the named workload's predict (metrics model_us,
@@ -56,13 +64,11 @@ Metrics model_vs_sim_metrics(const Scenario& s);
 /// sim_mpi_busy_us + extras). Metric names are uniform across workloads —
 /// the point function of cross-workload sweeps (bench/workload_matrix).
 Metrics workload_metrics(const wave::Context& ctx, const Scenario& s);
-Metrics workload_metrics(const Scenario& s);
 
 /// Both workload paths on the same point plus err_pct and within_tol
 /// (1 when err is inside the workload's declared tolerance).
 Metrics workload_model_vs_sim_metrics(const wave::Context& ctx,
                                       const Scenario& s);
-Metrics workload_model_vs_sim_metrics(const Scenario& s);
 
 /// The WorkloadInputs a scenario point hands its workload: app, grid,
 /// iterations and the free-form params (axis values double as workload
@@ -83,9 +89,14 @@ class BatchRunner {
     /// never changes the records — only the execution schedule
     /// (tests/test_runner.cpp pins this).
     int chunk;
-    Options() : threads(0), chunk(0) {}
+    /// Route analytic wavefront points of the default run() through the
+    /// batch solver (on by default; records are byte-identical either
+    /// way). Off forces every point through evaluate_scenario — the
+    /// scalar reference the batch tests compare against.
+    bool batch;
+    Options() : threads(0), chunk(0), batch(true) {}
     explicit Options(int threads_, int chunk_ = 0)
-        : threads(threads_), chunk(chunk_) {}
+        : threads(threads_), chunk(chunk_), batch(true) {}
   };
 
   /// Computes the metrics of one scenario point.
@@ -97,9 +108,6 @@ class BatchRunner {
   explicit BatchRunner(const wave::Context& ctx, Options options = Options())
       : ctx_(&ctx), options_(options) {}
 
-  /// DEPRECATED shim: runs against Context::global().
-  explicit BatchRunner(Options options = Options()) : options_(options) {}
-
   int threads() const;
 
   /// The chunk size `run` will use for `points` (resolves the automatic
@@ -107,18 +115,22 @@ class BatchRunner {
   std::size_t chunk_for(const std::vector<Scenario>& points) const;
 
   /// Runs `fn` over every point; records come back in point order
-  /// regardless of the execution schedule.
+  /// regardless of the execution schedule. Explicit-PointFn runs never
+  /// batch-route (the caller owns evaluation).
   std::vector<RunRecord> run(const std::vector<Scenario>& points,
                              const PointFn& fn) const;
+
+  /// Default evaluation: compiles the analytic wavefront points into one
+  /// BatchEval plan (when Options::batch is set) and routes everything
+  /// else through evaluate_scenario. Plan compilation validates every
+  /// batched point's app and machine eagerly, so a bad axis value throws
+  /// here rather than from a worker thread.
   std::vector<RunRecord> run(const std::vector<Scenario>& points) const;
   std::vector<RunRecord> run(const SweepGrid& grid, const PointFn& fn) const;
   std::vector<RunRecord> run(const SweepGrid& grid) const;
 
  private:
-  /// The context the default point function evaluates under.
-  const wave::Context& context() const;
-
-  const wave::Context* ctx_ = nullptr;  // null = Context::global()
+  const wave::Context* ctx_;
   Options options_;
 };
 

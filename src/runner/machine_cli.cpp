@@ -161,31 +161,4 @@ bool handle_list_flags(const common::Cli& cli, const wave::Context& ctx) {
   return handled;
 }
 
-// ---- DEPRECATED context-free shims ------------------------------------
-
-void apply_machine_cli(const common::Cli& cli, Scenario& base) {
-  apply_machine_cli(cli, wave::Context::global(), base);
-}
-
-void apply_comm_model_cli(const common::Cli& cli, Scenario& base) {
-  apply_comm_model_cli(cli, wave::Context::global(), base);
-}
-
-core::MachineConfig machine_from_cli(const common::Cli& cli,
-                                     core::MachineConfig fallback) {
-  return machine_from_cli(cli, wave::Context::global(), std::move(fallback));
-}
-
-void apply_workload_cli(const common::Cli& cli, Scenario& base) {
-  apply_workload_cli(cli, wave::Context::global(), base);
-}
-
-void reject_workload_cli(const common::Cli& cli) {
-  reject_workload_cli(cli, wave::Context::global());
-}
-
-bool handle_list_flags(const common::Cli& cli) {
-  return handle_list_flags(cli, wave::Context::global());
-}
-
 }  // namespace wave::runner

@@ -43,10 +43,6 @@ SweepGrid workload_matrix_grid(const wave::Context& ctx, bool full) {
   return grid;
 }
 
-SweepGrid workload_matrix_grid(bool full) {
-  return workload_matrix_grid(wave::Context::global(), full);
-}
-
 SweepGrid model_compare_grid(const wave::Context& ctx,
                              const std::string& machines_dir) {
   core::benchmarks::Sweep3dConfig cfg;
@@ -60,18 +56,14 @@ SweepGrid model_compare_grid(const wave::Context& ctx,
          {"sp2", core::MachineConfig::sp2_single_core()},
          {"quadcore-shared-bus", core::MachineConfig::xt4_with_cores(4)}});
   } else {
-    grid.machine_files({machines_dir + "/xt4-dual.cfg",
-                        machines_dir + "/sp2.cfg",
-                        machines_dir + "/quadcore-shared-bus.cfg",
-                        machines_dir + "/fatnode-loggps.cfg"});
+    grid.machine_files(ctx, {machines_dir + "/xt4-dual.cfg",
+                             machines_dir + "/sp2.cfg",
+                             machines_dir + "/quadcore-shared-bus.cfg",
+                             machines_dir + "/fatnode-loggps.cfg"});
   }
   grid.comm_models(ctx, {"loggp", "loggps", "contention"});
   grid.processors({256, 1024, 4096});
   return grid;
-}
-
-SweepGrid model_compare_grid(const std::string& machines_dir) {
-  return model_compare_grid(wave::Context::global(), machines_dir);
 }
 
 }  // namespace wave::runner

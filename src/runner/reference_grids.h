@@ -33,9 +33,6 @@ SweepGrid runner_scaling_grid(bool full = false);
 SweepGrid model_compare_grid(const wave::Context& ctx,
                              const std::string& machines_dir);
 
-/// DEPRECATED shim over Context::global().
-SweepGrid model_compare_grid(const std::string& machines_dir);
-
 /// The bench/workload_matrix sweep: every workload registered in `ctx` x
 /// machine presets x comm-model backends x processor counts x both
 /// evaluation engines, over the workload subsystem's canonical 64^3
@@ -45,8 +42,5 @@ SweepGrid model_compare_grid(const std::string& machines_dir);
 /// evaluators resolve against, so a context-registered workload can never
 /// enter the sweep without being resolvable.
 SweepGrid workload_matrix_grid(const wave::Context& ctx, bool full = false);
-
-/// DEPRECATED shim over Context::global().
-SweepGrid workload_matrix_grid(bool full = false);
 
 }  // namespace wave::runner

@@ -22,8 +22,7 @@
 // driver prints the registered names and exits non-zero instead of
 // throwing.
 //
-// Every helper resolves names against an explicit wave::Context; the
-// context-free overloads are DEPRECATED shims over Context::global().
+// Every helper resolves names against an explicit wave::Context.
 #pragma once
 
 #include "common/cli.h"
@@ -65,12 +64,6 @@ inline void apply_machine_cli(const common::Cli& cli, const wave::Context& ctx,
   apply_machine_cli(cli, ctx, grid.base());
 }
 
-/// @brief DEPRECATED shims over Context::global().
-void apply_machine_cli(const common::Cli& cli, Scenario& base);
-inline void apply_machine_cli(const common::Cli& cli, SweepGrid& grid) {
-  apply_machine_cli(cli, grid.base());
-}
-
 /// @brief Variant for drivers whose sweep declares its own machine axis
 ///   (which replaces the base machine wholesale): honours --comm-model —
 ///   the override survives machine axes — and prints a note on stderr
@@ -84,21 +77,11 @@ inline void apply_comm_model_cli(const common::Cli& cli,
   apply_comm_model_cli(cli, ctx, grid.base());
 }
 
-/// @brief DEPRECATED shims over Context::global().
-void apply_comm_model_cli(const common::Cli& cli, Scenario& base);
-inline void apply_comm_model_cli(const common::Cli& cli, SweepGrid& grid) {
-  apply_comm_model_cli(cli, grid.base());
-}
-
 /// @brief The shared flags resolved to a concrete machine, for drivers
 ///   that evaluate a machine directly instead of through a sweep:
 ///   `fallback`, replaced by --machine, then --comm-model applied on top.
 core::MachineConfig machine_from_cli(const common::Cli& cli,
                                      const wave::Context& ctx,
-                                     core::MachineConfig fallback);
-
-/// @brief DEPRECATED shim over Context::global().
-core::MachineConfig machine_from_cli(const common::Cli& cli,
                                      core::MachineConfig fallback);
 
 /// @brief Applies the shared --workload=<name> flag: sets the base
@@ -114,20 +97,11 @@ inline void apply_workload_cli(const common::Cli& cli,
   apply_workload_cli(cli, ctx, grid.base());
 }
 
-/// @brief DEPRECATED shims over Context::global().
-void apply_workload_cli(const common::Cli& cli, Scenario& base);
-inline void apply_workload_cli(const common::Cli& cli, SweepGrid& grid) {
-  apply_workload_cli(cli, grid.base());
-}
-
 /// @brief For drivers whose study is inherently wavefront-shaped (the
 ///   figure reproductions): a given --workload is never silently
 ///   ignored — an unknown name is the usual fatal error, and a known one
 ///   exits with a pointer at the drivers that do take the flag.
 void reject_workload_cli(const common::Cli& cli, const wave::Context& ctx);
-
-/// @brief DEPRECATED shim over Context::global().
-void reject_workload_cli(const common::Cli& cli);
 
 /// @brief Handles the registry-listing flags: when --list-workloads,
 ///   --list-comm-models or --list-machines was given, prints the
@@ -135,8 +109,5 @@ void reject_workload_cli(const common::Cli& cli);
 ///   also list their parameter schemas) to stdout and returns true — the
 ///   driver should then exit 0 without running its sweep.
 bool handle_list_flags(const common::Cli& cli, const wave::Context& ctx);
-
-/// @brief DEPRECATED shim over Context::global().
-bool handle_list_flags(const common::Cli& cli);
 
 }  // namespace wave::runner

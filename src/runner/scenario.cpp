@@ -111,12 +111,14 @@ SweepGrid& SweepGrid::machines(
   return this->axis(std::move(axis));
 }
 
-SweepGrid& SweepGrid::machine_files(const std::vector<std::string>& paths,
+SweepGrid& SweepGrid::machine_files(const wave::Context& ctx,
+                                    const std::vector<std::string>& paths,
                                     std::string name) {
   std::vector<std::pair<std::string, core::MachineConfig>> loaded;
   loaded.reserve(paths.size());
   for (const std::string& path : paths) {
-    core::MachineConfig m = core::load_machine_config(path);
+    core::MachineConfig m =
+        core::load_machine_config(path, ctx.comm_model_registry());
     loaded.emplace_back(m.name, std::move(m));
   }
   return machines(std::move(loaded), std::move(name));
@@ -134,11 +136,6 @@ SweepGrid& SweepGrid::comm_models(const wave::Context& ctx,
   return this->axis(std::move(axis));
 }
 
-SweepGrid& SweepGrid::comm_models(const std::vector<std::string>& names,
-                                  std::string name) {
-  return comm_models(wave::Context::global(), names, std::move(name));
-}
-
 SweepGrid& SweepGrid::workloads(const wave::Context& ctx,
                                 const std::vector<std::string>& names,
                                 std::string name) {
@@ -149,11 +146,6 @@ SweepGrid& SweepGrid::workloads(const wave::Context& ctx,
         {workload, [workload](Scenario& s) { s.workload = workload; }});
   }
   return this->axis(std::move(axis));
-}
-
-SweepGrid& SweepGrid::workloads(const std::vector<std::string>& names,
-                                std::string name) {
-  return workloads(wave::Context::global(), names, std::move(name));
 }
 
 SweepGrid& SweepGrid::engines(std::vector<Engine> engines, std::string name) {

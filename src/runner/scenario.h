@@ -133,8 +133,11 @@ class SweepGrid {
 
   /// Machine axis from config files (machines/*.cfg), loaded eagerly so a
   /// bad file fails at sweep construction; levels are labelled by each
-  /// config's `name`. Throws core::ConfigError on unreadable/invalid files.
-  SweepGrid& machine_files(const std::vector<std::string>& paths,
+  /// config's `name`. Each config's comm_model is validated against the
+  /// context's registry. Throws core::ConfigError on unreadable/invalid
+  /// files.
+  SweepGrid& machine_files(const wave::Context& ctx,
+                           const std::vector<std::string>& paths,
                            std::string name = "machine");
 
   /// Communication-backend axis: each level sets the scenario's comm-model
@@ -145,20 +148,12 @@ class SweepGrid {
                          const std::vector<std::string>& names,
                          std::string name = "comm");
 
-  /// DEPRECATED shim: validates against Context::global().
-  SweepGrid& comm_models(const std::vector<std::string>& names,
-                         std::string name = "comm");
-
   /// Workload axis: each level selects a workload registered in the
   /// context by name, validated eagerly so a typo fails at sweep
   /// construction. The canned evaluators route non-wavefront names through
   /// the registry's paired predict/simulate contract.
   SweepGrid& workloads(const wave::Context& ctx,
                        const std::vector<std::string>& names,
-                       std::string name = "workload");
-
-  /// DEPRECATED shim: validates against Context::global().
-  SweepGrid& workloads(const std::vector<std::string>& names,
                        std::string name = "workload");
 
   /// Evaluation-engine axis (labels "model" / "sim").

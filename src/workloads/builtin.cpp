@@ -33,10 +33,6 @@ sim::ProtocolOptions protocol_for(const core::MachineConfig& machine,
   return protocol;
 }
 
-sim::ProtocolOptions protocol_for(const core::MachineConfig& machine) {
-  return protocol_for(machine, loggp::CommModelRegistry::instance());
-}
-
 SimOutput to_sim_output(const SimRunResult& res) {
   SimOutput out;
   out.time_us = res.time_per_iteration;

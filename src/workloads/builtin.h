@@ -77,8 +77,4 @@ SimOutput to_sim_output(const SimRunResult& res);
 sim::ProtocolOptions protocol_for(const core::MachineConfig& machine,
                                   const loggp::CommModelRegistry& registry);
 
-/// @brief DEPRECATED shim: resolves through the legacy process-wide
-///   registry.
-sim::ProtocolOptions protocol_for(const core::MachineConfig& machine);
-
 }  // namespace wave::workloads

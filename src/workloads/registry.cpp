@@ -9,11 +9,6 @@ WorkloadRegistry::WorkloadRegistry() {
   for (auto& workload : builtin_workloads()) add(std::move(workload));
 }
 
-WorkloadRegistry& WorkloadRegistry::instance() {
-  static WorkloadRegistry registry;
-  return registry;
-}
-
 void WorkloadRegistry::add(std::shared_ptr<const Workload> workload) {
   WAVE_EXPECTS_MSG(workload != nullptr, "workload must be non-null");
   const std::string& name = workload->name();
@@ -83,22 +78,6 @@ void require_workload(const WorkloadRegistry& registry,
   WAVE_EXPECTS_MSG(registry.contains(name),
                    "unknown workload '" + name + "' (registered: " +
                        workload_names_joined(registry) + ")");
-}
-
-std::shared_ptr<const Workload> get_workload(const std::string& name) {
-  return get_workload(WorkloadRegistry::instance(), name);
-}
-
-std::vector<std::string> workload_names() {
-  return workload_names(WorkloadRegistry::instance());
-}
-
-std::string workload_names_joined() {
-  return workload_names_joined(WorkloadRegistry::instance());
-}
-
-void require_workload(const std::string& name) {
-  require_workload(WorkloadRegistry::instance(), name);
 }
 
 }  // namespace wave::workloads

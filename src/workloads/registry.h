@@ -40,11 +40,6 @@ class WorkloadRegistry {
   /// @brief A fresh registry with the built-in workloads pre-registered.
   WorkloadRegistry();
 
-  /// @brief DEPRECATED (kept as a one-PR migration shim): the legacy
-  ///   process-wide registry. New code should scope registries through
-  ///   wave::Context instead of sharing this singleton.
-  static WorkloadRegistry& instance();
-
   /// @brief Registers `workload` under its own name().
   /// @throws common::contract_error when the name is already taken, empty,
   ///   or not a single config-safe token.
@@ -83,21 +78,5 @@ std::string workload_names_joined(const WorkloadRegistry& registry);
 ///   workloads otherwise.
 void require_workload(const WorkloadRegistry& registry,
                       const std::string& name);
-
-// ---- DEPRECATED global shims (one-PR migration aids) ----------------------
-// Each delegates to WorkloadRegistry::instance(); new code should pass an
-// explicit registry (usually wave::Context::workload_registry()).
-
-/// @brief DEPRECATED: WorkloadRegistry::instance().get(name).
-std::shared_ptr<const Workload> get_workload(const std::string& name);
-
-/// @brief DEPRECATED: workload_names(WorkloadRegistry::instance()).
-std::vector<std::string> workload_names();
-
-/// @brief DEPRECATED: workload_names_joined(instance()).
-std::string workload_names_joined();
-
-/// @brief DEPRECATED: require_workload(instance(), name).
-void require_workload(const std::string& name);
 
 }  // namespace wave::workloads

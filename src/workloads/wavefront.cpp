@@ -180,21 +180,24 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
 
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
+                                const loggp::CommModelRegistry& registry,
                                 const topo::Grid& grid, int iterations) {
   // Mirror the machine's analytic comm-backend assumptions in the
   // mechanistic protocol (e.g. LogGPS charges its synchronization cost on
   // the rendezvous path), so "measurement" and model stay comparable.
   sim::Mpi::ProtocolOptions protocol;
-  protocol.rendezvous_sync = machine.make_comm_model()->rendezvous_sync();
+  protocol.rendezvous_sync =
+      machine.make_comm_model(registry)->rendezvous_sync();
   return simulate_wavefront(app, machine, grid, iterations, protocol);
 }
 
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
+                                const loggp::CommModelRegistry& registry,
                                 int processors, int iterations) {
   WAVE_EXPECTS(processors >= 1);
-  return simulate_wavefront(app, machine, topo::closest_to_square(processors),
-                            iterations);
+  return simulate_wavefront(app, machine, registry,
+                            topo::closest_to_square(processors), iterations);
 }
 
 }  // namespace wave::workloads

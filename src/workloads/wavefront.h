@@ -77,16 +77,19 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const topo::Grid& grid, int iterations,
                                 const sim::ProtocolOptions& protocol);
 
-/// DEPRECATED shim: resolves the protocol through the legacy process-wide
-/// comm-model registry.
+/// Convenience: resolves the protocol options from the machine's comm
+/// backend as registered in `registry` (a wave::Context's scoped registry,
+/// usually), then simulates.
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
+                                const loggp::CommModelRegistry& registry,
                                 const topo::Grid& grid, int iterations = 1);
 
-/// Convenience: closest-to-square decomposition of `processors`
-/// (DEPRECATED shim — resolves through the legacy global registry).
+/// Convenience: closest-to-square decomposition of `processors`, protocol
+/// resolved from `registry` as above.
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
+                                const loggp::CommModelRegistry& registry,
                                 int processors, int iterations = 1);
 
 }  // namespace wave::workloads

@@ -38,19 +38,4 @@ ValidationReport Workload::validate(const core::MachineConfig& machine,
   return report;
 }
 
-ModelOutput Workload::predict(const core::MachineConfig& machine,
-                              const WorkloadInputs& in) const {
-  return predict(machine, loggp::CommModelRegistry::instance(), in);
-}
-
-SimOutput Workload::simulate(const core::MachineConfig& machine,
-                             const WorkloadInputs& in) const {
-  return simulate(machine, loggp::CommModelRegistry::instance(), in);
-}
-
-ValidationReport Workload::validate(const core::MachineConfig& machine,
-                                    const WorkloadInputs& in) const {
-  return validate(machine, loggp::CommModelRegistry::instance(), in);
-}
-
 }  // namespace wave::workloads

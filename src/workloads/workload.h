@@ -163,20 +163,6 @@ class Workload {
   ValidationReport validate(const core::MachineConfig& machine,
                             const loggp::CommModelRegistry& registry,
                             const WorkloadInputs& in) const;
-
-  // ---- DEPRECATED global shims (resolve via the legacy singleton) ------
-
-  /// @brief DEPRECATED: predict through CommModelRegistry::instance().
-  ModelOutput predict(const core::MachineConfig& machine,
-                      const WorkloadInputs& in) const;
-
-  /// @brief DEPRECATED: simulate through CommModelRegistry::instance().
-  SimOutput simulate(const core::MachineConfig& machine,
-                     const WorkloadInputs& in) const;
-
-  /// @brief DEPRECATED: validate through CommModelRegistry::instance().
-  ValidationReport validate(const core::MachineConfig& machine,
-                            const WorkloadInputs& in) const;
 };
 
 }  // namespace wave::workloads

@@ -73,9 +73,8 @@ TEST(ApiContext, TwoContextsDoNotShareRegistrations) {
           .is_ok());
   EXPECT_TRUE(a.has_workload("only-in-a"));
   EXPECT_FALSE(b.has_workload("only-in-a"));
-  // Registration is context-local: the legacy process-wide registry does
-  // not see it either.
-  EXPECT_FALSE(ww::WorkloadRegistry::instance().contains("only-in-a"));
+  // Registration is context-local: a fresh registry does not see it either.
+  EXPECT_FALSE(ww::WorkloadRegistry().contains("only-in-a"));
   // And b can reuse the name for a different workload without conflict.
   EXPECT_TRUE(
       b.register_workload(std::make_shared<StubWorkload>("only-in-a"))
@@ -145,15 +144,6 @@ TEST(ApiContext, MachineCatalogResolvesNamesAndPaths) {
   // The shipped xt4-dual.cfg shadows (and equals) the preset.
   EXPECT_EQ(ctx.resolve_machine("xt4-dual"),
             wave::core::MachineConfig::xt4_dual_core());
-}
-
-TEST(ApiContext, GlobalShimSeesSingletonRegistrations) {
-  const std::string name = "global-shim-workload";
-  if (!ww::WorkloadRegistry::instance().contains(name))
-    ww::WorkloadRegistry::instance().add(std::make_shared<StubWorkload>(name));
-  EXPECT_TRUE(wave::Context::global().has_workload(name));
-  // A fresh Context stays unaffected.
-  EXPECT_FALSE(wave::Context().has_workload(name));
 }
 
 // ---- Query -------------------------------------------------------------

@@ -204,6 +204,121 @@ TEST(EvalService, ConcurrentMixedQueriesAgreeWithSerialReference) {
             static_cast<std::uint64_t>(kThreads) * kRounds * queries.size());
 }
 
+TEST(EvalServiceWarm, WarmPopulatesEveryStudyPoint) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const auto added = service.warm(ctx.study()
+                                      .machines({"xt4-dual", "xt4-single"})
+                                      .comm_models({"loggp", "loggps"})
+                                      .processors({64, 256, 1024}));
+  ASSERT_TRUE(added.ok()) << added.status().to_string();
+  EXPECT_EQ(added.value(), 12u);
+  EXPECT_EQ(service.stats().size, 12u);
+
+  // Every point of the grid now hits.
+  for (const char* machine : {"xt4-dual", "xt4-single"})
+    for (const char* comm : {"loggp", "loggps"})
+      for (int p : {64, 256, 1024}) {
+        const auto r = service.evaluate(ctx.query()
+                                            .machine(machine)
+                                            .comm_model(comm)
+                                            .processors(p));
+        ASSERT_TRUE(r.ok());
+      }
+  EXPECT_EQ(service.stats().hits, 12u);
+  EXPECT_EQ(service.stats().misses, 12u);  // all from the warm itself
+}
+
+TEST(EvalServiceWarm, WarmedResultsAreBitIdenticalWithColdEvaluation) {
+  // The warm path runs analytic points through the batch solver; the
+  // cached Results must still be bit-identical with what a cold
+  // evaluate() computes through the scalar pipeline.
+  const wave::Context ctx;
+  wave::EvalService warmed(ctx);
+  ASSERT_TRUE(warmed
+                  .warm(ctx.study()
+                            .app("sweep3d-20m")
+                            .machines({"xt4-dual", "sp2"})
+                            .processors({256, 4096})
+                            .values("htile", {1.0, 2.0}))
+                  .ok());
+
+  wave::EvalService cold(ctx);
+  for (const char* machine : {"xt4-dual", "sp2"})
+    for (int p : {256, 4096})
+      for (double h : {1.0, 2.0}) {
+        const wave::Query q = ctx.query()
+                                  .app("sweep3d-20m")
+                                  .machine(machine)
+                                  .processors(p)
+                                  .param("htile", h);
+        const auto a = warmed.evaluate(q);
+        const auto b = cold.evaluate(q);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(b.ok());
+        expect_bit_identical(a.value(), b.value());
+      }
+  // The warmed service never evaluated after the warm.
+  EXPECT_EQ(warmed.stats().hits, 8u);
+}
+
+TEST(EvalServiceWarm, WarmSkipsAlreadyCachedAndDuplicatePoints) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  ASSERT_TRUE(
+      service.evaluate(ctx.query().machine("xt4-dual").processors(64)).ok());
+  // 64 is cached already; the duplicated 256 collapses to one point.
+  const auto added =
+      service.warm(ctx.study().machine("xt4-dual").processors({64, 256, 256}));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), 1u);
+  EXPECT_EQ(service.stats().size, 2u);
+}
+
+TEST(EvalServiceWarm, MixedEngineAndValidateStudiesWarmToo) {
+  // Non-batchable points (DES engine, validate mode) take the scalar
+  // evaluators inside warm; they must land in the cache all the same.
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const auto added =
+      service.warm(ctx.study().machine("xt4-single").processors({4, 16}).engines(
+          {wave::Engine::Model, wave::Engine::Simulation}));
+  ASSERT_TRUE(added.ok()) << added.status().to_string();
+  EXPECT_EQ(added.value(), 4u);
+  const auto sim = service.evaluate(ctx.query()
+                                        .machine("xt4-single")
+                                        .processors(16)
+                                        .engine(wave::Engine::Simulation));
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(service.stats().hits, 1u);
+
+  wave::EvalService validating(ctx);
+  const auto v = validating.warm(
+      ctx.study().machine("xt4-single").workload("pingpong").processors({2}).validate());
+  ASSERT_TRUE(v.ok()) << v.status().to_string();
+  EXPECT_EQ(v.value(), 1u);
+  const auto hit = validating.evaluate(ctx.query()
+                                           .machine("xt4-single")
+                                           .workload("pingpong")
+                                           .processors(2)
+                                           .validate());
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().validated);
+  EXPECT_EQ(validating.stats().hits, 1u);
+}
+
+TEST(EvalServiceWarm, BadAxisValueFailsTheWholeWarm) {
+  const wave::Context ctx;
+  wave::EvalService service(ctx);
+  const auto added = service.warm(
+      ctx.study().machines({"xt4-dual", "no-such-machine"}).processors({64}));
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.status().code(), wave::StatusCode::kNotFound);
+  // Resolution happens before evaluation: nothing was cached.
+  EXPECT_EQ(service.stats().size, 0u);
+  EXPECT_EQ(service.stats().errors, 1u);
+}
+
 TEST(EvalService, PinnedRecordEquivalenceThroughTheFacade) {
   // The facade must answer exactly what the pre-facade pipeline answers:
   // pick a point of the pinned runner_scaling grid and compare the

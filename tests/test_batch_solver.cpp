@@ -1,0 +1,293 @@
+// The batch solver's correctness contract: BYTE-identical to the scalar
+// Solver on every point — not approximately equal, bit-for-bit. The plan
+// (core/batch_solver.h) only pre-evaluates the exact doubles the scalar
+// path's virtual calls would return and replays them in the scalar path's
+// operation order, so memcmp on every result field must pass over the full
+// pinned reference grids, every comm backend, and every edge-shaped grid.
+// BatchRunner's default routing rides the same contract: batch-on and
+// batch-off record sets serialize identically at any thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/batch_solver.h"
+#include "core/benchmarks.h"
+#include "core/solver.h"
+#include "loggp/registry.h"
+#include "runner/reference_grids.h"
+#include "runner/runner.h"
+#include "wave/context.h"
+
+namespace wc = wave::core;
+namespace wb = wave::core::benchmarks;
+namespace wr = wave::runner;
+
+#ifndef WAVE_MACHINES_DIR
+#define WAVE_MACHINES_DIR "machines"
+#endif
+
+namespace {
+
+// Shared read-only context/registry: the scalar reference and the batch
+// plan must resolve backends against the same catalog.
+const wave::Context kCtx;
+const wave::loggp::CommModelRegistry kReg;
+
+/// memcmp on the object representation of a double: NaN-safe, sign-of-zero
+/// strict — the contract is bit identity, not numeric closeness.
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof a) == 0)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "doubles differ: " << a << " vs " << b;
+}
+
+::testing::AssertionResult split_equal(const wc::TimeSplit& a,
+                                       const wc::TimeSplit& b) {
+  if (const auto r = bits_equal(a.total, b.total); !r) return r;
+  return bits_equal(a.comm, b.comm);
+}
+
+/// Every field of the two results, bit for bit.
+void expect_identical(const wc::ModelResult& a, const wc::ModelResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.grid.n(), b.grid.n()) << what;
+  EXPECT_EQ(a.grid.m(), b.grid.m()) << what;
+  EXPECT_TRUE(bits_equal(a.w, b.w)) << what << " (w)";
+  EXPECT_TRUE(bits_equal(a.wpre, b.wpre)) << what << " (wpre)";
+  EXPECT_EQ(a.msg_bytes_ew, b.msg_bytes_ew) << what;
+  EXPECT_EQ(a.msg_bytes_ns, b.msg_bytes_ns) << what;
+  EXPECT_TRUE(split_equal(a.t_diagfill, b.t_diagfill)) << what << " (r3a)";
+  EXPECT_TRUE(split_equal(a.t_fullfill, b.t_fullfill)) << what << " (r3b)";
+  EXPECT_TRUE(split_equal(a.t_stack, b.t_stack)) << what << " (r4)";
+  EXPECT_TRUE(split_equal(a.t_nonwavefront, b.t_nonwavefront))
+      << what << " (nonwf)";
+  EXPECT_TRUE(split_equal(a.iteration, b.iteration)) << what << " (r5)";
+  EXPECT_TRUE(split_equal(a.fill, b.fill)) << what << " (fill)";
+  EXPECT_EQ(a.iterations_per_timestep, b.iterations_per_timestep) << what;
+  EXPECT_EQ(a.energy_groups, b.energy_groups) << what;
+  EXPECT_TRUE(split_equal(a.timestep_split(), b.timestep_split()))
+      << what << " (timestep)";
+}
+
+/// Runs every analytic point of `grid` through both paths and compares.
+void expect_grid_identical(const wr::SweepGrid& grid) {
+  wc::BatchEval plan(kCtx.comm_model_registry());
+  std::vector<wc::BatchPoint> bpoints;
+  std::vector<wr::Scenario> scenarios;
+  for (const wr::Scenario& s : grid.points()) {
+    if (s.engine != wr::Engine::Model) continue;
+    wc::BatchPoint p;
+    p.app = plan.add_app(s.app);
+    p.machine = plan.add_machine(s.effective_machine());
+    p.grid = s.grid;
+    bpoints.push_back(p);
+    scenarios.push_back(s);
+  }
+  ASSERT_FALSE(bpoints.empty());
+
+  wc::BatchScratch scratch;
+  wc::ModelResult batch;
+  for (std::size_t i = 0; i < bpoints.size(); ++i) {
+    const wr::Scenario& s = scenarios[i];
+    const wc::ModelResult scalar =
+        wc::Solver(s.app, s.effective_machine(), kCtx.comm_model_registry())
+            .evaluate(s.grid);
+    plan.evaluate_point(bpoints[i], scratch, batch);
+    expect_identical(scalar, batch,
+                     "point " + std::to_string(i) + " (" +
+                         s.effective_machine().comm_model + ", grid " +
+                         std::to_string(s.grid.n()) + "x" +
+                         std::to_string(s.grid.m()) + ")");
+  }
+
+  // The SoA evaluate() reconstructs the same bits through at(k).
+  const wc::BatchResults soa = plan.evaluate(bpoints);
+  ASSERT_EQ(soa.size(), bpoints.size());
+  for (std::size_t i = 0; i < bpoints.size(); ++i) {
+    plan.evaluate_point(bpoints[i], scratch, batch);
+    expect_identical(batch, soa.at(i),
+                     "SoA point " + std::to_string(i));
+  }
+}
+
+}  // namespace
+
+TEST(BatchSolver, ByteIdenticalOnModelCompareGrid) {
+  // Machine configs x comm backends x system sizes — the pinned
+  // cross-backend reference sweep, every point bit-compared.
+  expect_grid_identical(wr::model_compare_grid(kCtx, WAVE_MACHINES_DIR));
+}
+
+TEST(BatchSolver, ByteIdenticalOnWorkloadMatrixGrid) {
+  expect_grid_identical(wr::workload_matrix_grid(kCtx, false));
+}
+
+TEST(BatchSolver, ByteIdenticalAcrossBackendsAndSyncTerms) {
+  // Every registered backend on both paper machines, synchronization
+  // terms on and off — the axes that change which virtual calls the
+  // scalar path makes, i.e. which doubles the plan must hoist.
+  wr::SweepGrid grid;
+  grid.base().app = wb::sweep3d_20m();
+  grid.machines({{"dual", wc::MachineConfig::xt4_dual_core()},
+                 {"sp2", wc::MachineConfig::sp2_single_core()}});
+  grid.comm_models(kCtx, wave::loggp::comm_model_names(kCtx.comm_model_registry()));
+  grid.values("sync", {0, 1}, [](wr::Scenario& s, double v) {
+    s.machine.synchronization_terms = v != 0.0;
+  });
+  grid.processors({64, 1024, 4096});
+  expect_grid_identical(grid);
+}
+
+TEST(BatchSolver, ByteIdenticalOnEdgeGrids) {
+  // Degenerate decompositions: a single processor (no fill, no comm), a
+  // one-row pipeline, a one-column stack, and a tall-node machine where
+  // the row-parity table does the work.
+  wc::BatchEval plan(kCtx.comm_model_registry());
+  const std::uint32_t app = plan.add_app(wb::chimaera());
+  const std::uint32_t dual = plan.add_machine(wc::MachineConfig::xt4_dual_core());
+  const std::uint32_t quad = plan.add_machine(wc::MachineConfig::xt4_with_cores(8, 2));
+
+  wc::BatchScratch scratch;
+  wc::ModelResult batch;
+  for (const std::uint32_t machine : {dual, quad}) {
+    for (const wave::topo::Grid grid :
+         {wave::topo::Grid(1, 1), wave::topo::Grid(64, 1),
+          wave::topo::Grid(1, 64), wave::topo::Grid(2, 2),
+          wave::topo::Grid(128, 32)}) {
+      wc::BatchPoint p;
+      p.app = app;
+      p.machine = machine;
+      p.grid = grid;
+      plan.evaluate_point(p, scratch, batch);
+      const wc::ModelResult scalar =
+          wc::Solver(plan.app(app), plan.machine(machine),
+                     kCtx.comm_model_registry())
+              .evaluate(grid);
+      expect_identical(scalar, batch,
+                       "grid " + std::to_string(grid.n()) + "x" +
+                           std::to_string(grid.m()));
+    }
+  }
+}
+
+TEST(BatchSolver, AddAppAndAddMachineMemoizePerAxisValue) {
+  wc::BatchEval plan(kCtx.comm_model_registry());
+  const std::uint32_t a0 = plan.add_app(wb::chimaera());
+  const std::uint32_t a1 = plan.add_app(wb::chimaera());
+  EXPECT_EQ(a0, a1);
+  EXPECT_EQ(plan.app_count(), 1u);
+  const std::uint32_t a2 = plan.add_app(wb::sweep3d_20m());
+  EXPECT_NE(a0, a2);
+  EXPECT_EQ(plan.app_count(), 2u);
+
+  const std::uint32_t m0 = plan.add_machine(wc::MachineConfig::xt4_dual_core());
+  const std::uint32_t m1 = plan.add_machine(wc::MachineConfig::xt4_dual_core());
+  EXPECT_EQ(m0, m1);
+  EXPECT_EQ(plan.machine_count(), 1u);
+  // A different comm override is a different machine entry (its own
+  // backend), even with identical LogGP numbers.
+  wc::MachineConfig loggps = wc::MachineConfig::xt4_dual_core();
+  loggps.comm_model = "loggps";
+  EXPECT_NE(plan.add_machine(loggps), m0);
+  EXPECT_EQ(plan.machine_count(), 2u);
+}
+
+TEST(BatchSolver, RejectsInvalidAxisValuesAtPlanTime) {
+  wc::BatchEval plan(kCtx.comm_model_registry());
+  wc::AppParams bad;  // default app: nx = 0, out of domain
+  EXPECT_THROW(plan.add_app(bad), wave::common::contract_error);
+  wc::MachineConfig unknown = wc::MachineConfig::xt4_dual_core();
+  unknown.comm_model = "telepathy";
+  EXPECT_THROW(plan.add_machine(unknown), wave::common::contract_error);
+}
+
+namespace {
+
+/// An analytic sweep with repeated axis values (exercising plan
+/// memoization) plus a filter (exercising index/seed stability through the
+/// batched route).
+wr::SweepGrid analytic_sweep() {
+  wr::SweepGrid grid;
+  grid.apps({{"Sweep3D", wb::sweep3d_20m()}, {"Chimaera", wb::chimaera()}});
+  grid.machines({{"dual", wc::MachineConfig::xt4_dual_core()},
+                 {"single", wc::MachineConfig::xt4_single_core()}});
+  grid.comm_models(kCtx, {"loggp", "loggps", "contention"});
+  grid.processors({16, 64, 256, 1024});
+  grid.values("Htile", {1, 2, 5},
+              [](wr::Scenario& s, double h) { s.app.htile = h; });
+  return grid;
+}
+
+}  // namespace
+
+TEST(BatchRunnerRoute, BatchOnAndOffSerializeIdentically) {
+  const auto points = analytic_sweep().points();
+  wr::BatchRunner::Options scalar(1);
+  scalar.batch = false;
+  const std::string off =
+      wr::to_csv(wr::BatchRunner(kCtx, scalar).run(points));
+  const std::string on = wr::to_csv(
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(points));
+  EXPECT_EQ(off, on);
+}
+
+TEST(BatchRunnerRoute, BatchedRouteIsThreadCountInvariant) {
+  const auto points = analytic_sweep().points();
+  const std::string one = wr::to_csv(
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(points));
+  const std::string four = wr::to_csv(
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(4)).run(points));
+  const std::string chunked = wr::to_csv(
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(4, 7)).run(points));
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, chunked);
+}
+
+TEST(BatchRunnerRoute, FilteredGridKeepsIndicesThroughTheBatchedRoute) {
+  wr::SweepGrid grid = analytic_sweep();
+  grid.filter([](const wr::Scenario& s) { return s.param("Htile") > 1.0; });
+  wr::BatchRunner::Options scalar(1);
+  scalar.batch = false;
+  const auto off = wr::BatchRunner(kCtx, scalar).run(grid);
+  const auto on =
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(2)).run(grid);
+  ASSERT_EQ(off.size(), on.size());
+  ASSERT_FALSE(off.empty());
+  for (std::size_t i = 0; i < off.size(); ++i)
+    EXPECT_EQ(off[i].index, on[i].index);
+  EXPECT_EQ(wr::to_csv(off), wr::to_csv(on));
+}
+
+TEST(BatchRunnerRoute, MixedEngineSweepRoutesOnlyAnalyticPoints) {
+  // DES points must keep the scalar evaluators: a mixed sweep through the
+  // default (batch-routed) runner serializes identically to batch-off.
+  wc::benchmarks::Sweep3dConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 32;
+  wr::SweepGrid grid;
+  grid.base().app = wb::sweep3d(cfg);
+  grid.base().machine = wc::MachineConfig::xt4_dual_core();
+  grid.processors({4, 16});
+  grid.engines({wr::Engine::Model, wr::Engine::Simulation});
+  wr::BatchRunner::Options scalar(1);
+  scalar.batch = false;
+  EXPECT_EQ(
+      wr::to_csv(wr::BatchRunner(kCtx, scalar).run(grid)),
+      wr::to_csv(
+          wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(grid)));
+}
+
+TEST(BatchRunnerRoute, SinglePointSweepBatchRoutes) {
+  wr::SweepGrid grid;
+  grid.base().app = wb::chimaera();
+  grid.processors({256});
+  wr::BatchRunner::Options scalar(1);
+  scalar.batch = false;
+  const auto off = wr::BatchRunner(kCtx, scalar).run(grid);
+  const auto on =
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(grid);
+  ASSERT_EQ(on.size(), 1u);
+  EXPECT_EQ(wr::to_csv(off), wr::to_csv(on));
+}

@@ -25,21 +25,24 @@ namespace {
 const wl::MachineParams kXt4 = wl::xt4();
 constexpr int kSmall = 512;   // below the 1024-byte eager limit
 constexpr int kLarge = 4096;  // rendezvous / DMA path
+// Read-only lookups share one registry; tests that mutate construct their
+// own, so registration side effects never leak across tests.
+const wl::CommModelRegistry kReg;
 }  // namespace
 
 TEST(CommModelRegistry, ListsTheThreeShippedBackends) {
-  const auto names = wl::comm_model_names();
+  const auto names = wl::comm_model_names(kReg);
   ASSERT_GE(names.size(), 3u);
   EXPECT_EQ(names[0], "loggp");
   EXPECT_EQ(names[1], "loggps");
   EXPECT_EQ(names[2], "contention");
-  for (const auto& info : wl::CommModelRegistry::instance().list())
+  for (const auto& info : kReg.list())
     EXPECT_FALSE(info.description.empty()) << info.name;
 }
 
 TEST(CommModelRegistry, MakesBackendsByName) {
   for (const char* name : {"loggp", "loggps", "contention"}) {
-    const auto model = wl::make_comm_model(name, kXt4);
+    const auto model = wl::make_comm_model(kReg, name, kXt4);
     ASSERT_NE(model, nullptr);
     EXPECT_EQ(model->name(), name);
     EXPECT_EQ(model->params().off.o, kXt4.off.o);
@@ -48,7 +51,7 @@ TEST(CommModelRegistry, MakesBackendsByName) {
 
 TEST(CommModelRegistry, UnknownNameThrowsListingAlternatives) {
   try {
-    wl::make_comm_model("telepathy", kXt4);
+    wl::make_comm_model(kReg, "telepathy", kXt4);
     FAIL() << "expected contract_error";
   } catch (const wave::common::contract_error& e) {
     const std::string what = e.what();
@@ -58,7 +61,8 @@ TEST(CommModelRegistry, UnknownNameThrowsListingAlternatives) {
 }
 
 TEST(CommModelRegistry, DuplicateRegistrationThrows) {
-  EXPECT_THROW(wl::CommModelRegistry::instance().add(
+  wl::CommModelRegistry registry;
+  EXPECT_THROW(registry.add(
                    "loggp", "dup",
                    [](const wl::MachineParams& p, const wl::CommModelOptions&) {
                      return std::make_unique<wl::LogGpModel>(p);
@@ -69,16 +73,15 @@ TEST(CommModelRegistry, DuplicateRegistrationThrows) {
 TEST(CommModelRegistry, CustomBackendsPlugIn) {
   // A study can register its own backend and select it everywhere by name
   // (also through MachineConfig::comm_model).
-  if (!wl::CommModelRegistry::instance().contains("test-double-latency")) {
-    wl::CommModelRegistry::instance().add(
-        "test-double-latency", "LogGP with doubled wire latency",
-        [](const wl::MachineParams& p, const wl::CommModelOptions&) {
-          wl::MachineParams twice = p;
-          twice.off.L *= 2.0;
-          return std::make_unique<wl::LogGpModel>(twice);
-        });
-  }
-  const auto model = wl::make_comm_model("test-double-latency", kXt4);
+  wl::CommModelRegistry registry;
+  registry.add(
+      "test-double-latency", "LogGP with doubled wire latency",
+      [](const wl::MachineParams& p, const wl::CommModelOptions&) {
+        wl::MachineParams twice = p;
+        twice.off.L *= 2.0;
+        return std::make_unique<wl::LogGpModel>(twice);
+      });
+  const auto model = wl::make_comm_model(registry, "test-double-latency", kXt4);
   const wl::LogGpModel reference(kXt4);
   EXPECT_DOUBLE_EQ(model->total(kSmall, Placement::OffNode),
                    reference.total(kSmall, Placement::OffNode) + kXt4.off.L);
@@ -88,7 +91,7 @@ TEST(CommModelRegistry, CustomBackendsPlugIn) {
   wc::MachineConfig machine = wc::MachineConfig::xt4_dual_core();
   machine.comm_model = "test-double-latency";
   EXPECT_DOUBLE_EQ(
-      machine.make_comm_model()->total(kSmall, Placement::OffNode),
+      machine.make_comm_model(registry)->total(kSmall, Placement::OffNode),
       reference.total(kSmall, Placement::OffNode) + kXt4.off.L);
 }
 
@@ -186,8 +189,8 @@ TEST(SolverBackendIntegration, ContentionBackendSuppressesTable6Terms) {
   wc::MachineConfig cont_machine = loggp_machine;
   cont_machine.comm_model = "contention";
   const auto app = wc::benchmarks::chimaera();
-  const auto a = wc::Solver(app, loggp_machine).evaluate(256);
-  const auto b = wc::Solver(app, cont_machine).evaluate(256);
+  const auto a = wc::Solver(app, loggp_machine, kReg).evaluate(256);
+  const auto b = wc::Solver(app, cont_machine, kReg).evaluate(256);
   EXPECT_DOUBLE_EQ(a.iteration.total, b.iteration.total);
   EXPECT_DOUBLE_EQ(a.iteration.comm, b.iteration.comm);
 }
@@ -197,14 +200,14 @@ TEST(SolverBackendIntegration, ContentionSlowsSharedBusMachines) {
   wc::MachineConfig cont_machine = loggp_machine;
   cont_machine.comm_model = "contention";
   const auto app = wc::benchmarks::chimaera();
-  const auto a = wc::Solver(app, loggp_machine).evaluate(256);
-  const auto b = wc::Solver(app, cont_machine).evaluate(256);
+  const auto a = wc::Solver(app, loggp_machine, kReg).evaluate(256);
+  const auto b = wc::Solver(app, cont_machine, kReg).evaluate(256);
   EXPECT_GT(b.iteration.total, a.iteration.total);
   // ...but one bus per core restores the uncontended prediction shape:
   // fewer sharers, less interference.
   wc::MachineConfig buses = cont_machine;
   buses.buses_per_node = 4;
-  const auto c = wc::Solver(app, buses).evaluate(256);
+  const auto c = wc::Solver(app, buses, kReg).evaluate(256);
   EXPECT_LT(c.iteration.total, b.iteration.total);
 }
 
@@ -222,16 +225,16 @@ TEST(SimBackendIntegration, LogGpsSyncSlowsRendezvousHeavySimulation) {
 
   wc::MachineConfig loggps_machine = machine;
   loggps_machine.comm_model = "loggps";
-  const auto plain = wave::workloads::simulate_wavefront(app, machine, 16);
+  const auto plain = wave::workloads::simulate_wavefront(app, machine, kReg, 16);
   const auto synced =
-      wave::workloads::simulate_wavefront(app, loggps_machine, 16);
+      wave::workloads::simulate_wavefront(app, loggps_machine, kReg, 16);
   EXPECT_GT(synced.time_per_iteration, plain.time_per_iteration);
 
   // The "loggp" backend ignores off.sync entirely: same machine, sync
   // stripped, identical simulation.
   wc::MachineConfig no_sync = machine;
   no_sync.loggp.off.sync = 0.0;
-  const auto baseline = wave::workloads::simulate_wavefront(app, no_sync, 16);
+  const auto baseline = wave::workloads::simulate_wavefront(app, no_sync, kReg, 16);
   EXPECT_DOUBLE_EQ(plain.time_per_iteration, baseline.time_per_iteration);
 }
 
@@ -245,7 +248,7 @@ TEST(CrossBackendRegression, PinnedPredictionsOnFixedScenario) {
 
   auto iter_ms = [&](wc::MachineConfig machine, const char* backend) {
     machine.comm_model = backend;
-    return wc::Solver(app, machine).evaluate(256).iteration.total / 1.0e3;
+    return wc::Solver(app, machine, kReg).evaluate(256).iteration.total / 1.0e3;
   };
 
   const auto xt4 = wc::MachineConfig::xt4_dual_core();

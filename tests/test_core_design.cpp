@@ -7,6 +7,7 @@
 #include "core/benchmarks.h"
 #include "core/design_space.h"
 #include "core/solver.h"
+#include "loggp/registry.h"
 
 namespace wc = wave::core;
 namespace wb = wave::core::benchmarks;
@@ -14,14 +15,17 @@ namespace wb = wave::core::benchmarks;
 namespace {
 const wc::MachineConfig kSingle = wc::MachineConfig::xt4_single_core();
 const wc::MachineConfig kDual = wc::MachineConfig::xt4_dual_core();
+// One registry for the whole file: these tests exercise the solver and the
+// design-space scans, not registry scoping.
+const wave::loggp::CommModelRegistry kReg;
 }  // namespace
 
 TEST(Baseline, SingleProcessorMatchesSerialWork) {
   // With one processor there is no fill and no communication: baseline
   // and plug-and-play must agree exactly.
   const wc::AppParams app = wb::chimaera();
-  const auto base = wc::hoisie_baseline(app, kSingle, 1);
-  const auto model = wc::Solver(app, kSingle).evaluate(1);
+  const auto base = wc::hoisie_baseline(app, kSingle, kReg, 1);
+  const auto model = wc::Solver(app, kSingle, kReg).evaluate(1);
   EXPECT_NEAR(base.iteration, model.iteration.total, 1e-6);
 }
 
@@ -33,8 +37,8 @@ TEST(Baseline, ChargesEverySweepAFullFill) {
   wb::Sweep3dConfig cfg;
   cfg.nx = cfg.ny = cfg.nz = 256;
   const wc::AppParams app = wb::sweep3d(cfg);
-  const auto base = wc::hoisie_baseline(app, kDual, 1024);
-  const auto model = wc::Solver(app, kDual).evaluate(1024);
+  const auto base = wc::hoisie_baseline(app, kDual, kReg, 1024);
+  const auto model = wc::Solver(app, kDual, kReg).evaluate(1024);
   EXPECT_GT(base.iteration, model.iteration.total);
   // The excess is roughly (nsweeps - nfull - ndiag) extra fills.
   EXPECT_GT(base.iteration - model.iteration.total,
@@ -43,7 +47,7 @@ TEST(Baseline, ChargesEverySweepAFullFill) {
 
 TEST(Baseline, SweepTimeDecomposition) {
   const wc::AppParams app = wb::lu();
-  const auto base = wc::hoisie_baseline(app, kSingle,
+  const auto base = wc::hoisie_baseline(app, kSingle, kReg,
                                         wave::topo::Grid(9, 9));
   EXPECT_NEAR(base.sweep_time,
               base.fill_time + app.tiles_per_stack() * base.step_cost, 1e-9);
@@ -52,12 +56,12 @@ TEST(Baseline, SweepTimeDecomposition) {
 }
 
 TEST(Baseline, RejectsBadInput) {
-  EXPECT_THROW(wc::hoisie_baseline(wb::lu(), kSingle, 0),
+  EXPECT_THROW(wc::hoisie_baseline(wb::lu(), kSingle, kReg, 0),
                wave::common::contract_error);
 }
 
 TEST(DesignSpace, HtileScanFindsPaperBand) {
-  const auto scan = wc::scan_htile(wb::chimaera(), kDual, 16384);
+  const auto scan = wc::scan_htile(wb::chimaera(), kDual, kReg, 16384);
   EXPECT_GE(scan.best_htile, 2.0);
   EXPECT_LE(scan.best_htile, 5.0);
   EXPECT_GT(scan.improvement_vs_unit, 0.0);
@@ -70,7 +74,7 @@ TEST(DesignSpace, HtileScanSkipsOversizedTiles) {
   cfg.nz = 4;  // stack of four cells: candidates above 4 are invalid
   const double candidates[] = {1.0, 2.0, 4.0, 8.0, 16.0};
   const auto scan =
-      wc::scan_htile(wb::sweep3d(cfg), kSingle, 64, candidates);
+      wc::scan_htile(wb::sweep3d(cfg), kSingle, kReg, 64, candidates);
   EXPECT_EQ(scan.points.size(), 3u);  // 1, 2, 4
   for (const auto& p : scan.points) EXPECT_LE(p.htile, 4.0);
 }
@@ -78,13 +82,13 @@ TEST(DesignSpace, HtileScanSkipsOversizedTiles) {
 TEST(DesignSpace, HtileScanAlwaysIncludesUnitHeight) {
   const double candidates[] = {4.0};
   const auto scan =
-      wc::scan_htile(wb::chimaera(), kDual, 4096, candidates);
+      wc::scan_htile(wb::chimaera(), kDual, kReg, 4096, candidates);
   ASSERT_EQ(scan.points.size(), 2u);
   EXPECT_DOUBLE_EQ(scan.points.front().htile, 1.0);
 }
 
 TEST(DesignSpace, DecompositionsSortedAndComplete) {
-  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, 64);
+  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, kReg, 64);
   // 64 = 64x1, 32x2, 16x4, 8x8: four factorizations with n >= m.
   EXPECT_EQ(points.size(), 4u);
   for (std::size_t i = 1; i < points.size(); ++i)
@@ -97,7 +101,7 @@ TEST(DesignSpace, BalancedDecompositionsWin) {
   // elongated shapes can edge out the square because Tdiagfill follows
   // the shorter m side, but never by much); the degenerate 1-row layout
   // loses badly once communication matters.
-  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, 4096);
+  const auto points = wc::scan_decompositions(wb::chimaera(), kDual, kReg, 4096);
   const auto& best = points.front().grid;
   EXPECT_LE(best.n() / best.m(), 4);  // best is near-balanced
   EXPECT_EQ(points.back().grid.m(), 1);  // worst is the 4096x1 strip
@@ -112,7 +116,7 @@ TEST(DesignSpace, BalancedDecompositionsWin) {
 
 TEST(DesignSpace, ProcessorsForDeadline) {
   const wc::AppParams app = wb::chimaera();
-  const wc::Solver solver(app, kDual);
+  const wc::Solver solver(app, kDual, kReg);
   // Find the smallest power of two meeting a deadline between the P=64
   // and P=4096 time steps.
   const double t64 =
@@ -120,7 +124,7 @@ TEST(DesignSpace, ProcessorsForDeadline) {
   const double t4096 =
       wave::common::usec_to_sec(solver.evaluate(4096).timestep());
   const double target = 0.5 * (t64 + t4096);
-  const int p = wc::processors_for_deadline(app, kDual, target, 65536);
+  const int p = wc::processors_for_deadline(app, kDual, kReg, target, 65536);
   EXPECT_GT(p, 64);
   EXPECT_LE(p, 4096);
   EXPECT_LE(wave::common::usec_to_sec(solver.evaluate(p).timestep()),
@@ -128,7 +132,7 @@ TEST(DesignSpace, ProcessorsForDeadline) {
 }
 
 TEST(DesignSpace, DeadlineFallsBackToMax) {
-  EXPECT_EQ(wc::processors_for_deadline(wb::chimaera(), kDual,
+  EXPECT_EQ(wc::processors_for_deadline(wb::chimaera(), kDual, kReg,
                                         /*timestep_seconds=*/1e-9, 1024),
             1024);
 }
@@ -141,8 +145,8 @@ TEST(SyncTerms, NegligibleOnXt4SignificantOnSp2) {
     off.synchronization_terms = false;
     wc::MachineConfig on = machine;
     on.synchronization_terms = true;
-    const double t0 = wc::Solver(app, off).evaluate(4096).iteration.total;
-    const double t1 = wc::Solver(app, on).evaluate(4096).iteration.total;
+    const double t0 = wc::Solver(app, off, kReg).evaluate(4096).iteration.total;
+    const double t1 = wc::Solver(app, on, kReg).evaluate(4096).iteration.total;
     return (t1 - t0) / t1;
   };
   const double xt4 = share(wc::MachineConfig::xt4_single_core());
@@ -155,8 +159,8 @@ TEST(SyncTerms, AddPositiveFillTime) {
   wc::MachineConfig with = kSingle;
   with.synchronization_terms = true;
   const auto grid = wave::topo::Grid(16, 16);
-  const auto base = wc::Solver(wb::chimaera(), kSingle).evaluate(grid);
-  const auto sync = wc::Solver(wb::chimaera(), with).evaluate(grid);
+  const auto base = wc::Solver(wb::chimaera(), kSingle, kReg).evaluate(grid);
+  const auto sync = wc::Solver(wb::chimaera(), with, kReg).evaluate(grid);
   // Tdiag gains (m-1)L, Tfull gains (m-1+n-2)L.
   const double l = kSingle.loggp.off.L;
   EXPECT_NEAR(sync.t_diagfill.total - base.t_diagfill.total, 15.0 * l, 1e-9);

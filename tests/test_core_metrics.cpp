@@ -5,15 +5,18 @@
 #include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/metrics.h"
+#include "loggp/registry.h"
 
 namespace wc = wave::core;
 namespace wb = wave::core::benchmarks;
 
 namespace {
+const wave::loggp::CommModelRegistry kReg;
 wc::Solver sweep3d_solver() {
   wb::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
-  return wc::Solver(wb::sweep3d(cfg), wc::MachineConfig::xt4_dual_core());
+  return wc::Solver(wb::sweep3d(cfg), wc::MachineConfig::xt4_dual_core(),
+                    kReg);
 }
 }  // namespace
 

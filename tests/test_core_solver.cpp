@@ -6,6 +6,7 @@
 #include "core/benchmarks.h"
 #include "core/solver.h"
 #include "loggp/backends.h"
+#include "loggp/registry.h"
 
 namespace wc = wave::core;
 namespace wb = wave::core::benchmarks;
@@ -30,6 +31,9 @@ wc::AppParams tiny_app() {
 
 const wc::MachineConfig kSingle = wc::MachineConfig::xt4_single_core();
 const wc::MachineConfig kDual = wc::MachineConfig::xt4_dual_core();
+// One registry for the whole file: these tests pin solver arithmetic, not
+// registry scoping.
+const wave::loggp::CommModelRegistry kReg;
 
 }  // namespace
 
@@ -37,7 +41,7 @@ TEST(Solver, SingleProcessorIsSerialTime) {
   // On a 1x1 grid there is no communication at all: the iteration is
   // nsweeps * Wg * cells (+Wpre) and the fill terms equal Wpre.
   wc::AppParams app = tiny_app();
-  const wc::Solver solver(app, kSingle);
+  const wc::Solver solver(app, kSingle, kReg);
   const auto res = solver.evaluate(1);
   const double cells = 8.0 * 8.0 * 1.0;  // per tile
   EXPECT_DOUBLE_EQ(res.w, 10.0 * cells);
@@ -50,7 +54,7 @@ TEST(Solver, R1WorkTerms) {
   // (r1a)/(r1b): Wpre and W scale with Htile * Nx/n * Ny/m.
   wc::AppParams app = tiny_app();
   app.wg_pre = 2.0;
-  const wc::Solver solver(app, kSingle);
+  const wc::Solver solver(app, kSingle, kReg);
   const auto res = solver.evaluate(wave::topo::Grid(4, 2));
   EXPECT_DOUBLE_EQ(res.w, 10.0 * 1.0 * (8.0 / 4.0) * (8.0 / 2.0));
   EXPECT_DOUBLE_EQ(res.wpre, 2.0 * 1.0 * (8.0 / 4.0) * (8.0 / 2.0));
@@ -60,7 +64,7 @@ TEST(Solver, StartPRecurrenceOnARow) {
   // On a 1-row grid (m=1) the recurrence collapses to
   // StartP(i,1) = (i-1) * (W + TotalCommE): hand-checkable.
   wc::AppParams app = tiny_app();
-  const wc::Solver solver(app, kSingle);
+  const wc::Solver solver(app, kSingle, kReg);
   const wave::topo::Grid grid(4, 1);
   const auto res = solver.evaluate(grid);
   const wl::LogGpModel comm(kSingle.loggp);
@@ -80,7 +84,7 @@ TEST(Solver, StartPMonotoneAlongRowsAndColumns) {
   for (int side : {2, 4, 8, 16}) {
     wb::ChimaeraConfig cfg;
     cfg.nx = cfg.ny = 4.0 * side;  // Nx/n = Ny/m = 4 at every size
-    const wc::Solver solver(wb::chimaera(cfg), kSingle);
+    const wc::Solver solver(wb::chimaera(cfg), kSingle, kReg);
     const auto res = solver.evaluate(wave::topo::Grid(side, side));
     EXPECT_GT(res.t_fullfill.total, prev_full);
     EXPECT_LE(res.t_diagfill.total, res.t_fullfill.total);
@@ -91,7 +95,7 @@ TEST(Solver, StartPMonotoneAlongRowsAndColumns) {
 TEST(Solver, R5CombinesTerms) {
   // (r5): iteration = ndiag*Tdiag + nfull*Tfull + nsweeps*Tstack + Tnwf.
   const wc::AppParams app = wb::sweep3d();  // ndiag=2, nfull=2, nsweeps=8
-  const wc::Solver solver(app, kDual);
+  const wc::Solver solver(app, kDual, kReg);
   const auto res = solver.evaluate(256);
   EXPECT_NEAR(res.iteration.total,
               2.0 * res.t_diagfill.total + 2.0 * res.t_fullfill.total +
@@ -102,7 +106,7 @@ TEST(Solver, R5CombinesTerms) {
 }
 
 TEST(Solver, BreakdownSplitsAreConsistent) {
-  const wc::Solver solver(wb::chimaera(), kDual);
+  const wc::Solver solver(wb::chimaera(), kDual, kReg);
   const auto res = solver.evaluate(1024);
   EXPECT_GE(res.iteration.comm, 0.0);
   EXPECT_LE(res.iteration.comm, res.iteration.total);
@@ -115,7 +119,7 @@ TEST(Solver, BreakdownSplitsAreConsistent) {
 TEST(Solver, CommunicationShareGrowsWithP) {
   // Fig 11: strong scaling shrinks per-processor work, so communication's
   // share of the critical path grows monotonically.
-  const wc::Solver solver(wb::chimaera(), kDual);
+  const wc::Solver solver(wb::chimaera(), kDual, kReg);
   double prev_share = 0.0;
   for (int p : {64, 256, 1024, 4096, 16384}) {
     const auto res = solver.evaluate(p);
@@ -128,7 +132,7 @@ TEST(Solver, CommunicationShareGrowsWithP) {
 TEST(Solver, TimestepScalesWithIterationsAndGroups) {
   wb::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
-  const wc::Solver solver(wb::sweep3d(cfg), kDual);
+  const wc::Solver solver(wb::sweep3d(cfg), kDual, kReg);
   const auto res = solver.evaluate(1024);
   EXPECT_NEAR(res.timestep(), res.iteration.total * 120.0 * 30.0, 1e-6);
 }
@@ -137,8 +141,8 @@ TEST(Solver, MulticorePlacementReducesFillCost) {
   // With dual-core nodes half the N-S hops become on-chip, which are
   // cheaper, so the pipeline fill is no slower than all-off-node.
   const wc::AppParams app = wb::chimaera();
-  const auto single = wc::Solver(app, kSingle).evaluate(wave::topo::Grid(16, 16));
-  const auto dual = wc::Solver(app, kDual).evaluate(wave::topo::Grid(16, 16));
+  const auto single = wc::Solver(app, kSingle, kReg).evaluate(wave::topo::Grid(16, 16));
+  const auto dual = wc::Solver(app, kDual, kReg).evaluate(wave::topo::Grid(16, 16));
   EXPECT_LE(dual.t_fullfill.total, single.t_fullfill.total);
 }
 
@@ -147,12 +151,12 @@ TEST(Solver, MulticoreContentionSlowsStack) {
   // cores per node.
   const wc::AppParams app = wb::chimaera();
   const auto grid = wave::topo::Grid(16, 16);
-  const auto c1 = wc::Solver(app, kSingle).evaluate(grid);
-  const auto c2 = wc::Solver(app, kDual).evaluate(grid);
+  const auto c1 = wc::Solver(app, kSingle, kReg).evaluate(grid);
+  const auto c2 = wc::Solver(app, kDual, kReg).evaluate(grid);
   const auto c4 =
-      wc::Solver(app, wc::MachineConfig::xt4_with_cores(4)).evaluate(grid);
+      wc::Solver(app, wc::MachineConfig::xt4_with_cores(4), kReg).evaluate(grid);
   const auto c8 =
-      wc::Solver(app, wc::MachineConfig::xt4_with_cores(8)).evaluate(grid);
+      wc::Solver(app, wc::MachineConfig::xt4_with_cores(8), kReg).evaluate(grid);
   EXPECT_LT(c1.t_stack.total, c2.t_stack.total);
   EXPECT_LT(c2.t_stack.total, c4.t_stack.total);
   EXPECT_LT(c4.t_stack.total, c8.t_stack.total);
@@ -164,9 +168,9 @@ TEST(Solver, SeparateBusesRecoverQuadCoreStack) {
   const wc::AppParams app = wb::chimaera();
   const auto grid = wave::topo::Grid(16, 16);
   const auto quad =
-      wc::Solver(app, wc::MachineConfig::xt4_with_cores(4)).evaluate(grid);
+      wc::Solver(app, wc::MachineConfig::xt4_with_cores(4), kReg).evaluate(grid);
   const auto sixteen_banked =
-      wc::Solver(app, wc::MachineConfig::xt4_with_cores(16, 4)).evaluate(grid);
+      wc::Solver(app, wc::MachineConfig::xt4_with_cores(16, 4), kReg).evaluate(grid);
   EXPECT_NEAR(sixteen_banked.t_stack.total, quad.t_stack.total, 1e-9);
 }
 
@@ -175,7 +179,7 @@ TEST(Solver, LuPrecomputeAppearsOnceInFill) {
   // final-tile adjustment -Wpre.
   wc::AppParams app = tiny_app();
   app.wg_pre = 5.0;
-  const wc::Solver solver(app, kSingle);
+  const wc::Solver solver(app, kSingle, kReg);
   const auto res = solver.evaluate(wave::topo::Grid(1, 1));
   const double cells = 64.0;
   EXPECT_DOUBLE_EQ(res.t_diagfill.total, 5.0 * cells);  // StartP(1,1) = Wpre
@@ -184,11 +188,11 @@ TEST(Solver, LuPrecomputeAppearsOnceInFill) {
 }
 
 TEST(Solver, RejectsBadInputs) {
-  EXPECT_THROW(wc::Solver(wb::chimaera(), kDual).evaluate(0),
+  EXPECT_THROW(wc::Solver(wb::chimaera(), kDual, kReg).evaluate(0),
                wave::common::contract_error);
   wc::MachineConfig bad = kDual;
   bad.cx = 3;  // 3 cores per node: not a power of two
-  EXPECT_THROW(wc::Solver(wb::chimaera(), bad),
+  EXPECT_THROW(wc::Solver(wb::chimaera(), bad, kReg),
                wave::common::contract_error);
 }
 
@@ -206,7 +210,7 @@ TEST_P(HtileTradeoff, MinimizerInPaperBand) {
   std::vector<double> times;
   for (double h : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0}) {
     cfg.htile = h;
-    const wc::Solver solver(wb::chimaera(cfg), kDual);
+    const wc::Solver solver(wb::chimaera(cfg), kDual, kReg);
     const double t = solver.evaluate(p).iteration.total;
     times.push_back(t);
     if (t < best_time) {
@@ -227,7 +231,7 @@ INSTANTIATE_TEST_SUITE_P(ProcessorCounts, HtileTradeoff,
 // modelled iteration time, but the speedup has diminishing returns.
 TEST(Solver, StrongScalingDiminishingReturns) {
   wb::Sweep3dConfig cfg;
-  const wc::Solver solver(wb::sweep3d(cfg), kDual);
+  const wc::Solver solver(wb::sweep3d(cfg), kDual, kReg);
   double prev_time = 1e300;
   double prev_gain = 1e300;
   for (int p = 1024; p <= 65536; p *= 2) {

@@ -11,6 +11,7 @@
 #include "core/benchmarks.h"
 #include "core/machine.h"
 #include "core/solver.h"
+#include "loggp/registry.h"
 
 namespace wc = wave::core;
 
@@ -35,10 +36,23 @@ std::string shipped(const std::string& file) {
   return std::string(WAVE_MACHINES_DIR) + "/" + file;
 }
 
+// Parsing validates comm_model names against a registry; one shared
+// default-constructed registry (builtins only) matches what the configs use.
+const wave::loggp::CommModelRegistry kReg;
+
+wc::MachineConfig parse(const std::string& text,
+                        const std::string& source = "<string>") {
+  return wc::parse_machine_config(text, source, kReg);
+}
+
+wc::MachineConfig load(const std::string& path) {
+  return wc::load_machine_config(path, kReg);
+}
+
 }  // namespace
 
 TEST(MachineConfigParse, MinimalConfigGetsXt4SingleCoreDefaults) {
-  const wc::MachineConfig m = wc::parse_machine_config(minimal_cfg());
+  const wc::MachineConfig m = parse(minimal_cfg());
   EXPECT_EQ(m.comm_model, "loggp");
   EXPECT_EQ(m.cx, 1);
   EXPECT_EQ(m.cy, 1);
@@ -53,12 +67,12 @@ TEST(MachineConfigParse, MinimalConfigGetsXt4SingleCoreDefaults) {
 TEST(MachineConfigParse, CommentsAndBlankLinesIgnored) {
   const std::string text =
       "# header comment\n\n" + minimal_cfg() + "cx = 2  # trailing comment\n";
-  EXPECT_EQ(wc::parse_machine_config(text).cx, 2);
+  EXPECT_EQ(parse(text).cx, 2);
 }
 
 TEST(MachineConfigParse, UnknownKeyThrows) {
   try {
-    wc::parse_machine_config(minimal_cfg() + "of.G = 1\n", "typo.cfg");
+    parse(minimal_cfg() + "of.G = 1\n", "typo.cfg");
     FAIL() << "expected ConfigError";
   } catch (const wc::ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("unknown machine-config key 'of.G'"),
@@ -71,7 +85,7 @@ TEST(MachineConfigParse, UnknownKeyThrows) {
 
 TEST(MachineConfigParse, MissingRequiredKeysThrowsNamingThem) {
   try {
-    wc::parse_machine_config("off.G = 0.0004\noff.L = 0.3\n");
+    parse("off.G = 0.0004\noff.L = 0.3\n");
     FAIL() << "expected ConfigError";
   } catch (const wc::ConfigError& e) {
     const std::string what = e.what();
@@ -82,25 +96,25 @@ TEST(MachineConfigParse, MissingRequiredKeysThrowsNamingThem) {
 }
 
 TEST(MachineConfigParse, DuplicateKeyThrows) {
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "off.G = 0.1\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "off.G = 0.1\n"),
                wc::ConfigError);
 }
 
 TEST(MachineConfigParse, MalformedValuesThrow) {
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = fast\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "cx = fast\n"),
                wc::ConfigError);
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 2.5\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "cx = 2.5\n"),
                wc::ConfigError);
   EXPECT_THROW(
-      wc::parse_machine_config(minimal_cfg() + "synchronization_terms = ja\n"),
+      parse(minimal_cfg() + "synchronization_terms = ja\n"),
       wc::ConfigError);
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "just words\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "just words\n"),
                wc::ConfigError);
 }
 
 TEST(MachineConfigParse, UnknownCommModelThrowsListingBackends) {
   try {
-    wc::parse_machine_config(minimal_cfg() + "comm_model = telepathy\n");
+    parse(minimal_cfg() + "comm_model = telepathy\n");
     FAIL() << "expected ConfigError";
   } catch (const wc::ConfigError& e) {
     const std::string what = e.what();
@@ -113,7 +127,7 @@ TEST(MachineConfigParse, UnknownCommModelThrowsListingBackends) {
 TEST(MachineConfigParse, OutOfDomainValuesThrow) {
   // Structurally fine, semantically invalid: validate() failures surface
   // as ConfigError too (3 cores per node is not a power of two).
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 3\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "cx = 3\n"),
                wc::ConfigError);
 }
 
@@ -123,7 +137,7 @@ TEST(MachineConfigRoundTrip, WriteThenParseIsIdentity) {
         wc::MachineConfig::sp2_single_core(),
         wc::MachineConfig::xt4_with_cores(8, 2)}) {
     const wc::MachineConfig back =
-        wc::parse_machine_config(wc::write_machine_config(m));
+        parse(wc::write_machine_config(m));
     EXPECT_EQ(back, m) << "round-trip changed machine '" << m.name << "'";
   }
 }
@@ -133,23 +147,23 @@ TEST(MachineConfigRoundTrip, SurvivesAwkwardParameterValues) {
   m.comm_model = "loggps";
   m.loggp.off.G = 1.0 / 3.0;  // no short decimal representation
   m.loggp.off.sync = 6.25e-3;
-  EXPECT_EQ(wc::parse_machine_config(wc::write_machine_config(m)), m);
+  EXPECT_EQ(parse(wc::write_machine_config(m)), m);
 }
 
 TEST(ShippedConfigs, AllLoadAndValidate) {
   for (const char* file :
        {"xt4-dual.cfg", "xt4-single.cfg", "sp2.cfg", "quadcore-shared-bus.cfg",
         "fatnode-loggps.cfg"}) {
-    const wc::MachineConfig m = wc::load_machine_config(shipped(file));
+    const wc::MachineConfig m = load(shipped(file));
     EXPECT_FALSE(m.name.empty()) << file;
     EXPECT_NO_THROW(m.validate()) << file;
-    EXPECT_NO_THROW(m.make_comm_model()) << file;
+    EXPECT_NO_THROW(m.make_comm_model(kReg)) << file;
   }
 }
 
 TEST(ShippedConfigs, Xt4DualMatchesCompiledInPreset) {
   const wc::MachineConfig loaded =
-      wc::load_machine_config(shipped("xt4-dual.cfg"));
+      load(shipped("xt4-dual.cfg"));
   EXPECT_EQ(loaded, wc::MachineConfig::xt4_dual_core());
 }
 
@@ -160,9 +174,8 @@ TEST(ShippedConfigs, Xt4DualReproducesFig06NumbersUnderLogGp) {
   wc::benchmarks::Sweep3dConfig cfg;
   cfg.energy_groups = 30;
   const auto app = wc::benchmarks::sweep3d(cfg);
-  const wc::Solver from_file(app,
-                             wc::load_machine_config(shipped("xt4-dual.cfg")));
-  const wc::Solver preset(app, wc::MachineConfig::xt4_dual_core());
+  const wc::Solver from_file(app, load(shipped("xt4-dual.cfg")), kReg);
+  const wc::Solver preset(app, wc::MachineConfig::xt4_dual_core(), kReg);
   for (int p : {256, 4096, 65536}) {
     const auto a = from_file.evaluate(p);
     const auto b = preset.evaluate(p);
@@ -177,20 +190,20 @@ TEST(ShippedConfigs, NameDefaultsToFileStem) {
   // and check the stem default through load_machine_config's path logic is
   // exercised by the shipped files instead. Parsing a nameless body leaves
   // the name empty.
-  EXPECT_TRUE(wc::parse_machine_config(minimal_cfg()).name.empty());
-  EXPECT_EQ(wc::load_machine_config(shipped("sp2.cfg")).name, "sp2");
+  EXPECT_TRUE(parse(minimal_cfg()).name.empty());
+  EXPECT_EQ(load(shipped("sp2.cfg")).name, "sp2");
 }
 
 TEST(ShippedConfigs, MissingFileThrows) {
-  EXPECT_THROW(wc::load_machine_config(shipped("no-such-machine.cfg")),
+  EXPECT_THROW(load(shipped("no-such-machine.cfg")),
                wc::ConfigError);
 }
 
 TEST(MachineConfigParse, OutOfIntRangeValuesThrowInsteadOfOverflowing) {
   EXPECT_THROW(
-      wc::parse_machine_config(minimal_cfg() + "eager_limit_bytes = 3e9\n"),
+      parse(minimal_cfg() + "eager_limit_bytes = 3e9\n"),
       wc::ConfigError);
-  EXPECT_THROW(wc::parse_machine_config(minimal_cfg() + "cx = 1e300\n"),
+  EXPECT_THROW(parse(minimal_cfg() + "cx = 1e300\n"),
                wc::ConfigError);
 }
 
@@ -198,7 +211,7 @@ TEST(MachineConfigRoundTrip, NamesWithInternalSpacesSurvive) {
   wc::MachineConfig m = wc::MachineConfig::xt4_dual_core();
   m.name = "my test cluster v2";
   m.validate();
-  EXPECT_EQ(wc::parse_machine_config(wc::write_machine_config(m)), m);
+  EXPECT_EQ(parse(wc::write_machine_config(m)), m);
 }
 
 TEST(MachineConfigValidate, RejectsConfigUnsafeNames) {

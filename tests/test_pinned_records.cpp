@@ -27,6 +27,10 @@ namespace wr = wave::runner;
 
 namespace {
 
+// Shared read-only context; model_compare_grid resolves machines and
+// backends against its catalogs.
+const wave::Context kCtx;
+
 std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   EXPECT_TRUE(in.good()) << "missing fixture " << path;
@@ -38,7 +42,7 @@ std::string slurp(const std::string& path) {
 std::string records_csv(const wr::SweepGrid& grid) {
   // Thread count deliberately != 1: the fixture also guards the batch
   // runner's thread- and chunk-invariance on real sweeps.
-  const auto records = wr::BatchRunner(wr::BatchRunner::Options(0)).run(grid);
+  const auto records = wr::BatchRunner(kCtx, wr::BatchRunner::Options(0)).run(grid);
   std::ostringstream os;
   wr::write_csv(os, records);
   return os.str();
@@ -53,7 +57,7 @@ TEST(PinnedRecords, RunnerScalingGridMatchesPreOptimizationFixture) {
 }
 
 TEST(PinnedRecords, ModelCompareGridMatchesPreOptimizationFixture) {
-  EXPECT_EQ(records_csv(wr::model_compare_grid(WAVE_MACHINES_DIR)),
+  EXPECT_EQ(records_csv(wr::model_compare_grid(kCtx, WAVE_MACHINES_DIR)),
             slurp(std::string(WAVE_TESTDATA_DIR) +
                   "/model_compare_records.csv"));
 }

@@ -17,6 +17,10 @@ namespace wc = wave::core;
 
 namespace {
 
+// One shared read-only context for the whole file: the runner resolves
+// machines, workloads, and comm models against its catalogs.
+const wave::Context kCtx;
+
 /// A small Sweep3D problem so DES points cost milliseconds.
 wc::AppParams tiny_sweep3d() {
   wc::benchmarks::Sweep3dConfig cfg;
@@ -107,7 +111,7 @@ TEST(BatchRunner, RecordsComeBackInPointOrder) {
   wr::SweepGrid grid;
   grid.values("x", {5, 6, 7, 8, 9});
   const auto records =
-      wr::BatchRunner(wr::BatchRunner::Options(4))
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(4))
           .run(grid, [](const wr::Scenario& s) {
             return wr::Metrics{{"twice", 2.0 * s.param("x")}};
           });
@@ -122,11 +126,11 @@ TEST(BatchRunner, MixedSweepIsByteIdenticalAtAnyThreadCount) {
 
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   const std::string serial =
-      wr::to_csv(wr::BatchRunner(wr::BatchRunner::Options(1)).run(points));
+      wr::to_csv(wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(points));
   const std::string two =
-      wr::to_csv(wr::BatchRunner(wr::BatchRunner::Options(2)).run(points));
+      wr::to_csv(wr::BatchRunner(kCtx, wr::BatchRunner::Options(2)).run(points));
   const std::string many = wr::to_csv(
-      wr::BatchRunner(wr::BatchRunner::Options(std::max(hw, 1))).run(points));
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(std::max(hw, 1))).run(points));
 
   EXPECT_EQ(serial, two);
   EXPECT_EQ(serial, many);
@@ -149,8 +153,8 @@ TEST(BatchRunner, PerPointSeedsAreIndependentOfSchedule) {
     wave::common::Rng rng(s.seed);
     return wr::Metrics{{"draw", rng.uniform(0.0, 1.0)}};
   };
-  const auto a = wr::BatchRunner(wr::BatchRunner::Options(1)).run(grid, fn);
-  const auto b = wr::BatchRunner(wr::BatchRunner::Options(4)).run(grid, fn);
+  const auto a = wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(grid, fn);
+  const auto b = wr::BatchRunner(kCtx, wr::BatchRunner::Options(4)).run(grid, fn);
   EXPECT_EQ(wr::to_csv(a), wr::to_csv(b));
 }
 
@@ -162,10 +166,10 @@ TEST(BatchRunner, ExceptionsPropagateOutOfTheBatch) {
     return {{"ok", 1.0}};
   };
   EXPECT_THROW(
-      wr::BatchRunner(wr::BatchRunner::Options(2)).run(grid, boom),
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(2)).run(grid, boom),
       std::runtime_error);
   EXPECT_THROW(
-      wr::BatchRunner(wr::BatchRunner::Options(1)).run(grid, boom),
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(grid, boom),
       std::runtime_error);
 }
 
@@ -269,13 +273,13 @@ TEST(SweepGrid, CommModelAxisComposesWithMachineAxisInEitherOrder) {
   };
 
   wr::SweepGrid comm_first;
-  comm_first.comm_models({"loggp", "contention"});
+  comm_first.comm_models(kCtx, {"loggp", "contention"});
   comm_first.machines({{"single", wc::MachineConfig::xt4_single_core()},
                        {"dual", wc::MachineConfig::xt4_dual_core()}});
   wr::SweepGrid machine_first;
   machine_first.machines({{"single", wc::MachineConfig::xt4_single_core()},
                           {"dual", wc::MachineConfig::xt4_dual_core()}});
-  machine_first.comm_models({"loggp", "contention"});
+  machine_first.comm_models(kCtx, {"loggp", "contention"});
 
   for (const auto& [point, model] : labels_and_models(comm_first))
     EXPECT_EQ(model, point.substr(point.find('/') + 1)) << point;
@@ -285,20 +289,20 @@ TEST(SweepGrid, CommModelAxisComposesWithMachineAxisInEitherOrder) {
 
 TEST(SweepGrid, CommModelAxisRejectsUnknownBackends) {
   wr::SweepGrid grid;
-  EXPECT_THROW(grid.comm_models({"loggp", "telepathy"}),
+  EXPECT_THROW(grid.comm_models(kCtx, {"loggp", "telepathy"}),
                wave::common::contract_error);
 }
 
 TEST(SweepGrid, MachineFilesAxisLoadsAndLabelsByConfigName) {
   const std::string dir = WAVE_MACHINES_DIR;
   wr::SweepGrid grid;
-  grid.machine_files({dir + "/xt4-dual.cfg", dir + "/sp2.cfg"});
+  grid.machine_files(kCtx, {dir + "/xt4-dual.cfg", dir + "/sp2.cfg"});
   const auto points = grid.points();
   ASSERT_EQ(points.size(), 2u);
   EXPECT_EQ(points[0].label("machine"), "xt4-dual");
   EXPECT_EQ(points[1].label("machine"), "sp2");
   EXPECT_TRUE(points[1].machine.synchronization_terms);
-  EXPECT_THROW(grid.machine_files({dir + "/missing.cfg"}), wc::ConfigError);
+  EXPECT_THROW(grid.machine_files(kCtx, {dir + "/missing.cfg"}), wc::ConfigError);
 }
 
 TEST(Scenario, EffectiveMachineAppliesOverrideOnly) {
@@ -317,12 +321,12 @@ TEST(BatchRunner, MachineAndCommAxesStayDeterministicAcrossThreads) {
   wr::SweepGrid grid;
   grid.base().app = tiny_sweep3d();
   grid.machine_files(
-      {dir + "/xt4-dual.cfg", dir + "/quadcore-shared-bus.cfg"});
-  grid.comm_models({"loggp", "loggps", "contention"});
+      kCtx, {dir + "/xt4-dual.cfg", dir + "/quadcore-shared-bus.cfg"});
+  grid.comm_models(kCtx, {"loggp", "loggps", "contention"});
   grid.processors({4, 16});
   const auto points = grid.points();
-  const auto one = wr::BatchRunner(wr::BatchRunner::Options(1)).run(points);
-  const auto many = wr::BatchRunner(wr::BatchRunner::Options(8)).run(points);
+  const auto one = wr::BatchRunner(kCtx, wr::BatchRunner::Options(1)).run(points);
+  const auto many = wr::BatchRunner(kCtx, wr::BatchRunner::Options(8)).run(points);
   EXPECT_EQ(wr::to_csv(one), wr::to_csv(many));
 }
 
@@ -332,12 +336,12 @@ TEST(BatchRunner, ChunkedSchedulingKeepsRecordsByteIdentical) {
   // combination of chunk size and thread count.
   const auto points = mixed_grid().points();
   const auto reference =
-      wr::BatchRunner(wr::BatchRunner::Options(1, 1)).run(points);
+      wr::BatchRunner(kCtx, wr::BatchRunner::Options(1, 1)).run(points);
   const std::string expected = wr::to_csv(reference);
   for (int threads : {1, 3, 8}) {
     for (int chunk : {0, 1, 2, 7, 1024}) {
       const auto records =
-          wr::BatchRunner(wr::BatchRunner::Options(threads, chunk))
+          wr::BatchRunner(kCtx, wr::BatchRunner::Options(threads, chunk))
               .run(points);
       EXPECT_EQ(wr::to_csv(records), expected)
           << "threads=" << threads << " chunk=" << chunk;
@@ -346,7 +350,7 @@ TEST(BatchRunner, ChunkedSchedulingKeepsRecordsByteIdentical) {
 }
 
 TEST(BatchRunner, AutoChunkIsOneForSweepsContainingDesPoints) {
-  const wr::BatchRunner batch{wr::BatchRunner::Options(4)};
+  const wr::BatchRunner batch{kCtx, wr::BatchRunner::Options(4)};
   EXPECT_EQ(batch.chunk_for(mixed_grid().points()), 1u);
 
   // A pure-analytic sweep gets a real chunk once it has enough points.
@@ -362,7 +366,7 @@ TEST(BatchRunner, AutoChunkIsOneForSweepsContainingDesPoints) {
   EXPECT_GT(chunk, 1u);
   EXPECT_LE(chunk, 4096u);
   // An explicit chunk always wins over the automatic choice.
-  EXPECT_EQ(wr::BatchRunner(wr::BatchRunner::Options(4, 5)).chunk_for(points),
+  EXPECT_EQ(wr::BatchRunner(kCtx, wr::BatchRunner::Options(4, 5)).chunk_for(points),
             5u);
 }
 

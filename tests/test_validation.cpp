@@ -7,6 +7,7 @@
 #include "common/units.h"
 #include "core/benchmarks.h"
 #include "core/solver.h"
+#include "loggp/registry.h"
 #include "workloads/wavefront.h"
 
 namespace wc = wave::core;
@@ -15,11 +16,13 @@ namespace ww = wave::workloads;
 
 namespace {
 
+const wave::loggp::CommModelRegistry kReg;
+
 double model_vs_sim_error(const wc::AppParams& app,
                           const wc::MachineConfig& machine, int processors) {
-  const wc::Solver solver(app, machine);
+  const wc::Solver solver(app, machine, kReg);
   const auto model = solver.evaluate(processors);
-  const auto sim = ww::simulate_wavefront(app, machine, processors);
+  const auto sim = ww::simulate_wavefront(app, machine, kReg, processors);
   return wave::common::relative_error(model.iteration.total,
                                       sim.time_per_iteration);
 }
@@ -99,12 +102,12 @@ TEST(ModelValidation, FillTimePredictsPipelinedGain) {
   pipe.nonwavefront.allreduce_count = 0;
 
   const auto machine = wc::MachineConfig::xt4_single_core();
-  const auto sim_seq = ww::simulate_wavefront(seq, machine, 64, 3);
-  const auto sim_pipe = ww::simulate_wavefront(pipe, machine, 64, 1);
+  const auto sim_seq = ww::simulate_wavefront(seq, machine, kReg, 64, 3);
+  const auto sim_pipe = ww::simulate_wavefront(pipe, machine, kReg, 64, 1);
   const double sim_gain = sim_seq.makespan - sim_pipe.makespan;
 
-  const wc::Solver solver_seq(seq, machine);
-  const wc::Solver solver_pipe(pipe, machine);
+  const wc::Solver solver_seq(seq, machine, kReg);
+  const wc::Solver solver_pipe(pipe, machine, kReg);
   const double model_gain = 3.0 * solver_seq.evaluate(64).iteration.total -
                             solver_pipe.evaluate(64).iteration.total;
 
@@ -126,12 +129,12 @@ TEST(ModelValidation, NonblockingSendsVariant) {
   nonblocking.nonblocking_sends = true;
   for (const auto& machine : {wc::MachineConfig::xt4_dual_core(),
                               wc::MachineConfig::sp2_single_core()}) {
-    const auto sim_b = ww::simulate_wavefront(blocking, machine, 64);
-    const auto sim_n = ww::simulate_wavefront(nonblocking, machine, 64);
+    const auto sim_b = ww::simulate_wavefront(blocking, machine, kReg, 64);
+    const auto sim_n = ww::simulate_wavefront(nonblocking, machine, kReg, 64);
     EXPECT_LE(sim_n.time_per_iteration,
               sim_b.time_per_iteration * 1.0001);
     const auto model_n =
-        wc::Solver(nonblocking, machine).evaluate(64).iteration.total;
+        wc::Solver(nonblocking, machine, kReg).evaluate(64).iteration.total;
     EXPECT_LT(wave::common::relative_error(model_n,
                                            sim_n.time_per_iteration),
               0.10);
@@ -145,8 +148,8 @@ TEST(ModelValidation, BreakdownTracksSimulatedContention) {
   cfg.nx = cfg.ny = cfg.nz = 128;
   const wc::AppParams app = wb::sweep3d(cfg);
   const auto machine = wc::MachineConfig::xt4_dual_core();
-  const auto t64 = ww::simulate_wavefront(app, machine, 64);
-  const auto t256 = ww::simulate_wavefront(app, machine, 256);
+  const auto t64 = ww::simulate_wavefront(app, machine, kReg, 64);
+  const auto t256 = ww::simulate_wavefront(app, machine, kReg, 256);
   // Strong scaling: 4x the processors gives < 4x speedup (communication).
   const double speedup = t64.makespan / t256.makespan;
   EXPECT_GT(speedup, 1.5);

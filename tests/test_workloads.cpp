@@ -4,6 +4,7 @@
 
 #include "core/benchmarks.h"
 #include "core/solver.h"
+#include "loggp/registry.h"
 #include "workloads/wavefront.h"
 
 namespace wc = wave::core;
@@ -13,6 +14,7 @@ namespace ww = wave::workloads;
 namespace {
 const wc::MachineConfig kSingle = wc::MachineConfig::xt4_single_core();
 const wc::MachineConfig kDual = wc::MachineConfig::xt4_dual_core();
+const wave::loggp::CommModelRegistry kReg;
 
 wc::AppParams small_sweep3d() {
   wb::Sweep3dConfig cfg;
@@ -41,7 +43,7 @@ TEST(Spec, StencilWorkScalesWithLocalCells) {
 
 TEST(SimulateWavefront, SingleRankIsPureCompute) {
   const wc::AppParams app = small_sweep3d();
-  const auto res = ww::simulate_wavefront(app, kSingle, 1);
+  const auto res = ww::simulate_wavefront(app, kSingle, kReg, 1);
   const auto spec = ww::make_spec(app, wave::topo::Grid(1, 1));
   const double expected =
       8.0 * spec.tiles_per_stack * spec.w_tile;  // no comms, no allreduce
@@ -56,7 +58,7 @@ TEST(SimulateWavefront, MessageCountMatchesStructure) {
   const wc::AppParams app = small_sweep3d();
   const wave::topo::Grid grid(4, 2);
   const auto spec = ww::make_spec(app, grid);
-  const auto res = ww::simulate_wavefront(app, kSingle, grid);
+  const auto res = ww::simulate_wavefront(app, kSingle, kReg, grid);
   const std::uint64_t per_sweep =
       static_cast<std::uint64_t>((4 - 1) * 2 + 4 * (2 - 1)) *
       spec.tiles_per_stack;
@@ -66,25 +68,25 @@ TEST(SimulateWavefront, MessageCountMatchesStructure) {
 
 TEST(SimulateWavefront, DeterministicAcrossRuns) {
   const wc::AppParams app = small_sweep3d();
-  const auto a = ww::simulate_wavefront(app, kDual, 16);
-  const auto b = ww::simulate_wavefront(app, kDual, 16);
+  const auto a = ww::simulate_wavefront(app, kDual, kReg, 16);
+  const auto b = ww::simulate_wavefront(app, kDual, kReg, 16);
   EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.events, b.events);
 }
 
 TEST(SimulateWavefront, MoreProcessorsRunFaster) {
   const wc::AppParams app = small_sweep3d();
-  const auto p4 = ww::simulate_wavefront(app, kSingle, 4);
-  const auto p16 = ww::simulate_wavefront(app, kSingle, 16);
-  const auto p64 = ww::simulate_wavefront(app, kSingle, 64);
+  const auto p4 = ww::simulate_wavefront(app, kSingle, kReg, 4);
+  const auto p16 = ww::simulate_wavefront(app, kSingle, kReg, 16);
+  const auto p64 = ww::simulate_wavefront(app, kSingle, kReg, 64);
   EXPECT_GT(p4.makespan, p16.makespan);
   EXPECT_GT(p16.makespan, p64.makespan);
 }
 
 TEST(SimulateWavefront, IterationsScaleLinearly) {
   const wc::AppParams app = small_sweep3d();
-  const auto one = ww::simulate_wavefront(app, kDual, 16, 1);
-  const auto three = ww::simulate_wavefront(app, kDual, 16, 3);
+  const auto one = ww::simulate_wavefront(app, kDual, kReg, 16, 1);
+  const auto three = ww::simulate_wavefront(app, kDual, kReg, 16, 3);
   // Steady state: iterations pipeline nothing across the iteration
   // boundary (the final sweep fully completes), so time is ~linear.
   EXPECT_NEAR(three.makespan, 3.0 * one.makespan, 0.02 * three.makespan);
@@ -97,8 +99,8 @@ TEST(SimulateWavefront, ContentionCountersAreTracked) {
   // packing can only add shared-resource pressure relative to one core
   // per node on the same grid.
   const wc::AppParams app = small_sweep3d();
-  const auto single = ww::simulate_wavefront(app, kSingle, 16);
-  const auto dual = ww::simulate_wavefront(app, kDual, 16);
+  const auto single = ww::simulate_wavefront(app, kSingle, kReg, 16);
+  const auto dual = ww::simulate_wavefront(app, kDual, kReg, 16);
   EXPECT_GE(single.bus_wait, 0.0);
   EXPECT_GE(dual.bus_wait + dual.nic_wait,
             single.bus_wait + single.nic_wait);
@@ -108,7 +110,7 @@ TEST(SimulateWavefront, LuRunsBothSweepsAndStencil) {
   wb::LuConfig cfg;
   cfg.n = 36;
   const wc::AppParams app = wb::lu(cfg);
-  const auto res = ww::simulate_wavefront(app, kSingle, 9);
+  const auto res = ww::simulate_wavefront(app, kSingle, kReg, 9);
   EXPECT_GT(res.makespan, 0.0);
   // 2 sweeps * 36 tiles * EW/NS messages + stencil halo exchanges.
   EXPECT_GT(res.messages, 0u);
@@ -124,8 +126,8 @@ TEST(SimulateWavefront, ChimaeraSlowerThanSweep3dStructure) {
   wc::AppParams sweep = wb::sweep3d(s3);
   wc::AppParams chim = sweep;
   chim.sweeps = wc::SweepStructure::chimaera();
-  const auto t_sweep = ww::simulate_wavefront(sweep, kSingle, 64);
-  const auto t_chim = ww::simulate_wavefront(chim, kSingle, 64);
+  const auto t_sweep = ww::simulate_wavefront(sweep, kSingle, kReg, 64);
+  const auto t_chim = ww::simulate_wavefront(chim, kSingle, kReg, 64);
   EXPECT_GE(t_chim.makespan, t_sweep.makespan - 1e-9);
 }
 
@@ -151,8 +153,8 @@ TEST(SimulateWavefront, FillCostEmergesFromStructure) {
   sweeps.back().precedence = SweepPrecedence::FullComplete;
   pipelined.sweeps = wc::SweepStructure(std::move(sweeps));
 
-  const auto t_normal = ww::simulate_wavefront(normal, kSingle, 64);
-  const auto t_pipe = ww::simulate_wavefront(pipelined, kSingle, 64);
+  const auto t_normal = ww::simulate_wavefront(normal, kSingle, kReg, 64);
+  const auto t_pipe = ww::simulate_wavefront(pipelined, kSingle, kReg, 64);
   EXPECT_LT(t_pipe.makespan, t_normal.makespan);
 }
 
@@ -165,7 +167,7 @@ TEST_P(GridShapes, RunsAndRespectsWorkLowerBound) {
   const wc::AppParams app = small_sweep3d();
   const wave::topo::Grid grid(n, m);
   const auto spec = ww::make_spec(app, grid);
-  const auto res = ww::simulate_wavefront(app, kDual, grid);
+  const auto res = ww::simulate_wavefront(app, kDual, kReg, grid);
   const double lower_bound =
       8.0 * spec.tiles_per_stack * spec.w_tile;  // one rank's compute
   EXPECT_GE(res.makespan, lower_bound - 1e-6)

@@ -1,12 +1,17 @@
 #!/bin/sh
 # Perf regression gate: compares a fresh `perf_sweep --quick` measurement
 # against the committed trajectory file and fails on a large events/sec
-# drop. CI runs this in the perf-smoke job.
+# drop, and checks the batch solver still beats the scalar analytic path
+# by a wide margin within the fresh run. CI runs this in the perf-smoke
+# job.
 #
 # Usage: tools/check_perf.sh BENCH_pr4.json fresh_quick.json [min_ratio]
 #   BENCH_pr4.json    committed trajectory (its "quick" section is the
 #                     reference)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
+#   min_batch_speedup (4th arg) default 10 — the fresh run's batch-routed
+#                     model points/sec must beat its own scalar points/sec
+#                     by this factor (within-file, machine-independent)
 #   min_ratio         default 0.75 — i.e. fail on a >25% regression. The
 #                     threshold is deliberately generous: CI runners are
 #                     noisy and differ from the machine that wrote the
@@ -39,6 +44,29 @@ ok=$(awk "BEGIN { print ($fresh_des >= $min_ratio * $ref_des) ? 1 : 0 }")
 if [ "$ok" -ne 1 ]; then
   echo "PERF REGRESSION: quick events/sec fell below ${min_ratio}x the" \
        "committed reference" >&2
+  exit 1
+fi
+# Batch-solver gate: the fresh run's batch-routed points/sec must be at
+# least min_batch_speedup x its own scalar points/sec. Both numbers come
+# from the same process on the same grid, so this is machine-independent —
+# it catches "the batch route quietly fell back to scalar", not jitter.
+min_batch_speedup="${4:-10}"
+fresh_model=$(awk -F': ' '$1 ~ /^[[:space:]]*"model_points_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_batch=$(awk -F': ' '$1 ~ /^[[:space:]]*"model_batch_points_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+
+if [ -z "$fresh_model" ] || [ -z "$fresh_batch" ]; then
+  echo "check_perf: could not extract model/model_batch points_per_sec" \
+       "(model='$fresh_model', batch='$fresh_batch')" >&2
+  exit 2
+fi
+
+batch_ratio=$(awk "BEGIN { printf \"%.2f\", $fresh_batch / $fresh_model }")
+echo "model points/sec: batch $fresh_batch vs scalar $fresh_model" \
+     "(speedup ${batch_ratio}x, minimum ${min_batch_speedup}x)"
+ok=$(awk "BEGIN { print ($fresh_batch >= $min_batch_speedup * $fresh_model) ? 1 : 0 }")
+if [ "$ok" -ne 1 ]; then
+  echo "PERF REGRESSION: batch-routed analytic points/sec fell below" \
+       "${min_batch_speedup}x the scalar path" >&2
   exit 1
 fi
 echo "perf OK"

@@ -7,7 +7,7 @@
 #
 # Usage: tools/run_perf.sh [build-dir] [out.json]
 #   build-dir  default: build   (needs bench/perf_sweep built, Release!)
-#   out.json   default: BENCH_pr5.json
+#   out.json   default: BENCH_pr6.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -18,7 +18,7 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr5.json}"
+out="${2:-BENCH_pr6.json}"
 sweep="$build/bench/perf_sweep"
 
 if [ ! -x "$sweep" ]; then
@@ -47,9 +47,11 @@ metric() { # file key
 full_des=$(metric "$tmp_full" des_events_per_sec)
 full_engine=$(metric "$tmp_full" engine_events_per_sec)
 full_model=$(metric "$tmp_full" model_points_per_sec)
+full_batch=$(metric "$tmp_full" model_batch_points_per_sec)
 quick_des=$(metric "$tmp_quick" des_events_per_sec)
 quick_engine=$(metric "$tmp_quick" engine_events_per_sec)
 quick_model=$(metric "$tmp_quick" model_points_per_sec)
+quick_batch=$(metric "$tmp_quick" model_batch_points_per_sec)
 svc_cold=$(metric "$tmp_full" service_cold_evals_per_sec)
 svc_hits=$(metric "$tmp_full" service_hits_per_sec)
 svc_speedup=$(metric "$tmp_full" service_hit_speedup)
@@ -76,6 +78,7 @@ base_engine=13756500
 base_model=8821.67
 
 speedup_des=$(awk "BEGIN { printf \"%.2f\", $full_des / $base_des }")
+speedup_batch=$(awk "BEGIN { printf \"%.2f\", $full_batch / $full_model }")
 speedup_engine=$(awk "BEGIN { printf \"%.2f\", $full_engine / $base_engine }")
 
 cat > "$out" <<EOF
@@ -86,16 +89,18 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade), measured by this run",
-  "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model},
-  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model},
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver), measured by this run",
+  "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model, "model_batch_points_per_sec": $full_batch},
+  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch},
   "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
   "workloads_events_per_sec": {$workloads_json},
   "service_label": "EvalService memoization, full grid (PR5 facade): cold analytic evals/sec vs cache-hit lookups/sec on the same query mix",
   "service": {"cold_evals_per_sec": $svc_cold, "hits_per_sec": $svc_hits, "hit_speedup": $svc_speedup},
-  "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine}
+  "batch_label": "PR6 batch solver: batch-routed vs scalar analytic points/sec on the same grid, this run",
+  "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine, "model_batch_vs_scalar": $speedup_batch}
 }
 EOF
 echo
 echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec;" \
+     "batch solver ${speedup_batch}x scalar model points/sec;" \
      "EvalService hits ${svc_speedup}x cold evals)"
