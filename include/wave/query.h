@@ -112,6 +112,12 @@ class Query {
   Query& grid(int columns, int rows);
   /// DES repetitions (results are per iteration).
   Query& iterations(int count);
+  /// Worker threads for the parallel DES engine (Engine::Simulation only).
+  /// 0 — the default — is the serial single-calendar engine; >= 1 runs
+  /// the LP-partitioned engine on that many workers. Results are
+  /// bit-identical at any value (the determinism contract), so this is
+  /// purely a wall-clock knob for large simulations.
+  Query& sim_threads(int count);
   Query& engine(Engine engine);
   /// Workload-specific knob (see Context::workloads() for each schema).
   Query& param(std::string name, double value);
@@ -134,6 +140,7 @@ class Query {
   int grid_columns() const { return grid_n_; }
   int grid_rows() const { return grid_m_; }
   int iteration_count() const { return iterations_; }
+  int sim_thread_count() const { return sim_threads_; }
   Engine engine_choice() const { return engine_; }
   bool validate_requested() const { return validate_; }
   const std::map<std::string, double>& params() const { return params_; }
@@ -155,6 +162,7 @@ class Query {
   int processors_ = 1;
   int grid_n_ = 0, grid_m_ = 0;  // 0 = derive from processors_
   int iterations_ = 1;
+  int sim_threads_ = 0;
   Engine engine_ = Engine::Model;
   bool validate_ = false;
   std::map<std::string, double> params_;

@@ -97,6 +97,9 @@ runner::Scenario scenario_from(const Context& ctx, const Query& query) {
 
   WAVE_EXPECTS_MSG(query.iteration_count() >= 1, "iterations must be >= 1");
   s.iterations = query.iteration_count();
+  WAVE_EXPECTS_MSG(query.sim_thread_count() >= 0,
+                   "sim_threads must be >= 0");
+  s.sim_threads = query.sim_thread_count();
   s.engine = to_runner_engine(query.engine_choice());
   s.params = query.params();
   return s;

@@ -51,6 +51,12 @@ std::string key_text(const Query& query,
   key += "grid=" + std::to_string(scenario.grid.n()) + "x" +
          std::to_string(scenario.grid.m()) + "\n";
   key += "iterations=" + std::to_string(scenario.iterations) + "\n";
+  // Collapsed to serial-vs-LP: worker counts within the LP engine are
+  // result-identical by the determinism contract, but the serial engine
+  // may resolve exact-time resource ties differently than the LP envelope
+  // order (tests/test_sim_parallel.cpp), so the engine family is identity.
+  key += std::string("lp_engine=") +
+         (scenario.sim_threads > 0 ? "1" : "0") + "\n";
   key += "comm_override=" + scenario.comm_model + "\n";
   key += "app=" + query.app_preset() + "\n";
   key += "wg=" + exact(query.wg_override()) + "\n";

@@ -60,6 +60,11 @@ Query& Query::iterations(int count) {
   return *this;
 }
 
+Query& Query::sim_threads(int count) {
+  sim_threads_ = count;
+  return *this;
+}
+
 Query& Query::engine(Engine engine) {
   engine_ = engine;
   return *this;

@@ -30,9 +30,11 @@ Metrics model_metrics(const wave::Context& ctx, const Scenario& s) {
 
 Metrics sim_metrics(const wave::Context& ctx, const Scenario& s) {
   const core::MachineConfig machine = s.effective_machine();
+  sim::ParallelOptions parallel;
+  parallel.threads = s.sim_threads;
   const workloads::SimRunResult res = workloads::simulate_wavefront(
       s.app, machine, s.grid, s.iterations,
-      workloads::protocol_for(machine, ctx.comm_model_registry()));
+      workloads::protocol_for(machine, ctx.comm_model_registry()), parallel);
   return {{"sim_iter_us", res.time_per_iteration},
           {"sim_makespan_us", res.makespan},
           {"sim_events", static_cast<double>(res.events)},
@@ -50,6 +52,7 @@ workloads::WorkloadInputs workload_inputs(const Scenario& s) {
   if (s.app.nx > 0.0) in.app = s.app;
   in.grid = s.grid;
   in.iterations = s.iterations;
+  in.parallel.threads = s.sim_threads;
   in.params = s.params;
   return in;
 }

@@ -50,6 +50,12 @@ struct Scenario {
   topo::Grid grid{1, 1};  ///< processor decomposition
   Engine engine = Engine::Model;
   int iterations = 1;  ///< DES iterations for Engine::Simulation
+  /// Worker threads for the parallel DES engine (Engine::Simulation only).
+  /// 0 = the serial single-calendar engine; >= 1 partitions nodes into
+  /// logical processes (sim/parallel_options.h). Results are identical at
+  /// any value by the determinism contract — this is a wall-clock knob,
+  /// so it is deliberately NOT a sweep axis label.
+  int sim_threads = 0;
 
   /// Axis labels in axis-declaration order (axis name -> level label).
   std::vector<std::pair<std::string, std::string>> labels;

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/contracts.h"
 
@@ -312,6 +313,7 @@ usec Engine::run() {
     const std::uint32_t slot = entry_slot(top);
     now_ = entry_time(top);
     ++processed_;
+    record(top);
     // Invoke in place (chunk addresses are stable even if the callback
     // grows the slab) with a fused invoke+destroy — one dispatch per
     // event, no per-event task move. The slot is recycled only after the
@@ -329,16 +331,46 @@ usec Engine::run_until(usec limit) {
       // Past the horizon: push the identical entry back (same sequence
       // number, so ordering — and determinism — are unaffected).
       insert(top);
+      rewind_cursor();
       break;
     }
     const std::uint32_t slot = entry_slot(top);
     now_ = entry_time(top);
     ++processed_;
+    record(top);
     task(slot).consume();
     free_slots_.push_back(slot);
   }
   if (now_ < limit && pending_ == 0) now_ = limit;
   return now_;
+}
+
+usec Engine::run_before(usec limit) {
+  while (pending_ != 0) {
+    const Entry top = remove_min();
+    if (entry_time(top) >= limit) {
+      // At or past the horizon: push the identical entry back (same
+      // sequence number, so ordering — and determinism — are unaffected).
+      insert(top);
+      rewind_cursor();
+      break;
+    }
+    const std::uint32_t slot = entry_slot(top);
+    now_ = entry_time(top);
+    ++processed_;
+    record(top);
+    task(slot).consume();
+    free_slots_.push_back(slot);
+  }
+  return now_;
+}
+
+usec Engine::next_event_time() {
+  if (pending_ == 0) return std::numeric_limits<usec>::infinity();
+  const Entry top = remove_min();
+  insert(top);
+  rewind_cursor();
+  return entry_time(top);
 }
 
 }  // namespace wave::sim

@@ -4,10 +4,13 @@
 // or relative simulated times, executed in (time, insertion order). All
 // times are µs of simulated time, matching the LogGP models.
 //
-// The engine is single-threaded by design — determinism is a requirement
-// (every validation bench must be exactly reproducible) and the simulated
-// workloads are far below the event rates where a parallel DES would pay
-// off.
+// Each Engine instance is single-threaded by design — determinism is a
+// requirement (every validation bench must be exactly reproducible). The
+// parallel runtime (mpi.h World) runs one Engine per logical process and
+// coordinates them with conservative window barriers; run_before() and
+// next_event_time() exist for that loop, and set_trace() records the
+// executed (time, seq) stream so tests can prove parallel and serial
+// schedules identical.
 //
 // Steady-state scheduling is allocation-free and O(1) amortized per event:
 // callbacks are InlineTask (fixed inline storage, task.h) kept in a slab
@@ -66,11 +69,39 @@ class Engine {
   /// after `limit` stay queued). Returns the final clock value.
   usec run_until(usec limit);
 
+  /// Runs every event with time strictly below `limit`; events at or after
+  /// `limit` stay queued. Unlike run_until, the clock is NOT advanced to
+  /// `limit` when the calendar drains early — now() stays at the last
+  /// executed event, so a window-synchronized caller can take the global
+  /// makespan as the max over engines. Returns the final clock value.
+  usec run_before(usec limit);
+
+  /// Time of the earliest pending event without executing it, or +infinity
+  /// when the calendar is empty. Non-const: implemented as an exact
+  /// remove-min + re-insert of the identical entry (same sequence number),
+  /// so event order is unaffected.
+  usec next_event_time();
+
   /// Number of events executed so far (performance metric).
   std::uint64_t events_processed() const { return processed_; }
 
   /// True when no events remain.
   bool drained() const { return pending_ == 0; }
+
+  /// One executed event in a captured trace: the exact simulated time and
+  /// the global FIFO sequence number the run loop dispatched. Two engines
+  /// that execute the same (time, seq) stream made identical scheduling
+  /// decisions — this is the determinism contract made checkable.
+  struct TraceEvent {
+    usec time;
+    std::uint64_t seq;
+    friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+  };
+
+  /// Installs (or, with nullptr, removes) a trace sink: every executed
+  /// event appends its (time, seq) to `sink`. Test-mode only — the hot
+  /// path keeps a single predictable branch when no sink is installed.
+  void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
 
  private:
   // One pending event: 16 bytes, totally ordered by a single 128-bit
@@ -143,6 +174,16 @@ class Engine {
   /// bucket (0 when `from` itself is occupied); npos when all are empty.
   std::size_t next_occupied_distance(std::size_t from) const;
 
+  /// After a pop-and-reinsert peek (run_until / run_before boundary,
+  /// next_event_time), the cursor sits at the *peeked* entry's bucket.
+  /// remove_min's fast path assumes no pending entry is ever behind the
+  /// cursor — true while inserts come from event execution (time >= now_,
+  /// cursor ~ bucket_of(now_)), violated once the cursor has jumped ahead
+  /// and a later insert lands between now_ and the peeked entry (the
+  /// parallel runtime's barrier ingestion does exactly that). Rewinding to
+  /// now_'s bucket restores the invariant: every legal insert is >= now_.
+  void rewind_cursor() { cur_ = std::min(cur_, bucket_of(now_)); }
+
   /// The task slab: chunked so addresses are stable while a task runs —
   /// the run loop invokes tasks in place (no per-event move) and recycles
   /// the slot only after the callback returns.
@@ -197,6 +238,14 @@ class Engine {
   usec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::vector<TraceEvent>* trace_ = nullptr;
+
+  static std::uint64_t entry_seq(Entry e) {
+    return static_cast<std::uint64_t>(e) >> kSlotBits;
+  }
+  void record(Entry e) {
+    if (trace_) trace_->push_back({entry_time(e), entry_seq(e)});
+  }
 };
 
 // ---- inline hot path --------------------------------------------------------

@@ -1,0 +1,164 @@
+// Conservative window-synchronized execution of an LP-partitioned World.
+//
+// Classic CMB-style conservative synchronization, specialized to this
+// fabric's guarantee that every cross-LP effect lands at least one wire
+// latency L after the serial-equivalent call that caused it:
+//
+//   round:  W  = min over LPs of the next pending event time
+//           H  = W + L                       (the window horizon)
+//           every LP runs its events in [W, H) — any envelope emitted in
+//           the window carries order >= W, so its effect is >= W + L = H
+//           and cannot retroactively invalidate the window;
+//   barrier: envelopes are routed to their destination LPs, sorted by
+//           (order, src rank, per-shard emission seq) — a canonical total
+//           order over cross-node effects that depends on neither the LP
+//           grouping nor the worker count — and ingested; then the next W
+//           is taken over the refreshed calendars. Repeat until no LP has
+//           a pending event.
+//
+// Because windows never overlap (run_before(H) leaves nothing below H,
+// so the next W is >= H), envelope application order across the whole run
+// is ascending in `order`: exactly the serial engine's call order whenever
+// order stamps are distinct. When two effects on a shared resource carry
+// the same stamp (symmetric schedules do this systematically), the rule
+// above picks a fixed winner; the serial engine's winner instead falls out
+// of its global event interleaving, so serial and LP runs may attribute
+// contended waiting time differently on tie-heavy workloads (see
+// tests/test_pinned_records.cpp). Within the LP family the order — and
+// therefore every result bit — is invariant.
+//
+// Workers own a fixed round-robin slice of the LPs (deterministic — and
+// irrelevant to results, since any assignment executes the identical
+// per-LP schedule). Windows are microseconds of simulated time, typically
+// tens of events per LP, so the three rendezvous per round use a
+// sense-free generation-counting spin barrier rather than mutexes.
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.h"
+#include "sim/mpi.h"
+
+namespace wave::sim {
+
+namespace {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void wait() {
+    const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == parties_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins > 4096) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint32_t> generation_{0};
+};
+
+bool envelope_before(const Mpi::Envelope& a, const Mpi::Envelope& b) {
+  if (a.order != b.order) return a.order < b.order;
+  if (a.src != b.src) return a.src < b.src;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+usec World::run_windows(int workers) {
+  constexpr usec kInf = std::numeric_limits<usec>::infinity();
+  const std::size_t n_lps = engines_.size();
+  WAVE_EXPECTS(workers >= 1 && static_cast<std::size_t>(workers) <= n_lps);
+
+  SpinBarrier barrier(workers);
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<usec> local_min(static_cast<std::size_t>(workers), kInf);
+  std::vector<std::vector<Mpi::Envelope>> inbox(n_lps);
+  usec horizon = 0.0;
+  bool stop = false;
+
+  auto body = [&](int w) {
+    const auto wu = static_cast<std::size_t>(w);
+    const auto stride = static_cast<std::size_t>(workers);
+    while (true) {
+      // Phase A — route + ingest for my LPs, then find my earliest event.
+      // The first round ingests nothing (outboxes are empty) and seeds W
+      // from the t = 0 process starts.
+      if (failed.load(std::memory_order_acquire)) {
+        local_min[wu] = kInf;
+      } else {
+        try {
+          usec min_time = kInf;
+          for (std::size_t lp = wu; lp < n_lps; lp += stride) {
+            auto& merged = inbox[lp];
+            merged.clear();
+            for (auto& src : mpis_) {
+              auto& box = src->outbox(static_cast<int>(lp));
+              merged.insert(merged.end(), box.begin(), box.end());
+              box.clear();
+            }
+            std::sort(merged.begin(), merged.end(), envelope_before);
+            for (const Mpi::Envelope& e : merged) mpis_[lp]->ingest(e);
+            min_time = std::min(min_time, engines_[lp]->next_event_time());
+          }
+          local_min[wu] = min_time;
+        } catch (...) {
+          errors[wu] = std::current_exception();
+          failed.store(true, std::memory_order_release);
+          local_min[wu] = kInf;
+        }
+      }
+      barrier.wait();
+      // Phase B — worker 0 fixes the global window [W, W + L).
+      if (w == 0) {
+        usec window_start = kInf;
+        for (usec t : local_min) window_start = std::min(window_start, t);
+        stop = failed.load(std::memory_order_acquire) || window_start == kInf;
+        horizon = window_start + lookahead_;
+      }
+      barrier.wait();
+      if (stop) return;
+      // Phase C — run my LPs up to (strictly below) the horizon.
+      try {
+        for (std::size_t lp = wu; lp < n_lps; lp += stride)
+          engines_[lp]->run_before(horizon);
+      } catch (...) {
+        errors[wu] = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+      barrier.wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) pool.emplace_back(body, w);
+  body(0);
+  for (auto& t : pool) t.join();
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  usec makespan = 0.0;
+  for (auto& engine : engines_) makespan = std::max(makespan, engine->now());
+  return makespan;
+}
+
+}  // namespace wave::sim

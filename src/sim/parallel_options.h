@@ -1,0 +1,30 @@
+// Knobs for the conservatively-synchronized parallel DES runtime.
+//
+// Self-contained (no sim/ dependencies) so workload- and runner-layer
+// headers can embed it without pulling the engine in. The semantics live
+// in mpi.h (World) and docs/ARCHITECTURE.md: threads == 0 selects the
+// classic single-calendar engine untouched; threads >= 1 partitions the
+// node set into logical processes (LPs), each with its own calendar and
+// per-node resources, synchronized in windows whose width is the comm
+// backend's off-node latency L.
+#pragma once
+
+namespace wave::sim {
+
+struct ParallelOptions {
+  /// Worker threads for the LP runtime. 0 = serial single-calendar engine
+  /// (the legacy path, byte-for-byte); >= 1 = LP-partitioned engine with
+  /// min(threads, LP count) workers. By contract every value produces
+  /// identical results — threads only changes wall-clock.
+  int threads = 0;
+
+  /// Nodes per logical process. 0 = auto: ceil(nodes / 16), i.e. up to 16
+  /// LPs. The LP partition depends only on this and the node count — never
+  /// on `threads` — so any thread count replays the same schedule.
+  int lp_grouping = 0;
+
+  friend bool operator==(const ParallelOptions&,
+                         const ParallelOptions&) = default;
+};
+
+}  // namespace wave::sim

@@ -92,9 +92,11 @@ SimOutput AllreduceStormWorkload::simulate(const core::MachineConfig& machine,
   const StormSpec spec = make_storm_spec(machine, in);
   std::vector<int> node_of_rank(static_cast<std::size_t>(spec.ranks));
   for (int r = 0; r < spec.ranks; ++r) node_of_rank[r] = r / spec.cores_per_node;
-  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol,
+                   in.parallel);
   for (int r = 0; r < spec.ranks; ++r)
-    world.spawn("rank" + std::to_string(r), storm_rank(world.ctx(r), spec));
+    world.spawn("rank" + std::to_string(r), storm_rank(world.ctx(r), spec),
+                r);
   return collect_run(world, in.iterations);
 }
 

@@ -34,9 +34,12 @@ struct PingPongRun {
 
 /// As pingpong_half_rtt, with explicit protocol options (so the run can
 /// mirror a comm backend's rendezvous assumptions) and full run statistics.
+/// `parallel` selects the engine (identical results by contract; off-node
+/// placement puts the two ranks on distinct LPs when partitioned).
 PingPongRun pingpong_run(const loggp::MachineParams& params,
                          const sim::ProtocolOptions& protocol, bool on_chip,
-                         int bytes, int reps = 10);
+                         int bytes, int reps = 10,
+                         const sim::ParallelOptions& parallel = {});
 
 /// Simulated MPI_Allreduce completion time for `ranks` ranks packed
 /// `cores_per_node` per node. Requires power-of-two `ranks`.

@@ -148,7 +148,8 @@ sim::Process wavefront_rank(sim::RankCtx ctx, const WavefrontSpec& spec,
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
                                 const topo::Grid& grid, int iterations,
-                                const sim::ProtocolOptions& protocol) {
+                                const sim::ProtocolOptions& protocol,
+                                const sim::ParallelOptions& parallel) {
   machine.validate();
   const WavefrontSpec spec = make_spec(app, grid, iterations);
 
@@ -157,47 +158,52 @@ SimRunResult simulate_wavefront(const core::AppParams& app,
   for (int r = 0; r < grid.size(); ++r)
     node_of_rank[r] = node_map.node_of(grid.coord_of(r));
 
-  sim::World world(machine.loggp, std::move(node_of_rank), protocol);
-  // Pre-size the calendar from the decomposition: each rank keeps only a
+  sim::World world(machine.loggp, std::move(node_of_rank), protocol,
+                   parallel);
+  // Pre-size the calendars from the decomposition: each rank keeps only a
   // handful of events in flight (receives pending, one protocol step per
   // outstanding message), so a small multiple of P covers the steady
   // state and the warm-up never reallocates mid-run.
-  world.engine().reserve(static_cast<std::size_t>(grid.size()) * 8 + 256);
+  world.reserve_events(static_cast<std::size_t>(grid.size()) * 8 + 256);
   for (int r = 0; r < grid.size(); ++r)
     world.spawn("rank" + std::to_string(r),
-                wavefront_rank(world.ctx(r), spec, r));
+                wavefront_rank(world.ctx(r), spec, r), r);
 
   SimRunResult result;
   result.makespan = world.run();
   result.time_per_iteration = result.makespan / iterations;
-  result.events = world.engine().events_processed();
-  result.messages = world.mpi().messages_delivered();
-  result.bus_wait = world.mpi().bus_wait_total();
-  result.nic_wait = world.mpi().nic_wait_total();
-  result.mpi_busy_mean = world.mpi().mpi_busy_mean();
+  result.events = world.events_processed();
+  result.messages = world.messages_delivered();
+  result.bus_wait = world.bus_wait_total();
+  result.nic_wait = world.nic_wait_total();
+  result.mpi_busy_mean = world.mpi_busy_mean();
   return result;
 }
 
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
                                 const loggp::CommModelRegistry& registry,
-                                const topo::Grid& grid, int iterations) {
+                                const topo::Grid& grid, int iterations,
+                                const sim::ParallelOptions& parallel) {
   // Mirror the machine's analytic comm-backend assumptions in the
   // mechanistic protocol (e.g. LogGPS charges its synchronization cost on
   // the rendezvous path), so "measurement" and model stay comparable.
   sim::Mpi::ProtocolOptions protocol;
   protocol.rendezvous_sync =
       machine.make_comm_model(registry)->rendezvous_sync();
-  return simulate_wavefront(app, machine, grid, iterations, protocol);
+  return simulate_wavefront(app, machine, grid, iterations, protocol,
+                            parallel);
 }
 
 SimRunResult simulate_wavefront(const core::AppParams& app,
                                 const core::MachineConfig& machine,
                                 const loggp::CommModelRegistry& registry,
-                                int processors, int iterations) {
+                                int processors, int iterations,
+                                const sim::ParallelOptions& parallel) {
   WAVE_EXPECTS(processors >= 1);
   return simulate_wavefront(app, machine, registry,
-                            topo::closest_to_square(processors), iterations);
+                            topo::closest_to_square(processors), iterations,
+                            parallel);
 }
 
 }  // namespace wave::workloads

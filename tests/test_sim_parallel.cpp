@@ -1,0 +1,213 @@
+// Determinism-equivalence harness for the parallel LP engine (sim/World
+// with ParallelOptions::threads >= 1).
+//
+// Two contracts are under test, both bitwise (doubles compared as exact
+// bit patterns, never with tolerances):
+//
+//  1. Thread-count invariance (the parallelism guarantee): the LP engine
+//     produces the byte-identical SimOutput — and the identical per-LP
+//     (time, seq) event trace — at every worker count. One worker driving
+//     all LPs (threads=1) and genuinely concurrent windows (threads 2/4/8)
+//     must be indistinguishable, for every shipped workload and every
+//     communication backend. This is the property that makes `--sim-threads`
+//     a pure wall-clock knob.
+//
+//  2. Serial equivalence: the LP engine reproduces the monolithic
+//     single-calendar engine (threads=0) byte-for-byte whenever the
+//     workload's event schedule is tie-free. Five of the six workloads are
+//     tie-free on the canonical inputs and are checked field-for-field.
+//     sweep3d-hybrid's recursive-doubling allreduce posts symmetric sends
+//     at exactly equal simulated times; the serial engine resolves the
+//     resulting FIFO-bus ties by global scheduling order (a function of the
+//     whole interleaved history, which no partitioned execution can
+//     reconstruct), while the LP engine resolves them by the deterministic
+//     (order, src_lp, seq) envelope sort. The tie swap re-assigns which of
+//     two simultaneous messages absorbs a queueing delay, which shifts the
+//     per-rank MPI-occupancy attribution (mpi_busy) without changing the
+//     event count, message count, contention totals, or makespan — so for
+//     sweep3d-hybrid every field except mpi_busy is asserted equal, and
+//     mpi_busy is covered by contract 1.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "loggp/registry.h"
+#include "sim/mpi.h"
+#include "topology/node_map.h"
+#include "workloads/registry.h"
+#include "workloads/wavefront.h"
+#include "workloads/workload.h"
+
+namespace wc = wave::core;
+namespace ws = wave::sim;
+namespace ww = wave::workloads;
+
+namespace {
+
+const wave::loggp::CommModelRegistry kReg;
+
+/// Exact bit pattern of a double, so fingerprints distinguish -0.0 from 0.0
+/// and any ULP-level divergence.
+std::uint64_t bits(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+/// Every field of a SimOutput rendered bit-exactly, used as the comparison
+/// subject of the equivalence tests (a failure prints both fingerprints,
+/// which names the diverging field). `include_mpi` exists for the
+/// sweep3d-hybrid serial comparison (see the file comment).
+std::string fingerprint(const ww::SimOutput& out, bool include_mpi = true) {
+  std::ostringstream os;
+  os << std::hex << "time=" << bits(out.time_us)
+     << " makespan=" << bits(out.makespan_us) << std::dec
+     << " events=" << out.events << " messages=" << out.messages << std::hex
+     << " bus=" << bits(out.bus_wait_us) << " nic=" << bits(out.nic_wait_us);
+  if (include_mpi) os << " mpi=" << bits(out.mpi_busy_us);
+  for (const auto& [name, value] : out.extra)
+    os << " " << name << "=" << bits(value);
+  return os.str();
+}
+
+/// The canonical inputs each workload is exercised with: the default
+/// Sweep3D 64^3 application on a 4x4 decomposition, two DES iterations so
+/// cross-iteration pipelining is in play.
+ww::WorkloadInputs canonical_inputs(int threads, int lp_grouping = 0) {
+  ww::WorkloadInputs in;
+  in.grid = wave::topo::Grid(4, 4);
+  in.iterations = 2;
+  in.parallel.threads = threads;
+  in.parallel.lp_grouping = lp_grouping;
+  return in;
+}
+
+wc::MachineConfig machine_for(const std::string& backend) {
+  wc::MachineConfig m = wc::MachineConfig::xt4_dual_core();
+  m.comm_model = backend;
+  return m;
+}
+
+const std::vector<std::string> kBackends = {"loggp", "loggps", "contention"};
+
+}  // namespace
+
+// Contract 1: every shipped workload, under every registered communication
+// backend, produces the byte-identical SimOutput at every LP-engine worker
+// count. threads=1 is the reference — the same LP partition driven by one
+// worker — and 2/4/8 genuinely concurrent executions of it.
+TEST(SimParallel, AllWorkloadsAllBackendsThreadCountInvariant) {
+  const ww::WorkloadRegistry registry;
+  for (const auto& info : registry.list()) {
+    const auto workload = registry.get(info.name);
+    for (const std::string& backend : kBackends) {
+      const wc::MachineConfig machine = machine_for(backend);
+      const std::string reference =
+          fingerprint(workload->simulate(machine, kReg, canonical_inputs(1)));
+      for (const int threads : {2, 4, 8}) {
+        const std::string parallel = fingerprint(
+            workload->simulate(machine, kReg, canonical_inputs(threads)));
+        EXPECT_EQ(reference, parallel)
+            << info.name << " on " << backend << " diverged at " << threads
+            << " sim threads";
+      }
+    }
+  }
+}
+
+// Contract 2: the LP engine reproduces the monolithic serial engine
+// byte-for-byte — every field for the tie-free workloads, every field but
+// mpi_busy for sweep3d-hybrid (exact-time allreduce ties; file comment).
+TEST(SimParallel, AllWorkloadsAllBackendsMatchSerialEngine) {
+  const ww::WorkloadRegistry registry;
+  for (const auto& info : registry.list()) {
+    const auto workload = registry.get(info.name);
+    const bool tie_free = info.name != "sweep3d-hybrid";
+    for (const std::string& backend : kBackends) {
+      const wc::MachineConfig machine = machine_for(backend);
+      const std::string serial = fingerprint(
+          workload->simulate(machine, kReg, canonical_inputs(0)), tie_free);
+      const std::string parallel = fingerprint(
+          workload->simulate(machine, kReg, canonical_inputs(4)), tie_free);
+      EXPECT_EQ(serial, parallel)
+          << info.name << " on " << backend
+          << ": LP engine diverged from the serial engine";
+    }
+  }
+}
+
+// The LP partition is a free parameter: any nodes-per-LP grouping must
+// reproduce the serial engine exactly (for a tie-free workload), because
+// the envelope ordering contract is partition-independent.
+TEST(SimParallel, LpGroupingDoesNotChangeResults) {
+  const ww::WorkloadRegistry registry;
+  const auto workload = registry.get("wavefront");
+  const wc::MachineConfig machine = machine_for("loggp");
+  const std::string serial =
+      fingerprint(workload->simulate(machine, kReg, canonical_inputs(0)));
+  for (const int grouping : {1, 2, 4}) {
+    const std::string parallel = fingerprint(
+        workload->simulate(machine, kReg, canonical_inputs(4, grouping)));
+    EXPECT_EQ(serial, parallel)
+        << "wavefront diverged with lp_grouping=" << grouping;
+  }
+}
+
+// Contract 1 at the event level, on a production-scale decomposition:
+// a 256-rank wavefront's per-LP (time, seq) executed-event streams are
+// identical at every worker count. This is strictly stronger than the
+// aggregate fingerprints — any reordering, dropped event, or time skew
+// anywhere in the run fails here even if the sums happen to agree.
+TEST(SimParallel, WavefrontP256TracesIdenticalAcrossThreads) {
+  const wc::MachineConfig machine = machine_for("loggp");
+  machine.validate();
+  const wave::topo::Grid grid(16, 16);
+  const ww::WavefrontSpec spec =
+      ww::make_spec(ww::WorkloadInputs::default_app(), grid, 1);
+
+  ws::Mpi::ProtocolOptions protocol;
+  protocol.rendezvous_sync =
+      machine.make_comm_model(kReg)->rendezvous_sync();
+
+  auto run = [&](int threads) {
+    const wave::topo::NodeMap node_map(grid, machine.cx, machine.cy);
+    std::vector<int> node_of_rank(static_cast<std::size_t>(grid.size()));
+    for (int r = 0; r < grid.size(); ++r)
+      node_of_rank[r] = node_map.node_of(grid.coord_of(r));
+    ws::ParallelOptions parallel;
+    parallel.threads = threads;
+    ws::World world(machine.loggp, std::move(node_of_rank), protocol,
+                    parallel);
+    world.reserve_events(static_cast<std::size_t>(grid.size()) * 8 + 256);
+    std::vector<std::vector<ws::Engine::TraceEvent>> traces;
+    world.capture_traces(&traces);
+    for (int r = 0; r < grid.size(); ++r)
+      world.spawn("rank" + std::to_string(r),
+                  ww::wavefront_rank(world.ctx(r), spec, r), r);
+    world.run();
+    return traces;
+  };
+
+  const auto reference = run(1);
+  ASSERT_GT(reference.size(), 1u) << "expected a multi-LP partition";
+  std::size_t total = 0;
+  for (const auto& t : reference) total += t.size();
+  ASSERT_GT(total, 10000u) << "trace suspiciously small for P=256";
+
+  for (const int threads : {2, 4, 8}) {
+    const auto traces = run(threads);
+    ASSERT_EQ(reference.size(), traces.size());
+    for (std::size_t lp = 0; lp < reference.size(); ++lp) {
+      // TraceEvent's defaulted operator== compares the exact double time
+      // and the engine-local seq; vector== applies it element-wise.
+      EXPECT_EQ(reference[lp], traces[lp])
+          << "LP " << lp << " trace diverged at " << threads
+          << " sim threads";
+    }
+  }
+}

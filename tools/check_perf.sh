@@ -5,18 +5,26 @@
 # by a wide margin within the fresh run. CI runs this in the perf-smoke
 # job.
 #
-# Usage: tools/check_perf.sh BENCH_pr4.json fresh_quick.json [min_ratio]
-#   BENCH_pr4.json    committed trajectory (its "quick" section is the
+# Usage: tools/check_perf.sh BENCH.json fresh_quick.json \
+#            [min_ratio] [min_batch_speedup] [min_parallel_speedup]
+#   BENCH.json        committed trajectory (its "quick" section is the
 #                     reference)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
-#   min_batch_speedup (4th arg) default 10 — the fresh run's batch-routed
-#                     model points/sec must beat its own scalar points/sec
-#                     by this factor (within-file, machine-independent)
 #   min_ratio         default 0.75 — i.e. fail on a >25% regression. The
 #                     threshold is deliberately generous: CI runners are
 #                     noisy and differ from the machine that wrote the
 #                     reference; this catches "the pooling broke and we
 #                     are allocating again", not 5% jitter.
+#   min_batch_speedup default 10 — the fresh run's batch-routed model
+#                     points/sec must beat its own scalar points/sec by
+#                     this factor (within-file, machine-independent)
+#   min_parallel_speedup default 2.5 — the LP engine at 8 threads must
+#                     beat the serial engine on the same P=1024 wavefront
+#                     (within-file; enforced only when the runner has >= 8
+#                     hardware threads, skipped with a message otherwise)
+#
+# Every gated key must exist in the fresh file — a missing key exits 2, so
+# a gate can never silently pass because perf_sweep stopped emitting it.
 set -eu
 
 ref="${1:?usage: check_perf.sh BENCH.json fresh.json [min_ratio]}"
@@ -68,5 +76,43 @@ if [ "$ok" -ne 1 ]; then
   echo "PERF REGRESSION: batch-routed analytic points/sec fell below" \
        "${min_batch_speedup}x the scalar path" >&2
   exit 1
+fi
+
+# Engine-scaling gate: the LP-partitioned engine at 8 worker threads must
+# beat the serial engine by min_parallel_speedup on the same P=1024
+# wavefront (within-file, so machine-independent) — but only on runners
+# with enough hardware threads to express the parallelism. On smaller
+# runners the ratio gate is SKIPPED WITH A MESSAGE; the keys themselves
+# are mandatory on every runner (a missing key is a tooling regression and
+# exits 2 — gates must never silently skip because a key vanished).
+min_parallel_speedup="${5:-2.5}"
+fresh_hw=$(awk -F': ' '$1 ~ /^[[:space:]]*"hardware_threads"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_par_threads=$(awk -F': ' '$1 ~ /^[[:space:]]*"sim_parallel_threads"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_serial=$(awk -F': ' '$1 ~ /^[[:space:]]*"sim_serial_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_par=$(awk -F': ' '$1 ~ /^[[:space:]]*"sim_parallel_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+
+if [ -z "$fresh_hw" ] || [ -z "$fresh_par_threads" ] || \
+   [ -z "$fresh_serial" ] || [ -z "$fresh_par" ]; then
+  echo "check_perf: could not extract engine-scaling keys" \
+       "(hardware_threads='$fresh_hw', sim_parallel_threads='$fresh_par_threads'," \
+       "serial='$fresh_serial', parallel='$fresh_par')" >&2
+  exit 2
+fi
+
+par_ratio=$(awk "BEGIN { printf \"%.2f\", $fresh_par / $fresh_serial }")
+if [ "$fresh_hw" -ge "$fresh_par_threads" ]; then
+  echo "engine scaling: parallel $fresh_par vs serial $fresh_serial events/sec" \
+       "(${par_ratio}x at $fresh_par_threads threads, minimum ${min_parallel_speedup}x," \
+       "$fresh_hw hardware threads)"
+  ok=$(awk "BEGIN { print ($fresh_par >= $min_parallel_speedup * $fresh_serial) ? 1 : 0 }")
+  if [ "$ok" -ne 1 ]; then
+    echo "PERF REGRESSION: parallel engine events/sec fell below" \
+         "${min_parallel_speedup}x serial at $fresh_par_threads threads" >&2
+    exit 1
+  fi
+else
+  echo "engine scaling: SKIPPED ratio gate — runner has $fresh_hw hardware" \
+       "thread(s), fewer than the $fresh_par_threads the benchmark drives" \
+       "(measured ${par_ratio}x; keys present and checked)"
 fi
 echo "perf OK"

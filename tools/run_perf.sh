@@ -7,7 +7,7 @@
 #
 # Usage: tools/run_perf.sh [build-dir] [out.json]
 #   build-dir  default: build   (needs bench/perf_sweep built, Release!)
-#   out.json   default: BENCH_pr6.json
+#   out.json   default: BENCH_pr7.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -18,7 +18,7 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr6.json}"
+out="${2:-BENCH_pr7.json}"
 sweep="$build/bench/perf_sweep"
 
 if [ ! -x "$sweep" ]; then
@@ -36,6 +36,18 @@ echo "== perf_sweep (full grid, ~30s) =="
 echo
 echo "== perf_sweep --quick (CI reference) =="
 "$sweep" --quick --out="$tmp_quick"
+
+# Key-set parity: --quick must emit exactly the keys the full run emits.
+# tools/check_perf.sh gates on the quick file; a key present only in the
+# full output would let a gate go silently unenforced in CI.
+keys() { awk -F': ' '$1 ~ /^[[:space:]]*"/ { gsub(/[[:space:]"]/, "", $1); print $1 }' "$1" | sort; }
+if [ "$(keys "$tmp_full")" != "$(keys "$tmp_quick")" ]; then
+  echo "error: perf_sweep --quick and full runs emit different JSON key sets:" >&2
+  keys "$tmp_full" > "$tmp_full.keys"; keys "$tmp_quick" > "$tmp_quick.keys"
+  diff "$tmp_full.keys" "$tmp_quick.keys" >&2 || true
+  rm -f "$tmp_full.keys" "$tmp_quick.keys"
+  exit 1
+fi
 
 # Pulls "key": value out of a flat perf_sweep JSON. Anchored to the whole
 # field, so one key can never match another key containing it.
@@ -55,6 +67,13 @@ quick_batch=$(metric "$tmp_quick" model_batch_points_per_sec)
 svc_cold=$(metric "$tmp_full" service_cold_evals_per_sec)
 svc_hits=$(metric "$tmp_full" service_hits_per_sec)
 svc_speedup=$(metric "$tmp_full" service_hit_speedup)
+hw_threads=$(metric "$tmp_full" hardware_threads)
+par_threads=$(metric "$tmp_full" sim_parallel_threads)
+par_serial=$(metric "$tmp_full" sim_serial_events_per_sec)
+par_events=$(metric "$tmp_full" sim_parallel_events_per_sec)
+par_speedup=$(metric "$tmp_full" sim_parallel_speedup)
+quick_par_serial=$(metric "$tmp_quick" sim_serial_events_per_sec)
+quick_par_events=$(metric "$tmp_quick" sim_parallel_events_per_sec)
 
 # Per-workload DES events/sec from the full run, assembled as one JSON
 # object line ("name": rate, ...). The names are discovered from the
@@ -89,14 +108,16 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver), measured by this run",
-  "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model, "model_batch_points_per_sec": $full_batch},
-  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch},
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver + PR7 parallel engine), measured by this run",
+  "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model, "model_batch_points_per_sec": $full_batch, "sim_serial_events_per_sec": $par_serial, "sim_parallel_events_per_sec": $par_events},
+  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch, "sim_serial_events_per_sec": $quick_par_serial, "sim_parallel_events_per_sec": $quick_par_events},
   "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
   "workloads_events_per_sec": {$workloads_json},
   "service_label": "EvalService memoization, full grid (PR5 facade): cold analytic evals/sec vs cache-hit lookups/sec on the same query mix",
   "service": {"cold_evals_per_sec": $svc_cold, "hits_per_sec": $svc_hits, "hit_speedup": $svc_speedup},
   "batch_label": "PR6 batch solver: batch-routed vs scalar analytic points/sec on the same grid, this run",
+  "parallel_label": "PR7 LP-partitioned engine: P=1024 wavefront at $par_threads worker threads vs the serial engine, this run/machine ($hw_threads hardware thread(s) — the speedup is only meaningful when hardware_threads >= sim_parallel_threads; tools/check_perf.sh applies the same condition)",
+  "parallel": {"threads": $par_threads, "hardware_threads": $hw_threads, "sim_serial_events_per_sec": $par_serial, "sim_parallel_events_per_sec": $par_events, "speedup": $par_speedup},
   "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine, "model_batch_vs_scalar": $speedup_batch}
 }
 EOF
