@@ -23,6 +23,10 @@
 //     scenarios resets the cache generation (counted in Stats::resets) —
 //     a deliberately simple bound that keeps the dense map allocation-free
 //     in steady state;
+//   - the cache is sharded (`Options::shards`, key hash → shard, each
+//     shard behind its own mutex), so concurrent hits on distinct shards
+//     never contend — the serving layer (src/serve/) runs one service
+//     with as many shards as workers;
 //   - errors are never cached: a query that fails (unknown name, bad
 //     domain) is re-validated on every call, so fixing the Context
 //     (e.g. adding the missing machine) takes effect immediately.
@@ -34,6 +38,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "wave/query.h"
 #include "wave/status.h"
@@ -47,12 +53,19 @@ class Study;
 class EvalService {
  public:
   struct Options {
-    /// Distinct scenarios cached before the generation resets.
+    /// Distinct scenarios cached before a shard's generation resets
+    /// (divided evenly across shards).
     std::size_t capacity;
+    /// Independent cache shards (key hash → shard). Each shard owns its
+    /// own mutex, so concurrent hits on distinct shards never contend —
+    /// hit throughput scales with cores instead of serializing behind one
+    /// lock. 1 (the default) is the pre-sharding behaviour.
+    std::size_t shards;
     // Written out (not a default member initializer) so the constructor
     // below may default-construct Options before EvalService is complete.
-    Options() : capacity(4096) {}
-    explicit Options(std::size_t capacity_) : capacity(capacity_) {}
+    Options() : capacity(4096), shards(1) {}
+    explicit Options(std::size_t capacity_, std::size_t shards_ = 1)
+        : capacity(capacity_), shards(shards_) {}
   };
 
   /// The service borrows `ctx`, which must outlive it. Queries evaluated
@@ -90,16 +103,42 @@ class EvalService {
   ///   diagnostics and tests.
   std::string canonical_key(const Query& query) const;
 
-  /// @brief Cache counters (a consistent snapshot).
+  /// @brief Cache counters, aggregated over every shard. The snapshot is
+  ///   consistent: all shard locks are held while it is taken, so the
+  ///   cross-shard invariants hold in every snapshot even under concurrent
+  ///   load (`size <= misses + imported`, and after quiescence
+  ///   `hits + misses + errors == evaluate() calls`).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;    ///< evaluations performed (cachable ones)
     std::uint64_t errors = 0;    ///< failed queries (never cached)
     std::uint64_t resets = 0;    ///< capacity-triggered generation resets
+    std::uint64_t imported = 0;  ///< entries restored via import_cache()
     std::size_t size = 0;        ///< scenarios currently cached
-    std::size_t capacity = 0;
+    std::size_t capacity = 0;    ///< total across shards
+    std::size_t shards = 0;
   };
   Stats stats() const;
+
+  // ---- snapshot hooks (src/serve/snapshot.* builds on these) -----------
+
+  /// @brief One cached scenario: the canonical key text and its Result.
+  struct CacheEntry {
+    std::string key;
+    Result result;
+  };
+
+  /// @brief A consistent copy of every cached entry (all shard locks held),
+  ///   in a deterministic order (sorted by key). The serve layer's
+  ///   crash-safe snapshots serialize exactly this.
+  std::vector<CacheEntry> export_cache() const;
+
+  /// @brief Restores previously exported entries. Keys already cached are
+  ///   skipped (the live entry wins); restored entries serve subsequent
+  ///   hits bit-identical to the Results that were exported. Counted in
+  ///   Stats::imported, not Stats::misses.
+  /// @return The number of entries actually added.
+  std::size_t import_cache(const std::vector<CacheEntry>& entries);
 
   /// @brief Drops every cached scenario (counters other than size keep
   ///   their values).

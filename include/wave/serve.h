@@ -1,0 +1,100 @@
+// Options and counters of the `wave-serve` evaluation daemon.
+//
+// The daemon itself (src/serve/server.h, tools/wave_serve) is internal —
+// its protocol is the stable surface (docs/SERVING.md) — but embedders
+// and monitoring code need the plain configuration and statistics types,
+// so those live here on the installed facade.
+//
+// The serving model, in one paragraph: requests arrive as JSON lines over
+// a local socket and are admitted into one of two bounded queues — cheap
+// analytic queries and expensive DES queries. A pool of workers drains
+// both (analytic first) through a sharded, memoizing EvalService. Every
+// request may carry a deadline; expired requests get a structured
+// `deadline_exceeded` error (from a watchdog, so a stalled worker never
+// delays the answer) and are cooperatively cancelled. When the DES queue
+// saturates, requests are shed with a retry-after hint — unless the
+// client opted into degradation, in which case the DES query is answered
+// by the analytic model with `degraded: true`. The cache can be
+// snapshotted crash-safely and restored bit-identically on restart.
+//
+// This header is self-contained: it depends only on the C++ standard
+// library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wave {
+
+/// @brief Configuration of a serve::Server (all knobs have serving-
+///   friendly defaults; only `socket_path` is required).
+struct ServeOptions {
+  /// Filesystem path of the AF_UNIX listening socket. An existing socket
+  /// file at this path is replaced (the daemon assumes it is stale).
+  std::string socket_path;
+
+  /// Worker threads draining the admission queues. <= 0 selects the
+  /// hardware concurrency.
+  int workers = 2;
+
+  /// EvalService cache shards (key hash -> shard); see
+  /// wave::EvalService::Options::shards. <= 0 matches the worker count.
+  int shards = 0;
+
+  /// Total cached scenarios across shards before a shard's generation
+  /// resets.
+  std::size_t cache_capacity = 65536;
+
+  /// Bounded admission: queued-but-not-started requests per class.
+  /// Requests beyond the bound are shed (or degraded, when the client
+  /// opts in) — the queues can never grow without bound.
+  std::size_t analytic_queue_limit = 1024;
+  std::size_t des_queue_limit = 8;
+
+  /// The backoff hint attached to shed responses, scaled by the momentary
+  /// queue depth (a full DES queue of slow points suggests waiting
+  /// longer than a full analytic queue of microsecond points).
+  std::uint32_t retry_after_ms = 50;
+
+  /// Requests longer than this (one JSON line, newline included) are
+  /// rejected with a structured `invalid_request` error and the rest of
+  /// the oversized line is discarded — a misbehaving client cannot make
+  /// the daemon buffer unbounded input.
+  std::size_t max_request_bytes = 65536;
+
+  /// Deadline applied to requests that do not carry their own
+  /// `deadline_ms`; 0 = no default deadline.
+  std::uint32_t default_deadline_ms = 0;
+
+  /// Cache snapshot file. Loaded (if present and valid) at startup;
+  /// written by the `snapshot` protocol op. A corrupt or truncated file
+  /// is rejected loudly and the server starts cold — never crashes.
+  /// Empty disables snapshots.
+  std::string snapshot_path;
+};
+
+/// @brief Monotonic counters of one Server, as returned by
+///   serve::Server::stats() and the `stats` protocol op. A consistent
+///   snapshot: counters are read together, and the accounting identity
+///   `requests == ok + degraded + shed + deadline_exceeded + invalid +
+///   eval_errors + snapshot_write_failures` holds once the server is idle
+///   (every admitted request is answered exactly once, by exactly one of
+///   those outcomes).
+struct ServeStats {
+  std::uint64_t connections = 0;        ///< accepted client connections
+  std::uint64_t requests = 0;           ///< protocol requests admitted
+  std::uint64_t ok = 0;                 ///< answered with a full result
+  std::uint64_t degraded = 0;           ///< DES answered analytically (opt-in)
+  std::uint64_t shed = 0;               ///< rejected by bounded admission
+  std::uint64_t deadline_exceeded = 0;  ///< expired before completion
+  std::uint64_t invalid = 0;            ///< malformed/oversized/unknown-op
+  std::uint64_t eval_errors = 0;        ///< evaluation failed (bad names...)
+  std::uint64_t cancelled_evals = 0;    ///< results discarded after expiry
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_write_failures = 0;
+  std::uint64_t restored_entries = 0;   ///< cache entries loaded at startup
+  bool snapshot_load_failed = false;    ///< startup snapshot was rejected
+};
+
+}  // namespace wave

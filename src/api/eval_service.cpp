@@ -1,5 +1,7 @@
 #include "wave/eval_service.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -76,47 +78,80 @@ struct EvalService::Impl {
     Result result;
   };
 
+  /// One cache shard: its own mutex, dense map and counters. Concurrent
+  /// operations on distinct shards never touch a shared cache line, so
+  /// hit throughput scales with cores (the serve layer's point).
+  struct Shard {
+    mutable std::mutex mutex;
+    /// hash(key) -> entries with that hash (collision chains stay tiny;
+    /// the full key string disambiguates).
+    common::DenseMap64<std::vector<Entry>> cache;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t imported = 0;
+
+    const Result* find_locked(std::uint64_t hash, const std::string& key) {
+      const std::vector<Entry>* chain = cache.find(hash);
+      if (chain == nullptr) return nullptr;
+      for (const Entry& e : *chain)
+        if (e.key == key) return &e.result;
+      return nullptr;
+    }
+
+    void store_locked(std::uint64_t hash, const std::string& key,
+                      const Result& result) {
+      if (size >= capacity) {
+        // Generation reset: the simple capacity bound (see eval_service.h).
+        cache = common::DenseMap64<std::vector<Entry>>();
+        cache.reserve_keys(capacity);
+        size = 0;
+        ++resets;
+      }
+      cache[hash].push_back(Entry{key, result});
+      ++size;
+    }
+  };
+
+  explicit Impl(std::size_t shard_count) : shards(shard_count) {}
+
   const Context* ctx;
   Options options;
+  std::vector<Shard> shards;
+  /// Resolution failures have no canonical key and therefore no shard.
+  std::atomic<std::uint64_t> errors{0};
 
-  mutable std::mutex mutex;
-  /// hash(key) -> entries with that hash (collision chains stay tiny; the
-  /// full key string disambiguates).
-  common::DenseMap64<std::vector<Entry>> cache;
-  std::size_t size = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t errors = 0;
-  std::uint64_t resets = 0;
-
-  const Result* find_locked(std::uint64_t hash, const std::string& key) {
-    const std::vector<Entry>* chain = cache.find(hash);
-    if (chain == nullptr) return nullptr;
-    for (const Entry& e : *chain)
-      if (e.key == key) return &e.result;
-    return nullptr;
+  Shard& shard_for(std::uint64_t hash) {
+    return shards[hash % shards.size()];
   }
 
-  void store_locked(std::uint64_t hash, const std::string& key,
-                    const Result& result) {
-    if (size >= options.capacity) {
-      // Generation reset: the simple capacity bound (see eval_service.h).
-      cache = common::DenseMap64<std::vector<Entry>>();
-      cache.reserve_keys(options.capacity);
-      size = 0;
-      ++resets;
-    }
-    cache[hash].push_back(Entry{key, result});
-    ++size;
+  /// Locks every shard, in index order (the one total order, so two
+  /// whole-cache operations can never deadlock against each other).
+  std::vector<std::unique_lock<std::mutex>> lock_all() const {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards.size());
+    for (const Shard& shard : shards)
+      locks.emplace_back(shard.mutex);
+    return locks;
   }
 };
 
 EvalService::EvalService(const Context& ctx, Options options)
-    : impl_(std::make_unique<Impl>()) {
+    : impl_(std::make_unique<Impl>(options.shards == 0 ? 1 : options.shards)) {
   impl_->ctx = &ctx;
   impl_->options = options;
   if (impl_->options.capacity == 0) impl_->options.capacity = 1;
-  impl_->cache.reserve_keys(impl_->options.capacity);
+  impl_->options.shards = impl_->shards.size();
+  // Capacity divides evenly across shards; every shard holds at least one
+  // entry so a tiny capacity with many shards still caches something.
+  const std::size_t per_shard = std::max<std::size_t>(
+      1, impl_->options.capacity / impl_->shards.size());
+  for (Impl::Shard& shard : impl_->shards) {
+    shard.capacity = per_shard;
+    shard.cache.reserve_keys(per_shard);
+  }
 }
 
 EvalService::~EvalService() = default;
@@ -138,17 +173,17 @@ Expected<Result> EvalService::evaluate(const Query& query) {
   try {
     scenario = api::scenario_from(*impl_->ctx, query);
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    ++impl_->errors;
+    impl_->errors.fetch_add(1, std::memory_order_relaxed);
     return api::to_status(e);
   }
   const std::string key = key_text(query, scenario);
   const std::uint64_t hash = fnv1a(key);
+  Impl::Shard& shard = impl_->shard_for(hash);
 
   {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    if (const Result* cached = impl_->find_locked(hash, key)) {
-      ++impl_->hits;
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const Result* cached = shard.find_locked(hash, key)) {
+      ++shard.hits;
       return *cached;
     }
   }
@@ -161,16 +196,15 @@ Expected<Result> EvalService::evaluate(const Query& query) {
   try {
     result = api::result_from(*impl_->ctx, query, scenario);
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    ++impl_->errors;
+    impl_->errors.fetch_add(1, std::memory_order_relaxed);
     return api::to_status(e);
   }
 
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
-  ++impl_->misses;
-  if (const Result* cached = impl_->find_locked(hash, key))
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  if (const Result* cached = shard.find_locked(hash, key))
     return *cached;  // lost the race; the stored copy is authoritative
-  impl_->store_locked(hash, key, result);
+  shard.store_locked(hash, key, result);
   return result;
 }
 
@@ -238,11 +272,14 @@ Expected<std::size_t> EvalService::warm(const Study& study) {
 
     // Skip scenarios already cached (and duplicates within this warm).
     {
-      const std::lock_guard<std::mutex> lock(impl_->mutex);
       std::vector<Pending> fresh;
       fresh.reserve(pending.size());
       for (Pending& p : pending) {
-        if (impl_->find_locked(p.hash, p.key) != nullptr) continue;
+        Impl::Shard& shard = impl_->shard_for(p.hash);
+        {
+          const std::lock_guard<std::mutex> lock(shard.mutex);
+          if (shard.find_locked(p.hash, p.key) != nullptr) continue;
+        }
         bool duplicate = false;
         for (const Pending& f : fresh) duplicate |= f.key == p.key;
         if (!duplicate) fresh.push_back(std::move(p));
@@ -299,39 +336,77 @@ Expected<std::size_t> EvalService::warm(const Study& study) {
     }
 
     std::size_t added = 0;
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
     for (std::size_t i = 0; i < pending.size(); ++i) {
-      if (impl_->find_locked(pending[i].hash, pending[i].key) != nullptr)
+      Impl::Shard& shard = impl_->shard_for(pending[i].hash);
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      if (shard.find_locked(pending[i].hash, pending[i].key) != nullptr)
         continue;  // a concurrent evaluate() won the race
-      ++impl_->misses;
-      impl_->store_locked(pending[i].hash, pending[i].key, results[i]);
+      ++shard.misses;
+      shard.store_locked(pending[i].hash, pending[i].key, results[i]);
       ++added;
     }
     return added;
   } catch (const std::exception& e) {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    ++impl_->errors;
+    impl_->errors.fetch_add(1, std::memory_order_relaxed);
     return api::to_status(e);
   }
 }
 
 EvalService::Stats EvalService::stats() const {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto locks = impl_->lock_all();
   Stats out;
-  out.hits = impl_->hits;
-  out.misses = impl_->misses;
-  out.errors = impl_->errors;
-  out.resets = impl_->resets;
-  out.size = impl_->size;
-  out.capacity = impl_->options.capacity;
+  for (const Impl::Shard& shard : impl_->shards) {
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.resets += shard.resets;
+    out.imported += shard.imported;
+    out.size += shard.size;
+    out.capacity += shard.capacity;
+  }
+  out.errors = impl_->errors.load(std::memory_order_relaxed);
+  out.shards = impl_->shards.size();
   return out;
 }
 
+std::vector<EvalService::CacheEntry> EvalService::export_cache() const {
+  const auto locks = impl_->lock_all();
+  std::vector<CacheEntry> out;
+  for (const Impl::Shard& shard : impl_->shards)
+    shard.cache.for_each([&out](std::uint64_t,
+                                const std::vector<Impl::Entry>& chain) {
+      for (const Impl::Entry& e : chain)
+        out.push_back(CacheEntry{e.key, e.result});
+    });
+  // Deterministic order regardless of insertion history and shard count,
+  // so two snapshots of the same cache content are byte-identical.
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntry& a, const CacheEntry& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::size_t EvalService::import_cache(const std::vector<CacheEntry>& entries) {
+  std::size_t added = 0;
+  for (const CacheEntry& entry : entries) {
+    const std::uint64_t hash = fnv1a(entry.key);
+    Impl::Shard& shard = impl_->shard_for(hash);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.find_locked(hash, entry.key) != nullptr) continue;
+    shard.store_locked(hash, entry.key, entry.result);
+    ++shard.imported;
+    ++added;
+  }
+  return added;
+}
+
 void EvalService::clear() {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
-  impl_->cache = common::DenseMap64<std::vector<Impl::Entry>>();
-  impl_->cache.reserve_keys(impl_->options.capacity);
-  impl_->size = 0;
+  const auto locks = impl_->lock_all();
+  for (Impl::Shard& shard : impl_->shards) {
+    shard.cache = common::DenseMap64<std::vector<Impl::Entry>>();
+    shard.cache.reserve_keys(shard.capacity);
+    shard.size = 0;
+  }
 }
 
 }  // namespace wave

@@ -62,6 +62,13 @@ class DenseMap64 {
   std::size_t size() const { return size_; }
   std::size_t buckets() const { return keys_.size(); }
 
+  /// Calls fn(key, value) for every entry, in unspecified (bucket) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i)
+      if (keys_[i] != kEmptyKey) fn(keys_[i], values_[i]);
+  }
+
  private:
   /// splitmix64 finalizer — avalanches the packed (src, dst) rank pairs.
   static std::uint64_t mix(std::uint64_t x) {

@@ -73,6 +73,24 @@ double parse_number(const std::string& source, int line,
   return out;
 }
 
+/// LogGP latencies, gaps and overheads. "nan", "inf" and negative values
+/// all parse as doubles, but any of them silently poisons every derived
+/// prediction (a NaN G makes every time NaN; a negative o makes times go
+/// backwards) — so the physical-parameter keys reject them right here,
+/// with the same file:line diagnostics as any other config error.
+double parse_param(const std::string& source, int line, const std::string& key,
+                   const std::string& value) {
+  const double out = parse_number(source, line, key, value);
+  if (!std::isfinite(out))
+    config_fail(source, line,
+                "value of '" + key + "' must be finite, got '" + value + "'");
+  if (out < 0.0)
+    config_fail(source, line, "value of '" + key +
+                                  "' must be non-negative, got '" + value +
+                                  "'");
+  return out;
+}
+
 int parse_int(const std::string& source, int line, const std::string& key,
               const std::string& value) {
   const double d = parse_number(source, line, key, value);
@@ -128,7 +146,7 @@ const std::vector<KeySpec>& key_specs() {
         key, required,
         [key, field](MachineConfig& m, const std::string& src, int line,
                      const std::string& v) {
-          m.loggp.off.*field = parse_number(src, line, key, v);
+          m.loggp.off.*field = parse_param(src, line, key, v);
         },
         [field](const MachineConfig& m) {
           return format_number(m.loggp.off.*field);
@@ -139,7 +157,7 @@ const std::vector<KeySpec>& key_specs() {
         key, true,
         [key, field](MachineConfig& m, const std::string& src, int line,
                      const std::string& v) {
-          m.loggp.on.*field = parse_number(src, line, key, v);
+          m.loggp.on.*field = parse_param(src, line, key, v);
         },
         [field](const MachineConfig& m) {
           return format_number(m.loggp.on.*field);

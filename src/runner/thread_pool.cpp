@@ -45,7 +45,13 @@ void ThreadPool::for_each_chunk(
       if (begin >= count) return;
       const std::size_t end = std::min(begin + chunk, count);
       try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        // Fail-fast inside the chunk too: once any worker has thrown,
+        // remaining indices are abandoned mid-chunk instead of running a
+        // body that is already known to be pointless (or poisoned).
+        for (std::size_t i = begin; i < end; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          body(i);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();

@@ -23,8 +23,10 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, count), spread over the pool's
   /// threads; blocks until all complete. Execution order is unspecified.
-  /// The first exception thrown by `body` is rethrown here (remaining
-  /// items are abandoned, in-flight ones finish).
+  /// The first exception thrown by `body` is rethrown here. Fail-fast:
+  /// after any worker throws, unclaimed chunks are never started and
+  /// in-flight chunks abandon their remaining indices (the current
+  /// body(i) call itself runs to completion).
   void for_each_index(std::size_t count,
                       const std::function<void(std::size_t)>& body) const;
 

@@ -1,0 +1,113 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "serve/json.h"
+
+namespace wave::serve {
+
+Client::~Client() { close(); }
+
+Status Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    return Status::invalid_argument("bad socket path: " + socket_path);
+  std::copy(socket_path.begin(), socket_path.end(), addr.sun_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::internal("socket() failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::not_found("cannot connect to " + socket_path);
+  }
+  return Status::ok();
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Client::send_line(const std::string& line) {
+  if (fd_ < 0) return Status::failed_precondition("client is not connected");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return Status::internal("send() failed (server gone?)");
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Expected<std::string> Client::read_line() {
+  if (fd_ < 0) return Status::failed_precondition("client is not connected");
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0)
+      return Status::internal("connection closed by the server");
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Expected<Response> Client::call(const std::string& line) {
+  const Status sent = send_line(line);
+  if (!sent.is_ok()) return sent;
+  Expected<std::string> reply = read_line();
+  if (!reply.ok()) return reply.status();
+  return parse_response(reply.value());
+}
+
+Expected<Response> Client::parse_response(const std::string& line) {
+  JsonValue value;
+  std::string error;
+  if (!parse_json(line, value, error) || !value.is_object())
+    return Status::internal("unparseable response line: " + error);
+  Response out;
+  out.raw = line;
+  if (const JsonValue* id = value.find("id"); id != nullptr && id->is_string())
+    out.id = id->text;
+  if (const JsonValue* ok = value.find("ok"); ok != nullptr && ok->is_bool())
+    out.ok = ok->boolean;
+  if (const JsonValue* degraded = value.find("degraded");
+      degraded != nullptr && degraded->is_bool())
+    out.degraded = degraded->boolean;
+  if (const JsonValue* err = value.find("error");
+      err != nullptr && err->is_object()) {
+    if (const JsonValue* code = err->find("code");
+        code != nullptr && code->is_string())
+      out.error_code = code->text;
+    if (const JsonValue* message = err->find("message");
+        message != nullptr && message->is_string())
+      out.error_message = message->text;
+    if (const JsonValue* retry = err->find("retry_after_ms");
+        retry != nullptr && retry->is_number())
+      out.retry_after_ms = static_cast<std::uint32_t>(retry->number);
+  }
+  if (const JsonValue* result = value.find("result");
+      result != nullptr && result->is_object())
+    if (const JsonValue* time_us = result->find("time_us");
+        time_us != nullptr && time_us->is_number())
+      out.time_us = time_us->number;
+  return out;
+}
+
+}  // namespace wave::serve

@@ -1,0 +1,63 @@
+// A small blocking client for the wave-serve line protocol.
+//
+// This is the test- and tool-side counterpart of serve::Server: it speaks
+// raw request lines (so tests can send deliberately malformed ones) and
+// parses responses just enough to assert on them. It is intentionally
+// synchronous — one in-flight request per call — because every caller
+// that needs concurrency (bench/serve_load.cpp) opens one Client per
+// in-flight stream instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wave/status.h"
+
+namespace wave::serve {
+
+/// @brief One parsed response line.
+struct Response {
+  std::string id;
+  bool ok = false;
+  bool degraded = false;
+  std::string error_code;     ///< "" when ok
+  std::string error_message;  ///< "" when ok
+  std::uint32_t retry_after_ms = 0;
+  double time_us = 0.0;  ///< result.time_us when present
+  std::string raw;       ///< the verbatim response line
+};
+
+/// @brief Blocking line-protocol client. Not thread-safe; one per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// @brief Connects to the daemon's AF_UNIX socket.
+  Status connect(const std::string& socket_path);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// @brief Sends one raw line (newline appended) without waiting.
+  Status send_line(const std::string& line);
+
+  /// @brief Reads the next response line (blocking). kFailedPrecondition
+  ///   when not connected; kInternal when the server closed the stream.
+  Expected<std::string> read_line();
+
+  /// @brief send_line + read_line + parse, the common case.
+  Expected<Response> call(const std::string& line);
+
+  /// @brief Parses a response line into its assertable fields.
+  static Expected<Response> parse_response(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace wave::serve

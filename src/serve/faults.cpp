@@ -1,0 +1,42 @@
+#include "serve/faults.h"
+
+namespace wave::serve {
+
+FaultPlan::FaultPlan(const Spec& spec) : spec_(spec) {
+  snapshot_failures_left_.store(spec.fail_snapshot_writes,
+                                std::memory_order_relaxed);
+}
+
+std::uint32_t FaultPlan::roll(std::string_view id, std::uint64_t salt) const {
+  std::uint64_t h = 1469598103934665603ull ^ spec_.seed ^ (salt * 0x9e3779b9ull);
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  // Fold the high bits in before reducing: the low bits of FNV-1a alone
+  // are not uniform enough for a modulus.
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h % 1000);
+}
+
+bool FaultPlan::slow_eval(std::string_view id) const {
+  return spec_.slow_eval_permille > 0 &&
+         roll(id, 1) < spec_.slow_eval_permille;
+}
+
+bool FaultPlan::stall_worker(std::string_view id) const {
+  return spec_.stall_worker_permille > 0 &&
+         roll(id, 2) < spec_.stall_worker_permille;
+}
+
+bool FaultPlan::consume_snapshot_failure() {
+  std::uint32_t left = snapshot_failures_left_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (snapshot_failures_left_.compare_exchange_weak(
+            left, left - 1, std::memory_order_relaxed))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace wave::serve

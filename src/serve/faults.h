@@ -1,0 +1,67 @@
+// Deterministic fault injection for the serving layer.
+//
+// Every recovery path in src/serve/server.cpp — deadline expiry, queue
+// overload, snapshot write failure, stalled workers — is exercised by a
+// reproducible chaos suite (tests/test_serve_faults.cpp), not by hope.
+// Determinism is the point: a fault decision depends only on (seed,
+// request id), never on thread interleaving or wall-clock time, so a
+// failing chaos run replays exactly with the same seed and id stream.
+//
+// The plan is immutable after construction except for the snapshot-write
+// failure budget (an atomic countdown), so it is freely shared across
+// worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace wave::serve {
+
+/// @brief A seeded, deterministic plan of injected faults.
+class FaultPlan {
+ public:
+  struct Spec {
+    std::uint64_t seed = 0;
+
+    /// Per-request probability (in permille, 0..1000) that the eval is
+    /// artificially slowed by `slow_eval_ms` before running. The sleep is
+    /// cancellation-aware: an expired deadline interrupts it.
+    std::uint32_t slow_eval_permille = 0;
+    std::uint32_t slow_eval_ms = 0;
+
+    /// Per-request probability that the worker stalls (sleeps holding the
+    /// request, simulating a wedged dependency) for `stall_ms` after
+    /// dequeue. The deadline watchdog must still answer on time.
+    std::uint32_t stall_worker_permille = 0;
+    std::uint32_t stall_ms = 0;
+
+    /// The next N snapshot writes fail (after serialization, before the
+    /// temp file is renamed into place — the crash-safety window).
+    std::uint32_t fail_snapshot_writes = 0;
+  };
+
+  FaultPlan() = default;
+  explicit FaultPlan(const Spec& spec);
+
+  /// @brief Whether the eval of request `id` is slowed. Pure in (seed, id).
+  bool slow_eval(std::string_view id) const;
+  /// @brief Whether the worker handling request `id` stalls.
+  bool stall_worker(std::string_view id) const;
+  /// @brief Consumes one snapshot-write failure from the budget; true =
+  ///   this write must fail.
+  bool consume_snapshot_failure();
+
+  std::uint32_t slow_eval_ms() const { return spec_.slow_eval_ms; }
+  std::uint32_t stall_ms() const { return spec_.stall_ms; }
+
+ private:
+  /// The per-request decision value: FNV-1a over the id, folded with the
+  /// seed, reduced to 0..999. Stable across platforms and runs.
+  std::uint32_t roll(std::string_view id, std::uint64_t salt) const;
+
+  Spec spec_;
+  std::atomic<std::uint32_t> snapshot_failures_left_{0};
+};
+
+}  // namespace wave::serve

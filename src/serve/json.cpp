@@ -1,0 +1,278 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wave::serve {
+
+namespace {
+
+/// Nesting bound: the protocol needs 3 levels (request -> params -> value);
+/// 32 leaves headroom without letting "[[[[..." recurse to a stack overflow.
+constexpr int kMaxDepth = 32;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    error = "offset " + std::to_string(pos) + ": " + what;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos < text.size() && text[pos] == expected) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::String;
+        return parse_string(out.text);
+      case 't':
+        return parse_literal("true", out, JsonValue::Kind::Bool, true);
+      case 'f':
+        return parse_literal("false", out, JsonValue::Kind::Bool, false);
+      case 'n':
+        return parse_literal("null", out, JsonValue::Kind::Null, false);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool parse_literal(const char* word, JsonValue& out, JsonValue::Kind kind,
+                     bool value) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos)
+      if (pos >= text.size() || text[pos] != *p)
+        return fail(std::string("expected '") + word + "'");
+    out.kind = kind;
+    out.boolean = value;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    auto digits = [this] {
+      const std::size_t before = pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+      return pos > before;
+    };
+    if (!digits()) return fail("malformed number");
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (!digits()) return fail("malformed number (missing fraction)");
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (!digits()) return fail("malformed number (missing exponent)");
+    }
+    // The slice is a valid JSON number by construction; strtod cannot
+    // reject it (a NUL-terminated copy keeps strtod inside the slice).
+    const std::string slice(text.substr(start, pos - start));
+    out.kind = JsonValue::Kind::Number;
+    out.number = std::strtod(slice.c_str(), nullptr);
+    if (!std::isfinite(out.number))
+      return fail("number out of double range");
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos;  // opening quote (dispatched on it)
+    out.clear();
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos;
+        continue;
+      }
+      ++pos;  // backslash
+      if (pos >= text.size()) return fail("unterminated escape");
+      const char esc = text[pos];
+      ++pos;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i, ++pos) {
+            if (pos >= text.size()) return fail("truncated \\u escape");
+            const char h = text[pos];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are rejected
+          // (the protocol is ASCII in practice — names and numbers).
+          if (code >= 0xD800 && code <= 0xDFFF)
+            return fail("surrogate \\u escapes are not supported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape sequence");
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos;  // '{'
+    out.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"')
+        return fail("expected object key string");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos;  // '['
+    out.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.items.push_back(std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  // Last wins on duplicate keys, matching common parser behaviour.
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) found = &value;
+  return found;
+}
+
+bool parse_json(std::string_view text, JsonValue& out, std::string& error) {
+  Parser parser{text, 0, {}};
+  out = JsonValue{};
+  if (!parser.parse_value(out, 0)) {
+    error = parser.error;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    error = "offset " + std::to_string(parser.pos) +
+            ": trailing characters after JSON value";
+    return false;
+  }
+  return true;
+}
+
+void append_json_string(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char raw : value) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+}  // namespace wave::serve

@@ -1,0 +1,63 @@
+// Minimal JSON for the wave-serve line protocol.
+//
+// The daemon speaks one JSON object per line (docs/SERVING.md), and the
+// robustness contract says a malformed, hostile or oversized request must
+// produce a structured error — never a crash, never unbounded work. This
+// parser is therefore deliberately small and defensive: recursive descent
+// with an explicit depth bound, a node budget proportional to the input
+// size, full string-escape handling, and no exceptions on bad input (a
+// false return plus a positioned error message).
+//
+// It is not a general-purpose JSON library: numbers are always doubles
+// (the protocol's integers fit exactly), object key order is preserved,
+// and duplicate keys keep the last value (like most parsers).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wave::serve {
+
+/// @brief One parsed JSON value (a small tagged union over std types).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+  std::vector<JsonValue> items;                            ///< Array
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_bool() const { return kind == Kind::Bool; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// @brief Parses exactly one JSON value spanning all of `text` (trailing
+///   whitespace allowed, trailing garbage is an error).
+/// @param text The candidate JSON document (one protocol line).
+/// @param out Receives the value on success.
+/// @param error Receives a positioned message ("offset 12: ...") on failure.
+/// @return true on success.
+bool parse_json(std::string_view text, JsonValue& out, std::string& error);
+
+/// @brief Appends `value` JSON-escaped and quoted onto `out`.
+void append_json_string(std::string& out, std::string_view value);
+
+/// @brief Appends a double in the protocol's exact format: %.17g, so a
+///   parse-back yields the identical bits (the snapshot/identity story
+///   depends on this), with non-finite values mapped to null (JSON has no
+///   NaN/Inf).
+void append_json_number(std::string& out, double value);
+
+}  // namespace wave::serve

@@ -1,0 +1,104 @@
+// The wave-serve line protocol: one JSON object per line, both ways.
+//
+// Requests (docs/SERVING.md documents the full schema):
+//   {"id":"r1","op":"eval","machine":"xt4-dual","workload":"wavefront",
+//    "processors":256,"engine":"model","deadline_ms":100,"degrade":true}
+//   {"id":"s1","op":"stats"}        {"id":"p1","op":"ping"}
+//   {"id":"n1","op":"snapshot"}     {"id":"q1","op":"shutdown"}
+//
+// Responses:
+//   {"id":"r1","ok":true,"degraded":false,"result":{...}}
+//   {"id":"r1","ok":false,"error":{"code":"deadline_exceeded",
+//    "message":"...","retry_after_ms":50}}
+//
+// Parsing is strict where it protects the server (types, domains, size)
+// and tolerant nowhere: an unknown op or a string where a number belongs
+// is an `invalid_request`, because a typo that silently evaluates the
+// default scenario is worse than an error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "wave/eval_service.h"
+#include "wave/query.h"
+#include "wave/serve.h"
+
+namespace wave::serve {
+
+/// @brief Protocol error vocabulary (the `error.code` strings).
+enum class ErrorCode {
+  kInvalidRequest,    ///< malformed JSON, bad field type, unknown op
+  kNotFound,          ///< unknown machine/workload/comm-model name
+  kInvalidArgument,   ///< value out of domain
+  kDeadlineExceeded,  ///< expired before a result was produced
+  kShed,              ///< bounded admission rejected the request
+  kSnapshotFailed,    ///< snapshot op could not write the file
+  kInternal,          ///< invariant failure — never expected
+};
+
+/// @brief The wire string of `code` ("invalid_request", "shed", ...).
+std::string to_string(ErrorCode code);
+
+/// @brief One parsed request line.
+struct Request {
+  enum class Op { Eval, Stats, Snapshot, Ping, Shutdown };
+
+  std::string id;  ///< echoed on the response; "" is allowed
+  Op op = Op::Ping;
+
+  // ---- eval fields (the Query vocabulary) ------------------------------
+  std::string machine;     ///< "" keeps the Query default
+  std::string workload;    ///< "" keeps the Query default
+  std::string comm_model;  ///< "" keeps the machine's own backend
+  std::string app;
+  std::string engine = "model";  ///< "model" | "sim"
+  double wg = 0.0;
+  double nx = 0.0, ny = 0.0, nz = 0.0;
+  int processors = 0;  ///< 0 keeps the Query default
+  int grid_n = 0, grid_m = 0;
+  int iterations = 0;
+  bool validate = false;
+  std::vector<std::pair<std::string, double>> params;
+
+  // ---- robustness fields -----------------------------------------------
+  /// Per-request deadline in milliseconds; 0 = server default (which may
+  /// itself be "none").
+  double deadline_ms = 0.0;
+  /// Client opt-in: a DES request may be answered by the analytic model
+  /// (flagged `degraded: true`) instead of being shed under overload.
+  bool degrade = false;
+
+  /// True for requests the admission layer classifies as expensive: the
+  /// DES engine, or a validate() run (which includes a DES pass).
+  bool expensive() const { return engine == "sim" || validate; }
+};
+
+/// @brief Parses one request line.
+/// @param line The raw line (no trailing newline required).
+/// @param out Receives the request on success.
+/// @param error Receives a one-line diagnostic on failure.
+/// @return true on success; false means "answer with invalid_request".
+bool parse_request(const std::string& line, Request& out, std::string& error);
+
+/// @brief Builds the Query described by an eval request (unset fields keep
+///   the Query defaults). The returned query is bound to `ctx`.
+Query query_from(const Context& ctx, const Request& request);
+
+// ---- response rendering (every response is one line, no newline) -------
+
+std::string render_result(const std::string& id, const Result& result,
+                          bool degraded);
+std::string render_error(const std::string& id, ErrorCode code,
+                         const std::string& message,
+                         std::uint32_t retry_after_ms = 0);
+std::string render_pong(const std::string& id);
+std::string render_ok(const std::string& id,
+                      const std::vector<std::pair<std::string, double>>&
+                          extra_fields);
+std::string render_stats(const std::string& id, const ServeStats& serve,
+                         const EvalService::Stats& cache);
+
+}  // namespace wave::serve

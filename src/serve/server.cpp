@@ -1,0 +1,661 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/faults.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+#include "wave/context.h"
+
+namespace wave::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One client connection: the fd, a write lock (workers, watchdog and the
+/// reader may all respond), and its reader thread.
+struct Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::thread reader;
+  std::atomic<bool> done{false};
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a client that disconnected mid-response must not
+      // SIGPIPE the daemon; the write error is simply dropped (there is
+      // nobody left to tell).
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+/// One admitted eval request, shared between the admission queue, its
+/// worker, and the deadline watchdog. Whoever flips `responded` first owns
+/// the response; everyone else backs off.
+struct PendingEval {
+  std::string id;
+  Query query;
+  bool degraded = false;
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  std::shared_ptr<Connection> conn;
+  std::atomic<bool> responded{false};
+  std::atomic<bool> cancelled{false};
+
+  bool claim_response() {
+    bool expected = false;
+    return responded.compare_exchange_strong(expected, true);
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  const Context* ctx;
+  ServeOptions options;
+  const FaultPlan* faults;
+
+  std::unique_ptr<EvalService> service;
+
+  int listen_fd = -1;
+  int stop_pipe[2] = {-1, -1};
+
+  std::thread accept_thread;
+  std::vector<std::thread> workers;
+  std::thread watchdog;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+
+  std::mutex conn_mutex;
+  std::vector<std::shared_ptr<Connection>> connections;
+
+  // ---- two-class bounded admission ------------------------------------
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<std::shared_ptr<PendingEval>> analytic_q;
+  std::deque<std::shared_ptr<PendingEval>> des_q;
+
+  // ---- deadline watchdog ----------------------------------------------
+  std::mutex watch_mutex;
+  std::condition_variable watch_cv;
+  std::multimap<Clock::time_point, std::weak_ptr<PendingEval>> watched;
+
+  // ---- shutdown-op signalling ------------------------------------------
+  std::mutex shutdown_mutex;
+  std::condition_variable shutdown_cv;
+  bool shutdown_requested = false;
+
+  // ---- counters (ServeStats) -------------------------------------------
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> degraded{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  std::atomic<std::uint64_t> invalid{0};
+  std::atomic<std::uint64_t> eval_errors{0};
+  std::atomic<std::uint64_t> cancelled_evals{0};
+  std::atomic<std::uint64_t> snapshots_written{0};
+  std::atomic<std::uint64_t> snapshot_write_failures{0};
+  std::atomic<std::uint64_t> restored_entries{0};
+  std::atomic<bool> snapshot_load_failed{false};
+
+  // ---- lifecycle -------------------------------------------------------
+
+  Status bind_socket() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.socket_path.empty() ||
+        options.socket_path.size() >= sizeof addr.sun_path)
+      return Status::invalid_argument(
+          "socket_path must be non-empty and shorter than " +
+          std::to_string(sizeof addr.sun_path) + " bytes");
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) return Status::internal("socket() failed");
+    std::copy(options.socket_path.begin(), options.socket_path.end(),
+              addr.sun_path);
+    ::unlink(options.socket_path.c_str());  // replace a stale socket file
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      return Status::invalid_argument("cannot bind " + options.socket_path);
+    }
+    if (::listen(listen_fd, 64) != 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      return Status::internal("listen() failed on " + options.socket_path);
+    }
+    return Status::ok();
+  }
+
+  void load_snapshot() {
+    if (options.snapshot_path.empty()) return;
+    auto entries = read_snapshot(options.snapshot_path);
+    if (!entries.ok()) {
+      if (entries.status().code() == StatusCode::kNotFound) return;  // cold
+      // Loud, structured, non-fatal: the contract is "reject and start
+      // cold", never "crash on a corrupt file".
+      snapshot_load_failed.store(true, std::memory_order_relaxed);
+      std::fprintf(stderr, "wave-serve: %s — starting cold\n",
+                   entries.status().to_string().c_str());
+      return;
+    }
+    const std::size_t added = service->import_cache(entries.value());
+    restored_entries.store(added, std::memory_order_relaxed);
+  }
+
+  // ---- responding ------------------------------------------------------
+
+  void respond_result(PendingEval& req, const Result& result) {
+    if (!req.claim_response()) {
+      cancelled_evals.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    (req.degraded ? degraded : ok).fetch_add(1, std::memory_order_relaxed);
+    req.conn->write_line(render_result(req.id, result, req.degraded));
+  }
+
+  void respond_error(PendingEval& req, ErrorCode code,
+                     const std::string& message,
+                     std::atomic<std::uint64_t>& counter) {
+    if (!req.claim_response()) {
+      cancelled_evals.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counter.fetch_add(1, std::memory_order_relaxed);
+    req.conn->write_line(render_error(req.id, code, message));
+  }
+
+  // ---- watchdog --------------------------------------------------------
+
+  void watch(const std::shared_ptr<PendingEval>& req) {
+    {
+      const std::lock_guard<std::mutex> lock(watch_mutex);
+      watched.emplace(req->deadline, req);
+    }
+    watch_cv.notify_one();
+  }
+
+  void watchdog_loop() {
+    std::unique_lock<std::mutex> lock(watch_mutex);
+    while (!stopping.load(std::memory_order_acquire)) {
+      if (watched.empty()) {
+        watch_cv.wait(lock);
+        continue;
+      }
+      const Clock::time_point next = watched.begin()->first;
+      if (Clock::now() < next) {
+        watch_cv.wait_until(lock, next);
+        continue;
+      }
+      // Expire everything due. The response is sent outside the map lock
+      // would be nicer, but write_line holds only the connection's write
+      // mutex and never blocks on queue or watch state, so this cannot
+      // deadlock — and the watchdog stays simple.
+      while (!watched.empty() && watched.begin()->first <= Clock::now()) {
+        const std::shared_ptr<PendingEval> req = watched.begin()->second.lock();
+        watched.erase(watched.begin());
+        if (req == nullptr) continue;  // answered and destroyed already
+        req->cancelled.store(true, std::memory_order_release);
+        // Claimed inline (not via respond_error): losing the race here
+        // just means the worker answered in time — nothing was discarded.
+        if (req->claim_response()) {
+          deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          req->conn->write_line(render_error(
+              req->id, ErrorCode::kDeadlineExceeded,
+              "deadline expired before the evaluation completed"));
+        }
+      }
+    }
+  }
+
+  // ---- workers ---------------------------------------------------------
+
+  /// Sleeps `ms` in slices, returning early (false) when the request was
+  /// cancelled or the server is stopping — the cooperative-cancellation
+  /// contract of injected slowness.
+  bool interruptible_sleep(std::uint32_t ms, const PendingEval& req) {
+    const Clock::time_point until = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < until) {
+      if (stopping.load(std::memory_order_acquire) ||
+          req.cancelled.load(std::memory_order_acquire))
+        return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+  }
+
+  void worker_loop() {
+    while (true) {
+      std::shared_ptr<PendingEval> req;
+      {
+        std::unique_lock<std::mutex> lock(queue_mutex);
+        queue_cv.wait(lock, [this] {
+          return stopping.load(std::memory_order_acquire) ||
+                 !analytic_q.empty() || !des_q.empty();
+        });
+        if (stopping.load(std::memory_order_acquire)) return;
+        // Analytic first: microsecond queries must not wait behind
+        // multi-second DES points.
+        if (!analytic_q.empty()) {
+          req = std::move(analytic_q.front());
+          analytic_q.pop_front();
+        } else {
+          req = std::move(des_q.front());
+          des_q.pop_front();
+        }
+      }
+      handle_eval(*req);
+    }
+  }
+
+  void handle_eval(PendingEval& req) {
+    if (req.responded.load(std::memory_order_acquire)) {
+      // Expired while queued; the watchdog already answered.
+      cancelled_evals.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (faults != nullptr && faults->stall_worker(req.id)) {
+      // A wedged worker: the watchdog must answer deadlined requests in
+      // the meantime; this request itself may expire during the stall.
+      interruptible_sleep(faults->stall_ms(), req);
+    }
+    if (faults != nullptr && faults->slow_eval(req.id)) {
+      if (!interruptible_sleep(faults->slow_eval_ms(), req)) {
+        // Cooperatively cancelled mid-"evaluation".
+        if (req.claim_response()) {
+          // Deadline passed but the watchdog has not fired yet (or the
+          // server is stopping): answer here, once.
+          deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          req.conn->write_line(render_error(
+              req.id, ErrorCode::kDeadlineExceeded,
+              "deadline expired before the evaluation completed"));
+        } else {
+          cancelled_evals.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
+    }
+    if (req.has_deadline && Clock::now() >= req.deadline) {
+      respond_error(req, ErrorCode::kDeadlineExceeded,
+                    "deadline expired before the evaluation started",
+                    deadline_exceeded);
+      return;
+    }
+
+    const Expected<Result> result = service->evaluate(req.query);
+    if (result.ok()) {
+      respond_result(req, result.value());
+      return;
+    }
+    ErrorCode code = ErrorCode::kInternal;
+    switch (result.status().code()) {
+      case StatusCode::kNotFound: code = ErrorCode::kNotFound; break;
+      case StatusCode::kInvalidArgument:
+      case StatusCode::kFailedPrecondition:
+        code = ErrorCode::kInvalidArgument;
+        break;
+      default: break;
+    }
+    respond_error(req, code, result.status().message(), eval_errors);
+  }
+
+  // ---- admission -------------------------------------------------------
+
+  void admit_eval(const std::shared_ptr<Connection>& conn, Request request) {
+    auto req = std::make_shared<PendingEval>();
+    req->id = request.id;
+    req->conn = conn;
+
+    double deadline_ms = request.deadline_ms;
+    if (deadline_ms <= 0) deadline_ms = options.default_deadline_ms;
+    if (deadline_ms > 0) {
+      req->has_deadline = true;
+      req->deadline = Clock::now() + std::chrono::microseconds(
+                                         static_cast<long>(deadline_ms * 1e3));
+    }
+
+    bool expensive = request.expensive();
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex);
+      if (expensive && des_q.size() >= options.des_queue_limit) {
+        if (request.degrade) {
+          // Graceful degradation (client opt-in): answer the DES query
+          // with the analytic model instead of an error.
+          request.engine = "model";
+          request.validate = false;
+          req->degraded = true;
+          expensive = false;
+        } else {
+          const std::uint32_t hint = static_cast<std::uint32_t>(
+              options.retry_after_ms * (1 + des_q.size()));
+          shed.fetch_add(1, std::memory_order_relaxed);
+          conn->write_line(render_error(
+              request.id, ErrorCode::kShed,
+              "DES queue is full (" + std::to_string(des_q.size()) +
+                  " queued); retry later or set \"degrade\": true",
+              hint));
+          return;
+        }
+      }
+      if (!expensive && analytic_q.size() >= options.analytic_queue_limit) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(render_error(
+            request.id, ErrorCode::kShed,
+            "analytic queue is full (" + std::to_string(analytic_q.size()) +
+                " queued); retry later",
+            options.retry_after_ms));
+        return;
+      }
+      req->query = query_from(*ctx, request);
+      (expensive ? des_q : analytic_q).push_back(req);
+    }
+    queue_cv.notify_one();
+    if (req->has_deadline) watch(req);
+  }
+
+  // ---- per-connection protocol loop ------------------------------------
+
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    Request request;
+    std::string error;
+    if (!parse_request(line, request, error)) {
+      invalid.fetch_add(1, std::memory_order_relaxed);
+      conn->write_line(
+          render_error("", ErrorCode::kInvalidRequest, error));
+      return;
+    }
+    switch (request.op) {
+      case Request::Op::Ping:
+        ok.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(render_pong(request.id));
+        return;
+      case Request::Op::Stats:
+        ok.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(
+            render_stats(request.id, snapshot_stats(), service->stats()));
+        return;
+      case Request::Op::Snapshot: {
+        if (options.snapshot_path.empty()) {
+          snapshot_write_failures.fetch_add(1, std::memory_order_relaxed);
+          conn->write_line(render_error(
+              request.id, ErrorCode::kSnapshotFailed,
+              "no snapshot path configured (start with --snapshot=PATH)"));
+          return;
+        }
+        const std::vector<EvalService::CacheEntry> entries =
+            service->export_cache();
+        const Status written =
+            write_snapshot(options.snapshot_path, entries,
+                           const_cast<FaultPlan*>(faults));
+        if (!written.is_ok()) {
+          snapshot_write_failures.fetch_add(1, std::memory_order_relaxed);
+          conn->write_line(render_error(request.id, ErrorCode::kSnapshotFailed,
+                                        written.message()));
+          return;
+        }
+        snapshots_written.fetch_add(1, std::memory_order_relaxed);
+        ok.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(render_ok(
+            request.id, {{"entries", static_cast<double>(entries.size())}}));
+        return;
+      }
+      case Request::Op::Shutdown:
+        ok.fetch_add(1, std::memory_order_relaxed);
+        conn->write_line(render_ok(request.id, {}));
+        {
+          const std::lock_guard<std::mutex> lock(shutdown_mutex);
+          shutdown_requested = true;
+        }
+        shutdown_cv.notify_all();
+        return;
+      case Request::Op::Eval:
+        admit_eval(conn, std::move(request));
+        return;
+    }
+  }
+
+  void reader_loop(const std::shared_ptr<Connection>& conn) {
+    std::string acc;
+    bool discarding = false;
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      for (ssize_t i = 0; i < n; ++i) {
+        const char c = buf[i];
+        if (c != '\n') {
+          if (!discarding) {
+            acc.push_back(c);
+            if (acc.size() > options.max_request_bytes) {
+              // Bounded input: reject and skip to the next newline. The
+              // accumulated prefix is dropped, so a hostile client cannot
+              // make the daemon buffer an unbounded line.
+              requests.fetch_add(1, std::memory_order_relaxed);
+              invalid.fetch_add(1, std::memory_order_relaxed);
+              conn->write_line(render_error(
+                  "", ErrorCode::kInvalidRequest,
+                  "request exceeds " +
+                      std::to_string(options.max_request_bytes) +
+                      " bytes; line discarded"));
+              acc.clear();
+              discarding = true;
+            }
+          }
+          continue;
+        }
+        if (discarding) {
+          discarding = false;  // the oversized line finally ended
+          continue;
+        }
+        if (!acc.empty() && acc.back() == '\r') acc.pop_back();
+        if (!acc.empty()) handle_line(conn, acc);
+        acc.clear();
+      }
+    }
+    conn->done.store(true, std::memory_order_release);
+  }
+
+  void accept_loop() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {stop_pipe[0], POLLIN, 0}};
+      if (::poll(fds, 2, -1) < 0) continue;
+      if (fds[1].revents != 0) return;  // stop() wrote the wake byte
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      connections_total.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>();
+      conn->fd = fd;
+      {
+        const std::lock_guard<std::mutex> lock(conn_mutex);
+        // Reap connections whose readers already finished, so a long-
+        // lived daemon does not accumulate joined-out threads.
+        for (auto it = connections.begin(); it != connections.end();) {
+          if ((*it)->done.load(std::memory_order_acquire)) {
+            if ((*it)->reader.joinable()) (*it)->reader.join();
+            ::close((*it)->fd);
+            it = connections.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        connections.push_back(conn);
+      }
+      conn->reader = std::thread([this, conn] { reader_loop(conn); });
+    }
+  }
+
+  ServeStats snapshot_stats() const {
+    ServeStats out;
+    out.connections = connections_total.load(std::memory_order_relaxed);
+    out.requests = requests.load(std::memory_order_relaxed);
+    out.ok = ok.load(std::memory_order_relaxed);
+    out.degraded = degraded.load(std::memory_order_relaxed);
+    out.shed = shed.load(std::memory_order_relaxed);
+    out.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+    out.invalid = invalid.load(std::memory_order_relaxed);
+    out.eval_errors = eval_errors.load(std::memory_order_relaxed);
+    out.cancelled_evals = cancelled_evals.load(std::memory_order_relaxed);
+    out.snapshots_written = snapshots_written.load(std::memory_order_relaxed);
+    out.snapshot_write_failures =
+        snapshot_write_failures.load(std::memory_order_relaxed);
+    out.restored_entries = restored_entries.load(std::memory_order_relaxed);
+    out.snapshot_load_failed =
+        snapshot_load_failed.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+Server::Server(const Context& ctx, ServeOptions options,
+               const FaultPlan* faults)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->ctx = &ctx;
+  if (options.workers <= 0)
+    options.workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (options.workers <= 0) options.workers = 1;
+  if (options.shards <= 0) options.shards = options.workers;
+  impl_->options = std::move(options);
+  impl_->faults = faults;
+  impl_->service = std::make_unique<EvalService>(
+      ctx, EvalService::Options(
+               impl_->options.cache_capacity,
+               static_cast<std::size_t>(impl_->options.shards)));
+}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (impl_->running.load(std::memory_order_acquire))
+    return Status::failed_precondition("server is already running");
+  impl_->stopping.store(false, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->shutdown_mutex);
+    impl_->shutdown_requested = false;
+  }
+  const Status bound = impl_->bind_socket();
+  if (!bound.is_ok()) return bound;
+  if (::pipe(impl_->stop_pipe) != 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return Status::internal("pipe() failed");
+  }
+  impl_->load_snapshot();
+  impl_->running.store(true, std::memory_order_release);
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
+  impl_->watchdog = std::thread([this] { impl_->watchdog_loop(); });
+  impl_->workers.reserve(static_cast<std::size_t>(impl_->options.workers));
+  for (int i = 0; i < impl_->options.workers; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!impl_->running.exchange(false, std::memory_order_acq_rel)) return;
+  impl_->stopping.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: wake the poll, join, close the listening socket.
+  const char wake = 'x';
+  (void)!::write(impl_->stop_pipe[1], &wake, 1);
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  ::close(impl_->stop_pipe[0]);
+  ::close(impl_->stop_pipe[1]);
+  impl_->stop_pipe[0] = impl_->stop_pipe[1] = -1;
+  ::unlink(impl_->options.socket_path.c_str());
+
+  // 2. Unblock and join every connection reader. The fds stay open until
+  // the workers are joined: a worker mid-response may still write to one,
+  // and writing to an already-recycled descriptor would be worse than a
+  // harmless EPIPE on a shut-down socket.
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    for (const auto& conn : impl_->connections)
+      ::shutdown(conn->fd, SHUT_RDWR);
+    for (const auto& conn : impl_->connections)
+      if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  // 3. Wake and join workers and the watchdog. Taking each lock before
+  // notifying closes the lost-wakeup window (a thread between its
+  // predicate check and the actual wait). Queued requests are dropped:
+  // their connections are gone, so there is nobody to answer.
+  { const std::lock_guard<std::mutex> lock(impl_->queue_mutex); }
+  impl_->queue_cv.notify_all();
+  { const std::lock_guard<std::mutex> lock(impl_->watch_mutex); }
+  impl_->watch_cv.notify_all();
+  for (std::thread& worker : impl_->workers)
+    if (worker.joinable()) worker.join();
+  impl_->workers.clear();
+  if (impl_->watchdog.joinable()) impl_->watchdog.join();
+  {
+    const std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    impl_->analytic_q.clear();
+    impl_->des_q.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->watch_mutex);
+    impl_->watched.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+    for (const auto& conn : impl_->connections) ::close(conn->fd);
+    impl_->connections.clear();
+  }
+
+  // 4. Release wait()ers.
+  {
+    const std::lock_guard<std::mutex> lock(impl_->shutdown_mutex);
+    impl_->shutdown_requested = true;
+  }
+  impl_->shutdown_cv.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(impl_->shutdown_mutex);
+  impl_->shutdown_cv.wait(lock, [this] { return impl_->shutdown_requested; });
+}
+
+bool Server::running() const {
+  return impl_->running.load(std::memory_order_acquire);
+}
+
+ServeStats Server::stats() const { return impl_->snapshot_stats(); }
+
+EvalService::Stats Server::cache_stats() const {
+  return impl_->service->stats();
+}
+
+const std::string& Server::socket_path() const {
+  return impl_->options.socket_path;
+}
+
+}  // namespace wave::serve

@@ -341,3 +341,94 @@ TEST(EvalService, PinnedRecordEquivalenceThroughTheFacade) {
     EXPECT_EQ(r.value().terms[i].second, direct[i].second);
   }
 }
+
+TEST(EvalServiceSharded, ShardedHitsAreBitIdenticalAcrossShardCounts) {
+  // The shard count is a concurrency knob, never a semantic one: the same
+  // query mix against 1 and 8 shards yields bit-identical Results and the
+  // same aggregate hit/miss accounting.
+  const wave::Context ctx;
+  wave::EvalService one(ctx, wave::EvalService::Options(1024, 1));
+  wave::EvalService eight(ctx, wave::EvalService::Options(1024, 8));
+  EXPECT_EQ(one.stats().shards, 1u);
+  EXPECT_EQ(eight.stats().shards, 8u);
+  for (int round = 0; round < 2; ++round) {
+    for (int p : {16, 64, 256, 1024}) {
+      const wave::Query q = ctx.query().machine("xt4-dual").processors(p);
+      const auto a = one.evaluate(q);
+      const auto b = eight.evaluate(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      expect_bit_identical(a.value(), b.value());
+    }
+  }
+  EXPECT_EQ(one.stats().hits, eight.stats().hits);
+  EXPECT_EQ(one.stats().misses, eight.stats().misses);
+  EXPECT_EQ(one.stats().size, eight.stats().size);
+}
+
+TEST(EvalServiceSharded, StatsAggregateConsistentlyUnderConcurrentLoad) {
+  // N threads hammer a sharded service with a mix of repeated and
+  // distinct queries; afterwards the aggregated counters must balance
+  // exactly: every evaluate() was a hit, a miss or an error, and the
+  // cache holds at most what the misses stored.
+  const wave::Context ctx;
+  wave::EvalService service(ctx, wave::EvalService::Options(4096, 4));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&ctx, &service, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // 8 distinct scenarios + 1 error query, interleaved differently
+        // per thread so shards see genuinely concurrent mixed traffic.
+        const int slot = (i + t) % 9;
+        if (slot == 8) {
+          (void)service.evaluate(ctx.query().machine("no-such-machine"));
+        } else {
+          (void)service.evaluate(
+              ctx.query().machine("xt4-dual").processors(4 << slot));
+        }
+      }
+    });
+  for (std::thread& t : threads) t.join();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.errors,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.errors, (static_cast<std::uint64_t>(kThreads) * kPerThread) / 9);
+  // Concurrent first evaluations may race to store the same scenario
+  // (both count as misses, one wins the slot), so size <= misses, and at
+  // least the 8 distinct scenarios are resident.
+  EXPECT_LE(stats.size, static_cast<std::size_t>(stats.misses));
+  EXPECT_EQ(stats.size, 8u);
+  EXPECT_EQ(stats.resets, 0u);
+}
+
+TEST(EvalServiceSharded, ExportImportRoundTripServesBitIdenticalHits) {
+  const wave::Context ctx;
+  wave::EvalService source(ctx, wave::EvalService::Options(1024, 4));
+  for (int p : {16, 64, 256})
+    ASSERT_TRUE(
+        source.evaluate(ctx.query().machine("xt4-dual").processors(p)).ok());
+  const auto exported = source.export_cache();
+  ASSERT_EQ(exported.size(), 3u);
+  // Deterministic order: sorted by canonical key, whatever the shard layout.
+  for (std::size_t i = 1; i < exported.size(); ++i)
+    EXPECT_LT(exported[i - 1].key, exported[i].key);
+
+  wave::EvalService restored(ctx, wave::EvalService::Options(1024, 2));
+  EXPECT_EQ(restored.import_cache(exported), 3u);
+  EXPECT_EQ(restored.stats().imported, 3u);
+  EXPECT_EQ(restored.stats().misses, 0u);
+  for (int p : {16, 64, 256}) {
+    const wave::Query q = ctx.query().machine("xt4-dual").processors(p);
+    const auto cold = source.evaluate(q);
+    const auto warm = restored.evaluate(q);
+    ASSERT_TRUE(cold.ok() && warm.ok());
+    expect_bit_identical(cold.value(), warm.value());
+  }
+  // All three were hits: nothing was re-evaluated after the import.
+  EXPECT_EQ(restored.stats().hits, 3u);
+  EXPECT_EQ(restored.stats().misses, 0u);
+  // Importing the same entries again is a no-op (live entries win).
+  EXPECT_EQ(restored.import_cache(exported), 0u);
+}

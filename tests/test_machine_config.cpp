@@ -112,6 +112,49 @@ TEST(MachineConfigParse, MalformedValuesThrow) {
                wc::ConfigError);
 }
 
+TEST(MachineConfigParse, NonFiniteAndNegativeParametersThrow) {
+  // "nan", "inf" and negative values all parse as doubles, but a NaN gap
+  // poisons every prediction and a negative overhead makes time run
+  // backwards — each must be rejected at the parse boundary, with the
+  // offending file:line and key in the message.
+  for (const std::string bad :
+       {"nan", "NaN", "inf", "-inf", "1e999", "-0.5"}) {
+    const std::string cfg = "off.G = 0.0004\n"
+                            "off.L = 0.305\n"
+                            "off.o = " + bad + "\n"
+                            "on.Gcopy = 0.000789\n"
+                            "on.Gdma = 0.000072\n"
+                            "on.o = 3.80\n"
+                            "on.ocopy = 1.98\n";
+    try {
+      parse(cfg, "bad.cfg");
+      FAIL() << "expected ConfigError for off.o = " << bad;
+    } catch (const wc::ConfigError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("bad.cfg:3"), std::string::npos) << what;
+      EXPECT_NE(what.find("off.o"), std::string::npos) << what;
+    }
+  }
+  // The optional off-node keys and the on-chip side share the guard.
+  EXPECT_THROW(parse(minimal_cfg() + "off.sync = nan\n"), wc::ConfigError);
+  EXPECT_THROW(parse(minimal_cfg() + "off.oh = -1\n"), wc::ConfigError);
+  EXPECT_THROW(parse("off.G = 0.0004\n"
+                     "off.L = 0.305\n"
+                     "off.o = 3.92\n"
+                     "on.Gcopy = 0.000789\n"
+                     "on.Gdma = -0.000072\n"
+                     "on.o = 3.80\n"
+                     "on.ocopy = 1.98\n"),
+               wc::ConfigError);
+}
+
+TEST(MachineConfigParse, ZeroParametersStillParse) {
+  // Zero is a legitimate calibration value (off.oh and off.sync default
+  // to it); the non-negativity guard must not reject the boundary.
+  const wc::MachineConfig m = parse(minimal_cfg() + "off.oh = 0\n");
+  EXPECT_EQ(m.loggp.off.oh, 0.0);
+}
+
 TEST(MachineConfigParse, UnknownCommModelThrowsListingBackends) {
   try {
     parse(minimal_cfg() + "comm_model = telepathy\n");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -178,6 +179,34 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   wr::ThreadPool pool(4);
   pool.for_each_index(100, [&](std::size_t i) { hits[i]++; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, AbandonsInFlightChunkAfterAnotherWorkerThrows) {
+  // Two workers, one 1000-index chunk each. The worker that draws index 0
+  // waits until the other worker is demonstrably mid-chunk, then throws.
+  // Under the fail-fast contract the other worker must abandon the rest
+  // of its chunk — far fewer than its 1000 indices execute.
+  const wr::ThreadPool pool(2);
+  std::atomic<bool> other_started{false};
+  std::atomic<int> other_executed{0};
+  EXPECT_THROW(
+      pool.for_each_chunk(2000, 1000,
+                          [&](std::size_t i) {
+                            if (i == 0) {
+                              while (!other_started.load())
+                                std::this_thread::yield();
+                              throw std::runtime_error("boom");
+                            }
+                            if (i >= 1000) {
+                              other_started.store(true);
+                              other_executed.fetch_add(1);
+                              std::this_thread::sleep_for(
+                                  std::chrono::microseconds(100));
+                            }
+                          }),
+      std::runtime_error);
+  EXPECT_GE(other_executed.load(), 1);
+  EXPECT_LT(other_executed.load(), 1000);
 }
 
 TEST(Record, SetOverwritesAndMetricThrowsWhenAbsent) {

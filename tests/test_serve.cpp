@@ -1,0 +1,260 @@
+// The wave-serve daemon: protocol parsing (defensive JSON, typed field
+// validation), the request/response loop over a real AF_UNIX socket,
+// bounded admission with shedding and opt-in degradation, and the
+// accounting identity every admitted request resolves into exactly one
+// outcome counter.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve_test_util.h"
+#include "wave/serve.h"
+
+namespace ws = wave::serve;
+using serve_test::ServerFixture;
+
+// ---- defensive JSON ---------------------------------------------------------
+
+TEST(ServeJson, ParsesTheProtocolSubset) {
+  ws::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      R"({"id":"r1","n":-2.5e3,"t":true,"s":"a\n\u0041","list":[1,2]})", v,
+      error))
+      << error;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("id")->text, "r1");
+  EXPECT_EQ(v.find("n")->number, -2500.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_EQ(v.find("s")->text, "a\nA");
+  EXPECT_EQ(v.find("list")->items.size(), 2u);
+  EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(ServeJson, RejectsHostileInputWithPositionedErrors) {
+  ws::JsonValue v;
+  std::string error;
+  // A depth bomb far past the bound must fail parsing, not the stack.
+  std::string bomb(100, '[');
+  EXPECT_FALSE(parse_json(bomb, v, error));
+  EXPECT_NE(error.find("too deep"), std::string::npos) << error;
+
+  for (const char* bad : {
+           "",                       // nothing
+           "{\"a\":1} trailing",     // trailing garbage
+           "{\"a\":}",               // missing value
+           "{\"a\" 1}",              // missing colon
+           "\"unterminated",         // unterminated string
+           "\"bad\\q escape\"",      // unknown escape
+           "\"\\ud800\"",            // lone surrogate
+           "nul",                    // truncated keyword
+           "{\"a\":1,}",             // trailing comma
+       }) {
+    EXPECT_FALSE(parse_json(bad, v, error)) << bad;
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+  }
+}
+
+TEST(ServeJson, NumberRenderingRoundTripsBits) {
+  for (double d : {12260.344656000001, 1.0 / 3.0, 0.0, -6.25e-3}) {
+    std::string out;
+    ws::append_json_number(out, d);
+    ws::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parse_json(out, v, error)) << out;
+    EXPECT_EQ(v.number, d) << out;  // exact: %.17g round-trips doubles
+  }
+}
+
+// ---- request parsing --------------------------------------------------------
+
+TEST(ServeProtocol, ParsesAFullEvalRequest) {
+  ws::Request r;
+  std::string error;
+  ASSERT_TRUE(ws::parse_request(
+      R"({"id":"e1","op":"eval","machine":"xt4-dual","workload":"wavefront",)"
+      R"("engine":"sim","processors":64,"iterations":2,"deadline_ms":250,)"
+      R"("degrade":true,"params":{"alpha":0.5}})",
+      r, error))
+      << error;
+  EXPECT_EQ(r.id, "e1");
+  EXPECT_EQ(r.op, ws::Request::Op::Eval);
+  EXPECT_EQ(r.machine, "xt4-dual");
+  EXPECT_EQ(r.engine, "sim");
+  EXPECT_TRUE(r.expensive());
+  EXPECT_EQ(r.processors, 64);
+  EXPECT_EQ(r.deadline_ms, 250.0);
+  EXPECT_TRUE(r.degrade);
+  ASSERT_EQ(r.params.size(), 1u);
+  EXPECT_EQ(r.params[0].first, "alpha");
+}
+
+TEST(ServeProtocol, RejectsBadRequestsNamingTheField) {
+  struct Case {
+    const char* line;
+    const char* needle;  // must appear in the diagnostic
+  };
+  for (const Case& c : std::vector<Case>{
+           {R"({"op":"fly"})", "op"},
+           {R"({"id":7,"op":"ping"})", "id"},
+           {R"({"op":"eval","processors":"many"})", "processors"},
+           {R"({"op":"eval","processors":2.5})", "processors"},
+           {R"({"op":"eval","engine":"magic"})", "engine"},
+           {R"({"op":"eval","deadline_ms":-5})", "deadline_ms"},
+           {R"({"op":"eval","degrade":"yes"})", "degrade"},
+           {R"({"op":"eval","params":{"a":"b"}})", "param 'a'"},
+           {R"([1,2,3])", "object"},
+       }) {
+    ws::Request r;
+    std::string error;
+    EXPECT_FALSE(ws::parse_request(c.line, r, error)) << c.line;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << c.line << " -> " << error;
+  }
+}
+
+// ---- the live server --------------------------------------------------------
+
+TEST(ServeServer, AnswersPingEvalAndCachesRepeats) {
+  ServerFixture f;
+  EXPECT_TRUE(f.call(R"({"id":"p","op":"ping"})").ok);
+
+  const ws::Response first =
+      f.call(R"({"id":"a","op":"eval","processors":256})");
+  ASSERT_TRUE(first.ok) << first.raw;
+  EXPECT_GT(first.time_us, 0.0);
+  const ws::Response second =
+      f.call(R"({"id":"b","op":"eval","processors":256})");
+  ASSERT_TRUE(second.ok);
+  // The repeat is a cache hit and the rendered payload is byte-identical
+  // modulo the echoed id.
+  std::string a = first.raw, b = second.raw;
+  a.replace(a.find("\"a\""), 3, "\"x\"");
+  b.replace(b.find("\"b\""), 3, "\"x\"");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(f.server->cache_stats().hits, 1u);
+}
+
+TEST(ServeServer, MalformedOversizedAndUnknownRequestsGetStructuredErrors) {
+  wave::ServeOptions options;
+  options.max_request_bytes = 256;
+  ServerFixture f(options);
+
+  ws::Response r = f.call("not json at all");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code, "invalid_request");
+
+  r = f.call(R"({"id":"u","op":"teleport"})");
+  EXPECT_EQ(r.error_code, "invalid_request");
+
+  // An oversized line is rejected once and fully discarded; the next
+  // request on the same connection still works.
+  r = f.call("{\"id\":\"big\",\"pad\":\"" + std::string(500, 'x') + "\"}");
+  EXPECT_EQ(r.error_code, "invalid_request");
+  EXPECT_TRUE(f.call(R"({"id":"after","op":"ping"})").ok);
+
+  r = f.call(R"({"id":"m","op":"eval","machine":"no-such-machine"})");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code, "not_found");
+  EXPECT_NE(r.error_message.find("no-such-machine"), std::string::npos);
+}
+
+TEST(ServeServer, ShedsDesOverloadAndDegradesOptIns) {
+  wave::ServeOptions options;
+  options.workers = 1;
+  options.des_queue_limit = 1;
+  ServerFixture f(options);
+
+  // Occupy the worker and the single DES slot with slow simulation runs,
+  // then race in more DES requests: without degrade they are shed with a
+  // retry hint; with degrade they come back analytic, flagged. The pause
+  // between the two occupiers lets the worker dequeue the first, so the
+  // second deterministically takes the one DES slot instead of racing the
+  // worker's wakeup and getting shed itself.
+  ASSERT_TRUE(f.client
+                  .send_line("{\"id\":\"slow0\",\"op\":\"eval\","
+                             "\"engine\":\"sim\",\"processors\":1024,"
+                             "\"iterations\":2}")
+                  .is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(f.client
+                  .send_line("{\"id\":\"slow1\",\"op\":\"eval\","
+                             "\"engine\":\"sim\",\"processors\":1024,"
+                             "\"iterations\":2}")
+                  .is_ok());
+  int shed = 0, degraded = 0, completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    const bool opt_in = (i % 2) == 1;
+    ASSERT_TRUE(f.client
+                    .send_line("{\"id\":\"r" + std::to_string(i) +
+                               "\",\"op\":\"eval\",\"engine\":\"sim\","
+                               "\"processors\":64" +
+                               (opt_in ? ",\"degrade\":true" : "") + "}")
+                    .is_ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto reply = f.client.read_line();
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    auto response = ws::Client::parse_response(reply.value());
+    ASSERT_TRUE(response.ok());
+    if (response.value().degraded) {
+      ++degraded;
+    } else if (response.value().ok) {
+      ++completed;
+    } else {
+      EXPECT_EQ(response.value().error_code, "shed") << response.value().raw;
+      EXPECT_GT(response.value().retry_after_ms, 0u) << response.value().raw;
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(degraded, 0);
+  EXPECT_GE(completed, 2);  // at least the two occupiers finish
+
+  const wave::ServeStats stats = f.server->stats();
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.degraded, static_cast<std::uint64_t>(degraded));
+}
+
+TEST(ServeServer, AccountingIdentityHoldsAtIdle) {
+  ServerFixture f;
+  // A mixed bag of outcomes: ok, cache hit, invalid, eval error.
+  f.call(R"({"id":"1","op":"ping"})");
+  f.call(R"({"id":"2","op":"eval","processors":64})");
+  f.call(R"({"id":"3","op":"eval","processors":64})");
+  f.call("garbage");
+  f.call(R"({"id":"4","op":"eval","machine":"missing"})");
+  f.call(R"({"id":"5","op":"stats"})");
+
+  const wave::ServeStats s = f.server->stats();
+  EXPECT_EQ(s.requests, 6u);
+  EXPECT_EQ(s.requests, s.ok + s.degraded + s.shed + s.deadline_exceeded +
+                            s.invalid + s.eval_errors +
+                            s.snapshot_write_failures);
+  EXPECT_EQ(s.invalid, 1u);
+  EXPECT_EQ(s.eval_errors, 1u);
+}
+
+TEST(ServeServer, StopIsIdempotentAndDropsTheSocket) {
+  ServerFixture f;
+  EXPECT_TRUE(f.server->running());
+  f.server->stop();
+  EXPECT_FALSE(f.server->running());
+  f.server->stop();  // second stop is a no-op
+  // The socket file is gone; a fresh client cannot connect.
+  wave::serve::Client late;
+  EXPECT_FALSE(late.connect(f.options.socket_path).is_ok());
+}
+
+TEST(ServeServer, ShutdownOpReleasesWait) {
+  ServerFixture f;
+  ASSERT_TRUE(f.call(R"({"id":"q","op":"shutdown"})").ok);
+  f.server->wait();  // must return promptly instead of blocking forever
+  f.server->stop();
+  EXPECT_FALSE(f.server->running());
+}

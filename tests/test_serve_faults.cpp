@@ -1,0 +1,230 @@
+// The reproducible chaos suite: deterministic fault injection against a
+// live daemon. Every recovery path the serving layer claims — deadline
+// expiry answered on time even with stalled workers, cooperative
+// cancellation of slow evaluations, snapshot write failures that never
+// eat the previous snapshot, overload shedding, malformed input — is
+// driven here by a seeded FaultPlan, so a failure replays exactly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/faults.h"
+#include "serve/snapshot.h"
+#include "serve_test_util.h"
+#include "wave/serve.h"
+
+namespace ws = wave::serve;
+using serve_test::ServerFixture;
+using serve_test::unique_path;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+TEST(ServeFaults, DecisionsArePureInSeedAndId) {
+  ws::FaultPlan::Spec spec;
+  spec.seed = 42;
+  spec.slow_eval_permille = 300;
+  spec.stall_worker_permille = 300;
+  const ws::FaultPlan a(spec), b(spec);
+  spec.seed = 43;
+  const ws::FaultPlan other(spec);
+
+  int slowed = 0, differs = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "req" + std::to_string(i);
+    // Identical plans agree on every id — determinism regardless of call
+    // order or thread interleaving.
+    EXPECT_EQ(a.slow_eval(id), b.slow_eval(id)) << id;
+    EXPECT_EQ(a.stall_worker(id), b.stall_worker(id)) << id;
+    slowed += a.slow_eval(id) ? 1 : 0;
+    differs += a.slow_eval(id) != other.slow_eval(id) ? 1 : 0;
+  }
+  // ~30% of requests are slowed, and a different seed picks a different
+  // subset (loose bounds: the hash is uniform, not exact).
+  EXPECT_GT(slowed, 200 * 0.15);
+  EXPECT_LT(slowed, 200 * 0.50);
+  EXPECT_GT(differs, 0);
+
+  // The permille extremes are exact, not probabilistic.
+  spec.slow_eval_permille = 0;
+  const ws::FaultPlan never(spec);
+  spec.slow_eval_permille = 1000;
+  const ws::FaultPlan always(spec);
+  for (int i = 0; i < 50; ++i) {
+    const std::string id = "x" + std::to_string(i);
+    EXPECT_FALSE(never.slow_eval(id));
+    EXPECT_TRUE(always.slow_eval(id));
+  }
+}
+
+TEST(ServeFaults, DeadlineIsAnsweredOnTimeDespiteASlowEval) {
+  // Every eval is artificially slowed by 2 s; the request carries a 50 ms
+  // deadline. The structured deadline_exceeded answer must arrive in
+  // deadline time, not eval time — and the server must stay healthy.
+  ws::FaultPlan::Spec spec;
+  spec.slow_eval_permille = 1000;
+  spec.slow_eval_ms = 2000;
+  ServerFixture f({}, spec);
+
+  const Clock::time_point start = Clock::now();
+  const ws::Response r = f.call(
+      R"({"id":"d","op":"eval","processors":64,"deadline_ms":50})");
+  const double elapsed_ms = ms_since(start);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code, "deadline_exceeded") << r.raw;
+  EXPECT_LT(elapsed_ms, 1500.0) << "answer took eval time, not deadline time";
+  EXPECT_EQ(f.server->stats().deadline_exceeded, 1u);
+
+  // The cancelled eval never poisons a later, deadline-less repeat.
+  spec.slow_eval_ms = 30;
+  ServerFixture healthy({}, spec);
+  EXPECT_TRUE(healthy.call(R"({"id":"h","op":"eval","processors":64})").ok);
+}
+
+TEST(ServeFaults, WatchdogAnswersWhileTheOnlyWorkerIsStalled) {
+  // One worker, and it stalls for 2 s on every request it dequeues. The
+  // deadline watchdog — not the worker — must deliver the answer.
+  ws::FaultPlan::Spec spec;
+  spec.stall_worker_permille = 1000;
+  spec.stall_ms = 2000;
+  wave::ServeOptions options;
+  options.workers = 1;
+  ServerFixture f(options, spec);
+
+  const Clock::time_point start = Clock::now();
+  const ws::Response r = f.call(
+      R"({"id":"w","op":"eval","processors":64,"deadline_ms":40})");
+  EXPECT_EQ(r.error_code, "deadline_exceeded") << r.raw;
+  EXPECT_LT(ms_since(start), 1500.0) << "watchdog waited for the worker";
+}
+
+TEST(ServeFaults, DefaultDeadlineAppliesToBareRequests) {
+  ws::FaultPlan::Spec spec;
+  spec.slow_eval_permille = 1000;
+  spec.slow_eval_ms = 2000;
+  wave::ServeOptions options;
+  options.default_deadline_ms = 50;
+  ServerFixture f(options, spec);
+  const ws::Response r =
+      f.call(R"({"id":"b","op":"eval","processors":64})");  // no deadline_ms
+  EXPECT_EQ(r.error_code, "deadline_exceeded") << r.raw;
+}
+
+TEST(ServeFaults, SnapshotWriteFailuresAreStructuredAndNonDestructive) {
+  ws::FaultPlan::Spec spec;
+  spec.fail_snapshot_writes = 1;
+  wave::ServeOptions options;
+  options.snapshot_path = unique_path(".snap");
+  ServerFixture f(options, spec);
+
+  ASSERT_TRUE(f.call(R"({"id":"e","op":"eval","processors":64})").ok);
+  // First snapshot op eats the injected failure: structured error, no file.
+  const ws::Response failed = f.call(R"({"id":"s1","op":"snapshot"})");
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.error_code, "snapshot_failed") << failed.raw;
+  EXPECT_FALSE(ws::read_snapshot(options.snapshot_path).ok());
+  // Second succeeds; the daemon kept serving throughout.
+  EXPECT_TRUE(f.call(R"({"id":"s2","op":"snapshot"})").ok);
+  EXPECT_TRUE(ws::read_snapshot(options.snapshot_path).ok());
+
+  const wave::ServeStats stats = f.server->stats();
+  EXPECT_EQ(stats.snapshot_write_failures, 1u);
+  EXPECT_EQ(stats.snapshots_written, 1u);
+}
+
+TEST(ServeFaults, ChaosMixCompletesWithExactAccounting) {
+  // The full storm at once, from two concurrent connections: slowed and
+  // stalled evals racing 30 ms deadlines, DES overload with and without
+  // degrade opt-in, malformed lines, a snapshot failure — all decided by
+  // the seed, never by scheduling. The server must answer every single
+  // request exactly once (no hang: the reads below would block forever on
+  // a lost response) and the outcome counters must balance to the total.
+  ws::FaultPlan::Spec spec;
+  spec.seed = 7;
+  spec.slow_eval_permille = 350;
+  spec.slow_eval_ms = 60;
+  spec.stall_worker_permille = 250;
+  spec.stall_ms = 80;
+  spec.fail_snapshot_writes = 1;
+  wave::ServeOptions options;
+  options.workers = 2;
+  options.des_queue_limit = 1;
+  options.snapshot_path = unique_path(".snap");
+  ServerFixture f(options, spec);
+
+  constexpr int kPerClient = 30;
+  auto drive = [&f](int offset, wave::serve::Client& client) {
+    int sent = 0;
+    for (int i = 0; i < kPerClient; ++i) {
+      const int id = offset + i;
+      std::string line;
+      switch (i % 6) {
+        case 0:  // analytic with a tight deadline (may expire when slowed)
+          line = "{\"id\":\"a" + std::to_string(id) +
+                 "\",\"op\":\"eval\",\"processors\":" +
+                 std::to_string(4 << (i % 5)) + ",\"deadline_ms\":30}";
+          break;
+        case 1:  // DES, no opt-in: sheds when the 1-slot queue is busy
+          line = "{\"id\":\"s" + std::to_string(id) +
+                 "\",\"op\":\"eval\",\"engine\":\"sim\",\"processors\":16}";
+          break;
+        case 2:  // DES with degrade opt-in
+          line = "{\"id\":\"g" + std::to_string(id) +
+                 "\",\"op\":\"eval\",\"engine\":\"sim\",\"processors\":16,"
+                 "\"degrade\":true,\"deadline_ms\":500}";
+          break;
+        case 3:  // malformed
+          line = "{\"id\":" + std::to_string(id) + "broken";
+          break;
+        case 4:  // unknown machine
+          line = "{\"id\":\"m" + std::to_string(id) +
+                 "\",\"op\":\"eval\",\"machine\":\"ghost\"}";
+          break;
+        case 5:  // snapshot op (the first one server-wide eats the fault)
+          line = "{\"id\":\"n" + std::to_string(id) + "\",\"op\":\"snapshot\"}";
+          break;
+      }
+      if (client.send_line(line).is_ok()) ++sent;
+    }
+    return sent;
+  };
+
+  wave::serve::Client second;
+  ASSERT_TRUE(second.connect(f.options.socket_path).is_ok());
+  int sent_second = 0;
+  std::thread other([&] { sent_second = drive(1000, second); });
+  const int sent_first = drive(0, f.client);
+  other.join();
+  ASSERT_EQ(sent_first, kPerClient);
+  ASSERT_EQ(sent_second, kPerClient);
+
+  // Every request gets exactly one response on its own connection.
+  for (int i = 0; i < kPerClient; ++i) {
+    ASSERT_TRUE(f.client.read_line().ok()) << "lost a response at " << i;
+    ASSERT_TRUE(second.read_line().ok()) << "lost a response at " << i;
+  }
+
+  // Quiesce (cancelled evals may still be draining), then audit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const wave::ServeStats s = f.server->stats();
+  EXPECT_EQ(s.requests, 2u * kPerClient);
+  EXPECT_EQ(s.requests, s.ok + s.degraded + s.shed + s.deadline_exceeded +
+                            s.invalid + s.eval_errors +
+                            s.snapshot_write_failures);
+  EXPECT_EQ(s.invalid, 2u * kPerClient / 6u);      // the malformed class
+  EXPECT_EQ(s.eval_errors, 2u * kPerClient / 6u);  // the unknown machine
+  EXPECT_EQ(s.snapshot_write_failures, 1u);        // exactly the injected one
+  EXPECT_GT(s.ok, 0u);
+  second.close();
+  std::remove(options.snapshot_path.c_str());
+}

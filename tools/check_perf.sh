@@ -2,14 +2,18 @@
 # Perf regression gate: compares a fresh `perf_sweep --quick` measurement
 # against the committed trajectory file and fails on a large events/sec
 # drop, and checks the batch solver still beats the scalar analytic path
-# by a wide margin within the fresh run. CI runs this in the perf-smoke
-# job.
+# by a wide margin within the fresh run. With a third file — a fresh
+# `serve_load --quick` run — it also gates the wave-serve daemon section.
+# CI runs this in the perf-smoke job.
 #
-# Usage: tools/check_perf.sh BENCH.json fresh_quick.json \
+# Usage: tools/check_perf.sh BENCH.json fresh_quick.json [fresh_serve.json] \
 #            [min_ratio] [min_batch_speedup] [min_parallel_speedup]
-#   BENCH.json        committed trajectory (its "quick" section is the
-#                     reference)
+#   BENCH.json        committed trajectory (its "quick" and "serve_quick"
+#                     sections are the references)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
+#   fresh_serve.json  output of `bench/serve_load --quick --out=...`;
+#                     optional, but omitting it skips every serve gate
+#                     with a LOUD message (CI always supplies it)
 #   min_ratio         default 0.75 — i.e. fail on a >25% regression. The
 #                     threshold is deliberately generous: CI runners are
 #                     noisy and differ from the machine that wrote the
@@ -23,13 +27,22 @@
 #                     (within-file; enforced only when the runner has >= 8
 #                     hardware threads, skipped with a message otherwise)
 #
+# Serve gates (fixed thresholds, see the serve section at the bottom):
+# within-file, the overload burst must actually shed and degrade (rates
+# > 0 — machine-independent proof the admission control works), and
+# cross-machine, throughput >= 0.5x / p99 <= 4x the committed serve_quick
+# reference — the cross-machine pair only on runners with >= 8 hardware
+# threads (PR7-style loud skip below that: a 1-core runner measures the
+# scheduler, not the daemon).
+#
 # Every gated key must exist in the fresh file — a missing key exits 2, so
 # a gate can never silently pass because perf_sweep stopped emitting it.
 set -eu
 
-ref="${1:?usage: check_perf.sh BENCH.json fresh.json [min_ratio]}"
-fresh="${2:?usage: check_perf.sh BENCH.json fresh.json [min_ratio]}"
-min_ratio="${3:-0.75}"
+ref="${1:?usage: check_perf.sh BENCH.json fresh.json [fresh_serve.json] [min_ratio]}"
+fresh="${2:?usage: check_perf.sh BENCH.json fresh.json [fresh_serve.json] [min_ratio]}"
+fresh_serve="${3:-}"
+min_ratio="${4:-0.75}"
 
 # The committed file keeps each section on one line, so the quick
 # reference is the number following des_events_per_sec on the "quick" line.
@@ -58,7 +71,7 @@ fi
 # least min_batch_speedup x its own scalar points/sec. Both numbers come
 # from the same process on the same grid, so this is machine-independent —
 # it catches "the batch route quietly fell back to scalar", not jitter.
-min_batch_speedup="${4:-10}"
+min_batch_speedup="${5:-10}"
 fresh_model=$(awk -F': ' '$1 ~ /^[[:space:]]*"model_points_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
 fresh_batch=$(awk -F': ' '$1 ~ /^[[:space:]]*"model_batch_points_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
 
@@ -85,7 +98,7 @@ fi
 # runners the ratio gate is SKIPPED WITH A MESSAGE; the keys themselves
 # are mandatory on every runner (a missing key is a tooling regression and
 # exits 2 — gates must never silently skip because a key vanished).
-min_parallel_speedup="${5:-2.5}"
+min_parallel_speedup="${6:-2.5}"
 fresh_hw=$(awk -F': ' '$1 ~ /^[[:space:]]*"hardware_threads"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
 fresh_par_threads=$(awk -F': ' '$1 ~ /^[[:space:]]*"sim_parallel_threads"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
 fresh_serial=$(awk -F': ' '$1 ~ /^[[:space:]]*"sim_serial_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
@@ -114,5 +127,75 @@ else
   echo "engine scaling: SKIPPED ratio gate — runner has $fresh_hw hardware" \
        "thread(s), fewer than the $fresh_par_threads the benchmark drives" \
        "(measured ${par_ratio}x; keys present and checked)"
+fi
+
+# wave-serve gates (PR8). Within-file first: the serve_load overload burst
+# must actually shed and degrade — rates of exactly 0 mean the admission
+# control or the degrade path broke, on any machine. Then cross-machine
+# throughput/p99 against the committed serve_quick reference, enforced
+# only on runners with >= 8 hardware threads (same rationale and the same
+# loud skip as the engine-scaling gate above).
+if [ -z "$fresh_serve" ]; then
+  echo "serve: SKIPPED all serve gates — no fresh serve_load file supplied" \
+       "(pass one as the third argument; CI always does)"
+else
+  serve_metric() { # key
+    awk -F': ' -v key="\"$1\"" \
+      '$1 ~ ("^[[:space:]]*" key "$") { gsub(/[,\r]/, "", $2); print $2 }' \
+      "$fresh_serve"
+  }
+  s_hw=$(serve_metric hardware_threads)
+  s_tput=$(serve_metric serve_throughput_qps)
+  s_p99=$(serve_metric serve_p99_us)
+  s_shed=$(serve_metric serve_shed_rate)
+  s_degrade=$(serve_metric serve_degrade_rate)
+  if [ -z "$s_hw" ] || [ -z "$s_tput" ] || [ -z "$s_p99" ] || \
+     [ -z "$s_shed" ] || [ -z "$s_degrade" ]; then
+    echo "check_perf: could not extract serve keys from $fresh_serve" \
+         "(hw='$s_hw', throughput='$s_tput', p99='$s_p99', shed='$s_shed'," \
+         "degrade='$s_degrade')" >&2
+    exit 2
+  fi
+
+  echo "serve overload: shed_rate $s_shed, degrade_rate $s_degrade" \
+       "(both must be > 0)"
+  ok=$(awk "BEGIN { print ($s_shed > 0 && $s_degrade > 0) ? 1 : 0 }")
+  if [ "$ok" -ne 1 ]; then
+    echo "SERVE REGRESSION: the overload burst no longer sheds or degrades" \
+         "(shed_rate=$s_shed, degrade_rate=$s_degrade) — bounded admission" \
+         "or the degrade path is broken" >&2
+    exit 1
+  fi
+
+  ref_serve_tput=$(awk -F'"serve_throughput_qps": ' '/"serve_quick"/ { split($2, a, /[,}]/); print a[1] }' "$ref")
+  ref_serve_p99=$(awk -F'"serve_p99_us": ' '/"serve_quick"/ { split($2, a, /[,}]/); print a[1] }' "$ref")
+  if [ -z "$ref_serve_tput" ] || [ -z "$ref_serve_p99" ]; then
+    echo "check_perf: $ref has no serve_quick reference" \
+         "(throughput='$ref_serve_tput', p99='$ref_serve_p99')" >&2
+    exit 2
+  fi
+  min_serve_hw=8
+  min_serve_ratio=0.5
+  max_serve_p99_ratio=4
+  serve_ratio=$(awk "BEGIN { printf \"%.3f\", $s_tput / $ref_serve_tput }")
+  p99_ratio=$(awk "BEGIN { printf \"%.3f\", $s_p99 / $ref_serve_p99 }")
+  if [ "$s_hw" -ge "$min_serve_hw" ]; then
+    echo "serve throughput: fresh $s_tput vs committed quick $ref_serve_tput qps" \
+         "(ratio $serve_ratio, minimum $min_serve_ratio)"
+    echo "serve p99: fresh $s_p99 vs committed quick $ref_serve_p99 us" \
+         "(ratio $p99_ratio, maximum $max_serve_p99_ratio)"
+    ok=$(awk "BEGIN { print ($s_tput >= $min_serve_ratio * $ref_serve_tput && \
+                             $s_p99 <= $max_serve_p99_ratio * $ref_serve_p99) ? 1 : 0 }")
+    if [ "$ok" -ne 1 ]; then
+      echo "SERVE REGRESSION: throughput below ${min_serve_ratio}x or p99 above" \
+           "${max_serve_p99_ratio}x the committed serve_quick reference" >&2
+      exit 1
+    fi
+  else
+    echo "serve: SKIPPED throughput/p99 gates — runner has $s_hw hardware" \
+         "thread(s), fewer than the $min_serve_hw required for a meaningful" \
+         "daemon measurement (measured: $s_tput qps, p99 $s_p99 us," \
+         "ratios $serve_ratio/$p99_ratio; keys present, overload gates enforced)"
+  fi
 fi
 echo "perf OK"

@@ -2,12 +2,15 @@
 # Measures the repository's perf trajectory point and (re)writes the
 # committed BENCH_*.json. Runs bench/perf_sweep twice — the full grid (the
 # headline events/sec and points/sec numbers) and --quick (the small grid
-# CI compares against, tools/check_perf.sh) — and assembles the trajectory
-# file from both plus the recorded pre-optimization baseline.
+# CI compares against, tools/check_perf.sh) — plus bench/serve_load twice
+# (full and --quick) for the wave-serve daemon section, and assembles the
+# trajectory file from all four plus the recorded pre-optimization
+# baseline.
 #
 # Usage: tools/run_perf.sh [build-dir] [out.json]
-#   build-dir  default: build   (needs bench/perf_sweep built, Release!)
-#   out.json   default: BENCH_pr7.json
+#   build-dir  default: build   (needs bench/perf_sweep and
+#              bench/serve_load built, Release!)
+#   out.json   default: BENCH_pr8.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -18,24 +21,35 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr7.json}"
+out="${2:-BENCH_pr8.json}"
 sweep="$build/bench/perf_sweep"
+serve="$build/bench/serve_load"
 
-if [ ! -x "$sweep" ]; then
-  echo "error: $sweep not found or not executable (build with" \
-       "cmake -B $build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $build)" >&2
-  exit 1
-fi
+for bin in "$sweep" "$serve"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found or not executable (build with" \
+         "cmake -B $build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $build)" >&2
+    exit 1
+  fi
+done
 
 tmp_full=$(mktemp) || exit 1
 tmp_quick=$(mktemp) || exit 1
-trap 'rm -f "$tmp_full" "$tmp_quick"' EXIT
+tmp_serve=$(mktemp) || exit 1
+tmp_serve_quick=$(mktemp) || exit 1
+trap 'rm -f "$tmp_full" "$tmp_quick" "$tmp_serve" "$tmp_serve_quick"' EXIT
 
 echo "== perf_sweep (full grid, ~30s) =="
 "$sweep" --out="$tmp_full"
 echo
 echo "== perf_sweep --quick (CI reference) =="
 "$sweep" --quick --out="$tmp_quick"
+echo
+echo "== serve_load (wave-serve daemon, full) =="
+"$serve" --out="$tmp_serve"
+echo
+echo "== serve_load --quick (CI reference) =="
+"$serve" --quick --out="$tmp_serve_quick"
 
 # Key-set parity: --quick must emit exactly the keys the full run emits.
 # tools/check_perf.sh gates on the quick file; a key present only in the
@@ -46,6 +60,13 @@ if [ "$(keys "$tmp_full")" != "$(keys "$tmp_quick")" ]; then
   keys "$tmp_full" > "$tmp_full.keys"; keys "$tmp_quick" > "$tmp_quick.keys"
   diff "$tmp_full.keys" "$tmp_quick.keys" >&2 || true
   rm -f "$tmp_full.keys" "$tmp_quick.keys"
+  exit 1
+fi
+if [ "$(keys "$tmp_serve")" != "$(keys "$tmp_serve_quick")" ]; then
+  echo "error: serve_load --quick and full runs emit different JSON key sets:" >&2
+  keys "$tmp_serve" > "$tmp_serve.keys"; keys "$tmp_serve_quick" > "$tmp_serve_quick.keys"
+  diff "$tmp_serve.keys" "$tmp_serve_quick.keys" >&2 || true
+  rm -f "$tmp_serve.keys" "$tmp_serve_quick.keys"
   exit 1
 fi
 
@@ -74,6 +95,19 @@ par_events=$(metric "$tmp_full" sim_parallel_events_per_sec)
 par_speedup=$(metric "$tmp_full" sim_parallel_speedup)
 quick_par_serial=$(metric "$tmp_quick" sim_serial_events_per_sec)
 quick_par_events=$(metric "$tmp_quick" sim_parallel_events_per_sec)
+serve_workers=$(metric "$tmp_serve" serve_workers)
+serve_capacity=$(metric "$tmp_serve" serve_capacity_qps)
+serve_offered=$(metric "$tmp_serve" serve_offered_qps)
+serve_tput=$(metric "$tmp_serve" serve_throughput_qps)
+serve_p50=$(metric "$tmp_serve" serve_p50_us)
+serve_p99=$(metric "$tmp_serve" serve_p99_us)
+serve_shed=$(metric "$tmp_serve" serve_shed_rate)
+serve_degrade=$(metric "$tmp_serve" serve_degrade_rate)
+q_serve_tput=$(metric "$tmp_serve_quick" serve_throughput_qps)
+q_serve_p50=$(metric "$tmp_serve_quick" serve_p50_us)
+q_serve_p99=$(metric "$tmp_serve_quick" serve_p99_us)
+q_serve_shed=$(metric "$tmp_serve_quick" serve_shed_rate)
+q_serve_degrade=$(metric "$tmp_serve_quick" serve_degrade_rate)
 
 # Per-workload DES events/sec from the full run, assembled as one JSON
 # object line ("name": rate, ...). The names are discovered from the
@@ -108,7 +142,7 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver + PR7 parallel engine), measured by this run",
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver + PR7 parallel engine + PR8 serve daemon), measured by this run",
   "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model, "model_batch_points_per_sec": $full_batch, "sim_serial_events_per_sec": $par_serial, "sim_parallel_events_per_sec": $par_events},
   "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch, "sim_serial_events_per_sec": $quick_par_serial, "sim_parallel_events_per_sec": $quick_par_events},
   "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
@@ -118,10 +152,14 @@ cat > "$out" <<EOF
   "batch_label": "PR6 batch solver: batch-routed vs scalar analytic points/sec on the same grid, this run",
   "parallel_label": "PR7 LP-partitioned engine: P=1024 wavefront at $par_threads worker threads vs the serial engine, this run/machine ($hw_threads hardware thread(s) — the speedup is only meaningful when hardware_threads >= sim_parallel_threads; tools/check_perf.sh applies the same condition)",
   "parallel": {"threads": $par_threads, "hardware_threads": $hw_threads, "sim_serial_events_per_sec": $par_serial, "sim_parallel_events_per_sec": $par_events, "speedup": $par_speedup},
+  "serve_label": "PR8 wave-serve daemon (bench/serve_load): closed-loop capacity probe, open-loop mixed stream at half capacity (p50/p99 end-to-end latency), and a DES overload burst (shed/degrade rates); $serve_workers worker(s) on this machine — absolute qps/latency are machine-bound, the cross-machine gate in tools/check_perf.sh only fires at >= 8 hardware threads",
+  "serve": {"serve_workers": $serve_workers, "serve_capacity_qps": $serve_capacity, "serve_offered_qps": $serve_offered, "serve_throughput_qps": $serve_tput, "serve_p50_us": $serve_p50, "serve_p99_us": $serve_p99, "serve_shed_rate": $serve_shed, "serve_degrade_rate": $serve_degrade},
+  "serve_quick": {"serve_throughput_qps": $q_serve_tput, "serve_p50_us": $q_serve_p50, "serve_p99_us": $q_serve_p99, "serve_shed_rate": $q_serve_shed, "serve_degrade_rate": $q_serve_degrade},
   "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine, "model_batch_vs_scalar": $speedup_batch}
 }
 EOF
 echo
 echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec;" \
      "batch solver ${speedup_batch}x scalar model points/sec;" \
-     "EvalService hits ${svc_speedup}x cold evals)"
+     "EvalService hits ${svc_speedup}x cold evals;" \
+     "wave-serve ${serve_tput} qps, p99 ${serve_p99} us)"

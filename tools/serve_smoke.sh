@@ -1,0 +1,97 @@
+#!/bin/sh
+# End-to-end smoke of the wave-serve daemon (tools/wave_serve): start it
+# on a private socket, push a mixed batch of queries through the bundled
+# --client mode (ping, DES eval, structured not_found and invalid_request
+# errors), snapshot the cache, shut the daemon down cleanly, restart it
+# from the snapshot, and require (a) the restored cache to answer the
+# same eval byte-identically and (b) the stats op to prove it was a cache
+# hit, not a re-evaluation. CI runs this in the serve-smoke job.
+#
+# Usage: tools/serve_smoke.sh [build-dir]
+#   build-dir  default: build (needs tools/wave_serve built)
+set -eu
+
+build="${1:-build}"
+bin="$build/tools/wave_serve"
+sock="/tmp/wave_smoke_$$.sock"
+snap="/tmp/wave_smoke_$$.snap"
+pid=""
+
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found (build with cmake -B $build -S . &&" \
+       "cmake --build $build)" >&2
+  exit 1
+fi
+
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -f "$sock" "$snap"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$bin" --socket="$sock" --snapshot="$snap" &
+  pid=$!
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: daemon never bound $sock" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+client() { # stdin: request lines; stdout: response lines
+  "$bin" --socket="$sock" --client
+}
+
+expect() { # haystack needle label
+  case "$1" in
+    *"$2"*) ;;
+    *) echo "FAIL: $3 — expected '$2' in: $1" >&2; exit 1 ;;
+  esac
+}
+
+# The eval we track across the restart. Any engine works; sim makes the
+# "hit, not re-evaluation" distinction worth checking.
+eval_req='{"id":"q1","op":"eval","engine":"sim","processors":64,"iterations":2}'
+
+echo "== cold daemon: mixed queries =="
+start_daemon
+expect "$(printf '%s\n' '{"id":"p","op":"ping"}' | client)" \
+       '"pong":true' "ping"
+cold=$(printf '%s\n' "$eval_req" | client)
+expect "$cold" '"ok":true' "cold eval"
+expect "$(printf '%s\n' '{"id":"m","op":"eval","machine":"ghost"}' | client)" \
+       '"code":"not_found"' "unknown machine"
+expect "$(printf 'garbage\n' | client)" \
+       '"code":"invalid_request"' "malformed line"
+
+echo "== snapshot + clean shutdown =="
+expect "$(printf '%s\n' '{"id":"s","op":"snapshot"}' | client)" \
+       '"entries":1' "snapshot op"
+[ -f "$snap" ] || { echo "FAIL: snapshot file $snap missing" >&2; exit 1; }
+printf '%s\n' '{"id":"z","op":"shutdown"}' | client > /dev/null
+wait "$pid"
+pid=""
+
+echo "== warm restart from the snapshot =="
+start_daemon
+warm=$(printf '%s\n' "$eval_req" | client)
+if [ "$warm" != "$cold" ]; then
+  echo "FAIL: restored cache is not byte-identical" >&2
+  echo "  cold: $cold" >&2
+  echo "  warm: $warm" >&2
+  exit 1
+fi
+stats=$(printf '%s\n' '{"id":"st","op":"stats"}' | client)
+expect "$stats" '"restored_entries":1' "snapshot restore count"
+expect "$stats" '"hits":1' "warm eval was a cache hit"
+expect "$stats" '"misses":0' "warm eval did not re-evaluate"
+printf '%s\n' '{"id":"z","op":"shutdown"}' | client > /dev/null
+wait "$pid"
+pid=""
+
+echo "serve smoke OK"
