@@ -29,7 +29,7 @@ bool FaultPlan::stall_worker(std::string_view id) const {
          roll(id, 2) < spec_.stall_worker_permille;
 }
 
-bool FaultPlan::consume_snapshot_failure() {
+bool FaultPlan::consume_snapshot_failure() const {
   std::uint32_t left = snapshot_failures_left_.load(std::memory_order_relaxed);
   while (left > 0) {
     if (snapshot_failures_left_.compare_exchange_weak(

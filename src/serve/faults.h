@@ -49,8 +49,9 @@ class FaultPlan {
   /// @brief Whether the worker handling request `id` stalls.
   bool stall_worker(std::string_view id) const;
   /// @brief Consumes one snapshot-write failure from the budget; true =
-  ///   this write must fail.
-  bool consume_snapshot_failure();
+  ///   this write must fail. Const because the countdown is the plan's one
+  ///   mutable (atomic) member — callers share the plan by const pointer.
+  bool consume_snapshot_failure() const;
 
   std::uint32_t slow_eval_ms() const { return spec_.slow_eval_ms; }
   std::uint32_t stall_ms() const { return spec_.stall_ms; }
@@ -61,7 +62,7 @@ class FaultPlan {
   std::uint32_t roll(std::string_view id, std::uint64_t salt) const;
 
   Spec spec_;
-  std::atomic<std::uint32_t> snapshot_failures_left_{0};
+  mutable std::atomic<std::uint32_t> snapshot_failures_left_{0};
 };
 
 }  // namespace wave::serve

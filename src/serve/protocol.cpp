@@ -134,8 +134,10 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
     error = "field 'engine' must be \"model\" or \"sim\"";
     return false;
   }
-  if (out.deadline_ms < 0 || !std::isfinite(out.deadline_ms)) {
-    error = "field 'deadline_ms' must be a non-negative number";
+  if (out.deadline_ms < 0 || !std::isfinite(out.deadline_ms) ||
+      out.deadline_ms > kMaxDeadlineMs) {
+    error = "field 'deadline_ms' must be a number in [0, " +
+            std::to_string(static_cast<long long>(kMaxDeadlineMs)) + "]";
     return false;
   }
 

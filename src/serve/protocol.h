@@ -42,6 +42,12 @@ enum class ErrorCode {
 /// @brief The wire string of `code` ("invalid_request", "shed", ...).
 std::string to_string(ErrorCode code);
 
+/// @brief Largest accepted `deadline_ms` (24 h). The bound keeps the
+///   millisecond→microsecond conversion far inside integer range: an
+///   unbounded double (e.g. 1e308) would overflow the cast, which is
+///   undefined behavior — client input must never reach UB.
+constexpr double kMaxDeadlineMs = 86'400'000.0;
+
 /// @brief One parsed request line.
 struct Request {
   enum class Op { Eval, Stats, Snapshot, Ping, Shutdown };

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <map>
@@ -29,8 +31,19 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// One client connection: the fd, a write lock (workers, watchdog and the
-/// reader may all respond), and its reader thread.
+/// reader may all respond), a bounded buffer of unsent responses, and the
+/// reader thread.
+///
+/// Sends are non-blocking: a client that floods requests without reading
+/// replies fills its receive buffer, and a blocking send() there would
+/// wedge whichever server thread is responding — one bad client must
+/// never cost the others a worker or the watchdog. Bytes the kernel will
+/// not take wait in `pending` (flushed on the next write and by the
+/// accept loop's maintenance tick); past kMaxPendingBytes the client is
+/// not slow but gone-rogue, and the connection is cut off.
 struct Connection {
+  static constexpr std::size_t kMaxPendingBytes = 1 << 20;
+
   int fd = -1;
   std::mutex write_mutex;
   std::thread reader;
@@ -38,19 +51,54 @@ struct Connection {
 
   void write_line(const std::string& line) {
     const std::lock_guard<std::mutex> lock(write_mutex);
-    std::string framed = line;
-    framed.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-      // MSG_NOSIGNAL: a client that disconnected mid-response must not
-      // SIGPIPE the daemon; the write error is simply dropped (there is
-      // nobody left to tell).
-      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
-                               MSG_NOSIGNAL);
-      if (n <= 0) return;
-      sent += static_cast<std::size_t>(n);
+    if (broken_) return;
+    pending_ += line;
+    pending_.push_back('\n');
+    flush_locked();
+    if (pending_.size() > kMaxPendingBytes) {
+      // ~1 MiB of responses the client never read. shutdown() (not
+      // close(): the fd must stay valid while others hold the
+      // Connection) also wakes the reader thread, so the sweep reaps it.
+      broken_ = true;
+      pending_.clear();
+      pending_.shrink_to_fit();
+      ::shutdown(fd, SHUT_RDWR);
     }
   }
+
+  /// Retries the unsent tail, if any. Called from the accept loop's tick
+  /// so a buffered response still reaches a client that merely fell
+  /// behind and caught up without sending another request.
+  void flush() {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!broken_) flush_locked();
+  }
+
+ private:
+  void flush_locked() {
+    std::size_t sent = 0;
+    while (sent < pending_.size()) {
+      // MSG_NOSIGNAL: a client that disconnected mid-response must not
+      // SIGPIPE the daemon. MSG_DONTWAIT: a full socket buffer must not
+      // block this thread — the tail stays in pending_.
+      const ssize_t n =
+          ::send(fd, pending_.data() + sent, pending_.size() - sent,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // Peer gone: drop everything, there is nobody left to tell.
+      broken_ = true;
+      sent = pending_.size();
+      break;
+    }
+    pending_.erase(0, sent);
+  }
+
+  std::string pending_;   // guarded by write_mutex
+  bool broken_ = false;   // guarded by write_mutex
 };
 
 /// One admitted eval request, shared between the admission queue, its
@@ -203,6 +251,7 @@ struct Server::Impl {
 
   void watchdog_loop() {
     std::unique_lock<std::mutex> lock(watch_mutex);
+    std::vector<std::shared_ptr<PendingEval>> expired;
     while (!stopping.load(std::memory_order_acquire)) {
       if (watched.empty()) {
         watch_cv.wait(lock);
@@ -213,10 +262,10 @@ struct Server::Impl {
         watch_cv.wait_until(lock, next);
         continue;
       }
-      // Expire everything due. The response is sent outside the map lock
-      // would be nicer, but write_line holds only the connection's write
-      // mutex and never blocks on queue or watch state, so this cannot
-      // deadlock — and the watchdog stays simple.
+      // Expire everything due, but only claim under the lock — the
+      // responses are sent after releasing it. write_line can stall on a
+      // client socket, and no client may ever hold watch_mutex hostage:
+      // that would freeze every other deadline and every watch() caller.
       while (!watched.empty() && watched.begin()->first <= Clock::now()) {
         const std::shared_ptr<PendingEval> req = watched.begin()->second.lock();
         watched.erase(watched.begin());
@@ -224,13 +273,17 @@ struct Server::Impl {
         req->cancelled.store(true, std::memory_order_release);
         // Claimed inline (not via respond_error): losing the race here
         // just means the worker answered in time — nothing was discarded.
-        if (req->claim_response()) {
-          deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-          req->conn->write_line(render_error(
-              req->id, ErrorCode::kDeadlineExceeded,
-              "deadline expired before the evaluation completed"));
-        }
+        if (req->claim_response()) expired.push_back(req);
       }
+      lock.unlock();
+      for (const std::shared_ptr<PendingEval>& req : expired) {
+        deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        req->conn->write_line(render_error(
+            req->id, ErrorCode::kDeadlineExceeded,
+            "deadline expired before the evaluation completed"));
+      }
+      expired.clear();
+      lock.lock();
     }
   }
 
@@ -335,12 +388,22 @@ struct Server::Impl {
     double deadline_ms = request.deadline_ms;
     if (deadline_ms <= 0) deadline_ms = options.default_deadline_ms;
     if (deadline_ms > 0) {
+      // parse_request already bounds client deadlines by kMaxDeadlineMs;
+      // clamp again so a wild server-side default can never push the
+      // float-to-integer cast below into undefined behavior.
+      deadline_ms = std::min(deadline_ms, kMaxDeadlineMs);
       req->has_deadline = true;
-      req->deadline = Clock::now() + std::chrono::microseconds(
-                                         static_cast<long>(deadline_ms * 1e3));
+      req->deadline =
+          Clock::now() + std::chrono::microseconds(
+                             static_cast<std::int64_t>(deadline_ms * 1e3));
     }
 
     bool expensive = request.expensive();
+    // Shed responses are rendered under queue_mutex (they quote the queue
+    // depth) but sent only after releasing it: write_line can stall on a
+    // client socket, and queue_mutex gates every worker dequeue and every
+    // admission — a stalled client must not stall the service.
+    std::string shed_response;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex);
       if (expensive && des_q.size() >= options.des_queue_limit) {
@@ -355,25 +418,30 @@ struct Server::Impl {
           const std::uint32_t hint = static_cast<std::uint32_t>(
               options.retry_after_ms * (1 + des_q.size()));
           shed.fetch_add(1, std::memory_order_relaxed);
-          conn->write_line(render_error(
+          shed_response = render_error(
               request.id, ErrorCode::kShed,
               "DES queue is full (" + std::to_string(des_q.size()) +
                   " queued); retry later or set \"degrade\": true",
-              hint));
-          return;
+              hint);
         }
       }
-      if (!expensive && analytic_q.size() >= options.analytic_queue_limit) {
+      if (shed_response.empty() && !expensive &&
+          analytic_q.size() >= options.analytic_queue_limit) {
         shed.fetch_add(1, std::memory_order_relaxed);
-        conn->write_line(render_error(
+        shed_response = render_error(
             request.id, ErrorCode::kShed,
             "analytic queue is full (" + std::to_string(analytic_q.size()) +
                 " queued); retry later",
-            options.retry_after_ms));
-        return;
+            options.retry_after_ms);
       }
-      req->query = query_from(*ctx, request);
-      (expensive ? des_q : analytic_q).push_back(req);
+      if (shed_response.empty()) {
+        req->query = query_from(*ctx, request);
+        (expensive ? des_q : analytic_q).push_back(req);
+      }
+    }
+    if (!shed_response.empty()) {
+      conn->write_line(shed_response);
+      return;
     }
     queue_cv.notify_one();
     if (req->has_deadline) watch(req);
@@ -413,8 +481,7 @@ struct Server::Impl {
         const std::vector<EvalService::CacheEntry> entries =
             service->export_cache();
         const Status written =
-            write_snapshot(options.snapshot_path, entries,
-                           const_cast<FaultPlan*>(faults));
+            write_snapshot(options.snapshot_path, entries, faults);
         if (!written.is_ok()) {
           snapshot_write_failures.fetch_add(1, std::memory_order_relaxed);
           conn->write_line(render_error(request.id, ErrorCode::kSnapshotFailed,
@@ -483,11 +550,38 @@ struct Server::Impl {
     conn->done.store(true, std::memory_order_release);
   }
 
+  /// Reaps connections whose readers finished and retries buffered
+  /// writes on the live ones. Runs on every accept-loop tick, not just on
+  /// the next accept: a long-lived daemon whose clients all left must not
+  /// sit on their dead fds and un-joined reader threads until shutdown.
+  void sweep_connections() {
+    const std::lock_guard<std::mutex> lock(conn_mutex);
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (!(*it)->done.load(std::memory_order_acquire)) {
+        (*it)->flush();
+        ++it;
+        continue;
+      }
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      // A queued eval may still hold this Connection and respond into
+      // it; closing now could hand the fd number to a new client and
+      // misdeliver that response. Keep it until we are the last owner.
+      if (it->use_count() > 1) {
+        ++it;
+        continue;
+      }
+      ::close((*it)->fd);
+      it = connections.erase(it);
+    }
+  }
+
   void accept_loop() {
     while (!stopping.load(std::memory_order_acquire)) {
       pollfd fds[2] = {{listen_fd, POLLIN, 0}, {stop_pipe[0], POLLIN, 0}};
-      if (::poll(fds, 2, -1) < 0) continue;
+      // The timeout turns the loop into the connection maintenance tick.
+      if (::poll(fds, 2, 250) < 0) continue;
       if (fds[1].revents != 0) return;  // stop() wrote the wake byte
+      sweep_connections();
       if ((fds[0].revents & POLLIN) == 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
@@ -496,17 +590,6 @@ struct Server::Impl {
       conn->fd = fd;
       {
         const std::lock_guard<std::mutex> lock(conn_mutex);
-        // Reap connections whose readers already finished, so a long-
-        // lived daemon does not accumulate joined-out threads.
-        for (auto it = connections.begin(); it != connections.end();) {
-          if ((*it)->done.load(std::memory_order_acquire)) {
-            if ((*it)->reader.joinable()) (*it)->reader.join();
-            ::close((*it)->fd);
-            it = connections.erase(it);
-          } else {
-            ++it;
-          }
-        }
         connections.push_back(conn);
       }
       conn->reader = std::thread([this, conn] { reader_loop(conn); });

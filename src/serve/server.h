@@ -16,6 +16,11 @@
 //   - it never queues unboundedly: admission beyond the per-class bounds
 //     sheds with a retry-after hint, or degrades DES to the analytic
 //     model when the client opted in;
+//   - no client can stall it: responses are sent with non-blocking
+//     writes, never under the admission or watchdog locks, and buffer
+//     against their own connection only (bounded; a flooding non-reader
+//     is disconnected) — a client that stops reading wedges nothing
+//     shared;
 //   - it restarts warm when it can and cold when it must: a valid cache
 //     snapshot restores bit-identical hits, an invalid one is rejected
 //     loudly and serving continues with an empty cache.

@@ -206,7 +206,7 @@ Expected<std::vector<EvalService::CacheEntry>> decode_snapshot(
 
 Status write_snapshot(const std::string& path,
                       const std::vector<EvalService::CacheEntry>& entries,
-                      FaultPlan* faults) {
+                      const FaultPlan* faults) {
   const std::string image = encode_snapshot(entries);
   // The temp name must be unique per call, not just per process: two
   // server connections can issue `snapshot` ops concurrently, and a
@@ -255,6 +255,26 @@ Status write_snapshot(const std::string& path,
     std::remove(tmp.c_str());
     return Status::internal("rename " + tmp + " -> " + path + " failed: " +
                             std::strerror(err));
+  }
+  // The rename updated a directory entry; that entry is itself data that
+  // must reach stable storage, or a power cut can lose the just-published
+  // snapshot (the file contents were synced, the name pointing at them
+  // was not). The write already happened, but the caller deserves to know
+  // durability was not achieved.
+  {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirfd < 0 || ::fsync(dirfd) != 0) {
+      const int err = errno;
+      if (dirfd >= 0) ::close(dirfd);
+      return Status::internal("fsync of snapshot directory " + dir +
+                              " failed: " + std::strerror(err) +
+                              " (snapshot written but not yet durable)");
+    }
+    ::close(dirfd);
   }
   return Status::ok();
 }

@@ -5,8 +5,10 @@
 // instant:
 //
 //   - atomic writes: the snapshot is serialized to `<path>.tmp.<pid>`,
-//     flushed, then renamed over `path` — a crash mid-write leaves the
-//     previous snapshot intact, never a half-written file;
+//     fsynced, renamed over `path`, and the containing directory is
+//     fsynced too (so the rename itself survives a power cut) — a crash
+//     mid-write leaves the previous snapshot intact, never a half-written
+//     file;
 //   - versioned header: an 8-byte magic ("WAVESNAP") and a format version,
 //     so an old binary never misparses a future format;
 //   - checksummed payload: FNV-1a 64 over everything after the header,
@@ -48,7 +50,7 @@ Expected<std::vector<EvalService::CacheEntry>> decode_snapshot(
 ///   — the previous file at `path` is left untouched.
 Status write_snapshot(const std::string& path,
                       const std::vector<EvalService::CacheEntry>& entries,
-                      FaultPlan* faults = nullptr);
+                      const FaultPlan* faults = nullptr);
 
 /// @brief Reads and decodes the snapshot at `path`. A missing file is
 ///   kNotFound (a normal cold start); everything else that fails is

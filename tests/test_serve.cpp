@@ -106,6 +106,10 @@ TEST(ServeProtocol, RejectsBadRequestsNamingTheField) {
            {R"({"op":"eval","processors":2.5})", "processors"},
            {R"({"op":"eval","engine":"magic"})", "engine"},
            {R"({"op":"eval","deadline_ms":-5})", "deadline_ms"},
+           // 1e308 ms is finite but would overflow the ms->us cast: the
+           // parser must bound deadlines, not just sign-check them.
+           {R"({"op":"eval","deadline_ms":1e308})", "deadline_ms"},
+           {R"({"op":"eval","deadline_ms":86400001})", "deadline_ms"},
            {R"({"op":"eval","degrade":"yes"})", "degrade"},
            {R"({"op":"eval","params":{"a":"b"}})", "param 'a'"},
            {R"([1,2,3])", "object"},
@@ -219,6 +223,48 @@ TEST(ServeServer, ShedsDesOverloadAndDegradesOptIns) {
   const wave::ServeStats stats = f.server->stats();
   EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
   EXPECT_EQ(stats.degraded, static_cast<std::uint64_t>(degraded));
+}
+
+TEST(ServeServer, NonReadingFloodClientCannotStallTheService) {
+  // One worker, wedged for 60 s on the first dequeue (interruptible at
+  // shutdown), and a one-slot DES queue: every further DES request is
+  // shed. The flood client sends thousands of them and never reads a
+  // reply, so the shed responses overflow its socket buffer. The
+  // regression this guards: responses used to be sent with blocking
+  // send() while holding queue_mutex, so this exact client wedged every
+  // admission and dequeue in the daemon.
+  wave::ServeOptions options;
+  options.workers = 1;
+  options.des_queue_limit = 1;
+  wave::serve::FaultPlan::Spec spec;
+  spec.stall_worker_permille = 1000;
+  spec.stall_ms = 60000;
+  ServerFixture f(options, spec);
+
+  ws::Client flood;
+  ASSERT_TRUE(flood.connect(f.options.socket_path).is_ok());
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(flood
+                    .send_line("{\"id\":\"f" + std::to_string(i) +
+                               "\",\"op\":\"eval\",\"engine\":\"sim\","
+                               "\"processors\":64}")
+                    .is_ok());
+  }
+
+  // A well-behaved client must still get through: pings (reader path),
+  // and an admitted eval whose deadline the watchdog answers — together
+  // they prove neither queue_mutex nor watch_mutex is wedged.
+  ws::Client good;
+  ASSERT_TRUE(good.connect(f.options.socket_path).is_ok());
+  const auto pong = good.call(R"({"id":"g","op":"ping"})");
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_TRUE(pong.value().ok);
+  const auto expired = good.call(
+      R"({"id":"ge","op":"eval","processors":128,"deadline_ms":300})");
+  ASSERT_TRUE(expired.ok()) << expired.status().to_string();
+  EXPECT_EQ(expired.value().error_code, "deadline_exceeded")
+      << expired.value().raw;
+  EXPECT_GT(f.server->stats().shed, 4000u);
 }
 
 TEST(ServeServer, AccountingIdentityHoldsAtIdle) {
