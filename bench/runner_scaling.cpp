@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
             << (csv_serial == csv_parallel ? "yes" : "NO — DETERMINISM BUG")
             << "\n(hardware concurrency here: "
             << runner::ThreadPool(0).threads() << ")\n";
+  if (!runner::write_trace_out(cli, ctx, grid)) return 1;
   return csv_serial == csv_parallel ? 0 : 1;
 }

@@ -30,6 +30,7 @@
 
 #include <unistd.h>
 
+#include "common/statistics.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "wave/context.h"
@@ -50,20 +51,6 @@ std::string eval_line(const std::string& id, int processors, bool expensive,
   if (degrade) line += ",\"degrade\":true";
   line += "}";
   return line;
-}
-
-struct Percentiles {
-  double p50_us = 0.0;
-  double p99_us = 0.0;
-};
-
-Percentiles percentiles(std::vector<double>& latencies_us) {
-  Percentiles out;
-  if (latencies_us.empty()) return out;
-  std::sort(latencies_us.begin(), latencies_us.end());
-  out.p50_us = latencies_us[latencies_us.size() / 2];
-  out.p99_us = latencies_us[(latencies_us.size() * 99) / 100];
-  return out;
 }
 
 }  // namespace
@@ -174,7 +161,7 @@ int main(int argc, char** argv) {
   const double open_elapsed = seconds_since(open_start);
   const double throughput_qps =
       static_cast<double>(latencies_us.size()) / open_elapsed;
-  Percentiles lat = percentiles(latencies_us);
+  const wave::common::Percentiles lat = wave::common::percentiles(latencies_us);
 
   // ---- phase 3: DES overload burst --------------------------------------
   // One connection floods expensive requests far past the DES bound
@@ -230,8 +217,8 @@ int main(int argc, char** argv) {
   field("serve_capacity_qps", capacity_qps);
   field("serve_offered_qps", target_qps);
   field("serve_throughput_qps", throughput_qps);
-  field("serve_p50_us", lat.p50_us);
-  field("serve_p99_us", lat.p99_us);
+  field("serve_p50_us", lat.p50);
+  field("serve_p99_us", lat.p99);
   field("serve_answered", static_cast<double>(latencies_us.size()));
   field("serve_overload_requests", overload_requests);
   field("serve_overload_completed", static_cast<double>(burst_ok));

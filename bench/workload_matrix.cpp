@@ -75,5 +75,6 @@ int main(int argc, char** argv) {
             << "  (workloads x machines x backends x P x engines)\n"
             << "records byte-identical across thread counts: "
             << (identical ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  if (!runner::write_trace_out(cli, ctx, grid)) return 1;
   return identical ? 0 : 1;
 }

@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "wave/metrics.h"
 #include "wave/query.h"
 #include "wave/status.h"
 
@@ -119,6 +120,13 @@ class EvalService {
     std::size_t shards = 0;
   };
   Stats stats() const;
+
+  /// @brief A consistent snapshot of the service's metrics registry:
+  ///   per-shard hit/miss latency histograms
+  ///   (`service_shard<k>_{hit,miss}_latency_us`), recorded around every
+  ///   evaluate() in wall-clock microseconds. Purely observational — the
+  ///   histograms never affect results or cache identity.
+  MetricsSnapshot metrics() const;
 
   // ---- snapshot hooks (src/serve/snapshot.* builds on these) -----------
 

@@ -123,6 +123,13 @@ class Query {
   Query& param(std::string name, double value);
   /// Run both paths and populate the divergence block of the Result.
   Query& validate(bool on = true);
+  /// Writes an execution timeline of the evaluation to `path` as Chrome
+  /// trace-event JSON (load in Perfetto / chrome://tracing; see
+  /// docs/OBSERVABILITY.md). Simulation points record per-rank
+  /// compute/send/recv/wait spans; analytic points produce a valid but
+  /// empty trace. Purely observational: the result, and the scenario's
+  /// cache identity in EvalService, are unchanged. Empty disables.
+  Query& trace(std::string path);
 
   /// @brief Evaluates the point. All name lookups resolve against the
   ///   bound Context's registries and machine catalog; any internal
@@ -143,6 +150,9 @@ class Query {
   int sim_thread_count() const { return sim_threads_; }
   Engine engine_choice() const { return engine_; }
   bool validate_requested() const { return validate_; }
+  /// Trace output path ("" = tracing off). Deliberately NOT part of the
+  /// canonical cache key (observation never changes scenario identity).
+  const std::string& trace_path() const { return trace_path_; }
   const std::map<std::string, double>& params() const { return params_; }
   double problem_nx() const { return nx_; }
   double problem_ny() const { return ny_; }
@@ -165,6 +175,7 @@ class Query {
   int sim_threads_ = 0;
   Engine engine_ = Engine::Model;
   bool validate_ = false;
+  std::string trace_path_;
   std::map<std::string, double> params_;
 };
 

@@ -95,6 +95,9 @@ struct ServeStats {
   std::uint64_t snapshot_write_failures = 0;
   std::uint64_t restored_entries = 0;   ///< cache entries loaded at startup
   bool snapshot_load_failed = false;    ///< startup snapshot was rejected
+  /// Wall-clock milliseconds since the server started serving (0 until
+  /// start() succeeds). Not a counter, but every stats consumer wants it.
+  double uptime_ms = 0.0;
 };
 
 }  // namespace wave

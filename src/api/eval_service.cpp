@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -12,6 +13,7 @@
 #include "common/dense_map.h"
 #include "core/batch_solver.h"
 #include "core/machine.h"
+#include "obs/metrics.h"
 #include "runner/batch_runner.h"
 #include "wave/context.h"
 #include "wave/study.h"
@@ -115,16 +117,33 @@ struct EvalService::Impl {
     }
   };
 
-  explicit Impl(std::size_t shard_count) : shards(shard_count) {}
+  explicit Impl(std::size_t shard_count) : shards(shard_count) {
+    hit_latency.reserve(shard_count);
+    miss_latency.reserve(shard_count);
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      const std::string prefix = "service_shard" + std::to_string(k);
+      hit_latency.push_back(&registry.histogram(prefix + "_hit_latency_us"));
+      miss_latency.push_back(&registry.histogram(prefix + "_miss_latency_us"));
+    }
+  }
 
   const Context* ctx;
   Options options;
   std::vector<Shard> shards;
   /// Resolution failures have no canonical key and therefore no shard.
   std::atomic<std::uint64_t> errors{0};
+  /// Per-shard evaluate() latency histograms (hit vs miss path), resolved
+  /// once at construction so the hot path is a wait-free observe().
+  obs::MetricsRegistry registry;
+  std::vector<obs::Histogram*> hit_latency;
+  std::vector<obs::Histogram*> miss_latency;
 
   Shard& shard_for(std::uint64_t hash) {
     return shards[hash % shards.size()];
+  }
+
+  std::size_t shard_index(std::uint64_t hash) const {
+    return hash % shards.size();
   }
 
   /// Locks every shard, in index order (the one total order, so two
@@ -179,12 +198,21 @@ Expected<Result> EvalService::evaluate(const Query& query) {
   const std::string key = key_text(query, scenario);
   const std::uint64_t hash = fnv1a(key);
   Impl::Shard& shard = impl_->shard_for(hash);
+  const std::size_t shard_idx = impl_->shard_index(hash);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed_us = [&t0] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
 
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     if (const Result* cached = shard.find_locked(hash, key)) {
       ++shard.hits;
-      return *cached;
+      Result out = *cached;
+      impl_->hit_latency[shard_idx]->observe(elapsed_us());
+      return out;
     }
   }
 
@@ -202,11 +230,14 @@ Expected<Result> EvalService::evaluate(const Query& query) {
 
   const std::lock_guard<std::mutex> lock(shard.mutex);
   ++shard.misses;
+  impl_->miss_latency[shard_idx]->observe(elapsed_us());
   if (const Result* cached = shard.find_locked(hash, key))
     return *cached;  // lost the race; the stored copy is authoritative
   shard.store_locked(hash, key, result);
   return result;
 }
+
+MetricsSnapshot EvalService::metrics() const { return impl_->registry.snapshot(); }
 
 Expected<std::size_t> EvalService::warm(const Study& study) {
   const Context& ctx = *impl_->ctx;

@@ -1,8 +1,10 @@
 #include "wave/query.h"
 
+#include <fstream>
 #include <utility>
 
 #include "api/api_internal.h"
+#include "obs/trace.h"
 #include "wave/context.h"
 
 namespace wave {
@@ -80,13 +82,38 @@ Query& Query::validate(bool on) {
   return *this;
 }
 
+Query& Query::trace(std::string path) {
+  trace_path_ = std::move(path);
+  return *this;
+}
+
 Expected<Result> Query::run() const {
   if (ctx_ == nullptr)
     return Status::failed_precondition(
         "query is not bound to a Context (obtain it via Context::query())");
   try {
-    const runner::Scenario scenario = api::scenario_from(*ctx_, *this);
-    return api::result_from(*ctx_, *this, scenario);
+    runner::Scenario scenario = api::scenario_from(*ctx_, *this);
+    if (trace_path_.empty()) return api::result_from(*ctx_, *this, scenario);
+
+    // Capture the DES timeline alongside the evaluation. The capture is
+    // observation-only (spans are recorded, never consulted), so the
+    // Result is bit-identical with and without it; a Model-engine point
+    // simply produces an empty — still valid — trace file.
+    obs::SpanCapture capture;
+    scenario.trace = &capture;
+    Result result = api::result_from(*ctx_, *this, scenario);
+    std::ofstream out(trace_path_, std::ios::binary);
+    if (!out) {
+      return Status::invalid_argument("cannot open trace output file: " +
+                                      trace_path_);
+    }
+    obs::write_chrome_trace(out, capture);
+    out.flush();
+    if (!out) {
+      return Status::internal("failed writing trace output file: " +
+                              trace_path_);
+    }
+    return result;
   } catch (const std::exception& e) {
     return api::to_status(e);
   }

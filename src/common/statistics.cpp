@@ -74,6 +74,21 @@ double max_relative_error(std::span<const double> predicted,
   return worst;
 }
 
+std::size_t percentile_rank(std::size_t n, unsigned pct) {
+  WAVE_EXPECTS_MSG(n >= 1, "percentile_rank needs at least one sample");
+  WAVE_EXPECTS_MSG(pct <= 100, "percentile must be in [0, 100]");
+  return std::min(n - 1, n * pct / 100);
+}
+
+Percentiles percentiles(std::vector<double>& xs) {
+  Percentiles out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  out.p50 = xs[percentile_rank(xs.size(), 50)];
+  out.p99 = xs[percentile_rank(xs.size(), 99)];
+  return out;
+}
+
 unsigned exact_log2(std::size_t x) {
   WAVE_EXPECTS_MSG(is_power_of_two(x), "exact_log2 requires a power of two");
   unsigned r = 0;

@@ -40,6 +40,24 @@ double mean_relative_error(std::span<const double> predicted,
 double max_relative_error(std::span<const double> predicted,
                           std::span<const double> measured);
 
+/// Index of the p-th percentile in a sorted sample of n elements, using
+/// the nearest-rank-floor convention n*pct/100 shared by serve_load and
+/// the obs histogram snapshots (clamped into [0, n-1]). Precondition:
+/// n >= 1, pct in [0, 100].
+std::size_t percentile_rank(std::size_t n, unsigned pct);
+
+/// p50/p99 of a latency sample (the serving layer's tail-latency pair).
+struct Percentiles {
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes p50/p99 by nearest-rank floor (see percentile_rank): sorts
+/// `xs` in place and indexes it directly. An empty sample yields zeros; a
+/// single sample is both percentiles; ties resolve by rank, never by
+/// interpolation.
+Percentiles percentiles(std::vector<double>& xs);
+
 /// Integer log2 for exact powers of two. Precondition: x is a power of two.
 unsigned exact_log2(std::size_t x);
 

@@ -1,0 +1,146 @@
+// The unified metrics core: named atomic counters, gauges and log2-bucket
+// histograms behind a MetricsRegistry.
+//
+// Design rules (the observability contract, docs/OBSERVABILITY.md):
+//
+//   - *Inert*: instruments never feed back into what they measure. Hot
+//     paths hold a plain pointer to a pre-registered instrument and do one
+//     relaxed atomic op — no locks, no allocation, no clocks unless the
+//     caller explicitly measures wall time. When no registry is attached
+//     the cost is a null-pointer test.
+//   - *Thread-safe*: registration takes the registry mutex (cold path,
+//     once per instrument name); updates are lock-free atomics; snapshot()
+//     reads each value atomically and sorts by name, so identical registry
+//     state always renders identical text.
+//   - *Stable addresses*: instruments are heap-allocated and never move or
+//     die before the registry, so a recorded `Counter*` stays valid across
+//     later registrations.
+//
+// Histograms use 64 fixed log2 buckets: bucket 0 counts observations
+// below 1, bucket i (i >= 1) counts [2^(i-1), 2^i). That covers sub-unit
+// to ~9e18 with one `bit_width`, which is all a latency-in-microseconds or
+// bytes-per-message distribution needs; exact percentile math for raw
+// samples lives in common/statistics.h.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "wave/metrics.h"
+
+namespace wave::obs {
+
+/// @brief A monotonically increasing count. Relaxed atomics: totals are
+///   exact once the writers quiesce, which is when snapshots are read.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// @brief An instantaneous level (queue depth, high-water mark).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (lock-free high-water mark).
+  void set_max(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// @brief A fixed 64-bucket log2 histogram (see the file comment for the
+///   bucket layout). observe() is wait-free: one bucket increment, one
+///   count increment, one CAS-loop sum accumulation.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index of `v`: 0 below 1, else bit_width of the truncated
+  /// value, clamped to the last bucket. Negative and NaN observations
+  /// land in bucket 0 (they indicate a caller bug, not a crash).
+  static int bucket_of(double v) {
+    if (!(v >= 1.0)) return 0;
+    if (v >= 9.2233720368547758e18) return kBuckets - 1;
+    const int b = std::bit_width(static_cast<std::uint64_t>(v));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Upper bound of bucket `i` (1.0 for bucket 0, else 2^i).
+  static double bucket_bound(int i) {
+    return i == 0 ? 1.0 : std::ldexp(1.0, i);
+  }
+
+  void observe(double v) {
+    counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(int i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// @brief The registry: name -> instrument, find-or-create. One registry
+///   per observed component (a Server, an EvalService, a perf run); the
+///   snapshot is the only way values leave it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. The reference stays valid for
+  /// the registry's lifetime. Metric names should be
+  /// `snake_case[_total|_us|_bytes]` (docs/OBSERVABILITY.md catalog).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// A consistent-per-metric copy of every instrument, sorted by name
+  /// within each kind (std::map iteration order).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wave::obs

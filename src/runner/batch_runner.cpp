@@ -1,9 +1,11 @@
 #include "runner/batch_runner.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/units.h"
 #include "core/solver.h"
+#include "obs/metrics.h"
 #include "runner/thread_pool.h"
 #include "wave/context.h"
 #include "workloads/builtin.h"
@@ -32,6 +34,8 @@ Metrics sim_metrics(const wave::Context& ctx, const Scenario& s) {
   const core::MachineConfig machine = s.effective_machine();
   sim::ParallelOptions parallel;
   parallel.threads = s.sim_threads;
+  parallel.metrics = s.metrics;
+  parallel.trace = s.trace;
   const workloads::SimRunResult res = workloads::simulate_wavefront(
       s.app, machine, s.grid, s.iterations,
       workloads::protocol_for(machine, ctx.comm_model_registry()), parallel);
@@ -53,6 +57,8 @@ workloads::WorkloadInputs workload_inputs(const Scenario& s) {
   in.grid = s.grid;
   in.iterations = s.iterations;
   in.parallel.threads = s.sim_threads;
+  in.parallel.metrics = s.metrics;
+  in.parallel.trace = s.trace;
   in.params = s.params;
   return in;
 }
@@ -122,6 +128,30 @@ Metrics model_vs_sim_metrics(const wave::Context& ctx, const Scenario& s) {
 
 // ---- BatchRunner ------------------------------------------------------
 
+namespace {
+
+/// Evaluates one point, recording its wall-clock latency into the point's
+/// attached registry (if any) as `runner_point_latency_us`. The timing is
+/// taken only when a registry is attached, so unobserved sweeps pay one
+/// pointer test per point.
+template <typename Eval>
+void timed_point(const Scenario& s, RunRecord& r, Eval eval) {
+  r.index = s.index;
+  r.labels = s.labels;
+  if (s.metrics == nullptr) {
+    r.metrics = eval();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  r.metrics = eval();
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  s.metrics->histogram("runner_point_latency_us").observe(us);
+}
+
+}  // namespace
+
 int BatchRunner::threads() const { return ThreadPool(options_.threads).threads(); }
 
 std::size_t BatchRunner::chunk_for(const std::vector<Scenario>& points) const {
@@ -142,10 +172,7 @@ std::vector<RunRecord> BatchRunner::run(const std::vector<Scenario>& points,
   const ThreadPool pool(options_.threads);
   pool.for_each_chunk(points.size(), chunk_for(points), [&](std::size_t i) {
     const Scenario& s = points[i];
-    RunRecord& r = records[i];
-    r.index = s.index;
-    r.labels = s.labels;
-    r.metrics = fn(s);
+    timed_point(points[i], records[i], [&] { return fn(s); });
   });
   return records;
 }
@@ -193,18 +220,16 @@ std::vector<RunRecord> BatchRunner::run(
   const ThreadPool pool(options_.threads);
   pool.for_each_chunk(points.size(), chunk_for(points), [&](std::size_t i) {
     const Scenario& s = points[i];
-    RunRecord& r = records[i];
-    r.index = s.index;
-    r.labels = s.labels;
-    if (plan_index[i] != kScalar) {
-      // Workspace per worker thread, reused across points and runs.
-      thread_local core::BatchScratch scratch;
-      core::ModelResult res;
-      plan.evaluate_point(bpoints[plan_index[i]], scratch, res);
-      r.metrics = model_metrics_from(res);
-    } else {
-      r.metrics = evaluate_scenario(ctx, s);
-    }
+    timed_point(s, records[i], [&] {
+      if (plan_index[i] != kScalar) {
+        // Workspace per worker thread, reused across points and runs.
+        thread_local core::BatchScratch scratch;
+        core::ModelResult res;
+        plan.evaluate_point(bpoints[plan_index[i]], scratch, res);
+        return model_metrics_from(res);
+      }
+      return evaluate_scenario(ctx, s);
+    });
   });
   return records;
 }

@@ -1,9 +1,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "loggp/registry.h"
+#include "obs/trace.h"
 #include "runner/runner.h"
 #include "workloads/registry.h"
 
@@ -159,6 +161,38 @@ bool handle_list_flags(const common::Cli& cli, const wave::Context& ctx) {
     handled = true;
   }
   return handled;
+}
+
+bool write_trace_out(const common::Cli& cli, const wave::Context& ctx,
+                     const SweepGrid& grid) {
+  if (!cli.has("trace-out")) return true;
+  const std::string path = cli.get("trace-out", "");
+  if (path.empty()) {
+    std::cerr << "error: --trace-out needs a file path "
+                 "(--trace-out=trace.json)\n";
+    return false;
+  }
+  obs::SpanCapture capture;
+  bool traced = false;
+  for (Scenario point : grid.points()) {
+    if (point.engine != Engine::Simulation) continue;
+    point.trace = &capture;
+    evaluate_scenario(ctx, point);  // observation-only re-run of the point
+    traced = true;
+    break;
+  }
+  if (!traced)
+    std::cerr << "warning: --trace-out: sweep has no simulation point; "
+                 "writing an empty trace\n";
+  std::ofstream out(path, std::ios::binary);
+  if (out) obs::write_chrome_trace(out, capture);
+  if (!out) {
+    std::cerr << "error: cannot write trace file " << path << "\n";
+    return false;
+  }
+  std::cerr << "trace written: " << path << " (" << capture.total_spans()
+            << " spans; open in Perfetto or chrome://tracing)\n";
+  return true;
 }
 
 }  // namespace wave::runner

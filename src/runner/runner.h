@@ -129,4 +129,15 @@ void reject_workload_cli(const common::Cli& cli, const wave::Context& ctx);
 ///   driver should then exit 0 without running its sweep.
 bool handle_list_flags(const common::Cli& cli, const wave::Context& ctx);
 
+/// @brief Handles the shared --trace-out=<file> flag: re-evaluates the
+///   sweep's first Engine::Simulation point with an execution-timeline
+///   capture attached and writes it as Chrome trace-event JSON (load in
+///   Perfetto / chrome://tracing; schema in docs/OBSERVABILITY.md). A
+///   no-op when the flag is absent; a warning when the sweep has no DES
+///   point. Tracing is observation-only, so the extra run cannot perturb
+///   the sweep's published records. Returns false only when the file
+///   could not be written (the driver should exit non-zero).
+bool write_trace_out(const common::Cli& cli, const wave::Context& ctx,
+                     const SweepGrid& grid);
+
 }  // namespace wave::runner

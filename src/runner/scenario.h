@@ -27,6 +27,11 @@ namespace wave {
 class Context;
 }  // namespace wave
 
+namespace wave::obs {
+class MetricsRegistry;
+class SpanCapture;
+}  // namespace wave::obs
+
 namespace wave::runner {
 
 /// How a scenario point is evaluated by the canned evaluators.
@@ -56,6 +61,14 @@ struct Scenario {
   /// any value by the determinism contract — this is a wall-clock knob,
   /// so it is deliberately NOT a sweep axis label.
   int sim_threads = 0;
+
+  /// Optional (non-owning) observability hooks, forwarded into the DES
+  /// runtime's ParallelOptions. Strictly inert by the instrumentation
+  /// contract (docs/OBSERVABILITY.md): attaching them never changes a
+  /// result, a CSV record, or the point's identity/seed. Both must
+  /// outlive the evaluation.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanCapture* trace = nullptr;
 
   /// Axis labels in axis-declaration order (axis name -> level label).
   std::vector<std::pair<std::string, std::string>> labels;

@@ -101,10 +101,11 @@ bool parse_request(const std::string& line, Request& out, std::string& error) {
   else if (op == "stats") out.op = Request::Op::Stats;
   else if (op == "snapshot") out.op = Request::Op::Snapshot;
   else if (op == "ping") out.op = Request::Op::Ping;
+  else if (op == "metrics") out.op = Request::Op::Metrics;
   else if (op == "shutdown") out.op = Request::Op::Shutdown;
   else {
     error = "unknown op '" + op +
-            "' (expected eval, stats, snapshot, ping or shutdown)";
+            "' (expected eval, stats, snapshot, ping, metrics or shutdown)";
     return false;
   }
 
@@ -276,7 +277,8 @@ std::string render_ok(const std::string& id,
 }
 
 std::string render_stats(const std::string& id, const ServeStats& serve,
-                         const EvalService::Stats& cache) {
+                         const EvalService::Stats& cache,
+                         const MetricsSnapshot& metrics) {
   auto u64 = [](std::string& out, const char* name, std::uint64_t value) {
     append_field(out, name);
     out += std::to_string(value);
@@ -284,6 +286,8 @@ std::string render_stats(const std::string& id, const ServeStats& serve,
   std::string out = "{";
   append_id(out, id);
   out += ",\"ok\":true,\"serve\":{";
+  append_field(out, "uptime_ms");
+  append_json_number(out, serve.uptime_ms);
   u64(out, "connections", serve.connections);
   u64(out, "requests", serve.requests);
   u64(out, "ok", serve.ok);
@@ -307,7 +311,44 @@ std::string render_stats(const std::string& id, const ServeStats& serve,
   u64(out, "size", cache.size);
   u64(out, "capacity", cache.capacity);
   u64(out, "shards", cache.shards);
+  // Per-op latency summaries from the registry's serve_op_*_latency_us
+  // histograms ("eval", "ping", ...): count and bucket-resolution
+  // percentiles, so a dashboard reads tail latency without scraping the
+  // full Prometheus text.
+  out += "},\"latency\":{";
+  bool first = true;
+  for (const MetricsSnapshot::Histogram& h : metrics.histograms) {
+    constexpr const char* kPrefix = "serve_op_";
+    constexpr const char* kSuffix = "_latency_us";
+    const std::size_t prefix_len = std::string(kPrefix).size();
+    const std::size_t suffix_len = std::string(kSuffix).size();
+    if (h.name.size() <= prefix_len + suffix_len) continue;
+    if (h.name.compare(0, prefix_len, kPrefix) != 0) continue;
+    if (h.name.compare(h.name.size() - suffix_len, suffix_len, kSuffix) != 0)
+      continue;
+    const std::string op =
+        h.name.substr(prefix_len, h.name.size() - prefix_len - suffix_len);
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, op);
+    out += ":{\"count\":" + std::to_string(h.count);
+    out += ",\"p50_us\":";
+    append_json_number(out, h.p50);
+    out += ",\"p99_us\":";
+    append_json_number(out, h.p99);
+    out.push_back('}');
+  }
   out += "}}";
+  return out;
+}
+
+std::string render_metrics(const std::string& id,
+                           const std::string& prometheus_text) {
+  std::string out = "{";
+  append_id(out, id);
+  out += ",\"ok\":true,\"metrics\":";
+  append_json_string(out, prometheus_text);
+  out.push_back('}');
   return out;
 }
 

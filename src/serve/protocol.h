@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "wave/eval_service.h"
+#include "wave/metrics.h"
 #include "wave/query.h"
 #include "wave/serve.h"
 
@@ -50,7 +51,7 @@ constexpr double kMaxDeadlineMs = 86'400'000.0;
 
 /// @brief One parsed request line.
 struct Request {
-  enum class Op { Eval, Stats, Snapshot, Ping, Shutdown };
+  enum class Op { Eval, Stats, Snapshot, Ping, Metrics, Shutdown };
 
   std::string id;  ///< echoed on the response; "" is allowed
   Op op = Op::Ping;
@@ -104,7 +105,18 @@ std::string render_pong(const std::string& id);
 std::string render_ok(const std::string& id,
                       const std::vector<std::pair<std::string, double>>&
                           extra_fields);
+/// `metrics` summarizes the daemon's registry: the serve block gains
+/// `uptime_ms`, and a `latency` object reports count/p50/p99 (µs, at
+/// histogram-bucket resolution) per op from the `serve_op_*_latency_us`
+/// histograms.
 std::string render_stats(const std::string& id, const ServeStats& serve,
-                         const EvalService::Stats& cache);
+                         const EvalService::Stats& cache,
+                         const MetricsSnapshot& metrics);
+
+/// The `metrics` op response: the registry rendered as Prometheus-style
+/// text, carried as one JSON-escaped string field.
+///   {"id":"m1","ok":true,"metrics":"# TYPE ...\n..."}
+std::string render_metrics(const std::string& id,
+                           const std::string& prometheus_text);
 
 }  // namespace wave::serve

@@ -19,6 +19,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
 #include "serve/faults.h"
 #include "serve/protocol.h"
 #include "serve/snapshot.h"
@@ -110,6 +111,7 @@ struct PendingEval {
   bool degraded = false;
   bool has_deadline = false;
   Clock::time_point deadline{};
+  Clock::time_point admitted{};  // for the admission→response latency
   std::shared_ptr<Connection> conn;
   std::atomic<bool> responded{false};
   std::atomic<bool> cancelled{false};
@@ -172,6 +174,38 @@ struct Server::Impl {
   std::atomic<std::uint64_t> restored_entries{0};
   std::atomic<bool> snapshot_load_failed{false};
 
+  // ---- metrics registry (the `metrics` op, docs/OBSERVABILITY.md) ------
+  // Histogram/gauge handles resolve once here (member-initializer order:
+  // `registry` is declared first), so recording is a wait-free observe().
+  obs::MetricsRegistry registry;
+  obs::Histogram* eval_latency =
+      &registry.histogram("serve_op_eval_latency_us");
+  obs::Histogram* ping_latency =
+      &registry.histogram("serve_op_ping_latency_us");
+  obs::Histogram* stats_latency =
+      &registry.histogram("serve_op_stats_latency_us");
+  obs::Histogram* snapshot_latency =
+      &registry.histogram("serve_op_snapshot_latency_us");
+  obs::Histogram* metrics_latency =
+      &registry.histogram("serve_op_metrics_latency_us");
+  obs::Gauge* queue_depth_analytic =
+      &registry.gauge("serve_queue_depth_analytic");
+  obs::Gauge* queue_depth_des = &registry.gauge("serve_queue_depth_des");
+  obs::Counter* watchdog_fires =
+      &registry.counter("serve_watchdog_fires_total");
+  obs::Counter* shed_total = &registry.counter("serve_shed_total");
+  obs::Counter* degraded_total = &registry.counter("serve_degraded_total");
+
+  /// Nanosecond steady-clock stamp of a successful start() (0 = never
+  /// started); atomic so stats() may race start() harmlessly.
+  std::atomic<std::int64_t> start_ns{0};
+
+  double eval_elapsed_us(const PendingEval& req) const {
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     req.admitted)
+        .count();
+  }
+
   // ---- lifecycle -------------------------------------------------------
 
   Status bind_socket() {
@@ -225,6 +259,8 @@ struct Server::Impl {
       return;
     }
     (req.degraded ? degraded : ok).fetch_add(1, std::memory_order_relaxed);
+    if (req.degraded) degraded_total->add(1);
+    eval_latency->observe(eval_elapsed_us(req));
     req.conn->write_line(render_result(req.id, result, req.degraded));
   }
 
@@ -236,6 +272,7 @@ struct Server::Impl {
       return;
     }
     counter.fetch_add(1, std::memory_order_relaxed);
+    eval_latency->observe(eval_elapsed_us(req));
     req.conn->write_line(render_error(req.id, code, message));
   }
 
@@ -278,6 +315,8 @@ struct Server::Impl {
       lock.unlock();
       for (const std::shared_ptr<PendingEval>& req : expired) {
         deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        watchdog_fires->add(1);
+        eval_latency->observe(eval_elapsed_us(*req));
         req->conn->write_line(render_error(
             req->id, ErrorCode::kDeadlineExceeded,
             "deadline expired before the evaluation completed"));
@@ -318,9 +357,12 @@ struct Server::Impl {
         if (!analytic_q.empty()) {
           req = std::move(analytic_q.front());
           analytic_q.pop_front();
+          queue_depth_analytic->set(static_cast<std::int64_t>(
+              analytic_q.size()));
         } else {
           req = std::move(des_q.front());
           des_q.pop_front();
+          queue_depth_des->set(static_cast<std::int64_t>(des_q.size()));
         }
       }
       handle_eval(*req);
@@ -345,6 +387,7 @@ struct Server::Impl {
           // Deadline passed but the watchdog has not fired yet (or the
           // server is stopping): answer here, once.
           deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          eval_latency->observe(eval_elapsed_us(req));
           req.conn->write_line(render_error(
               req.id, ErrorCode::kDeadlineExceeded,
               "deadline expired before the evaluation completed"));
@@ -384,6 +427,7 @@ struct Server::Impl {
     auto req = std::make_shared<PendingEval>();
     req->id = request.id;
     req->conn = conn;
+    req->admitted = Clock::now();
 
     double deadline_ms = request.deadline_ms;
     if (deadline_ms <= 0) deadline_ms = options.default_deadline_ms;
@@ -436,10 +480,18 @@ struct Server::Impl {
       }
       if (shed_response.empty()) {
         req->query = query_from(*ctx, request);
-        (expensive ? des_q : analytic_q).push_back(req);
+        if (expensive) {
+          des_q.push_back(req);
+          queue_depth_des->set(static_cast<std::int64_t>(des_q.size()));
+        } else {
+          analytic_q.push_back(req);
+          queue_depth_analytic->set(static_cast<std::int64_t>(
+              analytic_q.size()));
+        }
       }
     }
     if (!shed_response.empty()) {
+      shed_total->add(1);
       conn->write_line(shed_response);
       return;
     }
@@ -460,16 +512,37 @@ struct Server::Impl {
           render_error("", ErrorCode::kInvalidRequest, error));
       return;
     }
+    // Cheap ops are handled inline; each records its own handling latency
+    // (evals record theirs from admission to response instead).
+    const auto op_start = Clock::now();
+    const auto observe_op = [&op_start](obs::Histogram* h) {
+      h->observe(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                           op_start)
+                     .count());
+    };
     switch (request.op) {
       case Request::Op::Ping:
         ok.fetch_add(1, std::memory_order_relaxed);
         conn->write_line(render_pong(request.id));
+        observe_op(ping_latency);
         return;
       case Request::Op::Stats:
         ok.fetch_add(1, std::memory_order_relaxed);
-        conn->write_line(
-            render_stats(request.id, snapshot_stats(), service->stats()));
+        conn->write_line(render_stats(request.id, snapshot_stats(),
+                                      service->stats(), registry.snapshot()));
+        observe_op(stats_latency);
         return;
+      case Request::Op::Metrics: {
+        // The daemon's registry and the EvalService's shard histograms,
+        // concatenated — metric names are disjoint, so the combined text
+        // is one well-formed Prometheus exposition.
+        ok.fetch_add(1, std::memory_order_relaxed);
+        std::string text = to_prometheus(registry.snapshot());
+        text += to_prometheus(service->metrics());
+        conn->write_line(render_metrics(request.id, text));
+        observe_op(metrics_latency);
+        return;
+      }
       case Request::Op::Snapshot: {
         if (options.snapshot_path.empty()) {
           snapshot_write_failures.fetch_add(1, std::memory_order_relaxed);
@@ -492,6 +565,7 @@ struct Server::Impl {
         ok.fetch_add(1, std::memory_order_relaxed);
         conn->write_line(render_ok(
             request.id, {{"entries", static_cast<double>(entries.size())}}));
+        observe_op(snapshot_latency);
         return;
       }
       case Request::Op::Shutdown:
@@ -613,6 +687,16 @@ struct Server::Impl {
     out.restored_entries = restored_entries.load(std::memory_order_relaxed);
     out.snapshot_load_failed =
         snapshot_load_failed.load(std::memory_order_relaxed);
+    const std::int64_t started = start_ns.load(std::memory_order_relaxed);
+    if (started != 0) {
+      out.uptime_ms =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now().time_since_epoch())
+                  .count() -
+              started) /
+          1e6;
+    }
     return out;
   }
 };
@@ -651,6 +735,11 @@ Status Server::start() {
     return Status::internal("pipe() failed");
   }
   impl_->load_snapshot();
+  impl_->start_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
   impl_->running.store(true, std::memory_order_release);
   impl_->accept_thread = std::thread([this] { impl_->accept_loop(); });
   impl_->watchdog = std::thread([this] { impl_->watchdog_loop(); });

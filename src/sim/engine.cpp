@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "common/contracts.h"
@@ -149,7 +150,16 @@ void Engine::remove_from_bucket(std::size_t phys, const BucketMin& loc) {
   --pending_;
 }
 
+void Engine::note_trace_truncated() {
+  trace_truncated_ = true;
+  std::fprintf(stderr,
+               "wave-sim: WARNING: event trace truncated at %zu events "
+               "(set_trace cap); the captured trace is incomplete\n",
+               trace_cap_);
+}
+
 void Engine::rebuild(std::size_t nbuckets) {
+  ++rebuilds_;
   // Gather every pending entry (scratch reuse keeps rebuilds allocation-
   // light once warm).
   scratch_.clear();

@@ -85,6 +85,13 @@ class Engine {
   /// Number of events executed so far (performance metric).
   std::uint64_t events_processed() const { return processed_; }
 
+  /// Calendar rebuilds so far (growth, shrink and debt-triggered
+  /// recalibrations alike) — an observability counter; rebuilds are cold.
+  std::uint64_t calendar_rebuilds() const { return rebuilds_; }
+
+  /// High-water mark of pending events (peak calendar occupancy).
+  std::size_t max_pending() const { return max_pending_; }
+
   /// True when no events remain.
   bool drained() const { return pending_ == 0; }
 
@@ -98,10 +105,26 @@ class Engine {
     friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
   };
 
+  /// Default set_trace() cap: 4M events (64 MB of TraceEvents) — ample for
+  /// every shipped trace-equality test, bounded for a P=4096 run that
+  /// would otherwise grow the sink without limit.
+  static constexpr std::size_t kDefaultTraceCap = std::size_t{1} << 22;
+
   /// Installs (or, with nullptr, removes) a trace sink: every executed
-  /// event appends its (time, seq) to `sink`. Test-mode only — the hot
-  /// path keeps a single predictable branch when no sink is installed.
-  void set_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
+  /// event appends its (time, seq) to `sink`, up to `cap` events — past
+  /// the cap events are dropped, trace_truncated() turns true and a loud
+  /// one-time marker lands on stderr (a silently partial trace would fake
+  /// a schedule divergence). Test-mode only — the hot path keeps a single
+  /// predictable branch when no sink is installed.
+  void set_trace(std::vector<TraceEvent>* sink,
+                 std::size_t cap = kDefaultTraceCap) {
+    trace_ = sink;
+    trace_cap_ = cap;
+    trace_truncated_ = false;
+  }
+
+  /// True once set_trace() capture dropped events at the cap.
+  bool trace_truncated() const { return trace_truncated_; }
 
  private:
   // One pending event: 16 bytes, totally ordered by a single 128-bit
@@ -238,13 +261,25 @@ class Engine {
   usec now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::size_t max_pending_ = 0;
   std::vector<TraceEvent>* trace_ = nullptr;
+  std::size_t trace_cap_ = kDefaultTraceCap;
+  bool trace_truncated_ = false;
 
   static std::uint64_t entry_seq(Entry e) {
     return static_cast<std::uint64_t>(e) >> kSlotBits;
   }
+  /// Cold path of record(): flags truncation and prints the one-time
+  /// stderr marker (out of line so the header stays <cstdio>-free).
+  void note_trace_truncated();
   void record(Entry e) {
-    if (trace_) trace_->push_back({entry_time(e), entry_seq(e)});
+    if (trace_ == nullptr) return;
+    if (trace_->size() >= trace_cap_) {
+      if (!trace_truncated_) note_trace_truncated();
+      return;
+    }
+    trace_->push_back({entry_time(e), entry_seq(e)});
   }
 };
 
@@ -283,6 +318,7 @@ class Engine {
 
 inline void Engine::insert(Entry e) {
   ++pending_;
+  if (pending_ > max_pending_) max_pending_ = pending_;
   if (pending_ > bucket_mask_ + 1 && bucket_mask_ + 1 < kMaxBuckets) {
     rebuild(2 * (bucket_mask_ + 1));
   }

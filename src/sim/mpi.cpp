@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/contracts.h"
+#include "obs/metrics.h"
 
 namespace wave::sim {
 
@@ -679,9 +680,36 @@ void World::capture_traces(std::vector<std::vector<Engine::TraceEvent>>* sink) {
     engines_[i]->set_trace(&(*sink)[i]);
 }
 
+void World::publish_metrics() {
+  obs::MetricsRegistry& reg = *parallel_.metrics;
+  reg.counter("sim_events_total").add(events_processed());
+  reg.counter("sim_messages_total").add(messages_delivered());
+  std::uint64_t rebuilds = 0;
+  std::size_t max_pending = 0;
+  for (const auto& engine : engines_) {
+    rebuilds += engine->calendar_rebuilds();
+    max_pending = std::max(max_pending, engine->max_pending());
+  }
+  reg.counter("sim_calendar_rebuilds_total").add(rebuilds);
+  reg.gauge("sim_max_pending_events")
+      .set_max(static_cast<std::int64_t>(max_pending));
+  reg.counter("sim_window_rounds_total").add(window_rounds_);
+  reg.counter("sim_envelopes_total").add(envelopes_routed_);
+  obs::Histogram& barrier = reg.histogram("sim_barrier_wait_us");
+  for (double us : barrier_wait_us_) barrier.observe(us);
+}
+
 usec World::run() {
   WAVE_EXPECTS_MSG(!started_, "a World can only run once");
   started_ = true;
+  // Claim the span capture (first World wins when one capture is shared
+  // across a sweep) and fan its per-LP buffers out to the shards. This is
+  // pure observation: recording never touches event order or results.
+  if (parallel_.trace != nullptr && parallel_.trace->try_claim()) {
+    parallel_.trace->reset(engines_.size());
+    for (std::size_t i = 0; i < mpis_.size(); ++i)
+      mpis_[i]->set_tracer(&parallel_.trace->lp(i));
+  }
   for (std::size_t i = 0; i < processes_.size(); ++i) {
     Process& proc = processes_[i].second;
     engines_[static_cast<std::size_t>(process_lp_[i])]->at(
@@ -690,6 +718,7 @@ usec World::run() {
   const usec makespan =
       lp_count() == 1 ? engines_.front()->run()
                       : run_windows(std::min(parallel_.threads, lp_count()));
+  if (parallel_.metrics != nullptr) publish_metrics();
   for (auto& [name, proc] : processes_) {
     if (proc.exception()) std::rethrow_exception(proc.exception());
   }

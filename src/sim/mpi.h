@@ -45,6 +45,7 @@
 #include "common/pool.h"
 #include "common/ring_queue.h"
 #include "loggp/params.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/parallel_options.h"
 #include "sim/process.h"
@@ -93,6 +94,24 @@ class Mpi {
   /// Messages fully delivered so far.
   std::uint64_t messages_delivered() const { return delivered_; }
 
+  /// Installs (or, with nullptr, removes) a span sink: every awaitable
+  /// operation posted through a RankCtx records a timed obs::Span into it
+  /// (simulated clock, docs/OBSERVABILITY.md). The sink must be
+  /// single-writer — one per LP shard, which the parallel runtime's
+  /// ownership already guarantees — and outlive the simulation. Strictly
+  /// inert: detached, the cost is a null test per operation.
+  void set_tracer(obs::SpanBuffer* tracer) { tracer_ = tracer; }
+  obs::SpanBuffer* tracer() const { return tracer_; }
+
+  /// Records `rank`'s upcoming compute interval (compute spans are known
+  /// in full when posted, so they record eagerly — the awaitable needs no
+  /// callback hook).
+  void note_compute_span(int rank, usec duration) {
+    if (tracer_ != nullptr && duration > 0.0)
+      tracer_->record({obs::Span::Kind::kCompute, rank, -1, 0.0,
+                       engine_.now(), engine_.now() + duration});
+  }
+
   /// Time rank r has spent inside MPI operations (µs): the interval from
   /// each send/receive post to its completion. Concurrent halves of an
   /// exchange() both count, so this is operation occupancy, not
@@ -117,21 +136,35 @@ class Mpi {
   struct SendAwaitable {
     Mpi* mpi;
     int src, dst, bytes;
+    obs::SpanBuffer* tracer = nullptr;  // span capture; null = untraced
+    usec t0 = 0.0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       mpi->start_send(src, dst, bytes, h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      if (tracer != nullptr)
+        tracer->record({obs::Span::Kind::kSend, src, dst,
+                        static_cast<double>(bytes), t0, mpi->engine().now()});
+    }
   };
 
   struct RecvAwaitable {
     Mpi* mpi;
     int dst, src;
+    obs::SpanBuffer* tracer = nullptr;
+    usec t0 = 0.0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       mpi->start_recv(dst, src, h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      if (tracer != nullptr)
+        tracer->record({obs::Span::Kind::kRecv, dst, src, 0.0, t0,
+                        mpi->engine().now()});
+    }
   };
 
   /// Completion token of a nonblocking send (MPI_Request for MPI_Isend).
@@ -215,23 +248,43 @@ class Mpi {
     Mpi* mpi;
     int src, dst, bytes;
     RequestHandle request;  // caller-acquired completion token
+    obs::SpanBuffer* tracer = nullptr;
+    usec t0 = 0.0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       mpi->start_isend(src, dst, bytes, request, h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      // The isend span covers the CPU injection phase only; the blocked
+      // remainder shows up as the matching wait span.
+      if (tracer != nullptr)
+        tracer->record({obs::Span::Kind::kSend, src, dst,
+                        static_cast<double>(bytes), t0, mpi->engine().now()});
+    }
   };
 
   struct WaitAwaitable {
     Mpi* mpi;
     RequestHandle request;
+    int rank = -1;  // the waiting rank; -1 (rankless call) records no span
+    obs::SpanBuffer* tracer = nullptr;
+    usec t0 = -1.0;
     bool await_ready() const noexcept { return request->done; }
-    void await_suspend(std::coroutine_handle<> h) const {
+    void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       request->wait_started = mpi->engine().now();
       request->waiter = h;
     }
     /// Recycles the token: the request must not be touched after wait().
-    void await_resume() const noexcept { mpi->requests_.release(request); }
+    void await_resume() const noexcept {
+      // t0 >= 0 distinguishes a real suspension from an already-done
+      // request (await_ready short-circuits await_suspend).
+      if (tracer != nullptr && rank >= 0 && t0 >= 0.0)
+        tracer->record({obs::Span::Kind::kWait, rank, -1, 0.0, t0,
+                        mpi->engine().now()});
+      mpi->requests_.release(request);
+    }
   };
 
   /// Concurrent send + receive with the same peer (MPI_Sendrecv): both
@@ -244,11 +297,18 @@ class Mpi {
     Mpi* mpi;
     int self, peer, bytes;
     int remaining = 2;
+    obs::SpanBuffer* tracer = nullptr;
+    usec t0 = 0.0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       mpi->start_exchange(self, peer, bytes, &remaining, h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      if (tracer != nullptr)
+        tracer->record({obs::Span::Kind::kExchange, self, peer,
+                        static_cast<double>(bytes), t0, mpi->engine().now()});
+    }
   };
 
   /// Concurrent sendrecv with up to `kMaxPeers` distinct peers at once
@@ -268,6 +328,8 @@ class Mpi {
     int peers[kMaxPeers] = {};
     int bytes[kMaxPeers] = {};
     int remaining = 0;
+    obs::SpanBuffer* tracer = nullptr;
+    usec t0 = 0.0;
 
     /// Adds one peer to the swap; ignored when `peer` is negative (so
     /// callers can pass "neighbour or -1" without branching).
@@ -282,35 +344,49 @@ class Mpi {
 
     bool await_ready() const noexcept { return count == 0; }
     void await_suspend(std::coroutine_handle<> h) {
+      if (tracer != nullptr) t0 = mpi->engine().now();
       remaining = 2 * count;  // a send and a receive per peer
       for (int idx = 0; idx < count; ++idx)
         mpi->start_exchange(self, peers[idx], bytes[idx], &remaining, h);
     }
-    void await_resume() const noexcept {}
+    void await_resume() const noexcept {
+      // One span for the whole swap (peer -1, bytes = total payload): the
+      // per-peer halves overlap, so per-peer spans would just stack.
+      if (tracer != nullptr && count > 0) {
+        double total = 0.0;
+        for (int idx = 0; idx < count; ++idx) total += bytes[idx];
+        tracer->record({obs::Span::Kind::kExchange, self, -1, total, t0,
+                        mpi->engine().now()});
+      }
+    }
   };
 
   ComputeAwaitable compute(usec duration) {
     return ComputeAwaitable{&engine_, duration};
   }
   SendAwaitable send(int src, int dst, int bytes) {
-    return SendAwaitable{this, src, dst, bytes};
+    return SendAwaitable{this, src, dst, bytes, tracer_};
   }
-  RecvAwaitable recv(int dst, int src) { return RecvAwaitable{this, dst, src}; }
+  RecvAwaitable recv(int dst, int src) {
+    return RecvAwaitable{this, dst, src, tracer_};
+  }
   ExchangeAwaitable exchange(int self, int peer, int bytes) {
-    return ExchangeAwaitable{this, self, peer, bytes};
+    return ExchangeAwaitable{
+        .mpi = this, .self = self, .peer = peer, .bytes = bytes,
+        .tracer = tracer_};
   }
   /// An empty halo swap for `self`; add() peers, then co_await.
   HaloExchangeAwaitable halo_exchange(int self) {
-    return HaloExchangeAwaitable{this, self};
+    return HaloExchangeAwaitable{.mpi = this, .self = self, .tracer = tracer_};
   }
   /// Nonblocking send: resumes the rank after the CPU injection phase and
   /// completes (via `request`) in the background; pass the handle to
   /// wait().
   IsendAwaitable isend(int src, int dst, int bytes, RequestHandle request) {
-    return IsendAwaitable{this, src, dst, bytes, request};
+    return IsendAwaitable{this, src, dst, bytes, request, tracer_};
   }
-  WaitAwaitable wait(RequestHandle request) {
-    return WaitAwaitable{this, request};
+  WaitAwaitable wait(RequestHandle request, int rank = -1) {
+    return WaitAwaitable{this, request, rank, tracer_};
   }
 
   /// Per-node resource introspection (node order is how the serial
@@ -409,6 +485,8 @@ class Mpi {
   const std::vector<int>* lp_of_node_ = nullptr;
   std::vector<std::vector<Envelope>> outbox_;  // indexed by destination LP
   std::uint64_t env_seq_ = 0;
+  // Optional span sink (see set_tracer); observation-only by contract.
+  obs::SpanBuffer* tracer_ = nullptr;
 };
 
 /// A rank's view of the fabric, passed by value into rank programs.
@@ -422,6 +500,9 @@ class RankCtx {
 
   /// Busy-compute for `duration` µs of simulated time.
   Mpi::ComputeAwaitable compute(usec duration) const {
+    // ComputeAwaitable is engine-only (no rank), so its span is recorded
+    // eagerly here where the rank is known; the end time is deterministic.
+    mpi_->note_compute_span(rank_, duration);
     return mpi_->compute(duration);
   }
   /// Blocking MPI_Send of `bytes` to `dst`.
@@ -439,7 +520,7 @@ class RankCtx {
   }
   /// MPI_Wait on an isend request (recycles the token on resume).
   Mpi::WaitAwaitable wait(Mpi::RequestHandle request) const {
-    return mpi_->wait(request);
+    return mpi_->wait(request, rank_);
   }
   /// A concurrent multi-neighbour halo swap; add() peers, then co_await.
   Mpi::HaloExchangeAwaitable halo_exchange() const {
@@ -523,8 +604,15 @@ class World {
 
  private:
   usec run_windows(int workers);
+  /// Publishes post-run engine/runtime counters into parallel_.metrics.
+  void publish_metrics();
 
   ParallelOptions parallel_;
+  // Parallel-runtime observability tallies (filled by run_windows when
+  // parallel_.metrics is attached; published by publish_metrics).
+  std::uint64_t window_rounds_ = 0;
+  std::uint64_t envelopes_routed_ = 0;
+  std::vector<double> barrier_wait_us_;  // per worker, wall-clock
   usec lookahead_ = 0.0;  // window width: the comm backend's off-node L
   std::vector<int> lp_of_node_;
   std::vector<std::unique_ptr<Engine>> engines_;

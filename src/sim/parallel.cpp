@@ -34,6 +34,7 @@
 // sense-free generation-counting spin barrier rather than mutexes.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <limits>
@@ -94,6 +95,27 @@ usec World::run_windows(int workers) {
   usec horizon = 0.0;
   bool stop = false;
 
+  // Runtime observability — wall-clock tallies, taken only when a metrics
+  // registry is attached so the uninstrumented path stays branch-cheap.
+  // Per-worker accumulators (no sharing) keep this inert to the schedule.
+  const bool timed = parallel_.metrics != nullptr;
+  std::vector<double> barrier_wait(static_cast<std::size_t>(workers), 0.0);
+  std::atomic<std::uint64_t> envelopes{0};
+  std::uint64_t rounds = 0;  // written by worker 0 only, in phase B
+
+  auto timed_barrier = [&](int w) {
+    if (!timed) {
+      barrier.wait();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    barrier.wait();
+    barrier_wait[static_cast<std::size_t>(w)] +=
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
   auto body = [&](int w) {
     const auto wu = static_cast<std::size_t>(w);
     const auto stride = static_cast<std::size_t>(workers);
@@ -115,6 +137,8 @@ usec World::run_windows(int workers) {
               box.clear();
             }
             std::sort(merged.begin(), merged.end(), envelope_before);
+            if (timed && !merged.empty())
+              envelopes.fetch_add(merged.size(), std::memory_order_relaxed);
             for (const Mpi::Envelope& e : merged) mpis_[lp]->ingest(e);
             min_time = std::min(min_time, engines_[lp]->next_event_time());
           }
@@ -125,15 +149,16 @@ usec World::run_windows(int workers) {
           local_min[wu] = kInf;
         }
       }
-      barrier.wait();
+      timed_barrier(w);
       // Phase B — worker 0 fixes the global window [W, W + L).
       if (w == 0) {
         usec window_start = kInf;
         for (usec t : local_min) window_start = std::min(window_start, t);
         stop = failed.load(std::memory_order_acquire) || window_start == kInf;
         horizon = window_start + lookahead_;
+        if (!stop) ++rounds;
       }
-      barrier.wait();
+      timed_barrier(w);
       if (stop) return;
       // Phase C — run my LPs up to (strictly below) the horizon.
       try {
@@ -143,7 +168,7 @@ usec World::run_windows(int workers) {
         errors[wu] = std::current_exception();
         failed.store(true, std::memory_order_release);
       }
-      barrier.wait();
+      timed_barrier(w);
     }
   };
 
@@ -154,6 +179,12 @@ usec World::run_windows(int workers) {
   for (auto& t : pool) t.join();
   for (auto& error : errors) {
     if (error) std::rethrow_exception(error);
+  }
+
+  if (timed) {
+    window_rounds_ = rounds;
+    envelopes_routed_ = envelopes.load(std::memory_order_relaxed);
+    barrier_wait_us_ = std::move(barrier_wait);
   }
 
   usec makespan = 0.0;

@@ -1,13 +1,19 @@
 // Knobs for the conservatively-synchronized parallel DES runtime.
 //
-// Self-contained (no sim/ dependencies) so workload- and runner-layer
-// headers can embed it without pulling the engine in. The semantics live
-// in mpi.h (World) and docs/ARCHITECTURE.md: threads == 0 selects the
-// classic single-calendar engine untouched; threads >= 1 partitions the
-// node set into logical processes (LPs), each with its own calendar and
-// per-node resources, synchronized in windows whose width is the comm
-// backend's off-node latency L.
+// Self-contained (no sim/ dependencies; obs/ types appear only as forward
+// declarations) so workload- and runner-layer headers can embed it without
+// pulling the engine in. The semantics live in mpi.h (World) and
+// docs/ARCHITECTURE.md: threads == 0 selects the classic single-calendar
+// engine untouched; threads >= 1 partitions the node set into logical
+// processes (LPs), each with its own calendar and per-node resources,
+// synchronized in windows whose width is the comm backend's off-node
+// latency L.
 #pragma once
+
+namespace wave::obs {
+class MetricsRegistry;
+class SpanCapture;
+}  // namespace wave::obs
 
 namespace wave::sim {
 
@@ -23,8 +29,19 @@ struct ParallelOptions {
   /// on `threads` — so any thread count replays the same schedule.
   int lp_grouping = 0;
 
-  friend bool operator==(const ParallelOptions&,
-                         const ParallelOptions&) = default;
+  /// Optional (non-owning) observability hooks — strictly inert: the run
+  /// publishes engine/runtime counters into `metrics` after it finishes
+  /// and records per-rank spans into `trace` as it goes, but neither ever
+  /// changes an event order or a simulated result (the instrumentation
+  /// contract, docs/OBSERVABILITY.md). Both must outlive the World.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanCapture* trace = nullptr;
+
+  /// Identity compares the semantic knobs only: attaching observers does
+  /// not make two option sets different scenarios.
+  friend bool operator==(const ParallelOptions& a, const ParallelOptions& b) {
+    return a.threads == b.threads && a.lp_grouping == b.lp_grouping;
+  }
 };
 
 }  // namespace wave::sim

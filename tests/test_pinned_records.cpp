@@ -23,9 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runner/reference_grids.h"
 #include "runner/runner.h"
 
+namespace wo = wave::obs;
 namespace wr = wave::runner;
 
 namespace {
@@ -42,8 +45,12 @@ std::string slurp(const std::string& path) {
   return os.str();
 }
 
-std::string records_csv(wr::SweepGrid grid, int sim_threads = 0) {
+std::string records_csv(wr::SweepGrid grid, int sim_threads = 0,
+                        wo::MetricsRegistry* metrics = nullptr,
+                        wo::SpanCapture* trace = nullptr) {
   grid.base().sim_threads = sim_threads;
+  grid.base().metrics = metrics;
+  grid.base().trace = trace;
   // Thread count deliberately != 1: the fixture also guards the batch
   // runner's thread- and chunk-invariance on real sweeps.
   const auto records = wr::BatchRunner(kCtx, wr::BatchRunner::Options(0)).run(grid);
@@ -141,6 +148,33 @@ TEST(PinnedRecords, ParallelFixtureDivergesFromSerialOnlyInTieTiming) {
   }
   EXPECT_FALSE(std::getline(parallel_in, prow));
   EXPECT_EQ(rows, 64);
+}
+
+// The observability contract's strongest form: the pinned sweeps replayed
+// with a metrics registry AND a span capture attached must stay
+// byte-identical to the uninstrumented fixtures — on the serial engine
+// and on the LP-partitioned engine. Instruments observe the run (the
+// registry ends up non-empty, the capture binds to the first simulation
+// point) without perturbing a single simulated timestamp.
+TEST(PinnedRecords, InstrumentedSerialReplayIsByteIdentical) {
+  wo::MetricsRegistry metrics;
+  wo::SpanCapture trace;
+  EXPECT_EQ(records_csv(wr::runner_scaling_grid(false), 0, &metrics, &trace),
+            slurp(std::string(WAVE_TESTDATA_DIR) +
+                  "/runner_scaling_records.csv"));
+  EXPECT_FALSE(metrics.snapshot().empty());
+  EXPECT_TRUE(trace.claimed());
+  EXPECT_GT(trace.total_spans(), 0u);
+}
+
+TEST(PinnedRecords, InstrumentedParallelReplayIsByteIdentical) {
+  wo::MetricsRegistry metrics;
+  wo::SpanCapture trace;
+  EXPECT_EQ(records_csv(wr::runner_scaling_grid(false), 4, &metrics, &trace),
+            slurp(std::string(WAVE_TESTDATA_DIR) +
+                  "/runner_scaling_records_parallel.csv"));
+  EXPECT_FALSE(metrics.snapshot().empty());
+  EXPECT_TRUE(trace.claimed());
 }
 
 // The analytic grid at 4 sim threads: model_compare_grid evaluates

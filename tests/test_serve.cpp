@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -142,6 +143,80 @@ TEST(ServeServer, AnswersPingEvalAndCachesRepeats) {
   b.replace(b.find("\"b\""), 3, "\"x\"");
   EXPECT_EQ(a, b);
   EXPECT_EQ(f.server->cache_stats().hits, 1u);
+}
+
+TEST(ServeServer, MetricsOpReturnsParseablePrometheusText) {
+  ServerFixture f;
+  ASSERT_TRUE(f.call(R"({"id":"p","op":"ping"})").ok);
+  ASSERT_TRUE(f.call(R"({"id":"a","op":"eval","processors":64})").ok);
+  ASSERT_TRUE(f.call(R"({"id":"b","op":"eval","processors":64})").ok);
+
+  const ws::Response r = f.call(R"({"id":"mx","op":"metrics"})");
+  ASSERT_TRUE(r.ok) << r.raw;
+
+  // The response is one JSON object whose "metrics" member carries the
+  // exposition text — re-parse the raw line with the protocol parser so
+  // the escaping round-trips exactly.
+  ws::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(r.raw, root, error)) << error;
+  const ws::JsonValue* metrics = root.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_string());
+  const std::string& text = metrics->text;
+
+  // One scrape covers both registries: the daemon's per-op latency and
+  // admission instruments, and the EvalService's per-shard cache
+  // histograms (disjoint name sets, concatenated exposition).
+  for (const char* required :
+       {"# TYPE serve_op_eval_latency_us histogram",
+        "serve_op_eval_latency_us_count 2", "serve_op_ping_latency_us_count",
+        "serve_shed_total 0", "serve_watchdog_fires_total 0",
+        "service_shard0_hit_latency_us", "_bucket{le=\"+Inf\"}"}) {
+    EXPECT_NE(text.find(required), std::string::npos)
+        << "missing: " << required;
+  }
+  // Every non-comment line is `name[{labels}] value` — the metric name
+  // stops at a space or a label brace, and no stray JSON escapes survive
+  // the round-trip.
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ASSERT_NE(line.rfind(' '), std::string::npos) << line;
+    const auto name_end = line.find_first_not_of(
+        "abcdefghijklmnopqrstuvwxyz0123456789_");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    EXPECT_TRUE(line[name_end] == ' ' || line[name_end] == '{') << line;
+    EXPECT_EQ(line.find('\\'), std::string::npos) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10);
+}
+
+TEST(ServeServer, StatsCarriesUptimeAndPerOpLatencySummaries) {
+  ServerFixture f;
+  ASSERT_TRUE(f.call(R"({"id":"a","op":"eval","processors":64})").ok);
+
+  const ws::Response r = f.call(R"({"id":"st","op":"stats"})");
+  ASSERT_TRUE(r.ok) << r.raw;
+  ws::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(r.raw, root, error)) << error;
+
+  const ws::JsonValue* serve = root.find("serve");
+  ASSERT_NE(serve, nullptr);
+  const ws::JsonValue* uptime = serve->find("uptime_ms");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->number, 0.0);
+
+  const ws::JsonValue* latency = root.find("latency");
+  ASSERT_NE(latency, nullptr);
+  const ws::JsonValue* eval = latency->find("eval");
+  ASSERT_NE(eval, nullptr) << r.raw;
+  EXPECT_DOUBLE_EQ(eval->find("count")->number, 1.0);
+  EXPECT_GT(eval->find("p99_us")->number, 0.0);
 }
 
 TEST(ServeServer, MalformedOversizedAndUnknownRequestsGetStructuredErrors) {

@@ -7,7 +7,8 @@
 # CI runs this in the perf-smoke job.
 #
 # Usage: tools/check_perf.sh BENCH.json fresh_quick.json [fresh_serve.json] \
-#            [min_ratio] [min_batch_speedup] [min_parallel_speedup]
+#            [min_ratio] [min_batch_speedup] [min_parallel_speedup] \
+#            [min_obs_ratio]
 #   BENCH.json        committed trajectory (its "quick" and "serve_quick"
 #                     sections are the references)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
@@ -26,6 +27,11 @@
 #                     beat the serial engine on the same P=1024 wavefront
 #                     (within-file; enforced only when the runner has >= 8
 #                     hardware threads, skipped with a message otherwise)
+#   min_obs_ratio     default 0.90 — the instrumented DES run (always-on
+#                     metrics registry attached) must keep at least this
+#                     fraction of the uninstrumented events/sec
+#                     (within-file, machine-independent; the opt-in span
+#                     tracer is reported but not gated)
 #
 # Serve gates (fixed thresholds, see the serve section at the bottom):
 # within-file, the overload burst must actually shed and degrade (rates
@@ -127,6 +133,37 @@ else
   echo "engine scaling: SKIPPED ratio gate — runner has $fresh_hw hardware" \
        "thread(s), fewer than the $fresh_par_threads the benchmark drives" \
        "(measured ${par_ratio}x; keys present and checked)"
+fi
+
+# Observability-overhead gate (PR9): the instrumented run (the always-on
+# metrics registry attached) must stay within 10% of the plain run on the
+# identical serial wavefront. Both numbers come from the same process, so
+# this is within-file and machine-independent — it catches "someone put a
+# mutex or an allocation on the event hot path", not jitter. min_obs_ratio
+# is deliberately below the near-zero-cost claim to absorb small-grid
+# noise in --quick runs. The opt-in span tracer's rate
+# (obs_traced_des_events_per_sec) is reported by perf_sweep but not gated
+# — full timeline capture is a diagnostic mode with documented overhead
+# (docs/OBSERVABILITY.md).
+min_obs_ratio="${7:-0.90}"
+fresh_obs_plain=$(awk -F': ' '$1 ~ /^[[:space:]]*"obs_uninstrumented_des_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_obs_instr=$(awk -F': ' '$1 ~ /^[[:space:]]*"obs_instrumented_des_events_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+
+if [ -z "$fresh_obs_plain" ] || [ -z "$fresh_obs_instr" ]; then
+  echo "check_perf: could not extract observability-overhead keys" \
+       "(uninstrumented='$fresh_obs_plain', instrumented='$fresh_obs_instr')" >&2
+  exit 2
+fi
+
+obs_ratio=$(awk "BEGIN { printf \"%.3f\", $fresh_obs_instr / $fresh_obs_plain }")
+echo "obs overhead: instrumented $fresh_obs_instr vs plain $fresh_obs_plain" \
+     "events/sec (ratio $obs_ratio, minimum $min_obs_ratio)"
+ok=$(awk "BEGIN { print ($fresh_obs_instr >= $min_obs_ratio * $fresh_obs_plain) ? 1 : 0 }")
+if [ "$ok" -ne 1 ]; then
+  echo "PERF REGRESSION: instrumented DES events/sec fell below" \
+       "${min_obs_ratio}x the uninstrumented run — the observability layer" \
+       "is no longer near-zero-cost on the event hot path" >&2
+  exit 1
 fi
 
 # wave-serve gates (PR8). Within-file first: the serve_load overload burst

@@ -5,7 +5,9 @@
 # errors), snapshot the cache, shut the daemon down cleanly, restart it
 # from the snapshot, and require (a) the restored cache to answer the
 # same eval byte-identically and (b) the stats op to prove it was a cache
-# hit, not a re-evaluation. CI runs this in the serve-smoke job.
+# hit, not a re-evaluation. It then scrapes the `metrics` op and fails on
+# any malformed Prometheus exposition line or missing required metric.
+# CI runs this in the serve-smoke job.
 #
 # Usage: tools/serve_smoke.sh [build-dir]
 #   build-dir  default: build (needs tools/wave_serve built)
@@ -90,6 +92,40 @@ stats=$(printf '%s\n' '{"id":"st","op":"stats"}' | client)
 expect "$stats" '"restored_entries":1' "snapshot restore count"
 expect "$stats" '"hits":1' "warm eval was a cache hit"
 expect "$stats" '"misses":0' "warm eval did not re-evaluate"
+expect "$stats" '"uptime_ms"' "stats carries uptime_ms"
+
+echo "== metrics op: Prometheus exposition =="
+metrics_resp=$(printf '%s\n' '{"id":"mx","op":"metrics"}' | client)
+expect "$metrics_resp" '"ok":true' "metrics op"
+expect "$metrics_resp" '"metrics":"' "metrics payload present"
+# The payload is one JSON string: pull it out and undo the \n / \" / \\
+# escapes to recover the exposition text.
+payload=$(printf '%s\n' "$metrics_resp" |
+  sed 's/.*"metrics":"//; s/"}[[:space:]]*$//')
+text=$(printf '%s' "$payload" |
+  awk '{ gsub(/\\n/, "\n"); gsub(/\\"/, "\""); gsub(/\\\\/, "\\"); print }')
+if [ -z "$text" ]; then
+  echo "FAIL: metrics payload is empty" >&2
+  exit 1
+fi
+# Every line must be a comment (# HELP / # TYPE) or a sample
+# (name{labels} value | name value) — anything else is a malformed
+# exposition and fails the smoke.
+printf '%s\n' "$text" | awk '
+  /^$/ { next }
+  /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( |$)/ { next }
+  /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9][0-9.eE+-]*$/ { next }
+  { print "FAIL: malformed exposition line: " $0 > "/dev/stderr"; bad = 1 }
+  END { exit bad }
+'
+# Required metrics: the daemon's own op latency + admission counters and
+# the EvalService shard histograms must all be present in one scrape.
+for name in serve_op_eval_latency_us_count serve_op_stats_latency_us_count \
+            serve_shed_total serve_watchdog_fires_total \
+            service_shard0_hit_latency_us_count; do
+  expect "$text" "$name" "metrics exposition contains $name"
+done
+
 printf '%s\n' '{"id":"z","op":"shutdown"}' | client > /dev/null
 wait "$pid"
 pid=""
