@@ -32,6 +32,12 @@
 //              evaluations/sec vs cache-hit lookups/sec on the same query
 //              mix, plus the hit speedup (the production-traffic number —
 //              repeated queries must be O(lookup), >= 10x a model solve);
+//   optimize   the auto-configurator's cost model: a fixed candidate set
+//              scored through the compiled batch plan vs through the
+//              per-point scalar Solver (candidates/sec both ways plus
+//              the speedup — gated by tools/check_perf.sh at >= 10x),
+//              and one end-to-end seeded beam search (wall seconds,
+//              candidates evaluated) through wave::Optimize;
 //   obs        instrumentation overhead: the identical serial wavefront
 //              DES run plain, with the always-on metrics registry
 //              attached (gated by tools/check_perf.sh at >= 0.90x the
@@ -53,9 +59,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch_solver.h"
 #include "core/benchmarks.h"
+#include "core/solver.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "optimize/search_space.h"
 #include "runner/reference_grids.h"
 #include "runner/runner.h"
 #include "sim/engine.h"
@@ -307,6 +316,133 @@ ObsPerf obs_section(const wave::Context& ctx, bool quick) {
   return perf;
 }
 
+/// The auto-configurator's cost model: every candidate of a pinned
+/// machine x decomposition x Htile space scored two ways — through one
+/// compiled BatchEval plan (the optimizer's path: per-machine backends
+/// and per-app sweep terms hoisted once) and through a fresh scalar
+/// Solver per candidate (the pre-batch reference). Both run serially so
+/// candidates/sec gauges the cost model itself, not thread scaling. A
+/// separate end-to-end wave::Optimize beam search (seeded, with the DES
+/// re-rank) measures what one full recommendation costs.
+struct OptimizePerf {
+  double candidates = 0.0;  ///< scored per mode (rounds x set size)
+  double scalar_wall_s = 0.0;
+  double batch_wall_s = 0.0;
+  double search_evaluated = 0.0;
+  double search_wall_s = 0.0;
+};
+
+OptimizePerf optimize_section(const wave::Context& ctx, bool quick) {
+  core::benchmarks::Sweep3dConfig s3;
+  s3.nx = s3.ny = s3.nz = 96;
+  const core::AppParams base_app = core::benchmarks::sweep3d(s3);
+
+  // The pinned candidate stream: the decompositions a beam search's seed
+  // and refinement rounds score — closest-to-square grids over a dense
+  // processor axis (degenerate 1xP shapes are pruned by the heuristic
+  // seeds, so they are rare in real scoring rounds).
+  optimize::SearchSpace space;
+  space.machines = {core::MachineConfig::xt4_dual_core(),
+                    core::MachineConfig::xt4_single_core()};
+  for (int p = 512; p <= 4096; p += quick ? 140 : 14)
+    space.decompositions.push_back(topo::closest_to_square(p));
+  space.htiles = {1, 2, 5, 10};
+  const std::size_t count = space.size();
+
+  std::vector<core::AppParams> apps;
+  for (double h : space.htiles) {
+    apps.push_back(base_app);
+    apps.back().htile = h;
+  }
+
+  OptimizePerf perf;
+  // Both rates are best-of-N over identical rounds: the two loops run at
+  // different moments, so a scheduler hiccup in either would otherwise
+  // move the quoted speedup (the gate compares them within this file).
+  const int rounds = 4;
+  perf.candidates = static_cast<double>(count);
+
+  // Scalar: the pre-optimizer cost — the candidate set expressed as the
+  // runner sweep it used to be (one Scenario per candidate through the
+  // per-point Solver route, backend resolution, validation and record
+  // materialization paid every time). Serial, like the batch side.
+  {
+    std::vector<runner::Scenario> points;
+    points.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const optimize::Candidate c = space.at(k);
+      runner::Scenario s;
+      s.app = apps[c.htile];
+      s.machine = space.machines[c.machine];
+      s.grid = space.decompositions[c.decomp];
+      s.index = k;
+      s.seed = runner::derive_seed(2008, k);
+      points.push_back(std::move(s));
+    }
+    runner::BatchRunner::Options options(1);
+    options.batch = false;
+    const runner::BatchRunner sweep{ctx, options};
+    double sink = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto records = sweep.run(points);
+      const double wall = seconds_since(start);
+      if (r == 0 || wall < perf.scalar_wall_s) perf.scalar_wall_s = wall;
+      for (const auto& rec : records) sink += rec.metric("model_iter_us");
+    }
+    if (sink <= 0.0) std::abort();  // keep the loop observable
+  }
+
+  // Batch: the optimizer's path — the plan is compiled once per search
+  // and amortized over every candidate, so it is built once here too
+  // (inside the first timed round, outside the per-candidate loop).
+  {
+    double sink = 0.0;
+    core::BatchEval plan(ctx.comm_model_registry());
+    std::vector<std::uint32_t> plan_apps, plan_machines;
+    core::BatchScratch scratch;
+    core::ModelResult res;
+    for (int r = 0; r < rounds; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      if (r == 0) {
+        for (const core::AppParams& a : apps)
+          plan_apps.push_back(plan.add_app(a));
+        for (const core::MachineConfig& m : space.machines)
+          plan_machines.push_back(plan.add_machine(m));
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        const optimize::Candidate c = space.at(k);
+        plan.evaluate_point({plan_apps[c.htile], plan_machines[c.machine],
+                             space.decompositions[c.decomp]},
+                            scratch, res);
+        sink += res.iteration.total;
+      }
+      const double wall = seconds_since(start);
+      if (r == 0 || wall < perf.batch_wall_s) perf.batch_wall_s = wall;
+    }
+    if (sink <= 0.0) std::abort();
+  }
+
+  // End-to-end: one seeded beam search with the DES re-rank, over the
+  // facade (what a user pays for a recommendation).
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = ctx.optimize()
+                            .machines({"xt4-dual", "xt4-single"})
+                            .processors(quick ? std::vector<int>{16, 32, 64}
+                                              : std::vector<int>{64, 128, 256})
+                            .htiles({1, 2, 5, 10})
+                            .strategy(SearchStrategy::Beam)
+                            .budget(quick ? 60 : 150)
+                            .top_k(2)
+                            .run();
+    if (!result.ok()) std::abort();
+    perf.search_evaluated = static_cast<double>(result.value().evaluated);
+    perf.search_wall_s = seconds_since(start);
+  }
+  return perf;
+}
+
 /// The facade's memoizing service measured on production-shaped traffic:
 /// a small set of distinct analytic queries evaluated cold, then hammered
 /// hot. The speedup (hit rate / cold rate) is the headline cache number.
@@ -388,6 +524,7 @@ int main(int argc, char** argv) {
   const ParallelPerf par = sim_parallel_section(ctx);
   const ServiceResult svc = service_section(ctx, quick);
   const ObsPerf obs = obs_section(ctx, quick);
+  const OptimizePerf opt = optimize_section(ctx, quick);
   const int model_threads = runner::BatchRunner(
       ctx, runner::BatchRunner::Options(threads)).threads();
 
@@ -492,6 +629,27 @@ int main(int argc, char** argv) {
                      common::Table::integer(
                          static_cast<long long>(obs.spans)) +
                      " spans)"});
+  const double opt_scalar = rate(opt.candidates, opt.scalar_wall_s);
+  const double opt_batch = rate(opt.candidates, opt.batch_wall_s);
+  const double opt_speedup = opt_scalar > 0.0 ? opt_batch / opt_scalar : 0.0;
+  table.add_row({"optimize:scalar",
+                 common::Table::integer(
+                     static_cast<long long>(opt.candidates)) + " cands",
+                 common::Table::num(opt.scalar_wall_s, 3),
+                 common::Table::num(opt_scalar / 1e3, 1) +
+                     " k cands/s (per-point Solver)"});
+  table.add_row({"optimize:batch",
+                 common::Table::integer(
+                     static_cast<long long>(opt.candidates)) + " cands",
+                 common::Table::num(opt.batch_wall_s, 3),
+                 common::Table::num(opt_batch / 1e3, 1) + " k cands/s (" +
+                     common::Table::num(opt_speedup, 1) + "x scalar)"});
+  table.add_row({"optimize:search",
+                 common::Table::integer(
+                     static_cast<long long>(opt.search_evaluated)) +
+                     " scored",
+                 common::Table::num(opt.search_wall_s, 3),
+                 "beam + DES re-rank, end to end"});
   table.print(std::cout);
 
   const std::string out = cli.get("out", "");
@@ -501,7 +659,7 @@ int main(int argc, char** argv) {
       std::cerr << "cannot write " << out << "\n";
       return 1;
     }
-    char buf[2048];
+    char buf[4096];
     // Per-second rates are written as fixed-point integers: shell tooling
     // (tools/check_perf.sh) compares them with awk, and %.6g's scientific
     // notation for large rates (e.g. 2.7e+06) made those comparisons
@@ -535,7 +693,13 @@ int main(int argc, char** argv) {
         "  \"obs_uninstrumented_des_events_per_sec\": %lld,\n"
         "  \"obs_instrumented_des_events_per_sec\": %lld,\n"
         "  \"obs_traced_des_events_per_sec\": %lld,\n"
-        "  \"obs_trace_spans\": %llu,\n",
+        "  \"obs_trace_spans\": %llu,\n"
+        "  \"optimize_candidates\": %.6g,\n"
+        "  \"optimize_scalar_candidates_per_sec\": %lld,\n"
+        "  \"optimize_batch_candidates_per_sec\": %lld,\n"
+        "  \"optimize_batch_speedup\": %.6g,\n"
+        "  \"optimize_search_evaluated\": %.6g,\n"
+        "  \"optimize_search_wall_s\": %.6g,\n",
         quick ? "true" : "false", model_threads,
         std::llround(rate(eng.events, eng.wall_s)),
         std::llround(rate(sim.events, sim.wall_s)), sim.events, sim.wall_s,
@@ -546,7 +710,9 @@ int main(int argc, char** argv) {
         hardware_threads, ParallelPerf::kThreads, std::llround(par_serial),
         std::llround(par_parallel), par_speedup, std::llround(obs_plain),
         std::llround(obs_instr), std::llround(obs_traced),
-        static_cast<unsigned long long>(obs.spans));
+        static_cast<unsigned long long>(obs.spans), opt.candidates,
+        std::llround(opt_scalar), std::llround(opt_batch), opt_speedup,
+        opt.search_evaluated, opt.search_wall_s);
     os << buf;
     // One flat key per registered workload. The perf tooling
     // (tools/run_perf.sh, tools/check_perf.sh) matches keys anchored to

@@ -1,12 +1,35 @@
-// Table 2: XT4 communication parameters re-derived from (simulated, noisy)
-// ping-pong measurements by the §3 fitting procedure.
+// Table 2: XT4 communication parameters re-derived by the §3 fitting
+// procedure — from simulated noisy ping-pong measurements by default, or
+// from externally measured CSV curves (--offnode-csv / --onchip-csv), so
+// a real machine's pingpong data drives the same fit. --emit-machine
+// writes the fitted parameters as a machines/*.cfg for the optimizer and
+// every --machine flag to consume (the calibrate -> optimize loop,
+// docs/OPTIMIZE.md).
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "calibrate/fitting.h"
 #include "common/rng.h"
+#include "core/machine.h"
 #include "runner/runner.h"
 
 using namespace wave;
+
+namespace {
+
+/// Eagerly loads a measured-curve CSV; malformed files are user errors
+/// (file:line diagnostics), fatal before the sweep starts.
+calibrate::Curve load_csv_or_die(const std::string& path) {
+  try {
+    return calibrate::load_curve_csv(path);
+  } catch (const core::ConfigError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const common::Cli cli(argc, argv);
@@ -24,10 +47,20 @@ int main(int argc, char** argv) {
       "on-chip — the fit recovers the machine's ground truth");
 
   // The calibration target: the XT4 by default, any machines/*.cfg ground
-  // truth with --machine.
-  const auto truth =
-      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core())
-          .loggp;
+  // truth with --machine. The full config is kept so --emit-machine can
+  // write the fitted parameters back into the same node architecture.
+  const core::MachineConfig base =
+      runner::machine_from_cli(cli, ctx, core::MachineConfig::xt4_dual_core());
+  const loggp::MachineParams& truth = base.loggp;
+
+  // Externally measured curves replace the simulated ones side-by-side:
+  // a CSV off-node curve still composes with a simulated on-chip one.
+  // Loaded eagerly so a bad file fails before the sweep.
+  const std::string offnode_csv = cli.get("offnode-csv", "");
+  const std::string onchip_csv = cli.get("onchip-csv", "");
+  calibrate::Curve measured_off, measured_on;
+  if (!offnode_csv.empty()) measured_off = load_csv_or_die(offnode_csv);
+  if (!onchip_csv.empty()) measured_on = load_csv_or_die(onchip_csv);
 
   // A one-point sweep: the calibration is a single (machine, noise, seed)
   // scenario whose deterministic RNG seed comes from the sweep.
@@ -35,12 +68,32 @@ int main(int argc, char** argv) {
   grid.seed(seed);
   grid.values("noise", {noise});
 
+  loggp::MachineParams fitted_params;
   const auto records =
       runner::BatchRunner(ctx, runner::options_from_cli(cli))
           .run(grid, [&](const runner::Scenario& s) {
             common::Rng rng(s.seed);
-            const auto fitted =
-                calibrate::calibrate_machine(truth, &rng, s.param("noise"));
+            const std::vector<int> sizes = calibrate::default_sizes();
+            // Simulated curves draw from the RNG in the fixed off-then-on
+            // order, so the all-simulated default stays byte-identical
+            // with calibrate_machine().
+            const calibrate::Curve off =
+                offnode_csv.empty()
+                    ? calibrate::measure_curve(truth, /*on_chip=*/false,
+                                               sizes, &rng, s.param("noise"))
+                    : measured_off;
+            const calibrate::Curve on =
+                onchip_csv.empty()
+                    ? calibrate::measure_curve(truth, /*on_chip=*/true, sizes,
+                                               &rng, s.param("noise"))
+                    : measured_on;
+            loggp::MachineParams fitted;
+            fitted.eager_limit_bytes = truth.eager_limit_bytes;
+            fitted.off =
+                calibrate::fit_offnode(off, truth.eager_limit_bytes);
+            fitted.on = calibrate::fit_onchip(on, truth.eager_limit_bytes);
+            fitted.validate();
+            fitted_params = fitted;
             return runner::Metrics{{"G_off", fitted.off.G},
                                    {"L", fitted.off.L},
                                    {"o_off", fitted.off.o},
@@ -69,6 +122,26 @@ int main(int argc, char** argv) {
   row("o (on-chip)", "us", truth.on.o, "o_on");
   row("ocopy", "us", truth.on.ocopy, "ocopy");
   runner::emit(cli, records, table);
+
+  // --emit-machine=FILE: the fitted parameters in the base machine's node
+  // architecture, written through write_machine_config so the emitted
+  // file reloads byte-stably (the round-trip guarantee) and plugs into
+  // --machine= / Optimize::machines() anywhere.
+  if (const std::string emit = cli.get("emit-machine", ""); !emit.empty()) {
+    core::MachineConfig fitted_machine = base;
+    fitted_machine.name = base.name + "-fitted";
+    fitted_machine.loggp = fitted_params;
+    std::ofstream out(emit, std::ios::binary);
+    out << core::write_machine_config(fitted_machine);
+    out.flush();
+    if (!out) {
+      std::cerr << "error: cannot write fitted machine config: " << emit
+                << "\n";
+      return 1;
+    }
+    std::cout << "fitted machine '" << fitted_machine.name << "' written to "
+              << emit << "\n";
+  }
 
   std::cout << "measurement noise: " << 100.0 * noise
             << "% relative stddev, seed " << seed << "\n"

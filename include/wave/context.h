@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "wave/optimize.h"
 #include "wave/query.h"
 #include "wave/status.h"
 #include "wave/study.h"
@@ -78,6 +79,8 @@ class Context {
   Query query() const;
   /// A Study bound to this context (which must outlive it).
   Study study() const;
+  /// An Optimize search bound to this context (which must outlive it).
+  Optimize optimize() const;
 
   // ---- catalogs --------------------------------------------------------
 

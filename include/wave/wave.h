@@ -11,7 +11,8 @@
 //   }
 //
 // The facade surface is Context (state), Query/Result and Study
-// (evaluation), EvalService (memoization) and Status/Expected (errors);
+// (evaluation), Optimize (auto-configuration), EvalService (memoization)
+// and Status/Expected (errors);
 // docs/API.md is the embedding guide and states the versioning policy.
 // Everything under src/ remains internal: reachable for power users and
 // extensions, but outside the compatibility promise.
@@ -19,6 +20,7 @@
 
 #include "wave/context.h"
 #include "wave/eval_service.h"
+#include "wave/optimize.h"
 #include "wave/query.h"
 #include "wave/status.h"
 #include "wave/study.h"

@@ -92,6 +92,7 @@ Context& Context::operator=(Context&&) noexcept = default;
 
 Query Context::query() const { return Query(this); }
 Study Context::study() const { return Study(this); }
+Optimize Context::optimize() const { return Optimize(this); }
 
 std::vector<EntryInfo> Context::workloads() const {
   std::vector<EntryInfo> out;

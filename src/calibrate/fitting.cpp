@@ -1,9 +1,14 @@
 #include "calibrate/fitting.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/contracts.h"
 #include "common/statistics.h"
+#include "core/machine.h"
 #include "workloads/pingpong.h"
 
 namespace wave::calibrate {
@@ -112,6 +117,95 @@ loggp::MachineParams calibrate_machine(const loggp::MachineParams& ground_truth,
   fitted.on = fit_onchip(on, ground_truth.eager_limit_bytes);
   fitted.validate();
   return fitted;
+}
+
+namespace {
+
+/// file:line diagnostics in the machines/*.cfg error style.
+[[noreturn]] void csv_fail(const std::string& source, int line,
+                           const std::string& what) {
+  std::ostringstream os;
+  os << source;
+  if (line > 0) os << ":" << line;
+  os << ": " << what;
+  throw core::ConfigError(os.str());
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin])))
+    ++begin;
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+bool parse_number(const std::string& text, double* out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  *out = std::strtod(begin, &end);
+  return end != begin && end == begin + text.size();
+}
+
+}  // namespace
+
+Curve parse_curve_csv(const std::string& text, const std::string& source) {
+  Curve curve;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  bool saw_data = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const std::size_t hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t comma = line.find(',');
+    if (comma == std::string::npos)
+      csv_fail(source, line_no,
+               "expected 'bytes,time_us' (no comma found)");
+    const std::string bytes_text = trim(line.substr(0, comma));
+    const std::string time_text = trim(line.substr(comma + 1));
+    if (time_text.find(',') != std::string::npos)
+      csv_fail(source, line_no,
+               "expected exactly two columns 'bytes,time_us'");
+
+    double bytes = 0.0, time_us = 0.0;
+    if (!parse_number(bytes_text, &bytes) ||
+        !parse_number(time_text, &time_us)) {
+      // One non-numeric header row is tolerated, but only as the first
+      // content line — anywhere else it is a malformed row.
+      if (!saw_data && curve.empty()) {
+        saw_data = true;  // the header slot is spent
+        continue;
+      }
+      csv_fail(source, line_no,
+               "malformed row '" + line + "': both columns must be numeric");
+    }
+    saw_data = true;
+    if (bytes < 1.0 || bytes != static_cast<double>(static_cast<int>(bytes)))
+      csv_fail(source, line_no, "message size must be a whole byte count >= 1");
+    if (!(time_us > 0.0))
+      csv_fail(source, line_no, "measured time must be > 0 us");
+    curve.push_back({static_cast<int>(bytes), time_us});
+  }
+  if (curve.empty())
+    csv_fail(source, 0, "no measurements (need 'bytes,time_us' rows)");
+  std::sort(curve.begin(), curve.end(),
+            [](const Sample& a, const Sample& b) { return a.bytes < b.bytes; });
+  return curve;
+}
+
+Curve load_curve_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw core::ConfigError(path + ": cannot open curve CSV");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_curve_csv(text.str(), path);
 }
 
 }  // namespace wave::calibrate

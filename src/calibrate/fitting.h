@@ -63,4 +63,17 @@ loggp::MachineParams calibrate_machine(const loggp::MachineParams& ground_truth,
                                        common::Rng* noise = nullptr,
                                        double rel_noise = 0.0);
 
+/// Parses an externally measured ping-pong curve from CSV text: one
+/// `bytes,time_us` row per line; `#` comments, blank lines and one
+/// optional non-numeric header row are ignored. Rows may arrive in any
+/// order — the returned curve is sorted by size, as the fitters expect.
+/// Malformed rows throw core::ConfigError naming `source` and the line
+/// ("pingpong.csv:7: ..."), consistent with machines/*.cfg parsing.
+Curve parse_curve_csv(const std::string& text, const std::string& source);
+
+/// Loads and parses a measured-curve CSV file.
+/// @throws core::ConfigError when the file cannot be read or a row is
+///   malformed.
+Curve load_curve_csv(const std::string& path);
+
 }  // namespace wave::calibrate

@@ -1,0 +1,137 @@
+#include "optimize/search_space.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace wave::optimize {
+
+namespace {
+
+/// The axis lengths in enumeration order (machine slowest, angle fastest).
+std::size_t radix(const SearchSpace& s, int axis) {
+  switch (axis) {
+    case 0: return s.machines.size();
+    case 1: return s.comm_models.size();
+    case 2: return s.decompositions.size();
+    case 3: return s.htiles.size();
+    case 4: return s.pz.size();
+    default: return s.angle_blocks.size();
+  }
+}
+
+std::uint32_t& coord(Candidate& c, int axis) {
+  switch (axis) {
+    case 0: return c.machine;
+    case 1: return c.comm;
+    case 2: return c.decomp;
+    case 3: return c.htile;
+    case 4: return c.pz;
+    default: return c.angle;
+  }
+}
+
+std::uint32_t coord(const Candidate& c, int axis) {
+  switch (axis) {
+    case 0: return c.machine;
+    case 1: return c.comm;
+    case 2: return c.decomp;
+    case 3: return c.htile;
+    case 4: return c.pz;
+    default: return c.angle;
+  }
+}
+
+}  // namespace
+
+std::size_t SearchSpace::size() const {
+  std::size_t n = 1;
+  for (int axis = 0; axis < 6; ++axis) n *= radix(*this, axis);
+  return n;
+}
+
+Candidate SearchSpace::at(std::size_t index) const {
+  WAVE_EXPECTS_MSG(index < size(), "candidate index out of range");
+  Candidate c;
+  for (int axis = 5; axis >= 0; --axis) {
+    const std::size_t r = radix(*this, axis);
+    coord(c, axis) = static_cast<std::uint32_t>(index % r);
+    index /= r;
+  }
+  return c;
+}
+
+std::size_t SearchSpace::index_of(const Candidate& c) const {
+  std::size_t index = 0;
+  for (int axis = 0; axis < 6; ++axis) {
+    const std::size_t r = radix(*this, axis);
+    const std::uint32_t x = coord(c, axis);
+    WAVE_EXPECTS_MSG(x < r, "candidate coordinate out of range");
+    index = index * r + x;
+  }
+  return index;
+}
+
+std::vector<Candidate> SearchSpace::neighbors(const Candidate& c) const {
+  std::vector<Candidate> out;
+  for (int axis = 0; axis < 6; ++axis) {
+    const std::uint32_t x = coord(c, axis);
+    if (x > 0) {
+      Candidate n = c;
+      coord(n, axis) = x - 1;
+      out.push_back(n);
+    }
+    if (x + 1 < radix(*this, axis)) {
+      Candidate n = c;
+      coord(n, axis) = x + 1;
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+void SearchSpace::validate() const {
+  WAVE_EXPECTS_MSG(!machines.empty(), "search space needs >= 1 machine");
+  WAVE_EXPECTS_MSG(!comm_models.empty(),
+                   "search space needs >= 1 comm-model level");
+  WAVE_EXPECTS_MSG(!decompositions.empty(),
+                   "search space needs >= 1 decomposition");
+  WAVE_EXPECTS_MSG(!htiles.empty(), "search space needs >= 1 htile level");
+  WAVE_EXPECTS_MSG(!pz.empty(), "search space needs >= 1 pz level");
+  WAVE_EXPECTS_MSG(!angle_blocks.empty(),
+                   "search space needs >= 1 angle-block level");
+  for (const core::MachineConfig& m : machines) m.validate();
+  // 0 is the keep-the-default sentinel on every numeric axis; anything
+  // else must be a usable positive value.
+  for (double h : htiles)
+    WAVE_EXPECTS_MSG(h >= 0.0, "htile levels must be >= 0 (0 = default)");
+  for (double z : pz)
+    WAVE_EXPECTS_MSG(z >= 0.0, "pz levels must be >= 0 (0 = default)");
+  for (double a : angle_blocks)
+    WAVE_EXPECTS_MSG(a >= 0.0,
+                     "angle-block levels must be >= 0 (0 = default)");
+}
+
+std::vector<topo::Grid> decompositions_of(int p) {
+  WAVE_EXPECTS_MSG(p >= 1, "processor count must be >= 1");
+  std::vector<topo::Grid> out;
+  for (int n = 1; n <= p; ++n)
+    if (p % n == 0) out.push_back(topo::Grid(n, p / n));
+  return out;
+}
+
+std::vector<topo::Grid> decompositions_for(const std::vector<int>& counts) {
+  std::vector<topo::Grid> out;
+  for (int p : counts) {
+    for (const topo::Grid& g : decompositions_of(p)) {
+      const bool seen = std::any_of(
+          out.begin(), out.end(), [&](const topo::Grid& have) {
+            return have.n() == g.n() && have.m() == g.m();
+          });
+      if (!seen) out.push_back(g);
+    }
+  }
+  return out;
+}
+
+}  // namespace wave::optimize

@@ -1,0 +1,78 @@
+// The auto-configurator's search space (ROADMAP item 3).
+//
+// Where a SweepGrid enumerates *every* point of a study for inspection,
+// the optimizer's SearchSpace describes a configuration domain to be
+// *searched*: machines (from the catalog or a fitted config), an optional
+// comm-backend override, all n x m divisor decompositions of the requested
+// processor counts, and the tunable application knobs (Htile, and — for
+// sweep3d-hybrid — the pz and angle-block axes). A candidate is one index
+// per axis; the space maps candidates to and from a flat mixed-radix index
+// so search strategies can enumerate, sample and perturb configurations
+// deterministically without materializing the cartesian product.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "topology/grid.h"
+
+namespace wave::optimize {
+
+/// One configuration: an index into each axis of the SearchSpace.
+struct Candidate {
+  std::uint32_t machine = 0;  ///< index into SearchSpace::machines
+  std::uint32_t comm = 0;     ///< index into SearchSpace::comm_models
+  std::uint32_t decomp = 0;   ///< index into SearchSpace::decompositions
+  std::uint32_t htile = 0;    ///< index into SearchSpace::htiles
+  std::uint32_t pz = 0;       ///< index into SearchSpace::pz
+  std::uint32_t angle = 0;    ///< index into SearchSpace::angle_blocks
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// The constrained configuration domain the optimizer searches.
+///
+/// Every axis has at least one entry; "leave the workload's default" is
+/// the sentinel value 0 on the numeric axes (htiles/pz/angle_blocks) and
+/// the empty string on comm_models (keep each machine's own backend).
+/// validate() enforces the invariants; the facade builds spaces that hold
+/// them by construction.
+struct SearchSpace {
+  std::vector<core::MachineConfig> machines;
+  std::vector<std::string> comm_models{""};  ///< "" = machine's own backend
+  std::vector<topo::Grid> decompositions;
+  std::vector<double> htiles{0.0};        ///< 0 = keep the app's Htile
+  std::vector<double> pz{0.0};            ///< 0 = workload default
+  std::vector<double> angle_blocks{0.0};  ///< 0 = workload default
+
+  /// Cartesian size: the product of the axis lengths.
+  std::size_t size() const;
+
+  /// Candidate at flat index k (machine varies slowest, angle fastest —
+  /// the deterministic enumeration order of exhaustive search).
+  Candidate at(std::size_t index) const;
+
+  /// Inverse of at(): the flat index, also the dedup/tie-break key.
+  std::size_t index_of(const Candidate& c) const;
+
+  /// All in-bounds single-axis +-1 perturbations of `c`, in a fixed order
+  /// (machine-, comm-, decomp-, htile-, pz-, angle-axis; minus before
+  /// plus). The beam expansion neighborhood.
+  std::vector<Candidate> neighbors(const Candidate& c) const;
+
+  /// Throws common::contract_error when an axis is empty, a machine or
+  /// decomposition is invalid, or an axis value is out of domain.
+  void validate() const;
+};
+
+/// All n-columns x m-rows decompositions with n*m == p, n ascending.
+std::vector<topo::Grid> decompositions_of(int p);
+
+/// Flattened decompositions of every count, in the given order of counts
+/// (duplicate grids from repeated counts are dropped).
+std::vector<topo::Grid> decompositions_for(const std::vector<int>& counts);
+
+}  // namespace wave::optimize

@@ -1,8 +1,13 @@
 // Tests for LogGP parameter fitting (the §3 derivation of Table 2).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "calibrate/fitting.h"
 #include "common/contracts.h"
+#include "core/machine.h"
+#include "loggp/registry.h"
 
 namespace wcal = wave::calibrate;
 namespace wl = wave::loggp;
@@ -102,3 +107,103 @@ TEST_P(CalibrateRoundTrip, RecoversScaledMachines) {
 
 INSTANTIATE_TEST_SUITE_P(MachineScales, CalibrateRoundTrip,
                          ::testing::Values(0.5, 2.0, 10.0, 50.0));
+
+// ---- measured-curve CSV ingestion (PR 10) ------------------------------
+
+namespace {
+
+// Extracts the message from the ConfigError `fn` throws, failing if it
+// does not throw — file:line error messages are part of the contract.
+template <typename Fn>
+std::string config_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const wave::core::ConfigError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected core::ConfigError";
+  return {};
+}
+
+}  // namespace
+
+TEST(CalibrateCsv, ParsesCommentsHeaderAndUnsortedRows) {
+  const auto curve = wcal::parse_curve_csv(
+      "# measured on the real machine\n"
+      "bytes,time_us\n"
+      "4096, 12.5\n"
+      "\n"
+      "64,3.25\n"
+      "1025,7.0\n",
+      "pingpong.csv");
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].bytes, 64);
+  EXPECT_EQ(curve[2].bytes, 4096);
+  EXPECT_DOUBLE_EQ(curve[1].time, 7.0);
+}
+
+TEST(CalibrateCsv, MalformedRowsNameSourceAndLine) {
+  // A non-numeric row after real data is an error, not a second header.
+  const std::string late_header = config_error_of([] {
+    wcal::parse_curve_csv("64,3.0\nbytes,time\n", "late.csv");
+  });
+  EXPECT_NE(late_header.find("late.csv:2"), std::string::npos);
+
+  const std::string missing_col =
+      config_error_of([] { wcal::parse_curve_csv("64\n", "cols.csv"); });
+  EXPECT_NE(missing_col.find("cols.csv:1"), std::string::npos);
+
+  const std::string bad_bytes = config_error_of(
+      [] { wcal::parse_curve_csv("0,1.5\n", "domain.csv"); });
+  EXPECT_NE(bad_bytes.find("domain.csv:1"), std::string::npos);
+
+  const std::string bad_time = config_error_of(
+      [] { wcal::parse_curve_csv("64,-2.0\n", "time.csv"); });
+  EXPECT_NE(bad_time.find("time.csv:1"), std::string::npos);
+}
+
+TEST(CalibrateCsv, MissingFileNamesThePath) {
+  const std::string err = config_error_of(
+      [] { wcal::load_curve_csv("/nonexistent/pingpong.csv"); });
+  EXPECT_NE(err.find("/nonexistent/pingpong.csv"), std::string::npos);
+}
+
+TEST(CalibrateCsv, CsvCurveFitsLikeTheInMemoryCurve) {
+  // Serializing a simulator-measured curve through CSV text and fitting
+  // the parse result must reproduce the direct fit bit-for-bit: the
+  // ingestion path adds no numeric laundering.
+  const auto truth = wl::xt4();
+  const auto direct = wcal::measure_curve(truth, /*on_chip=*/false,
+                                          wcal::default_sizes());
+  std::string csv = "bytes,time_us\n";
+  for (const auto& s : direct) {
+    char row[64];
+    std::snprintf(row, sizeof row, "%d,%.17g\n", s.bytes, s.time);
+    csv += row;
+  }
+  const auto parsed = wcal::parse_curve_csv(csv, "roundtrip.csv");
+  ASSERT_EQ(parsed.size(), direct.size());
+  const auto fit_direct = wcal::fit_offnode(direct, truth.eager_limit_bytes);
+  const auto fit_parsed = wcal::fit_offnode(parsed, truth.eager_limit_bytes);
+  EXPECT_EQ(fit_direct.G, fit_parsed.G);
+  EXPECT_EQ(fit_direct.L, fit_parsed.L);
+  EXPECT_EQ(fit_direct.o, fit_parsed.o);
+}
+
+// ---- fitted-config emission (PR 10: calibrate -> optimize) -------------
+
+TEST(CalibrateEmit, FittedConfigRoundTripsByteStably) {
+  // The emit path table2_calibration --emit-machine uses: overwrite a
+  // catalog machine's LogGP block with fitted values, serialize, parse.
+  wave::core::MachineConfig machine = wave::core::MachineConfig::xt4_dual_core();
+  machine.name = "unit-fitted";
+  machine.loggp = wcal::calibrate_machine(wl::xt4());
+
+  const wave::loggp::CommModelRegistry registry;  // builtins only
+  const std::string text = wave::core::write_machine_config(machine);
+  const auto reloaded =
+      wave::core::parse_machine_config(text, "emitted", registry);
+  EXPECT_EQ(reloaded, machine);
+  // Idempotent: a second write of the parse result is the same bytes.
+  EXPECT_EQ(wave::core::write_machine_config(reloaded), text);
+}

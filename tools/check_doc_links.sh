@@ -13,8 +13,8 @@ status=0
 # The documentation set this script guards: deleting or renaming one of
 # these must fail the docs job, not silently shrink the glob below.
 for required in README.md docs/API.md docs/ARCHITECTURE.md docs/MODEL.md \
-                docs/OBSERVABILITY.md docs/PERFORMANCE.md docs/SERVING.md \
-                docs/WORKLOADS.md; do
+                docs/OBSERVABILITY.md docs/OPTIMIZE.md docs/PERFORMANCE.md \
+                docs/SERVING.md docs/WORKLOADS.md; do
   if [ ! -f "$root/$required" ]; then
     echo "MISSING DOC: $required"
     status=1

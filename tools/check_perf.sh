@@ -8,7 +8,7 @@
 #
 # Usage: tools/check_perf.sh BENCH.json fresh_quick.json [fresh_serve.json] \
 #            [min_ratio] [min_batch_speedup] [min_parallel_speedup] \
-#            [min_obs_ratio]
+#            [min_obs_ratio] [min_optimize_speedup]
 #   BENCH.json        committed trajectory (its "quick" and "serve_quick"
 #                     sections are the references)
 #   fresh_quick.json  output of `bench/perf_sweep --quick --out=...`
@@ -32,6 +32,13 @@
 #                     fraction of the uninstrumented events/sec
 #                     (within-file, machine-independent; the opt-in span
 #                     tracer is reported but not gated)
+#   min_optimize_speedup default 10 — the fresh run's batch-scored
+#                     optimize candidates/sec must beat its own scalar
+#                     (per-point runner route) candidates/sec by this
+#                     factor on the same pinned candidate stream
+#                     (within-file, machine-independent — the PR 6 batch
+#                     gate convention applied to the auto-configurator's
+#                     scoring path)
 #
 # Serve gates (fixed thresholds, see the serve section at the bottom):
 # within-file, the overload burst must actually shed and degrade (rates
@@ -94,6 +101,32 @@ ok=$(awk "BEGIN { print ($fresh_batch >= $min_batch_speedup * $fresh_model) ? 1 
 if [ "$ok" -ne 1 ]; then
   echo "PERF REGRESSION: batch-routed analytic points/sec fell below" \
        "${min_batch_speedup}x the scalar path" >&2
+  exit 1
+fi
+
+# Auto-configurator gate (PR10): the optimize section scores one pinned
+# candidate stream twice — through the optimizer's compiled BatchEval plan
+# and through the per-point scalar runner route. Both rates come from the
+# same process on the same candidates (best-of-N rounds), so this is
+# within-file and machine-independent: it catches "the optimizer's scoring
+# quietly degraded to per-point evaluation", not jitter.
+min_optimize_speedup="${8:-10}"
+fresh_opt_scalar=$(awk -F': ' '$1 ~ /^[[:space:]]*"optimize_scalar_candidates_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+fresh_opt_batch=$(awk -F': ' '$1 ~ /^[[:space:]]*"optimize_batch_candidates_per_sec"$/ { gsub(/[,\r]/, "", $2); print $2 }' "$fresh")
+
+if [ -z "$fresh_opt_scalar" ] || [ -z "$fresh_opt_batch" ]; then
+  echo "check_perf: could not extract optimize candidates_per_sec" \
+       "(scalar='$fresh_opt_scalar', batch='$fresh_opt_batch')" >&2
+  exit 2
+fi
+
+opt_ratio=$(awk "BEGIN { printf \"%.2f\", $fresh_opt_batch / $fresh_opt_scalar }")
+echo "optimize candidates/sec: batch $fresh_opt_batch vs scalar $fresh_opt_scalar" \
+     "(speedup ${opt_ratio}x, minimum ${min_optimize_speedup}x)"
+ok=$(awk "BEGIN { print ($fresh_opt_batch >= $min_optimize_speedup * $fresh_opt_scalar) ? 1 : 0 }")
+if [ "$ok" -ne 1 ]; then
+  echo "PERF REGRESSION: batch-scored optimize candidates/sec fell below" \
+       "${min_optimize_speedup}x the scalar route" >&2
   exit 1
 fi
 

@@ -10,7 +10,7 @@
 # Usage: tools/run_perf.sh [build-dir] [out.json]
 #   build-dir  default: build   (needs bench/perf_sweep and
 #              bench/serve_load built, Release!)
-#   out.json   default: BENCH_pr9.json
+#   out.json   default: BENCH_pr10.json
 #
 # The baseline section is a constant: it was measured at PR3 time by
 # rebuilding the pre-PR3 implementation (commit 23832a9) with this same
@@ -21,7 +21,7 @@
 set -eu
 
 build="${1:-build}"
-out="${2:-BENCH_pr9.json}"
+out="${2:-BENCH_pr10.json}"
 sweep="$build/bench/perf_sweep"
 serve="$build/bench/serve_load"
 
@@ -101,6 +101,14 @@ obs_traced=$(metric "$tmp_full" obs_traced_des_events_per_sec)
 obs_spans=$(metric "$tmp_full" obs_trace_spans)
 quick_obs_plain=$(metric "$tmp_quick" obs_uninstrumented_des_events_per_sec)
 quick_obs_instr=$(metric "$tmp_quick" obs_instrumented_des_events_per_sec)
+opt_candidates=$(metric "$tmp_full" optimize_candidates)
+opt_scalar=$(metric "$tmp_full" optimize_scalar_candidates_per_sec)
+opt_batch=$(metric "$tmp_full" optimize_batch_candidates_per_sec)
+opt_speedup=$(metric "$tmp_full" optimize_batch_speedup)
+opt_search_eval=$(metric "$tmp_full" optimize_search_evaluated)
+opt_search_wall=$(metric "$tmp_full" optimize_search_wall_s)
+quick_opt_scalar=$(metric "$tmp_quick" optimize_scalar_candidates_per_sec)
+quick_opt_batch=$(metric "$tmp_quick" optimize_batch_candidates_per_sec)
 serve_workers=$(metric "$tmp_serve" serve_workers)
 serve_capacity=$(metric "$tmp_serve" serve_capacity_qps)
 serve_offered=$(metric "$tmp_serve" serve_offered_qps)
@@ -149,9 +157,9 @@ cat > "$out" <<EOF
   "machine": "$(uname -m) $(uname -s | tr 'A-Z' 'a-z'), $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?') hardware thread(s)",
   "baseline_label": "pre-PR3 allocating hot path @ 23832a9",
   "baseline": {"des_events_per_sec": $base_des, "engine_events_per_sec": $base_engine, "model_points_per_sec": $base_model},
-  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver + PR7 parallel engine + PR8 serve daemon + PR9 observability), measured by this run",
+  "current_label": "this checkout (PR3 pooled hot path + PR4 workload subsystem + PR5 facade + PR6 batch solver + PR7 parallel engine + PR8 serve daemon + PR9 observability + PR10 auto-configurator), measured by this run",
   "current": {"des_events_per_sec": $full_des, "engine_events_per_sec": $full_engine, "model_points_per_sec": $full_model, "model_batch_points_per_sec": $full_batch, "sim_serial_events_per_sec": $par_serial, "sim_parallel_events_per_sec": $par_events},
-  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch, "sim_serial_events_per_sec": $quick_par_serial, "sim_parallel_events_per_sec": $quick_par_events, "obs_uninstrumented_des_events_per_sec": $quick_obs_plain, "obs_instrumented_des_events_per_sec": $quick_obs_instr},
+  "quick": {"des_events_per_sec": $quick_des, "engine_events_per_sec": $quick_engine, "model_points_per_sec": $quick_model, "model_batch_points_per_sec": $quick_batch, "sim_serial_events_per_sec": $quick_par_serial, "sim_parallel_events_per_sec": $quick_par_events, "obs_uninstrumented_des_events_per_sec": $quick_obs_plain, "obs_instrumented_des_events_per_sec": $quick_obs_instr, "optimize_scalar_candidates_per_sec": $quick_opt_scalar, "optimize_batch_candidates_per_sec": $quick_opt_batch},
   "workloads_label": "per-workload DES events/sec, full grid (PR4 registry sweep)",
   "workloads_events_per_sec": {$workloads_json},
   "service_label": "EvalService memoization, full grid (PR5 facade): cold analytic evals/sec vs cache-hit lookups/sec on the same query mix",
@@ -164,6 +172,8 @@ cat > "$out" <<EOF
   "serve_quick": {"serve_throughput_qps": $q_serve_tput, "serve_p50_us": $q_serve_p50, "serve_p99_us": $q_serve_p99, "serve_shed_rate": $q_serve_shed, "serve_degrade_rate": $q_serve_degrade},
   "obs_label": "PR9 observability: the identical serial wavefront DES run plain, with the always-on metrics registry attached (instrumented — gated by tools/check_perf.sh at >= 0.90x uninstrumented within the fresh quick file), and with the opt-in span tracer on top (traced — reported only; $obs_spans spans recorded), full grid, this run",
   "obs_overhead": {"obs_uninstrumented_des_events_per_sec": $obs_plain, "obs_instrumented_des_events_per_sec": $obs_instr, "obs_traced_des_events_per_sec": $obs_traced, "obs_trace_spans": $obs_spans, "instrumented_over_uninstrumented": $obs_overhead},
+  "optimize_label": "PR10 auto-configurator (bench/perf_sweep optimize section): a pinned beam-round candidate stream scored through the optimizer's compiled BatchEval plan vs the per-point scalar runner route (best-of-4 rounds, within-file — tools/check_perf.sh gates the quick speedup at >= 10x), plus one end-to-end seeded beam search with the DES re-rank",
+  "optimize": {"optimize_candidates": $opt_candidates, "optimize_scalar_candidates_per_sec": $opt_scalar, "optimize_batch_candidates_per_sec": $opt_batch, "optimize_batch_speedup": $opt_speedup, "optimize_search_evaluated": $opt_search_eval, "optimize_search_wall_s": $opt_search_wall},
   "speedup": {"des_events_per_sec": $speedup_des, "engine_events_per_sec": $speedup_engine, "model_batch_vs_scalar": $speedup_batch}
 }
 EOF
@@ -172,4 +182,5 @@ echo "wrote $out (speedup over pre-PR3 baseline: ${speedup_des}x DES events/sec;
      "batch solver ${speedup_batch}x scalar model points/sec;" \
      "EvalService hits ${svc_speedup}x cold evals;" \
      "wave-serve ${serve_tput} qps, p99 ${serve_p99} us;" \
-     "obs overhead ${obs_overhead}x plain)"
+     "obs overhead ${obs_overhead}x plain;" \
+     "optimize batch scoring ${opt_speedup}x scalar)"
